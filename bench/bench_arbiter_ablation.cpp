@@ -1,0 +1,188 @@
+// E10 — "support for different types of ... GS arbitration can be easily
+// plugged into the router": fair-share vs ALG-style static priority
+// (share-based) vs unregulated priority QoS (credit-based).
+//
+// Same physical scenario for all three schemes: 8 saturating VCs on one
+// link. The table shows who gets bandwidth and what that means for
+// guarantees.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/priority_vc_router.hpp"
+#include "model/timing.hpp"
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "noc/traffic/generator.hpp"
+#include "noc/traffic/sink.hpp"
+#include "noc/traffic/workload.hpp"
+#include "sim/stats.hpp"
+
+using namespace mango;
+using namespace mango::noc;
+using sim::operator""_ns;
+using sim::TablePrinter;
+
+namespace {
+
+struct Result {
+  std::vector<double> per_vc_rate;  // flits/ns, indexed by connection
+  double aggregate = 0.0;
+};
+
+Result run(const RouterConfig& rcfg) {
+  sim::Simulator simulator;
+  MeshConfig mesh;
+  mesh.width = 4;
+  mesh.height = 2;
+  mesh.router = rcfg;
+  Network net(simulator, mesh);
+  ConnectionManager mgr(net, NodeId{0, 0});
+  MeasurementHub hub;
+  attach_hub(net, hub);
+
+  std::vector<std::unique_ptr<GsStreamSource>> sources;
+  std::uint32_t tag = 1;
+  auto open = [&](NodeId src, NodeId dst) {
+    const Connection& c = mgr.open_direct(src, dst);
+    sources.push_back(std::make_unique<GsStreamSource>(
+        simulator, net.na(src), c.src_iface, tag++,
+        GsStreamSource::Options{}));
+    sources.back()->start();
+  };
+  // VCs 0..3 on the contended link come from (2,0) (turning north after
+  // it), VCs 4..7 route through from (1,0) and end at (3,0).
+  for (int i = 0; i < 4; ++i) open({2, 0}, {3, 1});
+  for (int i = 0; i < 4; ++i) open({1, 0}, {3, 0});
+  const sim::Time warmup = 500_ns;
+  const sim::Time window = 8000_ns;
+  simulator.run_until(warmup);
+  std::vector<std::uint64_t> base(tag, 0);
+  for (std::uint32_t t = 1; t < tag; ++t) base[t] = hub.flow(t).flits;
+  simulator.run_until(warmup + window);
+  Result r;
+  for (std::uint32_t t = 1; t < tag; ++t) {
+    const double rate = static_cast<double>(hub.flow(t).flits - base[t]) /
+                        sim::to_ns(window);
+    r.per_vc_rate.push_back(rate);
+    r.aggregate += rate;
+  }
+  return r;
+}
+
+/// Measures the worst observed end-to-end latency of a paced probe at
+/// ALG priority level `priority` (VC index on the contended link), all
+/// other VCs saturating.
+double alg_probe_max_ns(unsigned priority) {
+  sim::Simulator simulator;
+  MeshConfig mesh;
+  mesh.width = 2;
+  mesh.height = 1;
+  mesh.router = baseline::alg_config();
+  Network net(simulator, mesh);
+  ConnectionManager mgr(net, NodeId{0, 0});
+  MeasurementHub hub;
+  attach_hub(net, hub);
+
+  // VCs are allocated in open order: contenders first for the higher
+  // priorities, then the probe, then the rest. Only 4 source interfaces
+  // exist at (0,0), so this experiment covers priorities 0..3.
+  std::vector<std::unique_ptr<GsStreamSource>> sources;
+  const Connection* probe_conn = nullptr;
+  for (unsigned v = 0; v < 4; ++v) {
+    const Connection& c = mgr.open_direct({0, 0}, {1, 0});
+    if (v == priority) {
+      probe_conn = &c;
+      continue;
+    }
+    sources.push_back(std::make_unique<GsStreamSource>(
+        simulator, net.na({0, 0}), c.src_iface, 100 + v,
+        GsStreamSource::Options{}));
+    sources.back()->start();
+  }
+  GsStreamSource::Options paced;
+  paced.period_ps = 40000;  // well under any share: measures pure waits
+  paced.max_flits = 200;
+  GsStreamSource probe(simulator, net.na({0, 0}), probe_conn->src_iface, 1,
+                       paced);
+  probe.start();
+  simulator.run_until(10000000);  // 10 us
+  if (hub.flow(1).flits == 0) return -1.0;  // fully starved
+  return hub.flow(1).latency_ns.max();
+}
+
+std::string fmt_rates(const Result& r) {
+  std::string out;
+  for (double rate : r.per_vc_rate) {
+    if (!out.empty()) out += " ";
+    out += TablePrinter::fmt(rate, 3);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E10 — Link-arbiter ablation: 8 saturating VCs on one "
+              "link (VC index = priority where applicable)\n\n");
+  struct Scheme {
+    const char* name;
+    RouterConfig cfg;
+    const char* guarantee;
+  };
+  const Scheme schemes[] = {
+      {"fair-share (MANGO demo)", baseline::mango_fair_share_config(),
+       ">= 1/8 link BW per VC (hard)"},
+      {"ALG-style static priority", baseline::alg_config(),
+       "bounded latency per priority; low VCs get loop slack"},
+      {"unregulated priority QoS", baseline::priority_qos_config(),
+       "none — low priorities can starve"},
+  };
+  TablePrinter table({"scheme", "per-VC rate [flits/ns]",
+                      "aggregate", "guarantee"});
+  for (const Scheme& s : schemes) {
+    const Result r = run(s.cfg);
+    table.add_row({s.name, fmt_rates(r), TablePrinter::fmt(r.aggregate, 3),
+                   s.guarantee});
+  }
+  table.print();
+
+  // ALG wait bounds (ref [6]): analytic vs simulated worst case.
+  std::printf("\nALG latency guarantees (static priority + share-based "
+              "control, one hop, others saturating):\n\n");
+  const StageDelays d = stage_delays(TimingCorner::kWorstCase);
+  const double base_ns = sim::to_ns(
+      d.na_link_fwd + (d.split_fwd + d.switch_fwd + d.unshare_fwd) +
+      d.buf_advance + d.req_fwd + (d.merge_fwd + d.link_fwd) +
+      (d.split_fwd + d.switch_fwd + d.unshare_fwd) + d.buf_advance +
+      d.na_link_fwd);
+  TablePrinter alg({"priority", "analytic wait bound [ns]",
+                    "latency bound [ns]", "measured max [ns]", "held"});
+  for (unsigned p = 0; p < 4; ++p) {
+    const sim::Time wait =
+        model::alg_wait_bound_ps(TimingCorner::kWorstCase, p);
+    const double measured = alg_probe_max_ns(p);
+    if (wait == 0) {
+      alg.add_row({std::to_string(p), "unbounded", "unbounded",
+                   measured < 0 ? "starved (0 delivered)"
+                                : TablePrinter::fmt(measured, 1),
+                   "-"});
+      continue;
+    }
+    const double bound = base_ns + sim::to_ns(wait);
+    alg.add_row({std::to_string(p), TablePrinter::fmt(sim::to_ns(wait), 1),
+                 TablePrinter::fmt(bound, 1), TablePrinter::fmt(measured, 1),
+                 measured <= bound ? "yes" : "NO"});
+  }
+  alg.print();
+
+  std::printf(
+      "\nFair-share splits the link evenly. Static priority with "
+      "share-based control (ALG, ref [6])\nfavors low VC indices but the "
+      "one-flit-in-media rule leaves slack that lower priorities\nuse. "
+      "With credit-based control (priority-QoS routers, ref [9]) the top "
+      "VCs claim\nback-to-back cycles and the lowest VCs starve: "
+      "differentiated service, no hard\nguarantees — the distinction "
+      "Section 2 draws.\n");
+  return 0;
+}

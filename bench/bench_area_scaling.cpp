@@ -1,0 +1,54 @@
+// E11 — Section 4.2: "The switching module ... scales linearly with the
+// number of VCs, and thus with the number of connections supported."
+// Also shows the quadratic VC-control term that motivates the paper's
+// Clos-network suggestion for larger V.
+#include <cstdio>
+
+#include "model/area.hpp"
+#include "sim/stats.hpp"
+
+using mango::model::AreaBreakdown;
+using mango::model::AreaConfig;
+using mango::model::router_area;
+using mango::sim::TablePrinter;
+
+int main() {
+  std::printf("E11 — Router area scaling (area model, 0.12 um "
+              "calibration)\n\n");
+  std::printf("Sweep over VCs per port (5x5 ports, 32-bit flits):\n\n");
+  TablePrinter vtable({"V", "GS conns", "switching [mm^2]", "VC ctrl [mm^2]",
+                       "buffers [mm^2]", "total [mm^2]",
+                       "switching/V [mm^2]"});
+  for (unsigned v : {2u, 4u, 8u, 16u, 32u}) {
+    AreaConfig cfg;
+    cfg.vcs_per_port = v;
+    const AreaBreakdown a = router_area(cfg);
+    vtable.add_row({std::to_string(v), std::to_string(4 * v),
+                    TablePrinter::fmt(a.switching_module, 3),
+                    TablePrinter::fmt(a.vc_control, 3),
+                    TablePrinter::fmt(a.vc_buffers, 3),
+                    TablePrinter::fmt(a.total(), 3),
+                    TablePrinter::fmt(a.switching_module / v, 4)});
+  }
+  vtable.print();
+  std::printf(
+      "\nswitching/V is constant -> linear scaling (Section 4.2). The VC "
+      "control module\ngrows quadratically (P*V muxes of (P-1)*V inputs) — "
+      "\"for larger number of VCs, it\nmight prove worthwhile to implement "
+      "a more complex switch structure, e.g. a Clos\nnetwork\" "
+      "(Section 4.3).\n\n");
+
+  std::printf("Sweep over network ports (8 VCs/port):\n\n");
+  TablePrinter ptable({"network ports", "total [mm^2]", "switching [mm^2]",
+                       "VC ctrl [mm^2]"});
+  for (unsigned np : {3u, 4u, 5u, 6u}) {
+    AreaConfig cfg;
+    cfg.network_ports = np;
+    const AreaBreakdown a = router_area(cfg);
+    ptable.add_row({std::to_string(np), TablePrinter::fmt(a.total(), 3),
+                    TablePrinter::fmt(a.switching_module, 3),
+                    TablePrinter::fmt(a.vc_control, 3)});
+  }
+  ptable.print();
+  return 0;
+}

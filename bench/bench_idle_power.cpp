@@ -1,0 +1,82 @@
+// E12 — Section 1: clockless circuits "have zero dynamic power
+// consumption when idle". Activity-based energy accounting across an
+// injection-rate sweep, against a clocked router reference whose clock
+// tree toggles regardless of traffic.
+#include <cstdio>
+
+#include "model/power.hpp"
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "noc/traffic/generator.hpp"
+#include "noc/traffic/sink.hpp"
+#include "noc/traffic/workload.hpp"
+#include "sim/stats.hpp"
+
+using namespace mango;
+using namespace mango::noc;
+using sim::operator""_us;
+using sim::TablePrinter;
+
+namespace {
+
+double measure_power_mw(sim::Time gs_period_ps) {
+  sim::Simulator simulator;
+  MeshConfig mesh;
+  mesh.width = 2;
+  mesh.height = 2;
+  Network net(simulator, mesh);
+  ConnectionManager mgr(net, NodeId{0, 0});
+  MeasurementHub hub;
+  attach_hub(net, hub);
+
+  std::unique_ptr<GsStreamSource> src;
+  if (gs_period_ps > 0) {
+    const Connection& c = mgr.open_direct({0, 0}, {1, 1});
+    GsStreamSource::Options opt;
+    opt.period_ps = gs_period_ps;
+    src = std::make_unique<GsStreamSource>(simulator, net.na({0, 0}),
+                                           c.src_iface, 1, opt);
+    src->start();
+  }
+  const sim::Time window = 20_us;
+  simulator.run_until(window);
+  if (src) src->stop();
+  double total_mw = 0.0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    total_mw += model::dynamic_power_mw(
+        net.router(net.node_at(i)).activity(), window);
+  }
+  return total_mw;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12 — Idle and load-proportional dynamic power (2x2 mesh, "
+              "activity-based accounting)\n\n");
+  const double clocked_idle =
+      4.0 * model::clocked_idle_power_mw(500.0);  // 4 routers' clock trees
+  TablePrinter table({"offered GS load", "MANGO dynamic [mW]",
+                      "clocked router idle floor [mW]"});
+  struct Load {
+    const char* label;
+    sim::Time period;
+  };
+  for (const Load& l : {Load{"idle (no traffic)", 0},
+                        Load{"1 flit / 64 ns", 64000},
+                        Load{"1 flit / 16 ns", 16000},
+                        Load{"1 flit / 4 ns", 4000},
+                        Load{"saturated VC (~2.1 ns)", 2200}}) {
+    const double mw = measure_power_mw(l.period);
+    table.add_row({l.label, TablePrinter::fmt(mw, 4),
+                   TablePrinter::fmt(clocked_idle, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nAt zero traffic the clockless router burns exactly 0 dynamic "
+      "power — no events, no\ntransitions — while a 500 MHz clocked "
+      "equivalent keeps toggling its clock tree.\nMANGO's dynamic power "
+      "then scales with the event rate (self-timed, data-driven "
+      "control).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E13 — Section 3: "GS connections are set up by programming these into
+// the GS router via the BE router." Setup latency vs path length, with
+// and without background BE traffic (programming packets are ordinary
+// BE packets).
+#include <cstdio>
+
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "noc/traffic/generator.hpp"
+#include "noc/traffic/sink.hpp"
+#include "noc/traffic/workload.hpp"
+#include "sim/stats.hpp"
+
+using namespace mango;
+using namespace mango::noc;
+using sim::operator""_us;
+using sim::TablePrinter;
+
+namespace {
+
+struct Setup {
+  sim::Time latency = 0;
+  unsigned routers_programmed = 0;
+};
+
+Setup run(unsigned hops, bool background) {
+  sim::Simulator simulator;
+  MeshConfig mesh;
+  mesh.width = 8;
+  mesh.height = 2;
+  Network net(simulator, mesh);
+  ConnectionManager mgr(net, NodeId{0, 0});
+
+  std::vector<std::unique_ptr<BeTrafficSource>> be;
+  if (background) {
+    be = start_uniform_be(net, 20000, 4, 11);
+    simulator.run_until(5_us);  // let the background build up
+  }
+
+  Setup result;
+  const sim::Time t0 = simulator.now();
+  bool done = false;
+  mgr.open_via_packets(
+      {0, 0}, {static_cast<std::uint16_t>(hops), 0},
+      [&](const Connection& conn) {
+        result.latency = simulator.now() - t0;
+        result.routers_programmed = static_cast<unsigned>(conn.hops.size());
+        done = true;
+      });
+  simulator.run_until(simulator.now() + 200_us);
+  for (auto& s : be) s->stop();
+  if (!done) result.latency = 0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E13 — GS connection setup through BE programming packets "
+              "(host at (0,0))\n\n");
+  TablePrinter table({"path hops", "routers programmed",
+                      "setup latency, idle net [ns]",
+                      "setup latency, loaded net [ns]"});
+  for (unsigned hops : {1u, 2u, 3u, 4u, 6u}) {
+    const Setup idle = run(hops, false);
+    const Setup loaded = run(hops, true);
+    table.add_row({std::to_string(hops),
+                   std::to_string(idle.routers_programmed),
+                   sim::TablePrinter::fmt(sim::to_ns(idle.latency), 1),
+                   sim::TablePrinter::fmt(sim::to_ns(loaded.latency), 1)});
+  }
+  table.print();
+  std::printf(
+      "\nSetup time is dominated by the farthest programming packet "
+      "(latency grows with\npath length) and, being best-effort, degrades "
+      "under BE load — acceptable because\nconnection setup is an "
+      "infrequent reconfiguration event, while the connections\n"
+      "themselves then run with hard guarantees.\n");
+  return 0;
+}

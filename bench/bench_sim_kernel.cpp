@@ -1,0 +1,102 @@
+// E14 — substrate performance: google-benchmark microbenchmarks of the
+// event kernel, handshake channels and a full router hop. These bound
+// how much simulated traffic the reproduction can run per wall second.
+#include <benchmark/benchmark.h>
+
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "sim/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mango;
+using namespace mango::noc;
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      simulator.at(i, [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_EventChain(benchmark::State& state) {
+  // Self-scheduling chain: the pattern every clockless stage uses.
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t count = 0;
+    const auto limit = static_cast<std::uint64_t>(state.range(0));
+    std::function<void()> chain = [&] {
+      if (++count < limit) simulator.after(100, chain);
+    };
+    simulator.after(100, chain);
+    simulator.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventChain)->Arg(100000);
+
+void BM_ChannelHandshakes(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    sim::Channel<int> ch(simulator, sim::ChannelTiming{400, 250});
+    std::uint64_t received = 0;
+    const auto limit = static_cast<std::uint64_t>(state.range(0));
+    ch.set_receiver([&](int&&) {
+      ++received;
+      ch.ack();
+    });
+    ch.set_on_ready([&] {
+      if (received < limit) ch.send(static_cast<int>(received));
+    });
+    ch.send(0);
+    simulator.run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelHandshakes)->Arg(50000);
+
+void BM_GsFlitHop(benchmark::State& state) {
+  // Full-stack cost of one GS flit across one router hop.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator;
+    MeshConfig mesh{2, 1, RouterConfig{}, 1};
+    Network net(simulator, mesh);
+    ConnectionManager mgr(net, NodeId{0, 0});
+    const Connection& c = mgr.open_direct({0, 0}, {1, 0});
+    std::uint64_t delivered = 0;
+    net.na({1, 0}).set_gs_handler(
+        [&](LocalIfaceIdx, Flit&&) { ++delivered; });
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      net.na({0, 0}).gs_send(c.src_iface, Flit{});
+    }
+    state.ResumeTiming();
+    simulator.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GsFlitHop)->Arg(10000);
+
+void BM_RngDraws(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_RngDraws);
+
+}  // namespace
+
+BENCHMARK_MAIN();

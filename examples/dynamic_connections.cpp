@@ -1,0 +1,94 @@
+// Dynamic connection management: set up GS connections at run time with
+// BE programming packets (Section 3), use them, tear them down and reuse
+// the VC resources for new connections.
+//
+// A host CPU at (0,0) orchestrates: it programs a connection A->B, lets
+// it stream, closes it, then programs a different connection over the
+// same links — demonstrating that "the mapping between input and output
+// VCs can be considered static during connection usage" while the
+// network as a whole is reconfigurable.
+#include <cstdio>
+
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "noc/traffic/generator.hpp"
+#include "noc/traffic/sink.hpp"
+#include "noc/traffic/workload.hpp"
+
+using namespace mango;
+using namespace mango::noc;
+using sim::operator""_us;
+
+int main() {
+  std::printf("Dynamic GS connections on a 3x3 MANGO mesh\n\n");
+  sim::Simulator simulator;
+  MeshConfig mesh;
+  mesh.width = 3;
+  mesh.height = 3;
+  Network net(simulator, mesh);
+  MeasurementHub hub;
+  attach_hub(net, hub);
+  ConnectionManager mgr(net, NodeId{0, 0});
+
+  // Phase 1: the host programs (2,0) -> (0,2) through the network.
+  sim::Time setup1_done = 0;
+  ConnectionId first_id = 0;
+  std::unique_ptr<GsStreamSource> stream1;
+  const Connection& c1 = mgr.open_via_packets(
+      {2, 0}, {0, 2}, [&](const Connection& conn) {
+        setup1_done = simulator.now();
+        std::printf("t=%9s  connection %u ready (%u hops programmed via "
+                    "BE packets)\n",
+                    sim::format_time(setup1_done).c_str(), conn.id,
+                    static_cast<unsigned>(conn.hops.size()));
+        GsStreamSource::Options opt;
+        opt.period_ps = 5000;
+        opt.max_flits = 1000;
+        stream1 = std::make_unique<GsStreamSource>(
+            simulator, net.na(conn.src), conn.src_iface, conn.id, opt);
+        stream1->start();
+      });
+  first_id = c1.id;
+
+  simulator.run();
+  const FlowStats& s1 = hub.flow(first_id);
+  std::printf("t=%9s  stream 1 finished: %llu flits, p99 %.2f ns, "
+              "%llu seq errors\n",
+              sim::format_time(simulator.now()).c_str(),
+              static_cast<unsigned long long>(s1.flits),
+              const_cast<FlowStats&>(s1).latency_ns.p99(),
+              static_cast<unsigned long long>(s1.seq_errors));
+
+  // Phase 2: tear down and reuse the resources for a new connection in
+  // the opposite direction.
+  mgr.close_direct(first_id);
+  std::printf("t=%9s  connection %u closed, VCs freed\n",
+              sim::format_time(simulator.now()).c_str(), first_id);
+
+  ConnectionId second_id = 0;
+  std::unique_ptr<GsStreamSource> stream2;
+  mgr.open_via_packets({0, 2}, {2, 0}, [&](const Connection& conn) {
+    second_id = conn.id;
+    std::printf("t=%9s  connection %u ready (reverse direction)\n",
+                sim::format_time(simulator.now()).c_str(), conn.id);
+    GsStreamSource::Options opt;
+    opt.period_ps = 5000;
+    opt.max_flits = 1000;
+    stream2 = std::make_unique<GsStreamSource>(
+        simulator, net.na(conn.src), conn.src_iface, conn.id, opt);
+    stream2->start();
+  });
+
+  simulator.run();
+  const FlowStats& s2 = hub.flow(second_id);
+  std::printf("t=%9s  stream 2 finished: %llu flits, p99 %.2f ns, "
+              "%llu seq errors\n",
+              sim::format_time(simulator.now()).c_str(),
+              static_cast<unsigned long long>(s2.flits),
+              const_cast<FlowStats&>(s2).latency_ns.p99(),
+              static_cast<unsigned long long>(s2.seq_errors));
+
+  std::printf("\nSetup used only BE packets through the live network; no "
+              "global\ncoordination or clock was needed.\n");
+  return 0;
+}

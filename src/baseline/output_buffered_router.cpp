@@ -1,0 +1,46 @@
+#include "baseline/output_buffered_router.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::baseline {
+
+OutputBufferedRouter::OutputBufferedRouter(sim::Simulator& sim, unsigned ports,
+                                           const noc::StageDelays& delays)
+    : sim_(sim),
+      ports_(ports),
+      delays_(delays),
+      queues_(ports),
+      busy_(ports, false),
+      peaks_(ports, 0) {}
+
+void OutputBufferedRouter::inject(unsigned in, unsigned out, noc::Flit f) {
+  MANGO_ASSERT(in < ports_ && out < ports_, "port out of range");
+  auto& q = queues_[out];
+  q.push_back(Pending{f, sim_.now()});
+  peaks_[out] = std::max(peaks_[out], q.size());
+  serve(out);
+}
+
+void OutputBufferedRouter::serve(unsigned out) {
+  if (busy_[out] || queues_[out].empty()) return;
+  busy_[out] = true;
+  Pending p = queues_[out].front();
+  queues_[out].pop_front();
+  // One switch-output access per arbitration cycle, then the traversal to
+  // the VC buffer.
+  const sim::Time traverse =
+      delays_.split_fwd + delays_.switch_fwd + delays_.unshare_fwd;
+  sim_.after(delays_.arb_cycle, [this, out, p, traverse] {
+    busy_[out] = false;
+    sim_.after(traverse, [this, out, p] {
+      ++delivered_;
+      if (delivery_) {
+        noc::Flit f = p.flit;
+        delivery_(out, std::move(f), sim_.now() - p.arrived);
+      }
+    });
+    serve(out);
+  });
+}
+
+}  // namespace mango::baseline

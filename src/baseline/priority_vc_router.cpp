@@ -1,0 +1,23 @@
+#include "baseline/priority_vc_router.hpp"
+
+namespace mango::baseline {
+
+noc::RouterConfig mango_fair_share_config() {
+  noc::RouterConfig cfg;
+  cfg.arbiter = noc::ArbiterKind::kFairShare;
+  return cfg;
+}
+
+noc::RouterConfig priority_qos_config() {
+  noc::RouterConfig cfg;
+  cfg.arbiter = noc::ArbiterKind::kUnregulated;
+  return cfg;
+}
+
+noc::RouterConfig alg_config() {
+  noc::RouterConfig cfg;
+  cfg.arbiter = noc::ArbiterKind::kStaticPriority;
+  return cfg;
+}
+
+}  // namespace mango::baseline

@@ -1,0 +1,33 @@
+// Baseline: clockless priority-VC QoS router (Felicijan & Furber style,
+// Section 2 ref [9]).
+//
+// "A clockless NoC which provides differentiated services by prioritizing
+// VCs... Though this approach delivers improved latency for certain
+// connections, no hard guarantees are provided."
+//
+// The MANGO router architecture realizes this baseline directly: a
+// static-priority link arbiter with credit-based VC control
+// (ArbiterKind::kUnregulated) lets a high-priority VC claim back-to-back
+// link cycles while its credits last, so low-priority VCs can starve —
+// differentiated service without hard guarantees. This header provides
+// the canonical configurations used by the comparison benches, plus the
+// ALG-style configuration (static priority *with* share-based control,
+// ref [6]) that bounds every VC's service interference.
+#pragma once
+
+#include "noc/common/config.hpp"
+
+namespace mango::baseline {
+
+/// MANGO demonstrator configuration (fair-share, share-based control).
+noc::RouterConfig mango_fair_share_config();
+
+/// Priority-QoS baseline: static priority, credit-based VC control, no
+/// hard guarantees.
+noc::RouterConfig priority_qos_config();
+
+/// ALG-style configuration: static priority with share-based control —
+/// latency guarantees per priority level (ref [6]).
+noc::RouterConfig alg_config();
+
+}  // namespace mango::baseline

@@ -1,0 +1,95 @@
+#include "model/area.hpp"
+
+namespace mango::model {
+
+AreaParams AreaParams::standard_cell_012um() {
+  // Calibration at the paper's configuration (see header):
+  //   connection table: 36 buffers * 13 bits           -> 0.005 mm^2
+  //   switching:        5 ports * 8 VCs * 36 wire bits -> 0.065 mm^2
+  //   VC buffers:       36 buffers * 2 deep * 34 bits  -> 0.047 mm^2
+  //   link access:      4 * (8 VC-arb + 39 merge bits) -> 0.022 mm^2
+  //   VC control:       5*4*8*8 mux inputs             -> 0.016 mm^2
+  //   BE router:        5*4*34 latch bits + logic      -> 0.033 mm^2
+  AreaParams p;
+  p.table_bit = 5000.0 / (36.0 * 13.0);
+  p.sw_port_vc_bit = 65000.0 / (5.0 * 8.0 * 36.0);
+  p.latch_bit = 47000.0 / (36.0 * 2.0 * 34.0);
+  p.arb_per_vc = 450.0;
+  p.merge_per_bit = (22000.0 / 4.0 - 450.0 * 8.0) / 39.0;
+  p.vcc_mux_input = 16000.0 / (5.0 * 4.0 * 8.0 * 8.0);
+  p.be_per_port = 3000.0;
+  p.be_fixed = 33000.0 - 5.0 * 4.0 * 34.0 * (47000.0 / (36.0 * 2.0 * 34.0)) -
+               3000.0 * 5.0;
+  return p;
+}
+
+AreaBreakdown router_area(const AreaConfig& cfg, const AreaParams& p) {
+  AreaBreakdown a;
+  constexpr double kUm2PerMm2 = 1e6;
+
+  // Connection table: valid+5 steering bits and valid+6 reverse-map bits
+  // per VC buffer.
+  const double table_bits = cfg.vc_buffers() * 13.0;
+  a.connection_table = table_bits * p.table_bit / kUm2PerMm2;
+
+  // Switching module: split + half-switch wiring per port, linear in the
+  // number of VCs (Section 4.2). After the split strips 3 bits, 36 wires
+  // run through each half-switch in the paper config.
+  const double sw_bits = cfg.flit_wire_bits() + 2.0;  // + in-switch steer
+  a.switching_module = static_cast<double>(cfg.total_ports()) *
+                       cfg.vcs_per_port * sw_bits * p.sw_port_vc_bit /
+                       kUm2PerMm2;
+
+  // VC buffers: unsharebox + single-flit slot, 34 bits each.
+  a.vc_buffers = static_cast<double>(cfg.vc_buffers()) *
+                 cfg.vc_buffer_depth * cfg.flit_wire_bits() * p.latch_bit /
+                 kUm2PerMm2;
+
+  // Link access: one arbiter per network output port plus the merge onto
+  // the 39-bit link.
+  a.link_access = static_cast<double>(cfg.network_ports) *
+                  (p.arb_per_vc * cfg.vcs_per_port +
+                   p.merge_per_bit * cfg.link_wire_bits()) /
+                  kUm2PerMm2;
+
+  // VC control: P*V multiplexers of (P-1)*V inputs (Section 4.3).
+  const double pv = static_cast<double>(cfg.total_ports()) * cfg.vcs_per_port;
+  const double inputs_each =
+      static_cast<double>(cfg.total_ports() - 1) * cfg.vcs_per_port;
+  a.vc_control = pv * inputs_each * p.vcc_mux_input / kUm2PerMm2;
+
+  // BE router: credit FIFOs (one per input per BE VC) + routing and
+  // arbitration logic.
+  a.be_router = (static_cast<double>(cfg.be_inputs) * cfg.be_vcs *
+                     cfg.be_buffer_depth * cfg.flit_wire_bits() *
+                     p.latch_bit +
+                 p.be_per_port * cfg.total_ports() + p.be_fixed) /
+                kUm2PerMm2;
+  return a;
+}
+
+TdmAreaBreakdown tdm_router_area(const TdmAreaConfig& cfg) {
+  TdmAreaBreakdown a;
+  constexpr double kUm2PerMm2 = 1e6;
+  // RAM-based slot tables: one entry per slot per port, log2(slots) bits.
+  constexpr double kRamBit = 2.2;
+  unsigned entry_bits = 0;
+  for (unsigned s = cfg.slots; s > 1; s >>= 1) ++entry_bits;
+  a.slot_tables = static_cast<double>(cfg.ports) * cfg.slots * entry_bits *
+                  kRamBit / kUm2PerMm2;
+  // Custom hardware FIFOs (the paper notes these are denser than the
+  // standard-cell buffers MANGO uses).
+  constexpr double kCustomFifoBit = 10.56;
+  a.fifos = static_cast<double>(cfg.ports) * cfg.queues_per_port *
+            cfg.fifo_depth * (cfg.flit_bits + 2.0) * kCustomFifoBit /
+            kUm2PerMm2;
+  // Clocked P x P crossbar.
+  constexpr double kCrossbarBit = 55.0;
+  a.switch_fabric = static_cast<double>(cfg.ports) * cfg.ports *
+                    (cfg.flit_bits + 2.0) * kCrossbarBit / kUm2PerMm2;
+  // Slot counters, clock distribution, end-to-end credit logic.
+  a.control = 62637.0 / kUm2PerMm2;
+  return a;
+}
+
+}  // namespace mango::model

@@ -1,0 +1,100 @@
+// Standard-cell area model (Section 6, Table 1).
+//
+// Substitutes the paper's synthesis reports: per-module formulas in unit
+// areas (um^2 per latch bit, per mux input, ...) calibrated so that the
+// paper's configuration — 5x5 ports, 8 VCs/port, 32-bit flits, 4 local GS
+// interfaces, 0.12 um standard cells — reproduces Table 1:
+//
+//   Connection table 0.005 | Switching module 0.065 | VC buffers 0.047
+//   Link access      0.022 | VC control       0.016 | BE router  0.033
+//   Total 0.188 mm^2
+//
+// The structural scaling matches the paper's statements: the switching
+// module is linear in the number of VCs (Section 4.2); the VC control
+// module uses P*V multiplexers of (P-1)*V inputs (Section 4.3), i.e.
+// quadratic in V — the reason the paper suggests a Clos network for
+// larger V.
+#pragma once
+
+#include <string>
+
+namespace mango::model {
+
+/// Unit areas in um^2 for the 0.12 um standard-cell library.
+struct AreaParams {
+  double table_bit = 0.0;     ///< connection-table storage bit
+  double sw_port_vc_bit = 0.0;///< switching module, per port*vc*wire-bit
+  double latch_bit = 0.0;     ///< buffer latch bit (unsharebox/slot/FIFO)
+  double arb_per_vc = 0.0;    ///< link arbiter, per contending VC
+  double merge_per_bit = 0.0; ///< output merge, per link wire
+  double vcc_mux_input = 0.0; ///< VC control module, per mux input
+  double be_per_port = 0.0;   ///< BE routing/arbitration logic, per port
+  double be_fixed = 0.0;      ///< BE router fixed control overhead
+
+  /// Calibrated to Table 1 (see above).
+  static AreaParams standard_cell_012um();
+};
+
+/// Architectural parameters the area formulas depend on.
+struct AreaConfig {
+  unsigned network_ports = 4;
+  unsigned vcs_per_port = 8;
+  unsigned local_gs_ifaces = 4;
+  unsigned flit_data_bits = 32;
+  unsigned vc_buffer_depth = 2;  ///< unsharebox + slot
+  unsigned be_inputs = 5;
+  unsigned be_buffer_depth = 4;
+  unsigned be_vcs = 1;  ///< BE virtual channels (input buffers per port)
+
+  unsigned total_ports() const { return network_ports + 1; }
+  unsigned vc_buffers() const {
+    return network_ports * vcs_per_port + local_gs_ifaces;
+  }
+  unsigned flit_wire_bits() const { return flit_data_bits + 2; }
+  unsigned link_wire_bits() const { return flit_wire_bits() + 5; }
+};
+
+/// Per-module area in mm^2 (Table 1 layout).
+struct AreaBreakdown {
+  double connection_table = 0.0;
+  double switching_module = 0.0;
+  double vc_buffers = 0.0;
+  double link_access = 0.0;
+  double vc_control = 0.0;
+  double be_router = 0.0;
+
+  double total() const {
+    return connection_table + switching_module + vc_buffers + link_access +
+           vc_control + be_router;
+  }
+};
+
+/// Evaluates the model.
+AreaBreakdown router_area(const AreaConfig& cfg,
+                          const AreaParams& params = AreaParams::standard_cell_012um());
+
+/// ÆTHEREAL-style TDM router area (the Section 6 comparison point):
+/// slot tables instead of connection tables, custom hardware FIFOs
+/// (denser than standard-cell latches), shared queues. Calibrated to the
+/// ~0.175 mm^2 the paper quotes for the 0.13 um instantiation.
+struct TdmAreaBreakdown {
+  double slot_tables = 0.0;
+  double fifos = 0.0;
+  double switch_fabric = 0.0;
+  double control = 0.0;
+  double total() const {
+    return slot_tables + fifos + switch_fabric + control;
+  }
+};
+
+struct TdmAreaConfig {
+  unsigned ports = 5;
+  unsigned slots = 256;        ///< slot-table depth (max connections)
+  unsigned flit_bits = 32;
+  unsigned fifo_depth = 8;
+  unsigned queues_per_port = 3;
+};
+
+TdmAreaBreakdown tdm_router_area(const TdmAreaConfig& cfg);
+
+}  // namespace mango::model

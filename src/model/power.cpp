@@ -1,0 +1,27 @@
+#include "model/power.hpp"
+
+namespace mango::model {
+
+double dynamic_energy_fj(const noc::RouterActivity& a, const EnergyParams& p) {
+  return static_cast<double>(a.switch_flits) * p.switch_flit_fj +
+         static_cast<double>(a.arb_grants) * p.arb_grant_fj +
+         static_cast<double>(a.vc_control_signals) * p.unlock_fj +
+         static_cast<double>(a.be_router_flits) * p.be_flit_fj +
+         static_cast<double>(a.link_flits_sent) * p.link_flit_fj;
+}
+
+double dynamic_power_mw(const noc::RouterActivity& a, sim::Time window_ps,
+                        const EnergyParams& p) {
+  if (window_ps == 0) return 0.0;
+  // fJ / ps = mW  (1e-15 J / 1e-12 s = 1e-3 W).
+  return dynamic_energy_fj(a, p) / static_cast<double>(window_ps);
+}
+
+double clocked_idle_power_mw(double clock_mhz, unsigned flip_flops,
+                             double clock_pin_fj) {
+  // Every flop's clock pin toggles each cycle: E_cycle = N * e_pin.
+  // P = E_cycle * f  -> (fJ * MHz) = 1e-15 J * 1e6 /s = 1e-9 W = 1e-6 mW.
+  return static_cast<double>(flip_flops) * clock_pin_fj * clock_mhz * 1e-6;
+}
+
+}  // namespace mango::model

@@ -1,0 +1,41 @@
+// Activity-based dynamic power accounting (Section 1/6).
+//
+// Clockless circuits "have zero dynamic power consumption when idle":
+// every dynamic energy cost is attached to an actual event (a flit
+// through a stage, an arbitration, an unlock toggle). The model charges
+// nominal per-event energies to a router's activity counters. A clocked
+// router, for comparison, burns clock-tree energy every cycle regardless
+// of traffic — its idle power is strictly positive.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/router/router.hpp"
+#include "sim/time.hpp"
+
+namespace mango::model {
+
+/// Per-event energies in femtojoules (nominal 0.12 um values).
+struct EnergyParams {
+  double switch_flit_fj = 180.0;   ///< flit through split + half-switch
+  double arb_grant_fj = 60.0;      ///< arbitration decision + merge
+  double unlock_fj = 8.0;          ///< unlock-wire toggle (single wire)
+  double be_flit_fj = 140.0;       ///< flit through the BE router
+  double link_flit_fj = 320.0;     ///< flit over an inter-router link
+};
+
+/// Total dynamic energy of a router over a run (fJ).
+double dynamic_energy_fj(const noc::RouterActivity& activity,
+                         const EnergyParams& p = EnergyParams{});
+
+/// Average dynamic power (mW) over a window.
+double dynamic_power_mw(const noc::RouterActivity& activity,
+                        sim::Time window_ps,
+                        const EnergyParams& p = EnergyParams{});
+
+/// Clocked-router reference: clock-tree + sequential idle power in mW at
+/// the given clock frequency (charged whether or not traffic flows).
+double clocked_idle_power_mw(double clock_mhz, unsigned flip_flops = 4000,
+                             double clock_pin_fj = 1.2);
+
+}  // namespace mango::model

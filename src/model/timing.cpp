@@ -1,0 +1,76 @@
+#include "model/timing.hpp"
+
+#include <algorithm>
+
+namespace mango::model {
+
+using noc::StageDelays;
+using noc::TimingCorner;
+
+double port_speed_mhz(TimingCorner corner) {
+  return sim::period_to_mhz(noc::stage_delays(corner).arb_cycle);
+}
+
+sim::Time single_vc_cycle_ps(TimingCorner corner,
+                             unsigned link_pipeline_stages) {
+  const StageDelays d = noc::stage_delays(corner);
+  // The share loop: media forward (merge + wire segments + split + switch
+  // + unsharebox), the buffer advance that fires the unlock, the unlock
+  // wire back across the same segments, the sharebox re-arm and the
+  // request wire to the arbiter.
+  const sim::Time extra_fwd =
+      static_cast<sim::Time>(link_pipeline_stages - 1) * d.link_fwd;
+  const sim::Time extra_back =
+      static_cast<sim::Time>(link_pipeline_stages - 1) * d.unlock_back;
+  return d.single_vc_cycle() + extra_fwd + extra_back;
+}
+
+double single_vc_mhz(TimingCorner corner, unsigned link_pipeline_stages) {
+  return sim::period_to_mhz(single_vc_cycle_ps(corner, link_pipeline_stages));
+}
+
+double fair_share_guarantee_flits_per_ns(TimingCorner corner, unsigned vcs,
+                                         unsigned link_pipeline_stages) {
+  const StageDelays d = noc::stage_delays(corner);
+  const double link_rate = 1000.0 / static_cast<double>(d.arb_cycle);
+  const double share = link_rate / static_cast<double>(vcs);
+  const double vc_cap =
+      1000.0 /
+      static_cast<double>(single_vc_cycle_ps(corner, link_pipeline_stages));
+  return std::min(share, vc_cap);
+}
+
+sim::Time hop_forward_latency_ps(TimingCorner corner,
+                                 unsigned link_pipeline_stages) {
+  const StageDelays d = noc::stage_delays(corner);
+  return d.media_forward() +
+         static_cast<sim::Time>(link_pipeline_stages - 1) * d.link_fwd;
+}
+
+sim::Time alg_wait_bound_ps(TimingCorner corner, unsigned priority,
+                            unsigned link_pipeline_stages) {
+  const StageDelays d = noc::stage_delays(corner);
+  const double arb = static_cast<double>(d.arb_cycle);
+  const double loop =
+      static_cast<double>(single_vc_cycle_ps(corner, link_pipeline_stages));
+  // Fixed point of W = arb * (1 + p * (W/loop + 1)); closed form below.
+  const double p = static_cast<double>(priority);
+  const double denom = 1.0 - p * arb / loop;
+  if (denom <= 0.0) return 0;  // higher priorities can saturate the link
+  return static_cast<sim::Time>(arb * (1.0 + p) / denom + 0.5);
+}
+
+sim::Time worst_case_latency_ps(TimingCorner corner, unsigned vcs,
+                                unsigned hops,
+                                unsigned link_pipeline_stages) {
+  const StageDelays d = noc::stage_delays(corner);
+  // Per hop: wait for up to V-1 other grants plus own grant slot, then
+  // the constant media traversal and the buffer advance.
+  const sim::Time per_hop = static_cast<sim::Time>(vcs) * d.arb_cycle +
+                            hop_forward_latency_ps(corner,
+                                                   link_pipeline_stages) +
+                            d.buf_advance;
+  return static_cast<sim::Time>(hops) * per_hop;
+}
+
+}  // namespace mango::model

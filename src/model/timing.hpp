@@ -1,0 +1,57 @@
+// Analytic timing model (Section 6).
+//
+// Derives the paper's performance figures from the same StageDelays the
+// event simulator uses, so benches can cross-check analytic predictions
+// against simulated measurements:
+//
+//   * port speed  = 1 / arb_cycle      (515 MHz worst, 795 MHz typical)
+//   * single-VC throughput = 1 / single_vc_cycle(hop) — a single VC
+//     cannot use the full link bandwidth (Section 4.3)
+//   * guaranteed per-VC bandwidth under fair-share = port speed / V
+//   * hop latency and end-to-end worst-case latency bounds.
+#pragma once
+
+#include "noc/common/config.hpp"
+#include "sim/time.hpp"
+
+namespace mango::model {
+
+/// Port speed in MHz for a corner.
+double port_speed_mhz(noc::TimingCorner corner);
+
+/// Cycle time of one VC's share loop across a link with the given number
+/// of pipeline stages; the single-VC bandwidth bound is its reciprocal.
+sim::Time single_vc_cycle_ps(noc::TimingCorner corner,
+                             unsigned link_pipeline_stages = 1);
+double single_vc_mhz(noc::TimingCorner corner,
+                     unsigned link_pipeline_stages = 1);
+
+/// Hard per-VC bandwidth guarantee of the fair-share scheme with V VCs,
+/// in flits per nanosecond: each VC owns >= 1/V of the link issue rate,
+/// additionally capped by the single-VC share-loop cycle.
+double fair_share_guarantee_flits_per_ns(noc::TimingCorner corner, unsigned vcs,
+                                         unsigned link_pipeline_stages = 1);
+
+/// Constant media-forward latency of one hop: link grant at the upstream
+/// router to the flit latched in the downstream unsharebox.
+sim::Time hop_forward_latency_ps(noc::TimingCorner corner,
+                                 unsigned link_pipeline_stages = 1);
+
+/// Worst-case end-to-end latency bound (ps) of one flit on an otherwise
+/// idle connection under fair-share with all other VCs saturated: at each
+/// of `hops` link arbiters the flit waits at most V-1 grants plus its own.
+sim::Time worst_case_latency_ps(noc::TimingCorner corner, unsigned vcs,
+                                unsigned hops,
+                                unsigned link_pipeline_stages = 1);
+
+/// ALG-style link-access wait bound (ps) for priority level `priority`
+/// (0 = highest) under static-priority arbitration with share-based VC
+/// control (ref [6]): each higher-priority VC can admit at most one flit
+/// per share-loop cycle, so the wait W solves
+///   W = arb_cycle * (1 + priority * (W / single_vc_cycle + 1)).
+/// Returns 0 (no bound) when the cumulative higher-priority demand can
+/// saturate the link (priority * arb_cycle >= single_vc_cycle).
+sim::Time alg_wait_bound_ps(noc::TimingCorner corner, unsigned priority,
+                            unsigned link_pipeline_stages = 1);
+
+}  // namespace mango::model

@@ -1,0 +1,39 @@
+#include "noc/common/config.hpp"
+
+namespace mango::noc {
+
+namespace {
+
+/// Scales a worst-case delay to the typical corner. The paper reports
+/// 515 MHz worst / 795 MHz typical; the uniform scale factor is the ratio
+/// of the periods, 1258/1942.
+constexpr sim::Time scale_typical(sim::Time worst) {
+  // Round to nearest picosecond.
+  return (worst * 1258 + 1942 / 2) / 1942;
+}
+
+}  // namespace
+
+StageDelays stage_delays(TimingCorner corner) {
+  StageDelays d;  // defaults are the worst-case calibration
+  if (corner == TimingCorner::kTypical) {
+    d.arb_cycle = scale_typical(d.arb_cycle);
+    d.merge_fwd = scale_typical(d.merge_fwd);
+    d.link_fwd = scale_typical(d.link_fwd);
+    d.na_link_fwd = scale_typical(d.na_link_fwd);
+    d.split_fwd = scale_typical(d.split_fwd);
+    d.switch_fwd = scale_typical(d.switch_fwd);
+    d.unshare_fwd = scale_typical(d.unshare_fwd);
+    d.buf_advance = scale_typical(d.buf_advance);
+    d.unlock_back = scale_typical(d.unlock_back);
+    d.sharebox_unlock = scale_typical(d.sharebox_unlock);
+    d.req_fwd = scale_typical(d.req_fwd);
+    d.be_route_cycle = scale_typical(d.be_route_cycle);
+    d.be_credit_back = scale_typical(d.be_credit_back);
+    d.bundling_margin = scale_typical(d.bundling_margin);
+    d.di_completion = scale_typical(d.di_completion);
+  }
+  return d;
+}
+
+}  // namespace mango::noc

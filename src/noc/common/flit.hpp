@@ -1,0 +1,94 @@
+// Flit formats (flowcontrol units).
+//
+// Inside the network a flit is 34 bits: 32 data bits plus two control
+// bits — EOP (marks the last flit of a BE packet) and the spare BE-VC
+// select bit the paper reserves for future adaptive BE routing. On a
+// link, 5 steering bits are prepended (Section 4.2): 3 "split" bits that
+// the split module consumes to pick one of the half-switches (or the BE
+// router) and 2 bits the half-switch consumes to pick 1 of 4 VC buffers.
+//
+// The struct additionally carries simulation-side instrumentation
+// (injection timestamp, flow tag, sequence number). These fields are not
+// part of the modelled wire image; encode()/decode() below define the
+// exact bit-level link format and round-trip only the wire bits.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace mango::noc {
+
+inline constexpr unsigned kFlitDataBits = 32;
+inline constexpr unsigned kFlitWireBits = kFlitDataBits + 2;  // +eop +bevc
+inline constexpr unsigned kSteerSplitBits = 3;
+inline constexpr unsigned kSteerVcBits = 2;
+inline constexpr unsigned kSteerBits = kSteerSplitBits + kSteerVcBits;
+inline constexpr unsigned kLinkFlitBits = kSteerBits + kFlitWireBits;  // 39
+
+/// A 34-bit network flit plus simulation instrumentation.
+struct Flit {
+  std::uint32_t data = 0;
+  bool eop = false;   ///< last flit of a BE packet
+  bool bevc = false;  ///< spare BE VC select bit (reserved, Section 5)
+
+  // --- instrumentation only (not on the wire) ---
+  std::uint32_t tag = 0;       ///< flow/connection id for measurement
+  std::uint64_t seq = 0;       ///< per-flow sequence number
+  sim::Time injected_at = 0;   ///< source injection timestamp
+};
+
+/// BE virtual-channel index (0 or 1), carried in the flit's bevc bit —
+/// the control bit Section 5 reserves "to indicate one of two BE VCs".
+using BeVcIdx = std::uint8_t;
+inline constexpr unsigned kMaxBeVcs = 2;
+
+constexpr BeVcIdx be_vc_of(const Flit& f) { return f.bevc ? 1 : 0; }
+
+/// The 5 steering bits prepended to a flit on a link.
+struct SteerBits {
+  std::uint8_t split = 0;  ///< 3 bits, consumed by the split module
+  std::uint8_t vc = 0;     ///< 2 bits, consumed by the 4x4 half-switch
+
+  friend constexpr bool operator==(SteerBits a, SteerBits b) {
+    return a.split == b.split && a.vc == b.vc;
+  }
+};
+
+/// A flit as transmitted on a link: steering bits + flit.
+struct LinkFlit {
+  SteerBits steer;
+  Flit flit;
+};
+
+/// Packs the wire image of a link flit into the low 39 bits of a word:
+/// [split(3) | vc(2) | data(32) | eop(1) | bevc(1)], MSB first.
+constexpr std::uint64_t encode_link_flit(const LinkFlit& lf) {
+  MANGO_ASSERT(lf.steer.split < (1u << kSteerSplitBits), "split code overflow");
+  MANGO_ASSERT(lf.steer.vc < (1u << kSteerVcBits), "steer vc overflow");
+  std::uint64_t w = lf.steer.split;
+  w = (w << kSteerVcBits) | lf.steer.vc;
+  w = (w << kFlitDataBits) | lf.flit.data;
+  w = (w << 1) | (lf.flit.eop ? 1u : 0u);
+  w = (w << 1) | (lf.flit.bevc ? 1u : 0u);
+  return w;
+}
+
+/// Inverse of encode_link_flit (instrumentation fields default).
+constexpr LinkFlit decode_link_flit(std::uint64_t w) {
+  MANGO_ASSERT(w < (std::uint64_t{1} << kLinkFlitBits), "link flit overflow");
+  LinkFlit lf;
+  lf.flit.bevc = (w & 1u) != 0;
+  w >>= 1;
+  lf.flit.eop = (w & 1u) != 0;
+  w >>= 1;
+  lf.flit.data = static_cast<std::uint32_t>(w & 0xFFFFFFFFull);
+  w >>= kFlitDataBits;
+  lf.steer.vc = static_cast<std::uint8_t>(w & ((1u << kSteerVcBits) - 1));
+  w >>= kSteerVcBits;
+  lf.steer.split = static_cast<std::uint8_t>(w & ((1u << kSteerSplitBits) - 1));
+  return lf;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,95 @@
+// Strongly-typed identifiers for the MANGO network model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+/// Mesh directions. The numeric values double as the 2-bit BE header
+/// direction codes (Section 5: "the two MSBs of the header indicate one
+/// of four output ports").
+enum class Direction : std::uint8_t {
+  kNorth = 0,
+  kEast = 1,
+  kSouth = 2,
+  kWest = 3,
+};
+
+inline constexpr unsigned kNumDirections = 4;
+
+constexpr Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return Direction::kSouth;
+    case Direction::kEast: return Direction::kWest;
+    case Direction::kSouth: return Direction::kNorth;
+    case Direction::kWest: return Direction::kEast;
+  }
+  return Direction::kNorth;  // unreachable
+}
+
+constexpr const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kNorth: return "N";
+    case Direction::kEast: return "E";
+    case Direction::kSouth: return "S";
+    case Direction::kWest: return "W";
+  }
+  return "?";
+}
+
+/// Router port index. Ports 0..3 are the network ports (one per
+/// Direction), port 4 is the local port connecting to the NA.
+using PortIdx = std::uint8_t;
+inline constexpr PortIdx kLocalPort = 4;
+inline constexpr unsigned kNumPorts = 5;
+
+constexpr PortIdx port_of(Direction d) { return static_cast<PortIdx>(d); }
+constexpr Direction direction_of(PortIdx p) {
+  return static_cast<Direction>(p);  // only valid for p < 4
+}
+constexpr bool is_network_port(PortIdx p) { return p < kNumDirections; }
+
+inline std::string port_name(PortIdx p) {
+  return is_network_port(p) ? to_string(direction_of(p)) : "L";
+}
+
+/// Virtual-channel index within a port (0 .. V-1).
+using VcIdx = std::uint8_t;
+
+/// Local GS interface index on the local port (0 .. 3 in the paper config).
+using LocalIfaceIdx = std::uint8_t;
+
+/// Position of a router in the mesh.
+struct NodeId {
+  std::uint16_t x = 0;
+  std::uint16_t y = 0;
+
+  friend constexpr bool operator==(NodeId a, NodeId b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(NodeId a, NodeId b) { return !(a == b); }
+};
+
+inline std::string to_string(NodeId n) {
+  return "(" + std::to_string(n.x) + "," + std::to_string(n.y) + ")";
+}
+
+/// Identifies one VC buffer inside a router: output port + VC.
+struct VcBufferId {
+  PortIdx port = 0;
+  VcIdx vc = 0;
+
+  friend constexpr bool operator==(VcBufferId a, VcBufferId b) {
+    return a.port == b.port && a.vc == b.vc;
+  }
+  friend constexpr bool operator!=(VcBufferId a, VcBufferId b) { return !(a == b); }
+};
+
+inline std::string to_string(VcBufferId b) {
+  return port_name(b.port) + ".vc" + std::to_string(b.vc);
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,59 @@
+#include "noc/common/packet.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+std::uint32_t build_be_header(const BeRoute& route) {
+  MANGO_ASSERT(!route.moves.empty(), "BE route needs at least one move");
+  const std::size_t codes = route.moves.size() + 1;  // moves + delivery
+  MANGO_ASSERT(codes <= kMaxHeaderCodes, "BE route exceeds the 15-code header budget");
+
+  std::uint32_t header = 0;
+  unsigned used_bits = 0;
+  auto push2 = [&](std::uint8_t code) {
+    header = (header << 2) | (code & 0x3u);
+    used_bits += 2;
+  };
+  for (Direction d : route.moves) push2(static_cast<std::uint8_t>(d));
+  // Delivery: "choosing a direction back to where it came from" — the
+  // packet arrives at the destination on input opposite(last move), so
+  // pointing back out of that port is the code opposite(last move).
+  push2(static_cast<std::uint8_t>(opposite(route.moves.back())));
+  push2(static_cast<std::uint8_t>(route.iface));
+  // Left-align: codes are consumed from the MSBs.
+  header <<= (32 - used_bits);
+  return header;
+}
+
+BePacket make_be_packet(const BeRoute& route,
+                        const std::vector<std::uint32_t>& payload,
+                        std::uint32_t tag) {
+  BePacket pkt;
+  pkt.flits.reserve(payload.size() + 2);
+
+  Flit header;
+  header.data = build_be_header(route);
+  header.tag = tag;
+  pkt.flits.push_back(header);
+
+  if (payload.empty()) {
+    Flit filler;
+    filler.tag = tag;
+    filler.eop = true;
+    filler.seq = 1;
+    pkt.flits.push_back(filler);
+    return pkt;
+  }
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    Flit f;
+    f.data = payload[i];
+    f.tag = tag;
+    f.seq = i + 1;
+    f.eop = (i + 1 == payload.size());
+    pkt.flits.push_back(f);
+  }
+  return pkt;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,74 @@
+// Best-effort packet format (Section 5).
+//
+// A BE packet is a variable-length flit sequence. The first flit is the
+// header; the last flit carries the EOP control bit. The 32-bit header
+// holds 2-bit direction codes, consumed MSB-first and rotated left by two
+// bits at each hop:
+//
+//   * at a network input, a code equal to the direction "back the way the
+//     packet came" delivers the packet to the local port;
+//   * any other code forwards the packet out of that network port;
+//   * after the delivery code, the next 2 bits select the local interface
+//     (network adapter or the GS programming interface — our documented
+//     reconstruction of the paper's "extension on port 0").
+//
+// A route of h link-hops consumes h move codes plus one delivery code;
+// 15 codes * 2 bits + 2 interface bits fill the 32-bit header exactly,
+// matching the paper's "a packet can make a total of 15 hops".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+
+namespace mango::noc {
+
+/// Local delivery target selected by the 2 interface bits.
+enum class LocalIface : std::uint8_t {
+  kNetworkAdapter = 0,
+  kProgramming = 1,
+};
+
+/// Maximum direction codes (moves + delivery) in one header.
+inline constexpr unsigned kMaxHeaderCodes = 15;
+
+/// A source route: the link moves (>= 1) plus the local interface at the
+/// destination. The delivery code is derived (opposite of the last move).
+struct BeRoute {
+  std::vector<Direction> moves;
+  LocalIface iface = LocalIface::kNetworkAdapter;
+};
+
+/// Direction code in the 2 header MSBs.
+constexpr std::uint8_t header_code(std::uint32_t header) {
+  return static_cast<std::uint8_t>(header >> 30);
+}
+
+/// Rotates the header left by two bits (one consumed hop).
+constexpr std::uint32_t rotate_header(std::uint32_t header) {
+  return (header << 2) | (header >> 30);
+}
+
+/// Builds the 32-bit header for `route`. Throws ModelError if the route
+/// is empty or too long for the 15-code budget.
+std::uint32_t build_be_header(const BeRoute& route);
+
+/// A complete BE packet: flits[0] is the header, back() carries EOP.
+struct BePacket {
+  std::vector<Flit> flits;
+
+  bool empty() const { return flits.empty(); }
+  std::size_t size() const { return flits.size(); }
+};
+
+/// Assembles header + payload words into a packet. `tag` labels all flits
+/// for measurement. A packet always has >= 2 flits (header + >= 1 payload
+/// so that EOP is distinct from the header; an empty payload yields one
+/// zero filler flit).
+BePacket make_be_packet(const BeRoute& route,
+                        const std::vector<std::uint32_t>& payload,
+                        std::uint32_t tag = 0);
+
+}  // namespace mango::noc

@@ -1,0 +1,41 @@
+#include "noc/common/route.hpp"
+
+#include <cstdlib>
+
+namespace mango::noc {
+
+std::vector<Direction> xy_route(NodeId src, NodeId dst) {
+  std::vector<Direction> moves;
+  int dx = static_cast<int>(dst.x) - static_cast<int>(src.x);
+  int dy = static_cast<int>(dst.y) - static_cast<int>(src.y);
+  moves.reserve(static_cast<std::size_t>(std::abs(dx) + std::abs(dy)));
+  for (; dx > 0; --dx) moves.push_back(Direction::kEast);
+  for (; dx < 0; ++dx) moves.push_back(Direction::kWest);
+  for (; dy > 0; --dy) moves.push_back(Direction::kNorth);
+  for (; dy < 0; ++dy) moves.push_back(Direction::kSouth);
+  return moves;
+}
+
+NodeId step(NodeId n, Direction d) {
+  switch (d) {
+    case Direction::kNorth: return {n.x, static_cast<std::uint16_t>(n.y + 1)};
+    case Direction::kEast: return {static_cast<std::uint16_t>(n.x + 1), n.y};
+    case Direction::kSouth: return {n.x, static_cast<std::uint16_t>(n.y - 1)};
+    case Direction::kWest: return {static_cast<std::uint16_t>(n.x - 1), n.y};
+  }
+  return n;  // unreachable
+}
+
+unsigned hop_distance(NodeId a, NodeId b) {
+  return static_cast<unsigned>(
+      std::abs(static_cast<int>(a.x) - static_cast<int>(b.x)) +
+      std::abs(static_cast<int>(a.y) - static_cast<int>(b.y)));
+}
+
+bool route_reaches(NodeId src, NodeId dst, const std::vector<Direction>& moves) {
+  NodeId cur = src;
+  for (Direction d : moves) cur = step(cur, d);
+  return cur == dst;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,29 @@
+// Route computation for the mesh.
+//
+// The BE router performs pure source routing; deadlock freedom comes from
+// the *source* computing XY-ordered routes (Section 5: "to avoid
+// deadlocks XY-routing is employed"). GS connections reuse the same path
+// computation when the connection manager reserves VCs hop by hop.
+#pragma once
+
+#include <vector>
+
+#include "noc/common/ids.hpp"
+
+namespace mango::noc {
+
+/// Mesh coordinate convention: x grows East, y grows North.
+/// Returns the XY route (all X moves, then all Y moves) from src to dst.
+/// src == dst yields an empty route.
+std::vector<Direction> xy_route(NodeId src, NodeId dst);
+
+/// Applies one move to a node position (no bounds check).
+NodeId step(NodeId n, Direction d);
+
+/// Number of mesh hops between two nodes (Manhattan distance).
+unsigned hop_distance(NodeId a, NodeId b);
+
+/// True if the move sequence leads from src to dst.
+bool route_reaches(NodeId src, NodeId dst, const std::vector<Direction>& moves);
+
+}  // namespace mango::noc

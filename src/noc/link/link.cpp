@@ -1,0 +1,89 @@
+#include "noc/link/link.hpp"
+
+#include "noc/router/router.hpp"
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+Link::Link(sim::Simulator& sim, Endpoint a, Endpoint b,
+           unsigned pipeline_stages, LinkSignaling signaling,
+           sim::Time skew_ps)
+    : sim_(sim),
+      a_(a),
+      b_(b),
+      stages_(pipeline_stages),
+      signaling_(signaling),
+      skew_(skew_ps) {
+  MANGO_ASSERT(a_.router != nullptr && b_.router != nullptr,
+               "link endpoints must be routers");
+  MANGO_ASSERT(a_.router != b_.router, "self-links are not supported");
+  MANGO_ASSERT(stages_ >= 1, "a link has at least one wire segment");
+  if (signaling_ == LinkSignaling::kBundledData) {
+    // Bundled data assumes delay-matched wires; a link whose skew
+    // exceeds the margin cannot close timing (Section 6: the links "are
+    // much longer, and thus more sensitive to timing variations").
+    MANGO_ASSERT(skew_ <= a_.router->delays().bundling_margin,
+                 "bundled-data link skew exceeds the timing margin — use "
+                 "1-of-4 delay-insensitive signaling");
+  }
+  a_.router->attach_link(a_.port, this);
+  b_.router->attach_link(b_.port, this);
+}
+
+const Link::Endpoint& Link::peer_of(const Router* from) const {
+  if (from == a_.router) return b_;
+  MANGO_ASSERT(from == b_.router, "send from a router not on this link");
+  return a_;
+}
+
+const Link::Endpoint& Link::self_of(const Router* from) const {
+  if (from == a_.router) return a_;
+  MANGO_ASSERT(from == b_.router, "send from a router not on this link");
+  return b_;
+}
+
+sim::Time Link::forward_latency() const {
+  const StageDelays& d = a_.router->delays();
+  sim::Time per_stage = d.link_fwd;
+  if (signaling_ == LinkSignaling::kOneOfFour) {
+    // Wait for the slowest wire, then detect completion.
+    per_stage += skew_ + d.di_completion;
+  }
+  return d.merge_fwd + static_cast<sim::Time>(stages_) * per_stage;
+}
+
+unsigned Link::wires_per_direction() const {
+  const unsigned vcs = a_.router->config().vcs_per_port;
+  // forward data wires + ack + V unlock wires + 1 BE credit wire.
+  return link_forward_wires(signaling_) + 1 + vcs + 1;
+}
+
+sim::Time Link::reverse_latency() const {
+  const StageDelays& d = a_.router->delays();
+  return static_cast<sim::Time>(stages_) * d.unlock_back;
+}
+
+void Link::send_flit(const Router* from, LinkFlit lf) {
+  const Endpoint& peer = peer_of(from);
+  ++flits_carried_;
+  sim_.after(forward_latency(), [peer, lf] {
+    peer.router->receive_link_flit(peer.port, lf);
+  });
+}
+
+void Link::send_reverse(const Router* from, VcIdx wire) {
+  const Endpoint& peer = peer_of(from);
+  sim_.after(reverse_latency(), [peer, wire] {
+    peer.router->receive_reverse(peer.port, wire);
+  });
+}
+
+void Link::send_be_credit(const Router* from, BeVcIdx vc) {
+  const Endpoint& peer = peer_of(from);
+  const StageDelays& d = a_.router->delays();
+  sim_.after(static_cast<sim::Time>(stages_) * d.be_credit_back, [peer, vc] {
+    peer.router->receive_be_credit(peer.port, vc);
+  });
+}
+
+}  // namespace mango::noc

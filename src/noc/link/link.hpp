@@ -1,0 +1,85 @@
+// Inter-router link (Section 3/6).
+//
+// A link is a pair of unidirectional bundled-data channels plus, per
+// direction, V unlock wires (share-based VC control) and one BE credit
+// wire running opposite to the data. Long links are pipelined: each
+// extra stage adds forward latency without reducing throughput (the
+// clockless stages cycle faster than the link-output stage that paces
+// flits). Delay-insensitive 1-of-4 signaling — which the paper advocates
+// for future MANGO versions — would change encoding, not this timing
+// model, so the link is modelled as constant-delay transport with strict
+// FIFO ordering.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/common/config.hpp"
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+
+class Router;
+
+class Link {
+ public:
+  /// Connects a.router's port a.port to b.router's port b.port (normally
+  /// opposite directions of neighbouring nodes). `pipeline_stages` >= 1.
+  struct Endpoint {
+    Router* router = nullptr;
+    PortIdx port = 0;
+  };
+
+  /// `skew_ps` models the worst wire-delay mismatch within the data
+  /// bundle per stage (process variation, routing detours). Bundled-data
+  /// links must close timing: construction rejects skew beyond the
+  /// bundling margin. 1-of-4 links are delay-insensitive: any skew is
+  /// tolerated and simply adds to the forward latency, together with the
+  /// completion-detection overhead.
+  Link(sim::Simulator& sim, Endpoint a, Endpoint b,
+       unsigned pipeline_stages = 1,
+       LinkSignaling signaling = LinkSignaling::kBundledData,
+       sim::Time skew_ps = 0);
+
+  /// Sends a flit from `from` to the peer (arrives after the merge +
+  /// wire delay at the peer's input port).
+  void send_flit(const Router* from, LinkFlit lf);
+
+  /// Reverse GS signal (unlock toggle / credit) from `from` back to the
+  /// peer's flow box on wire `wire`.
+  void send_reverse(const Router* from, VcIdx wire);
+
+  /// BE credit return from `from` back to the peer's BE output stage,
+  /// for BE VC lane `vc`.
+  void send_be_credit(const Router* from, BeVcIdx vc);
+
+  unsigned pipeline_stages() const { return stages_; }
+  LinkSignaling signaling() const { return signaling_; }
+  sim::Time skew() const { return skew_; }
+  std::uint64_t flits_carried() const { return flits_carried_; }
+
+  /// Forward latency of this link (merge + stages * wire, plus skew and
+  /// completion detection for 1-of-4).
+  sim::Time forward_latency() const;
+  /// Reverse-wire latency of this link.
+  sim::Time reverse_latency() const;
+
+  /// Total wires of one direction of this link (data + ack + V unlock
+  /// wires + BE credit), for area/wiring studies.
+  unsigned wires_per_direction() const;
+
+ private:
+  const Endpoint& peer_of(const Router* from) const;
+  const Endpoint& self_of(const Router* from) const;
+
+  sim::Simulator& sim_;
+  Endpoint a_;
+  Endpoint b_;
+  unsigned stages_;
+  LinkSignaling signaling_;
+  sim::Time skew_;
+  std::uint64_t flits_carried_ = 0;
+};
+
+}  // namespace mango::noc

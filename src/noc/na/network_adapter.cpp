@@ -1,0 +1,182 @@
+#include "noc/na/network_adapter.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+NetworkAdapter::NetworkAdapter(sim::Simulator& sim, Router& router,
+                               std::string name)
+    : sim_(sim),
+      router_(router),
+      name_(std::move(name)),
+      delays_(router.delays()),
+      num_ifaces_(router.config().local_gs_ifaces),
+      be_lanes_(router.config().be_vcs) {
+  MANGO_ASSERT(num_ifaces_ <= gs_src_.size(), "too many local GS interfaces");
+  for (BeLane& lane : be_lanes_) {
+    lane.credits = router.config().be_buffer_depth;
+  }
+  router_.set_local_reverse_handler(
+      [this](LocalIfaceIdx i) { on_local_reverse(i); });
+  router_.set_local_out_notify([this](LocalIfaceIdx i) { on_local_head(i); });
+  router_.set_local_be_credit_handler([this](BeVcIdx vc) {
+    ++be_lanes_.at(vc).credits;
+    drain_be();
+  });
+  router_.set_local_be_delivery([this](Flit&& f) {
+    // Packets on different BE VCs may interleave: reassemble per VC.
+    BeLane& lane = be_lanes_.at(be_vc_of(f));
+    lane.assembling.push_back(f);
+    if (!f.eop) return;
+    ++be_packets_received_;
+    BePacket pkt;
+    pkt.flits.swap(lane.assembling);
+    if (be_handler_) be_handler_(std::move(pkt));
+  });
+}
+
+void NetworkAdapter::configure_gs_source(LocalIfaceIdx iface,
+                                         SteerBits first_hop) {
+  MANGO_ASSERT(iface < num_ifaces_, "GS source iface out of range");
+  GsSource& src = gs_src_[iface];
+  MANGO_ASSERT(!src.configured,
+               "GS source iface already bound on " + name_);
+  src.configured = true;
+  src.steer = first_hop;
+  const VcScheme scheme =
+      router_.config().arbiter == ArbiterKind::kUnregulated
+          ? VcScheme::kCreditBased
+          : VcScheme::kShareBased;
+  src.flow = make_flow_control(sim_, scheme, delays_.sharebox_unlock,
+                               /*credits=*/2);
+  src.flow->set_on_ready([this, iface] { drain_gs(iface); });
+}
+
+void NetworkAdapter::release_gs_source(LocalIfaceIdx iface) {
+  MANGO_ASSERT(iface < num_ifaces_, "GS source iface out of range");
+  GsSource& src = gs_src_[iface];
+  MANGO_ASSERT(src.queue.empty(), "releasing a GS source with queued flits");
+  src.configured = false;
+  src.flow.reset();
+  src.supplier = nullptr;
+}
+
+bool NetworkAdapter::gs_source_configured(LocalIfaceIdx iface) const {
+  return gs_src_.at(iface).configured;
+}
+
+void NetworkAdapter::gs_send(LocalIfaceIdx iface, Flit f) {
+  GsSource& src = gs_src_.at(iface);
+  MANGO_ASSERT(src.configured, "gs_send on unconfigured iface of " + name_);
+  src.queue.push_back(f);
+  drain_gs(iface);
+}
+
+void NetworkAdapter::set_gs_supplier(LocalIfaceIdx iface, GsSupplier s) {
+  GsSource& src = gs_src_.at(iface);
+  MANGO_ASSERT(src.configured, "supplier on unconfigured iface of " + name_);
+  src.supplier = std::move(s);
+  drain_gs(iface);
+}
+
+std::size_t NetworkAdapter::gs_queue_depth(LocalIfaceIdx iface) const {
+  return gs_src_.at(iface).queue.size();
+}
+
+std::uint64_t NetworkAdapter::gs_flits_sent(LocalIfaceIdx iface) const {
+  return gs_src_.at(iface).sent;
+}
+
+void NetworkAdapter::drain_gs(LocalIfaceIdx iface) {
+  GsSource& src = gs_src_[iface];
+  if (!src.configured || src.stage_busy || !src.flow->can_admit()) return;
+
+  Flit f;
+  if (!src.queue.empty()) {
+    f = src.queue.front();
+    src.queue.pop_front();
+  } else if (src.supplier) {
+    std::optional<Flit> pulled = src.supplier();
+    if (!pulled.has_value()) return;
+    f = *pulled;
+  } else {
+    return;
+  }
+
+  src.flow->on_admit();
+  src.stage_busy = true;
+  ++src.sent;
+  sim_.after(delays_.na_link_fwd,
+             [this, iface, lf = LinkFlit{src.steer, f}] {
+               router_.inject_local_gs(iface, lf);
+             });
+  // The local interface handshake stage recovers after one cycle.
+  sim_.after(delays_.arb_cycle, [this, iface] {
+    gs_src_[iface].stage_busy = false;
+    drain_gs(iface);
+  });
+}
+
+void NetworkAdapter::on_local_reverse(LocalIfaceIdx iface) {
+  GsSource& src = gs_src_.at(iface);
+  MANGO_ASSERT(src.configured && src.flow != nullptr,
+               "reverse signal for unconfigured GS source on " + name_);
+  src.flow->on_reverse_signal();
+}
+
+void NetworkAdapter::on_local_head(LocalIfaceIdx iface) {
+  if (sink_busy_.at(iface)) return;
+  sink_busy_[iface] = true;
+  sim_.after(sink_service_, [this, iface] {
+    sink_busy_[iface] = false;
+    if (!router_.local_out_has_head(iface)) return;
+    Flit f = router_.local_out_pop(iface);
+    sim_.after(delays_.na_link_fwd, [this, iface, f]() mutable {
+      if (gs_handler_) gs_handler_(iface, std::move(f));
+    });
+    // The buffer refill (unsharebox advance) re-notifies us.
+  });
+}
+
+void NetworkAdapter::send_be_packet(BePacket pkt, BeVcIdx vc) {
+  MANGO_ASSERT(!pkt.empty(), "sending an empty BE packet");
+  MANGO_ASSERT(pkt.flits.back().eop, "BE packet lacks the EOP control bit");
+  MANGO_ASSERT(vc < be_lanes_.size(),
+               "BE VC " + std::to_string(vc) + " not configured on " + name_);
+  BeLane& lane = be_lanes_[vc];
+  for (Flit& f : pkt.flits) {
+    f.bevc = (vc != 0);
+    lane.queue.push_back(f);
+  }
+  ++be_packets_sent_;
+  drain_be();
+}
+
+std::size_t NetworkAdapter::be_queue_flits() const {
+  std::size_t n = 0;
+  for (const BeLane& lane : be_lanes_) n += lane.queue.size();
+  return n;
+}
+
+void NetworkAdapter::drain_be() {
+  if (be_stage_busy_) return;
+  // Round-robin over BE VC lanes that can send (flit + credit).
+  const unsigned n = static_cast<unsigned>(be_lanes_.size());
+  for (unsigned i = 0; i < n; ++i) {
+    BeLane& lane = be_lanes_[(be_rr_ + i) % n];
+    if (lane.queue.empty() || lane.credits == 0) continue;
+    be_rr_ = (be_rr_ + i + 1) % n;
+    Flit f = lane.queue.front();
+    lane.queue.pop_front();
+    --lane.credits;
+    be_stage_busy_ = true;
+    sim_.after(delays_.na_link_fwd, [this, f] { router_.inject_local_be(f); });
+    sim_.after(delays_.arb_cycle, [this] {
+      be_stage_busy_ = false;
+      drain_be();
+    });
+    return;
+  }
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,122 @@
+// Network adapter (Section 3, Fig 1).
+//
+// Bridges an IP core to the router's local port. The local port exposes
+// physical interfaces: 4 GS interfaces (one per local GS input/output
+// interface pair) and 1 BE interface. The NA
+//
+//   * drives GS source interfaces: it holds the first-hop steering bits
+//     of the connection starting at that interface plus the flow box
+//     (sharebox/credits) for the first media crossing,
+//   * consumes GS delivery interfaces (the local output VC buffers),
+//   * packetizes/streams BE packets under credit flow control,
+//   * performs the clocked<->clockless synchronization for the core (the
+//     OCP layer in ocp.hpp models the clocked side; the NA itself is
+//     clockless).
+//
+// GS sources accept flits either through a push queue (gs_send) or a
+// pull supplier (set_gs_supplier) — the latter lets saturating workloads
+// run without unbounded queues.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "noc/common/config.hpp"
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "noc/common/packet.hpp"
+#include "noc/router/router.hpp"
+#include "noc/router/sharebox.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+
+class NetworkAdapter {
+ public:
+  using GsHandler = std::function<void(LocalIfaceIdx, Flit&&)>;
+  using BeHandler = std::function<void(BePacket&&)>;
+  using GsSupplier = std::function<std::optional<Flit>()>;
+
+  NetworkAdapter(sim::Simulator& sim, Router& router, std::string name);
+
+  // --- GS source side ---
+  /// Binds a source interface to a connection: first-hop steering bits
+  /// and a fresh flow box for the first media crossing.
+  void configure_gs_source(LocalIfaceIdx iface, SteerBits first_hop);
+  void release_gs_source(LocalIfaceIdx iface);
+  bool gs_source_configured(LocalIfaceIdx iface) const;
+
+  /// Queues a flit on a configured source interface (push model).
+  void gs_send(LocalIfaceIdx iface, Flit f);
+  /// Installs a pull supplier consulted whenever the interface can send.
+  void set_gs_supplier(LocalIfaceIdx iface, GsSupplier s);
+  std::size_t gs_queue_depth(LocalIfaceIdx iface) const;
+  std::uint64_t gs_flits_sent(LocalIfaceIdx iface) const;
+
+  // --- GS delivery side ---
+  void set_gs_handler(GsHandler h) { gs_handler_ = std::move(h); }
+  /// Consumption service time per delivered flit (default 0: the core
+  /// keeps up with the link).
+  void set_gs_sink_service(sim::Time per_flit) { sink_service_ = per_flit; }
+
+  // --- BE side ---
+  /// Sends a packet on BE virtual channel `vc` (< RouterConfig::be_vcs);
+  /// all flits get their bevc bit stamped accordingly.
+  void send_be_packet(BePacket pkt, BeVcIdx vc = 0);
+  void set_be_handler(BeHandler h) { be_handler_ = std::move(h); }
+  std::size_t be_queue_flits() const;
+  std::uint64_t be_packets_sent() const { return be_packets_sent_; }
+  std::uint64_t be_packets_received() const { return be_packets_received_; }
+
+  Router& router() { return router_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct GsSource {
+    bool configured = false;
+    SteerBits steer;
+    std::unique_ptr<VcFlowControl> flow;
+    std::deque<Flit> queue;
+    GsSupplier supplier;
+    bool stage_busy = false;  ///< local interface handshake in progress
+    std::uint64_t sent = 0;
+  };
+
+  void drain_gs(LocalIfaceIdx iface);
+  void on_local_reverse(LocalIfaceIdx iface);
+  void on_local_head(LocalIfaceIdx iface);
+  void drain_be();
+
+  sim::Simulator& sim_;
+  Router& router_;
+  std::string name_;
+  const StageDelays& delays_;
+
+  std::array<GsSource, 8> gs_src_{};  // sized for max local ifaces
+  unsigned num_ifaces_;
+
+  GsHandler gs_handler_;
+  sim::Time sink_service_ = 0;
+  std::array<bool, 8> sink_busy_{};
+
+  /// Per-BE-VC injection lane (queue + credits for the router's per-VC
+  /// input buffer) and per-VC packet reassembly on the receive side.
+  struct BeLane {
+    std::deque<Flit> queue;
+    unsigned credits = 0;
+    std::vector<Flit> assembling;
+  };
+  std::vector<BeLane> be_lanes_;
+  unsigned be_rr_ = 0;
+  bool be_stage_busy_ = false;
+  BeHandler be_handler_;
+  std::uint64_t be_packets_sent_ = 0;
+  std::uint64_t be_packets_received_ = 0;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,243 @@
+#include "noc/network/connection_manager.hpp"
+
+#include "noc/router/programming.hpp"
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+ConnectionManager::ConnectionManager(Network& net, NodeId host)
+    : net_(net), host_(host) {
+  MANGO_ASSERT(net_.topology().in_bounds(host_), "host node out of bounds");
+  // Track programming completion on every router.
+  for (std::size_t i = 0; i < net_.node_count(); ++i) {
+    const NodeId n = net_.node_at(i);
+    net_.router(n).programming().set_observer(
+        [this, n](std::uint32_t tag, unsigned words) {
+          on_programmed(n, tag, words);
+        });
+  }
+}
+
+VcIdx ConnectionManager::allocate_vc(NodeId node, PortIdx port) {
+  const std::size_t idx = net_.topology().index(node);
+  const unsigned vcs = net_.config().router.vcs_per_port;
+  for (VcIdx vc = 0; vc < vcs; ++vc) {
+    if (buffer_owner_.find(BufKey{idx, port, vc}) == buffer_owner_.end()) {
+      return vc;
+    }
+  }
+  model_fail("no free VC on " + to_string(node) + " port " + port_name(port));
+}
+
+LocalIfaceIdx ConnectionManager::allocate_local_source(NodeId node) {
+  const std::size_t idx = net_.topology().index(node);
+  auto& used = src_ifaces_used_[idx];
+  used.resize(net_.config().router.local_gs_ifaces, false);
+  for (LocalIfaceIdx i = 0; i < used.size(); ++i) {
+    if (!used[i]) return i;
+  }
+  model_fail("no free GS source interface at " + to_string(node));
+}
+
+LocalIfaceIdx ConnectionManager::allocate_local_sink(NodeId node) {
+  const std::size_t idx = net_.topology().index(node);
+  const unsigned ifaces = net_.config().router.local_gs_ifaces;
+  for (LocalIfaceIdx i = 0; i < ifaces; ++i) {
+    if (buffer_owner_.find(BufKey{idx, kLocalPort, i}) == buffer_owner_.end()) {
+      return i;
+    }
+  }
+  model_fail("no free local output interface at " + to_string(node));
+}
+
+std::vector<ConnectionManager::PlannedHop> ConnectionManager::plan(
+    NodeId src, NodeId dst, LocalIfaceIdx& src_iface_out) {
+  MANGO_ASSERT(src != dst,
+               "a connection links two *different* local ports (Section 3)");
+  const std::vector<Direction> moves = xy_route(src, dst);
+  const std::size_t n = moves.size();
+
+  src_iface_out = allocate_local_source(src);
+
+  // Pick buffers (no state mutation yet; commit() records ownership).
+  std::vector<PlannedHop> hops;
+  hops.reserve(n + 1);
+  NodeId cur = src;
+  for (std::size_t k = 0; k < n; ++k) {
+    const PortIdx out = port_of(moves[k]);
+    hops.push_back(PlannedHop{cur, VcBufferId{out, allocate_vc(cur, out)},
+                              std::nullopt, ReverseEntry{}});
+    cur = step(cur, moves[k]);
+  }
+  MANGO_ASSERT(cur == dst, "XY route did not reach the destination");
+  hops.push_back(PlannedHop{dst, VcBufferId{kLocalPort, allocate_local_sink(dst)},
+                            std::nullopt, ReverseEntry{}});
+
+  // Forward steering: entry at hop k guides flits into hop k+1's buffer,
+  // encoded against the *next* router's split map.
+  for (std::size_t k = 0; k < n; ++k) {
+    const PortIdx in_at_next = port_of(opposite(moves[k]));
+    hops[k].forward = net_.router(hops[k + 1].node)
+                          .switching()
+                          .encode_gs(in_at_next, hops[k + 1].buffer);
+  }
+  // Reverse map: hop 0 signals the source NA; hop k>0 signals back over
+  // the link it receives from, on the previous buffer's VC wire.
+  hops[0].reverse = ReverseEntry{kLocalPort, src_iface_out};
+  for (std::size_t k = 1; k <= n; ++k) {
+    hops[k].reverse = ReverseEntry{port_of(opposite(moves[k - 1])),
+                                   hops[k - 1].buffer.vc};
+  }
+  return hops;
+}
+
+Connection& ConnectionManager::commit(NodeId src, NodeId dst,
+                                      LocalIfaceIdx src_iface,
+                                      std::vector<PlannedHop> hops) {
+  const ConnectionId id = next_id_++;
+  Connection conn;
+  conn.id = id;
+  conn.src = src;
+  conn.dst = dst;
+  conn.src_iface = src_iface;
+  for (const PlannedHop& h : hops) {
+    conn.hops.emplace_back(h.node, h.buffer);
+    buffer_owner_[BufKey{net_.topology().index(h.node), h.buffer.port,
+                         h.buffer.vc}] = id;
+  }
+  src_ifaces_used_[net_.topology().index(src)][src_iface] = true;
+
+  // The source core configures its own NA locally (first-hop steering
+  // bits towards hop 0's buffer).
+  const SteerBits first_hop =
+      net_.router(src).switching().encode_gs(kLocalPort, hops[0].buffer);
+  net_.na(src).configure_gs_source(src_iface, first_hop);
+
+  auto [it, inserted] = connections_.emplace(id, std::move(conn));
+  MANGO_ASSERT(inserted, "duplicate connection id");
+  return it->second;
+}
+
+const Connection& ConnectionManager::open_direct(NodeId src, NodeId dst) {
+  LocalIfaceIdx src_iface = 0;
+  std::vector<PlannedHop> hops = plan(src, dst, src_iface);
+  for (const PlannedHop& h : hops) {
+    ConnectionTable& table = net_.router(h.node).table();
+    if (h.forward.has_value()) table.set_forward(h.buffer, *h.forward);
+    table.set_reverse(h.buffer, h.reverse);
+  }
+  Connection& conn = commit(src, dst, src_iface, std::move(hops));
+  conn.ready = true;
+  conn.ready_at = net_.simulator().now();
+  return conn;
+}
+
+const Connection& ConnectionManager::open_via_packets(NodeId src, NodeId dst,
+                                                      ReadyCallback on_ready) {
+  LocalIfaceIdx src_iface = 0;
+  std::vector<PlannedHop> hops = plan(src, dst, src_iface);
+  Connection& conn = commit(src, dst, src_iface, hops);
+
+  pending_packets_[conn.id] =
+      PendingOp{static_cast<unsigned>(hops.size()), /*closing=*/false};
+  if (on_ready) ready_cbs_[conn.id] = std::move(on_ready);
+
+  NetworkAdapter& host_na = net_.na(host_);
+  const sim::Time now = net_.simulator().now();
+  for (const PlannedHop& h : hops) {
+    std::vector<std::uint32_t> words;
+    if (h.forward.has_value()) {
+      words.push_back(encode_prog_forward(h.buffer, *h.forward));
+    }
+    words.push_back(encode_prog_reverse(h.buffer, h.reverse));
+    BePacket pkt = make_be_packet(
+        net_.be_route(host_, h.node, LocalIface::kProgramming), words,
+        conn.id);
+    for (Flit& f : pkt.flits) f.injected_at = now;
+    host_na.send_be_packet(std::move(pkt));
+  }
+  return conn;
+}
+
+void ConnectionManager::on_programmed(NodeId /*node*/, std::uint32_t tag,
+                                      unsigned /*words*/) {
+  auto it = pending_packets_.find(tag);
+  if (it == pending_packets_.end()) return;  // not one of ours
+  MANGO_ASSERT(it->second.remaining > 0, "programming completion underflow");
+  if (--it->second.remaining > 0) return;
+  const bool closing = it->second.closing;
+  pending_packets_.erase(it);
+  auto conn_it = connections_.find(tag);
+  MANGO_ASSERT(conn_it != connections_.end(),
+               "programming completed for unknown connection");
+  if (closing) {
+    release_resources(conn_it->second);
+    connections_.erase(conn_it);
+    auto cb_it = closed_cbs_.find(tag);
+    if (cb_it != closed_cbs_.end()) {
+      auto cb = std::move(cb_it->second);
+      closed_cbs_.erase(cb_it);
+      cb();
+    }
+    return;
+  }
+  conn_it->second.ready = true;
+  conn_it->second.ready_at = net_.simulator().now();
+  auto cb_it = ready_cbs_.find(tag);
+  if (cb_it != ready_cbs_.end()) {
+    ReadyCallback cb = std::move(cb_it->second);
+    ready_cbs_.erase(cb_it);
+    cb(conn_it->second);
+  }
+}
+
+void ConnectionManager::release_resources(const Connection& conn) {
+  for (const auto& [node, buffer] : conn.hops) {
+    buffer_owner_.erase(
+        BufKey{net_.topology().index(node), buffer.port, buffer.vc});
+  }
+  net_.na(conn.src).release_gs_source(conn.src_iface);
+  src_ifaces_used_[net_.topology().index(conn.src)][conn.src_iface] = false;
+}
+
+void ConnectionManager::close_direct(ConnectionId id) {
+  auto it = connections_.find(id);
+  MANGO_ASSERT(it != connections_.end(), "closing unknown connection");
+  MANGO_ASSERT(pending_packets_.find(id) == pending_packets_.end(),
+               "connection has a setup/teardown in flight");
+  const Connection& conn = it->second;
+  for (const auto& [node, buffer] : conn.hops) {
+    net_.router(node).table().clear(buffer);
+  }
+  release_resources(conn);
+  connections_.erase(it);
+}
+
+void ConnectionManager::close_via_packets(ConnectionId id,
+                                          std::function<void()> on_closed) {
+  auto it = connections_.find(id);
+  MANGO_ASSERT(it != connections_.end(), "closing unknown connection");
+  MANGO_ASSERT(pending_packets_.find(id) == pending_packets_.end(),
+               "connection has a setup/teardown in flight");
+  const Connection& conn = it->second;
+  pending_packets_[id] =
+      PendingOp{static_cast<unsigned>(conn.hops.size()), /*closing=*/true};
+  if (on_closed) closed_cbs_[id] = std::move(on_closed);
+
+  NetworkAdapter& host_na = net_.na(host_);
+  const sim::Time now = net_.simulator().now();
+  for (const auto& [node, buffer] : conn.hops) {
+    BePacket pkt = make_be_packet(
+        net_.be_route(host_, node, LocalIface::kProgramming),
+        {encode_prog_clear(buffer)}, id);
+    for (Flit& f : pkt.flits) f.injected_at = now;
+    host_na.send_be_packet(std::move(pkt));
+  }
+}
+
+const Connection* ConnectionManager::get(ConnectionId id) const {
+  auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,127 @@
+// GS connection setup (Section 3).
+//
+// A connection is "a reserved sequence of VCs" forming a logical
+// point-to-point circuit between two local ports. The manager
+//
+//   * computes the XY path,
+//   * reserves one VC buffer per router on the path (plus a local GS
+//     source interface at the source NA and a local output interface at
+//     the destination router),
+//   * programs, per router, the forward steering entry and the reverse
+//     unlock-map entry — either directly (zero-time; unit tests and
+//     benches) or realistically with BE programming packets sent from a
+//     host NA through the network,
+//   * tracks setup completion through the programming-interface observers.
+//
+// Reaching the host's own router uses an out-and-back BE route (the local
+// input port has no self-delivery code; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "noc/common/ids.hpp"
+#include "noc/network/network.hpp"
+
+namespace mango::noc {
+
+using ConnectionId = std::uint32_t;
+
+struct Connection {
+  ConnectionId id = 0;
+  NodeId src;
+  NodeId dst;
+  LocalIfaceIdx src_iface = 0;  ///< GS source interface at the source NA
+  /// Reserved VC buffers, one per router on the path; the last one is the
+  /// destination's local output interface.
+  std::vector<std::pair<NodeId, VcBufferId>> hops;
+  bool ready = false;           ///< all programming packets applied
+  sim::Time ready_at = 0;       ///< when setup completed (packet mode)
+
+  LocalIfaceIdx dst_iface() const { return hops.back().second.vc; }
+  unsigned link_hops() const {
+    return static_cast<unsigned>(hops.size()) - 1;
+  }
+};
+
+class ConnectionManager {
+ public:
+  using ReadyCallback = std::function<void(const Connection&)>;
+
+  explicit ConnectionManager(Network& net, NodeId host = NodeId{0, 0});
+
+  /// Sets up a connection by writing the tables directly (zero simulated
+  /// time). ModelError if no VC resources are free along the path.
+  const Connection& open_direct(NodeId src, NodeId dst);
+
+  /// Sets up a connection with BE programming packets from the host NA.
+  /// `on_ready` fires when every router on the path has been programmed.
+  const Connection& open_via_packets(NodeId src, NodeId dst,
+                                     ReadyCallback on_ready = {});
+
+  /// Tears down a directly-opened connection (zero simulated time).
+  /// The connection must be drained (no flits in flight).
+  void close_direct(ConnectionId id);
+
+  /// Tears down a connection with BE clear-packets from the host NA.
+  /// The connection must be drained; resources are released (and
+  /// `on_closed` fires) once every router has processed its packet.
+  void close_via_packets(ConnectionId id, std::function<void()> on_closed = {});
+
+  const Connection* get(ConnectionId id) const;
+  std::size_t open_connections() const { return connections_.size(); }
+
+ private:
+  struct PlannedHop {
+    NodeId node;
+    VcBufferId buffer;
+    std::optional<SteerBits> forward;  ///< none on the last hop
+    ReverseEntry reverse;
+  };
+
+  /// Reserves resources and computes all table entries. Throws on
+  /// resource exhaustion (rolls back reservations first).
+  std::vector<PlannedHop> plan(NodeId src, NodeId dst,
+                               LocalIfaceIdx& src_iface_out);
+  Connection& commit(NodeId src, NodeId dst, LocalIfaceIdx src_iface,
+                     std::vector<PlannedHop> hops);
+  void on_programmed(NodeId node, std::uint32_t tag, unsigned words);
+
+  VcIdx allocate_vc(NodeId node, PortIdx port);
+  LocalIfaceIdx allocate_local_source(NodeId node);
+  LocalIfaceIdx allocate_local_sink(NodeId node);
+
+  struct BufKey {
+    std::size_t node_idx;
+    PortIdx port;
+    VcIdx vc;
+    friend bool operator<(const BufKey& a, const BufKey& b) {
+      if (a.node_idx != b.node_idx) return a.node_idx < b.node_idx;
+      if (a.port != b.port) return a.port < b.port;
+      return a.vc < b.vc;
+    }
+  };
+
+  void release_resources(const Connection& conn);
+
+  Network& net_;
+  NodeId host_;
+  ConnectionId next_id_ = 1;
+  std::map<ConnectionId, Connection> connections_;
+  std::map<BufKey, ConnectionId> buffer_owner_;
+  /// Source-interface occupancy per node.
+  std::map<std::size_t, std::vector<bool>> src_ifaces_used_;
+  /// Pending programming packets per connection (packet mode).
+  struct PendingOp {
+    unsigned remaining = 0;
+    bool closing = false;
+  };
+  std::map<ConnectionId, PendingOp> pending_packets_;
+  std::map<ConnectionId, ReadyCallback> ready_cbs_;
+  std::map<ConnectionId, std::function<void()>> closed_cbs_;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,74 @@
+#include "noc/network/network.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+Network::Network(sim::Simulator& sim, const MeshConfig& cfg)
+    : sim_(sim), cfg_(cfg), topo_(cfg.width, cfg.height) {
+  routers_.reserve(topo_.node_count());
+  nas_.reserve(topo_.node_count());
+  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
+    const NodeId n = topo_.node_at(i);
+    routers_.push_back(std::make_unique<Router>(
+        sim_, cfg_.router, n, "R" + to_string(n)));
+    nas_.push_back(std::make_unique<NetworkAdapter>(
+        sim_, *routers_.back(), "NA" + to_string(n)));
+  }
+
+  // Links: connect each node to its East and North neighbours.
+  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
+    const NodeId n = topo_.node_at(i);
+    for (Direction d : {Direction::kEast, Direction::kNorth}) {
+      const auto peer = topo_.neighbor(n, d);
+      if (!peer.has_value()) continue;
+      links_.push_back(std::make_unique<Link>(
+          sim_,
+          Link::Endpoint{&router(n), port_of(d)},
+          Link::Endpoint{&router(*peer), port_of(opposite(d))},
+          cfg_.link_pipeline_stages, cfg_.link_signaling,
+          cfg_.link_skew_ps));
+    }
+  }
+
+  // BE downstream configuration: credits = the peer's BE input depth and
+  // the split code that reaches the peer's BE router.
+  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
+    const NodeId n = topo_.node_at(i);
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      const auto peer = topo_.neighbor(n, direction_of(p));
+      if (!peer.has_value()) continue;
+      Router& peer_router = router(*peer);
+      const PortIdx peer_in = port_of(opposite(direction_of(p)));
+      router(n).configure_be_downstream(
+          p, peer_router.config().be_buffer_depth,
+          peer_router.switching().be_code(peer_in));
+    }
+  }
+}
+
+BeRoute Network::be_route(NodeId src, NodeId dst, LocalIface iface) const {
+  MANGO_ASSERT(topo_.in_bounds(src) && topo_.in_bounds(dst),
+               "route endpoints out of bounds");
+  BeRoute r;
+  r.iface = iface;
+  if (src == dst) {
+    // Reaching a node's own local port. A plain out-and-back bounce is
+    // impossible: the return code would equal "back the way it came" at
+    // the neighbour and deliver there. Instead loop around an adjacent
+    // mesh square (4 hops); the final code then points back out the
+    // arrival port of `src` itself, which is the local-delivery rule.
+    MANGO_ASSERT(topo_.width() >= 2 && topo_.height() >= 2,
+                 "self-routes need a 2x2 mesh square");
+    const Direction dx =
+        src.x + 1 < topo_.width() ? Direction::kEast : Direction::kWest;
+    const Direction dy =
+        src.y + 1 < topo_.height() ? Direction::kNorth : Direction::kSouth;
+    r.moves = {dy, dx, opposite(dy), opposite(dx)};
+    return r;
+  }
+  r.moves = xy_route(src, dst);
+  return r;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,61 @@
+// A complete MANGO network: routers in a mesh, links, network adapters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/common/config.hpp"
+#include "noc/common/ids.hpp"
+#include "noc/common/packet.hpp"
+#include "noc/link/link.hpp"
+#include "noc/na/network_adapter.hpp"
+#include "noc/network/topology.hpp"
+#include "noc/router/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+
+struct MeshConfig {
+  std::uint16_t width = 2;
+  std::uint16_t height = 2;
+  RouterConfig router;
+  unsigned link_pipeline_stages = 1;
+  LinkSignaling link_signaling = LinkSignaling::kBundledData;
+  sim::Time link_skew_ps = 0;  ///< worst wire skew per link stage
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, const MeshConfig& cfg);
+
+  const MeshTopology& topology() const { return topo_; }
+  const MeshConfig& config() const { return cfg_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  Router& router(NodeId n) { return *routers_.at(topo_.index(n)); }
+  const Router& router(NodeId n) const { return *routers_.at(topo_.index(n)); }
+  NetworkAdapter& na(NodeId n) { return *nas_.at(topo_.index(n)); }
+
+  std::size_t node_count() const { return topo_.node_count(); }
+  NodeId node_at(std::size_t idx) const { return topo_.node_at(idx); }
+
+  /// BE route from src to dst (XY). src == dst yields a 4-hop loop
+  /// around an adjacent mesh square (used to reach a node's own local
+  /// port, e.g. for self-programming; see DESIGN.md).
+  BeRoute be_route(NodeId src, NodeId dst,
+                   LocalIface iface = LocalIface::kNetworkAdapter) const;
+
+  /// All links (diagnostics).
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  sim::Simulator& sim_;
+  MeshConfig cfg_;
+  MeshTopology topo_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<NetworkAdapter>> nas_;
+};
+
+}  // namespace mango::noc

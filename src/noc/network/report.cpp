@@ -1,0 +1,54 @@
+#include "noc/network/report.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+NetworkReport NetworkReport::collect(Network& net, sim::Time window_ps) {
+  MANGO_ASSERT(window_ps > 0, "report window must be positive");
+  NetworkReport report;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const NodeId n = net.node_at(i);
+    const RouterActivity a = net.router(n).activity();
+    report.routers.push_back(RouterReport{
+        n, a.switch_flits, a.arb_grants, a.be_router_flits,
+        a.vc_control_signals});
+  }
+  const StageDelays d = stage_delays(net.config().router.corner);
+  for (const auto& link : net.links()) {
+    LinkReport lr;
+    lr.flits = link->flits_carried();
+    // A link carries at most one flit per arb_cycle per direction; the
+    // counter aggregates both directions, so normalize by 2 slots/cycle.
+    lr.utilization = static_cast<double>(lr.flits) * d.arb_cycle /
+                     (2.0 * static_cast<double>(window_ps));
+    report.links.push_back(lr);
+    report.total_flits_on_links += lr.flits;
+    report.peak_link_utilization =
+        std::max(report.peak_link_utilization, lr.utilization);
+  }
+  return report;
+}
+
+void NetworkReport::print(std::FILE* out) const {
+  std::fprintf(out,
+               "%-8s %12s %12s %10s %12s\n", "router", "switch flits",
+               "arb grants", "BE flits", "unlock sigs");
+  for (const RouterReport& r : routers) {
+    std::fprintf(out, "%-8s %12llu %12llu %10llu %12llu\n",
+                 to_string(r.node).c_str(),
+                 static_cast<unsigned long long>(r.switch_flits),
+                 static_cast<unsigned long long>(r.arb_grants),
+                 static_cast<unsigned long long>(r.be_flits),
+                 static_cast<unsigned long long>(r.vc_control_signals));
+  }
+  std::fprintf(out,
+               "links: %zu, flits carried %llu, peak utilization %.1f%%\n",
+               links.size(),
+               static_cast<unsigned long long>(total_flits_on_links),
+               peak_link_utilization * 100.0);
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,42 @@
+// Network-wide observability: per-router activity and per-link
+// utilization summaries for examples, benches and post-run analysis.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "noc/network/network.hpp"
+#include "sim/time.hpp"
+
+namespace mango::noc {
+
+struct LinkReport {
+  NodeId a;
+  PortIdx a_port = 0;
+  std::uint64_t flits = 0;
+  double utilization = 0.0;  ///< flits * arb_cycle / window, both directions
+};
+
+struct RouterReport {
+  NodeId node;
+  std::uint64_t switch_flits = 0;
+  std::uint64_t arb_grants = 0;
+  std::uint64_t be_flits = 0;
+  std::uint64_t vc_control_signals = 0;
+};
+
+struct NetworkReport {
+  std::vector<RouterReport> routers;
+  std::vector<LinkReport> links;
+  std::uint64_t total_flits_on_links = 0;
+  double peak_link_utilization = 0.0;
+
+  /// Collects counters from every router and link; `window_ps` is the
+  /// observation window used to normalize utilizations.
+  static NetworkReport collect(Network& net, sim::Time window_ps);
+
+  /// Renders a compact table to `out`.
+  void print(std::FILE* out = stdout) const;
+};
+
+}  // namespace mango::noc

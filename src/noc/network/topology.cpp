@@ -1,0 +1,61 @@
+#include "noc/network/topology.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+MeshTopology::MeshTopology(std::uint16_t width, std::uint16_t height)
+    : width_(width), height_(height) {
+  MANGO_ASSERT(width_ >= 1 && height_ >= 1, "degenerate mesh");
+  MANGO_ASSERT(node_count() >= 2,
+               "a network needs at least two nodes (self-programming uses "
+               "out-and-back routes)");
+}
+
+std::size_t MeshTopology::index(NodeId n) const {
+  MANGO_ASSERT(in_bounds(n), "node " + to_string(n) + " out of bounds");
+  return static_cast<std::size_t>(n.y) * width_ + n.x;
+}
+
+NodeId MeshTopology::node_at(std::size_t idx) const {
+  MANGO_ASSERT(idx < node_count(), "node index out of range");
+  return NodeId{static_cast<std::uint16_t>(idx % width_),
+                static_cast<std::uint16_t>(idx / width_)};
+}
+
+std::optional<NodeId> MeshTopology::neighbor(NodeId n, Direction d) const {
+  MANGO_ASSERT(in_bounds(n), "node out of bounds");
+  // Guard against wrap-around on the mesh edge.
+  switch (d) {
+    case Direction::kNorth:
+      if (n.y + 1 >= height_) return std::nullopt;
+      break;
+    case Direction::kEast:
+      if (n.x + 1 >= width_) return std::nullopt;
+      break;
+    case Direction::kSouth:
+      if (n.y == 0) return std::nullopt;
+      break;
+    case Direction::kWest:
+      if (n.x == 0) return std::nullopt;
+      break;
+  }
+  return step(n, d);
+}
+
+Direction MeshTopology::any_neighbor_direction(NodeId n) const {
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    const Direction d = direction_of(p);
+    if (neighbor(n, d).has_value()) return d;
+  }
+  model_fail("node " + to_string(n) + " has no neighbours");
+}
+
+std::vector<NodeId> MeshTopology::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) out.push_back(node_at(i));
+  return out;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,45 @@
+// Mesh topology helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/common/ids.hpp"
+#include "noc/common/route.hpp"
+
+namespace mango::noc {
+
+/// A width x height 2D mesh. Coordinates: x grows East, y grows North;
+/// node (0,0) is the south-west corner.
+class MeshTopology {
+ public:
+  MeshTopology(std::uint16_t width, std::uint16_t height);
+
+  std::uint16_t width() const { return width_; }
+  std::uint16_t height() const { return height_; }
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(width_) * height_;
+  }
+
+  bool in_bounds(NodeId n) const { return n.x < width_ && n.y < height_; }
+
+  /// Linear index of a node (row-major).
+  std::size_t index(NodeId n) const;
+  NodeId node_at(std::size_t idx) const;
+
+  /// Neighbour in direction d, if inside the mesh.
+  std::optional<NodeId> neighbor(NodeId n, Direction d) const;
+
+  /// Any in-bounds direction from n (used for out-and-back self routes).
+  Direction any_neighbor_direction(NodeId n) const;
+
+  /// All nodes, row-major.
+  std::vector<NodeId> nodes() const;
+
+ private:
+  std::uint16_t width_;
+  std::uint16_t height_;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,99 @@
+#include "noc/router/arbiter.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+LinkArbiter::LinkArbiter(sim::Simulator& sim, const RouterConfig& cfg,
+                         const StageDelays& delays, std::string name)
+    : sim_(sim),
+      kind_(cfg.arbiter),
+      be_policy_(cfg.be_policy),
+      arb_cycle_(delays.arb_cycle),
+      name_(std::move(name)),
+      vcs_(cfg.vcs_per_port),
+      gs_req_(vcs_, false),
+      gs_grants_(vcs_, 0) {}
+
+void LinkArbiter::set_request_gs(VcIdx vc, bool requesting) {
+  MANGO_ASSERT(vc < vcs_, "request for nonexistent VC on " + name_);
+  if (gs_req_[vc] == requesting) return;
+  gs_req_[vc] = requesting;
+  if (requesting) try_grant();
+}
+
+void LinkArbiter::set_request_be(bool requesting) {
+  if (be_req_ == requesting) return;
+  be_req_ = requesting;
+  if (requesting) try_grant();
+}
+
+int LinkArbiter::pick() const {
+  const bool any_gs =
+      std::any_of(gs_req_.begin(), gs_req_.end(), [](bool b) { return b; });
+  switch (kind_) {
+    case ArbiterKind::kFairShare: {
+      // Round-robin ring; with kEqualShare BE occupies one extra slot.
+      const unsigned slots =
+          be_policy_ == BePolicy::kEqualShare ? vcs_ + 1 : vcs_;
+      for (unsigned i = 0; i < slots; ++i) {
+        const unsigned s = (rr_next_ + i) % slots;
+        if (s < vcs_) {
+          if (gs_req_[s]) return static_cast<int>(s);
+        } else if (be_req_) {
+          return static_cast<int>(vcs_);
+        }
+      }
+      if (be_policy_ == BePolicy::kIdleShares && !any_gs && be_req_) {
+        return static_cast<int>(vcs_);
+      }
+      return -1;
+    }
+    case ArbiterKind::kStaticPriority:
+    case ArbiterKind::kUnregulated: {
+      for (unsigned v = 0; v < vcs_; ++v) {
+        if (gs_req_[v]) return static_cast<int>(v);
+      }
+      // BE is the lowest priority under either BE policy.
+      if (be_req_) return static_cast<int>(vcs_);
+      return -1;
+    }
+  }
+  return -1;
+}
+
+void LinkArbiter::try_grant() {
+  if (busy_) return;
+  const int sel = pick();
+  if (sel < 0) return;
+  busy_ = true;
+  ++total_grants_;
+  if (sel == static_cast<int>(vcs_)) {
+    ++be_grants_;
+    if (kind_ == ArbiterKind::kFairShare &&
+        be_policy_ == BePolicy::kEqualShare) {
+      rr_next_ = 0;  // BE slot is the last ring position; wrap
+    }
+    MANGO_ASSERT(static_cast<bool>(grant_be_), "no BE grant sink on " + name_);
+    grant_be_();
+  } else {
+    ++gs_grants_[static_cast<unsigned>(sel)];
+    if (kind_ == ArbiterKind::kFairShare) {
+      const unsigned slots =
+          be_policy_ == BePolicy::kEqualShare ? vcs_ + 1 : vcs_;
+      rr_next_ = (static_cast<unsigned>(sel) + 1) % slots;
+    }
+    MANGO_ASSERT(static_cast<bool>(grant_gs_), "no GS grant sink on " + name_);
+    grant_gs_(static_cast<VcIdx>(sel));
+  }
+  // The link-output stage recovers after one arbitration cycle; the
+  // reciprocal of this pacing is the port speed reported in Section 6.
+  sim_.after(arb_cycle_, [this] {
+    busy_ = false;
+    try_grant();
+  });
+}
+
+}  // namespace mango::noc

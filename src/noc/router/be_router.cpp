@@ -1,0 +1,162 @@
+#include "noc/router/be_router.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+void BeInputBuffer::push(Flit f) {
+  MANGO_ASSERT(fifo_.size() < capacity_,
+               "BE input buffer overflow at " + name_ +
+                   " — upstream violated credit flow control");
+  const bool was_empty = fifo_.empty();
+  fifo_.push_back(f);
+  ++flits_through_;
+  if (was_empty && on_head_) on_head_();
+}
+
+const Flit& BeInputBuffer::head() const {
+  MANGO_ASSERT(!fifo_.empty(), "head() on empty BE buffer " + name_);
+  return fifo_.front();
+}
+
+Flit BeInputBuffer::pop() {
+  MANGO_ASSERT(!fifo_.empty(), "pop() on empty BE buffer " + name_);
+  Flit f = fifo_.front();
+  fifo_.pop_front();
+  if (on_credit_return_) on_credit_return_();
+  if (!fifo_.empty() && on_head_) on_head_();
+  return f;
+}
+
+BeRouter::BeRouter(sim::Simulator& sim, const RouterConfig& cfg,
+                   const StageDelays& delays, std::string name)
+    : sim_(sim), delays_(delays), name_(std::move(name)), be_vcs_(cfg.be_vcs) {
+  MANGO_ASSERT(be_vcs_ >= 1 && be_vcs_ <= kMaxBeVcs,
+               "the single header bit supports 1 or 2 BE VCs");
+  for (PortIdx p = 0; p < kNumPorts; ++p) {
+    for (BeVcIdx vc = 0; vc < be_vcs_; ++vc) {
+      inputs_[p].emplace_back(cfg.be_buffer_depth,
+                              name_ + ".be" + port_name(p) + ".vc" +
+                                  std::to_string(vc));
+      inputs_[p].back().set_on_head([this, p, vc] { on_input_head(p, vc); });
+    }
+  }
+}
+
+void BeRouter::set_output(unsigned out, OutputHooks hooks) {
+  MANGO_ASSERT(out < kNumOutputs, "BE output index out of range");
+  MANGO_ASSERT(static_cast<bool>(hooks.ready) && static_cast<bool>(hooks.push),
+               "BE output hooks incomplete");
+  outputs_[out] = std::move(hooks);
+}
+
+void BeRouter::set_credit_return(PortIdx in, std::function<void(BeVcIdx)> cb) {
+  for (BeVcIdx vc = 0; vc < be_vcs_; ++vc) {
+    inputs_.at(in)[vc].set_on_credit_return([cb, vc] { cb(vc); });
+  }
+}
+
+void BeRouter::push_input(PortIdx in, Flit&& f) {
+  const BeVcIdx vc = be_vc_of(f);
+  MANGO_ASSERT(vc < be_vcs_,
+               "flit selects BE VC " + std::to_string(vc) +
+                   " but the router has " + std::to_string(be_vcs_));
+  inputs_.at(in)[vc].push(f);
+}
+
+void BeRouter::notify_output_ready(unsigned out) { try_route(out); }
+
+unsigned BeRouter::decode_target(PortIdx in, std::uint32_t header) const {
+  const std::uint8_t code = header_code(header);
+  if (is_network_port(in) && code == in) {
+    // "Choosing a direction back to where it came from, the packet is
+    // routed to the local port." The next two bits select the interface.
+    const std::uint8_t iface = header_code(rotate_header(header));
+    return iface == static_cast<std::uint8_t>(LocalIface::kProgramming)
+               ? kOutProgramming
+               : kOutLocalNa;
+  }
+  return code;  // a network output port
+}
+
+void BeRouter::on_input_head(PortIdx in, BeVcIdx vc) {
+  InputState& st = in_state_[in][vc];
+  if (!st.target.has_value()) {
+    MANGO_ASSERT(st.awaiting_header,
+                 "BE input " + port_name(in) + " lost its packet target");
+    st.target = decode_target(in, inputs_[in][vc].head().data);
+  }
+  try_route(*st.target);
+}
+
+void BeRouter::try_route(unsigned out) {
+  MANGO_ASSERT(out < kNumOutputs, "try_route: bad output");
+  OutputState& ost = out_state_[out];
+  if (ost.busy) return;
+  MANGO_ASSERT(static_cast<bool>(outputs_[out].ready),
+               "BE output " + std::to_string(out) + " not wired on " + name_);
+
+  // Fair (round-robin) arbitration over (input port, BE VC) pairs. A VC
+  // lane locked by a packet admits only that packet's input; the other
+  // lane remains free — packets on different BE VCs interleave.
+  const unsigned slots = kNumPorts * be_vcs_;
+  PortIdx in = kNumPorts;
+  BeVcIdx vc = 0;
+  for (unsigned i = 0; i < slots; ++i) {
+    const unsigned s = (ost.rr_next + i) % slots;
+    const PortIdx cand_in = static_cast<PortIdx>(s / be_vcs_);
+    const BeVcIdx cand_vc = static_cast<BeVcIdx>(s % be_vcs_);
+    const InputState& cst = in_state_[cand_in][cand_vc];
+    if (!inputs_[cand_in][cand_vc].has_head()) continue;
+    if (!cst.target.has_value() || *cst.target != out) continue;
+    const auto& lock = ost.locked[cand_vc];
+    if (lock.has_value() && *lock != cand_in) continue;  // lane held
+    if (!outputs_[out].ready(cand_vc)) continue;         // stage full
+    in = cand_in;
+    vc = cand_vc;
+    if (!lock.has_value()) {
+      ost.locked[cand_vc] = cand_in;
+      ost.rr_next = (s + 1) % slots;
+    }
+    break;
+  }
+  if (in == kNumPorts) return;
+
+  // Claim the routing cycle before popping: pop() can re-enter try_route
+  // via the input's head callback.
+  ost.busy = true;
+
+  InputState& ist = in_state_[in][vc];
+  Flit f = inputs_[in][vc].pop();
+  if (ist.awaiting_header) {
+    // Consume this hop's code(s): one rotation when forwarding, two when
+    // delivering locally (direction code + interface-select bits).
+    f.data = rotate_header(f.data);
+    if (out == kOutLocalNa || out == kOutProgramming) {
+      f.data = rotate_header(f.data);
+    }
+    ist.awaiting_header = false;
+  }
+  const bool eop = f.eop;
+  ++flits_routed_;
+  ++out_flits_[out];
+  if (eop) {
+    ++packets_routed_;
+    ist.awaiting_header = true;
+    ist.target.reset();
+    ost.locked[vc].reset();
+    // The next packet's header may already sit at the input head; its
+    // head callback fired while our stale target was still set, so
+    // re-decode explicitly.
+    if (inputs_[in][vc].has_head()) on_input_head(in, vc);
+  }
+  sim_.after(delays_.be_route_cycle, [this, out, f = std::move(f)]() mutable {
+    outputs_[out].push(std::move(f));
+    out_state_[out].busy = false;
+    try_route(out);
+    // The freed input slot may unblock a packet bound elsewhere; input
+    // head callbacks handle that on their own.
+  });
+}
+
+}  // namespace mango::noc

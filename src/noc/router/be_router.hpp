@@ -1,0 +1,139 @@
+// The best-effort router (Section 5, Fig 7).
+//
+// Connection-less source routing: the packet header's two MSBs select one
+// of the four network output ports; a code pointing "back the way the
+// packet came" delivers it to the local port, where two further bits
+// select the network adapter or the GS programming interface. The header
+// is rotated left two bits per consumed hop. Packets are variable length
+// with an EOP control bit; each output arbitrates fairly (round-robin)
+// among contending inputs and holds the grant until EOP, keeping packet
+// coherency (wormhole). Input buffers use credit-based VC control.
+//
+// The paper reserves one flit control bit "to indicate one of two BE
+// VCs"; with RouterConfig::be_vcs = 2 this implementation activates it:
+// every input port gets one buffer per BE VC, wormhole state is kept per
+// (input, VC), and packets on different VCs interleave freely — a packet
+// stalled on one VC no longer head-of-line-blocks the other.
+//
+// The BE router hands flits bound for the network to per-port BE output
+// stages owned by the Router, which merge them onto the links through
+// the link arbiters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/common/config.hpp"
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "noc/common/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+
+/// Credit-controlled BE input FIFO (one per input port per BE VC).
+class BeInputBuffer {
+ public:
+  using Notify = std::function<void()>;
+
+  BeInputBuffer(unsigned capacity, std::string name)
+      : capacity_(capacity), name_(std::move(name)) {}
+
+  void set_on_credit_return(Notify n) { on_credit_return_ = std::move(n); }
+  void set_on_head(Notify n) { on_head_ = std::move(n); }
+
+  /// Pushes a flit; overflow means the upstream violated credit flow
+  /// control and raises ModelError.
+  void push(Flit f);
+
+  bool has_head() const { return !fifo_.empty(); }
+  const Flit& head() const;
+  Flit pop();  ///< fires the credit-return callback
+
+  unsigned capacity() const { return capacity_; }
+  std::size_t size() const { return fifo_.size(); }
+  std::uint64_t flits_through() const { return flits_through_; }
+
+ private:
+  unsigned capacity_;
+  std::string name_;
+  std::deque<Flit> fifo_;
+  Notify on_credit_return_;
+  Notify on_head_;
+  std::uint64_t flits_through_ = 0;
+};
+
+class BeRouter {
+ public:
+  /// Output indices: 0..3 = network ports (Direction values), then local.
+  static constexpr unsigned kOutLocalNa = 4;
+  static constexpr unsigned kOutProgramming = 5;
+  static constexpr unsigned kNumOutputs = 6;
+
+  struct OutputHooks {
+    /// May accept one more flit of this BE VC now.
+    std::function<bool(BeVcIdx)> ready;
+    std::function<void(Flit&&)> push;  ///< hand over one flit
+  };
+
+  BeRouter(sim::Simulator& sim, const RouterConfig& cfg,
+           const StageDelays& delays, std::string name);
+
+  /// Wires an output (Router does this during assembly).
+  void set_output(unsigned out, OutputHooks hooks);
+
+  /// Installs the upstream credit-return callback of an input port.
+  void set_credit_return(PortIdx in, std::function<void(BeVcIdx)> cb);
+
+  /// Flit arriving on an input port (from the switching module's BE code
+  /// or from the NA's local BE interface); its bevc bit selects the VC.
+  void push_input(PortIdx in, Flit&& f);
+
+  /// Output stages call this when they free a slot.
+  void notify_output_ready(unsigned out);
+
+  unsigned be_vcs() const { return be_vcs_; }
+  const BeInputBuffer& input(PortIdx in, BeVcIdx vc = 0) const {
+    return inputs_.at(in).at(vc);
+  }
+
+  std::uint64_t flits_routed() const { return flits_routed_; }
+  std::uint64_t packets_routed() const { return packets_routed_; }
+  std::uint64_t flits_to(unsigned out) const { return out_flits_.at(out); }
+
+ private:
+  struct InputState {
+    std::optional<unsigned> target;  ///< decoded output of current packet
+    bool awaiting_header = true;
+  };
+  struct OutputState {
+    /// Wormhole grant holder per BE VC lane.
+    std::array<std::optional<PortIdx>, kMaxBeVcs> locked{};
+    bool busy = false;   ///< mid routing cycle
+    unsigned rr_next = 0;  ///< fair arbitration over (port, vc) pairs
+  };
+
+  void on_input_head(PortIdx in, BeVcIdx vc);
+  void try_route(unsigned out);
+  /// Decodes the routing target of a header arriving on `in`.
+  unsigned decode_target(PortIdx in, std::uint32_t header) const;
+
+  sim::Simulator& sim_;
+  const StageDelays& delays_;
+  std::string name_;
+  unsigned be_vcs_;
+  std::array<std::vector<BeInputBuffer>, kNumPorts> inputs_;
+  std::array<std::array<InputState, kMaxBeVcs>, kNumPorts> in_state_{};
+  std::array<OutputHooks, kNumOutputs> outputs_{};
+  std::array<OutputState, kNumOutputs> out_state_{};
+  std::array<std::uint64_t, kNumOutputs> out_flits_{};
+  std::uint64_t flits_routed_ = 0;
+  std::uint64_t packets_routed_ = 0;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,84 @@
+#include "noc/router/connection_table.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+ConnectionTable::ConnectionTable(const RouterConfig& cfg)
+    : vcs_per_port_(cfg.vcs_per_port), local_ifaces_(cfg.local_gs_ifaces) {
+  const std::size_t slots = kNumDirections * vcs_per_port_ + local_ifaces_;
+  fwd_.resize(slots);
+  rev_.resize(slots);
+}
+
+std::size_t ConnectionTable::index(VcBufferId buf) const {
+  if (buf.port == kLocalPort) {
+    MANGO_ASSERT(buf.vc < local_ifaces_,
+                 "local GS interface index out of range: " + to_string(buf));
+    return kNumDirections * vcs_per_port_ + buf.vc;
+  }
+  MANGO_ASSERT(buf.port < kNumDirections && buf.vc < vcs_per_port_,
+               "VC buffer id out of range: " + to_string(buf));
+  return static_cast<std::size_t>(buf.port) * vcs_per_port_ + buf.vc;
+}
+
+void ConnectionTable::set_forward(VcBufferId buf, SteerBits steer) {
+  auto& slot = fwd_[index(buf)];
+  MANGO_ASSERT(!slot.has_value(),
+               "forward entry already programmed for " + to_string(buf));
+  slot = steer;
+}
+
+bool ConnectionTable::has_forward(VcBufferId buf) const {
+  return fwd_[index(buf)].has_value();
+}
+
+SteerBits ConnectionTable::forward(VcBufferId buf) const {
+  const auto& slot = fwd_[index(buf)];
+  MANGO_ASSERT(slot.has_value(), "no forward entry for " + to_string(buf));
+  return *slot;
+}
+
+void ConnectionTable::set_reverse(VcBufferId buf, ReverseEntry entry) {
+  MANGO_ASSERT(entry.in_port < kNumPorts, "reverse entry input port invalid");
+  auto& slot = rev_[index(buf)];
+  MANGO_ASSERT(!slot.has_value(),
+               "reverse entry already programmed for " + to_string(buf));
+  slot = entry;
+}
+
+bool ConnectionTable::has_reverse(VcBufferId buf) const {
+  return rev_[index(buf)].has_value();
+}
+
+ReverseEntry ConnectionTable::reverse(VcBufferId buf) const {
+  const auto& slot = rev_[index(buf)];
+  MANGO_ASSERT(slot.has_value(), "no reverse entry for " + to_string(buf));
+  return *slot;
+}
+
+void ConnectionTable::clear(VcBufferId buf) {
+  fwd_[index(buf)].reset();
+  rev_[index(buf)].reset();
+}
+
+bool ConnectionTable::reserved(VcBufferId buf) const {
+  const std::size_t i = index(buf);
+  return fwd_[i].has_value() || rev_[i].has_value();
+}
+
+unsigned ConnectionTable::forward_entries() const {
+  return static_cast<unsigned>(
+      std::count_if(fwd_.begin(), fwd_.end(),
+                    [](const auto& e) { return e.has_value(); }));
+}
+
+unsigned ConnectionTable::storage_bits() const {
+  // valid + 5 steer bits forward; valid + 3+3 bits reverse, per buffer.
+  const unsigned per_buffer = (1 + kSteerBits) + (1 + 6);
+  return static_cast<unsigned>(fwd_.size()) * per_buffer;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,74 @@
+// Per-router connection state (Section 3/4).
+//
+// "For each connection, a router stores the steering bits needed to guide
+// flits to the VC buffer reserved for the connection in the next router,
+// as well as control channel bits used to establish a VC control channel
+// back to the VC buffer in the previous router." Both tables are indexed
+// by the VC buffer the connection reserves in *this* router:
+//
+//   forward:  (out port, vc) -> steering bits appended at link access
+//   reverse:  (out port, vc) -> (input port, wire) the reverse signal
+//             (unlock toggle / credit) is switched onto
+//
+// Entries are programmed through BE packets (see programming.hpp) or
+// directly by tests. Programming an already-valid entry raises
+// ModelError — in hardware that would corrupt a live connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "noc/common/config.hpp"
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+
+namespace mango::noc {
+
+/// Reverse-path entry: which input-port unlock wire the buffer drives.
+struct ReverseEntry {
+  PortIdx in_port = 0;  ///< network port 0..3 or kLocalPort
+  VcIdx wire = 0;       ///< VC wire on that port (local: GS iface index)
+
+  friend constexpr bool operator==(ReverseEntry a, ReverseEntry b) {
+    return a.in_port == b.in_port && a.wire == b.wire;
+  }
+};
+
+class ConnectionTable {
+ public:
+  explicit ConnectionTable(const RouterConfig& cfg);
+
+  /// --- forward steering table ---
+  void set_forward(VcBufferId buf, SteerBits steer);
+  bool has_forward(VcBufferId buf) const;
+  SteerBits forward(VcBufferId buf) const;  ///< ModelError if not programmed
+
+  /// --- reverse (VC control channel) table ---
+  void set_reverse(VcBufferId buf, ReverseEntry entry);
+  bool has_reverse(VcBufferId buf) const;
+  ReverseEntry reverse(VcBufferId buf) const;  ///< ModelError if not programmed
+
+  /// Clears both entries of a buffer (connection teardown).
+  void clear(VcBufferId buf);
+
+  /// True if either table holds a valid entry for the buffer.
+  bool reserved(VcBufferId buf) const;
+
+  /// Number of valid forward entries (diagnostics).
+  unsigned forward_entries() const;
+
+  /// Storage bits of the table at this configuration (area model input):
+  /// per network VC buffer: valid + 5 steer bits, valid + 6 reverse bits.
+  unsigned storage_bits() const;
+
+ private:
+  std::size_t index(VcBufferId buf) const;  ///< validates range
+
+  unsigned vcs_per_port_;
+  unsigned local_ifaces_;
+  std::vector<std::optional<SteerBits>> fwd_;
+  std::vector<std::optional<ReverseEntry>> rev_;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,93 @@
+#include "noc/router/programming.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+namespace {
+std::uint32_t header_word(ProgOpcode op, VcBufferId buf) {
+  return (static_cast<std::uint32_t>(op) << 28) |
+         (static_cast<std::uint32_t>(buf.port) << 24) |
+         (static_cast<std::uint32_t>(buf.vc) << 20);
+}
+}  // namespace
+
+std::uint32_t encode_prog_forward(VcBufferId buf, SteerBits steer) {
+  MANGO_ASSERT(steer.split < 8 && steer.vc < 4, "steer bits out of range");
+  return header_word(ProgOpcode::kForward, buf) |
+         (static_cast<std::uint32_t>(steer.split) << 17) |
+         (static_cast<std::uint32_t>(steer.vc) << 15);
+}
+
+std::uint32_t encode_prog_reverse(VcBufferId buf, ReverseEntry entry) {
+  MANGO_ASSERT(entry.in_port < kNumPorts && entry.wire < 16,
+               "reverse entry out of range");
+  return header_word(ProgOpcode::kReverse, buf) |
+         (static_cast<std::uint32_t>(entry.in_port) << 16) |
+         (static_cast<std::uint32_t>(entry.wire) << 12);
+}
+
+std::uint32_t encode_prog_clear(VcBufferId buf) {
+  return header_word(ProgOpcode::kClear, buf);
+}
+
+ProgWord decode_prog_word(std::uint32_t word) {
+  ProgWord w;
+  const std::uint32_t op = word >> 28;
+  MANGO_ASSERT(op <= static_cast<std::uint32_t>(ProgOpcode::kClear),
+               "bad programming opcode " + std::to_string(op));
+  w.op = static_cast<ProgOpcode>(op);
+  w.buf.port = static_cast<PortIdx>((word >> 24) & 0xF);
+  w.buf.vc = static_cast<VcIdx>((word >> 20) & 0xF);
+  if (w.op == ProgOpcode::kForward) {
+    w.steer.split = static_cast<std::uint8_t>((word >> 17) & 0x7);
+    w.steer.vc = static_cast<std::uint8_t>((word >> 15) & 0x3);
+  } else if (w.op == ProgOpcode::kReverse) {
+    w.reverse.in_port = static_cast<PortIdx>((word >> 16) & 0xF);
+    w.reverse.wire = static_cast<VcIdx>((word >> 12) & 0xF);
+  }
+  if (w.op != ProgOpcode::kNop) {
+    MANGO_ASSERT(w.buf.port < kNumPorts,
+                 "programming word addresses a nonexistent port");
+  }
+  return w;
+}
+
+void ProgrammingInterface::accept_flit(Flit&& f) {
+  auto& lane = assembling_[be_vc_of(f)];
+  lane.push_back(f);
+  if (!f.eop) return;
+  std::vector<Flit> packet;
+  packet.swap(lane);
+  process(packet);
+}
+
+void ProgrammingInterface::process(const std::vector<Flit>& packet) {
+  MANGO_ASSERT(packet.size() >= 2, "programming packet too short");
+  unsigned applied = 0;
+  // packet[0] is the (consumed) BE header; the rest are programming words.
+  for (std::size_t i = 1; i < packet.size(); ++i) {
+    const ProgWord w = decode_prog_word(packet[i].data);
+    switch (w.op) {
+      case ProgOpcode::kNop:
+        break;
+      case ProgOpcode::kForward:
+        table_.set_forward(w.buf, w.steer);
+        ++applied;
+        break;
+      case ProgOpcode::kReverse:
+        table_.set_reverse(w.buf, w.reverse);
+        ++applied;
+        break;
+      case ProgOpcode::kClear:
+        table_.clear(w.buf);
+        ++applied;
+        break;
+    }
+  }
+  ++packets_;
+  words_ += applied;
+  if (observer_) observer_(packet.front().tag, applied);
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,80 @@
+// The GS programming interface (Section 3/5).
+//
+// GS connections are set up "by programming these into the GS router via
+// the BE router"; the interface is an extension on the local port. A BE
+// packet delivered to it carries 32-bit programming words:
+//
+//   [31:28] opcode   0 = nop, 1 = write forward entry,
+//                    2 = write reverse entry, 3 = clear buffer entries
+//   [27:24] out port of the addressed VC buffer (0..3 network, 4 local)
+//   [23:20] vc / local GS interface index
+//   opcode 1: [19:17] steering split code, [16:15] steering VC bits
+//   opcode 2: [19:16] input port, [15:12] input wire (VC / local iface)
+//
+// Malformed words raise ModelError — the failure-injection tests rely on
+// that. An observer hook reports each processed packet (tag, word count)
+// so the connection manager can track setup completion.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "noc/router/connection_table.hpp"
+
+namespace mango::noc {
+
+enum class ProgOpcode : std::uint8_t {
+  kNop = 0,
+  kForward = 1,
+  kReverse = 2,
+  kClear = 3,
+};
+
+/// Encodes a forward-table write.
+std::uint32_t encode_prog_forward(VcBufferId buf, SteerBits steer);
+/// Encodes a reverse-map write.
+std::uint32_t encode_prog_reverse(VcBufferId buf, ReverseEntry entry);
+/// Encodes a clear of both entries of a buffer.
+std::uint32_t encode_prog_clear(VcBufferId buf);
+
+/// Decoded form of a programming word (for tests / tracing).
+struct ProgWord {
+  ProgOpcode op = ProgOpcode::kNop;
+  VcBufferId buf;
+  SteerBits steer;      // opcode kForward
+  ReverseEntry reverse; // opcode kReverse
+};
+ProgWord decode_prog_word(std::uint32_t word);
+
+class ProgrammingInterface {
+ public:
+  /// (packet tag, programming words applied)
+  using Observer = std::function<void(std::uint32_t tag, unsigned words)>;
+
+  explicit ProgrammingInterface(ConnectionTable& table) : table_(table) {}
+
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// Receives one flit from the BE router; on EOP the accumulated packet
+  /// is parsed and applied to the connection table. Packets on different
+  /// BE VCs may interleave and are reassembled per VC.
+  void accept_flit(Flit&& f);
+
+  std::uint64_t packets_processed() const { return packets_; }
+  std::uint64_t words_applied() const { return words_; }
+
+ private:
+  void process(const std::vector<Flit>& packet);
+
+  ConnectionTable& table_;
+  std::array<std::vector<Flit>, kMaxBeVcs> assembling_;
+  Observer observer_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t words_ = 0;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,194 @@
+// The MANGO router (Fig 2, Fig 8): GS router + BE router + output
+// buffers + link arbiters, assembled.
+//
+// Forward GS data path (per hop):
+//   [upstream VC buffer] -> link arbiter grant (flow box admits, steering
+//   bits appended from the connection table) -> link -> split module ->
+//   4x4 half-switch -> unsharebox of the reserved VC buffer.
+// Reverse control path: on the buffer advance (share-based) or buffer pop
+// (credit-based) the VC control module switches the reverse signal onto
+// the programmed input-port wire, the link carries it back, and the
+// upstream flow box re-arms.
+//
+// BE flits ride the same links through per-port BE output stages that
+// merge into the link arbiters according to the configured BePolicy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/common/config.hpp"
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "noc/router/arbiter.hpp"
+#include "noc/router/be_router.hpp"
+#include "noc/router/connection_table.hpp"
+#include "noc/router/programming.hpp"
+#include "noc/router/sharebox.hpp"
+#include "noc/router/switching.hpp"
+#include "noc/router/vc_buffer.hpp"
+#include "noc/router/vc_control.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+
+class Link;
+class Router;
+
+/// Per-network-port stage merging BE flits onto the link: one two-deep
+/// FIFO lane per BE VC, requesting the link arbiter while any lane holds
+/// a flit and its downstream BE input buffer has a free slot (credit).
+/// Lanes are served round-robin so the two BE VCs interleave on the link.
+class BeOutputStage {
+ public:
+  static constexpr unsigned kDepth = 2;
+
+  BeOutputStage() = default;
+
+  void wire(Router* owner, PortIdx port, LinkArbiter* arb, unsigned be_vcs);
+  /// Set at network assembly: downstream per-VC buffer depth and the
+  /// split code that routes a flit into the downstream BE router.
+  void set_downstream(unsigned credits_per_vc, std::uint8_t peer_split_code);
+
+  bool ready(BeVcIdx vc) const { return lanes_.at(vc).fifo.size() < kDepth; }
+  void push(Flit&& f);
+  void on_grant();                      ///< link arbiter granted BE
+  void on_credit_return(BeVcIdx vc);    ///< downstream freed a VC slot
+
+  unsigned credits(BeVcIdx vc = 0) const { return lanes_.at(vc).credits; }
+  std::uint64_t flits_sent() const { return flits_sent_; }
+
+ private:
+  struct Lane {
+    std::deque<Flit> fifo;
+    unsigned credits = 0;
+  };
+
+  void update_request();
+
+  Router* owner_ = nullptr;
+  PortIdx port_ = 0;
+  LinkArbiter* arb_ = nullptr;
+  std::vector<Lane> lanes_;
+  unsigned rr_ = 0;
+  std::uint8_t peer_split_code_ = 0;
+  std::uint64_t flits_sent_ = 0;
+};
+
+/// Aggregated activity counters (input to the power model).
+struct RouterActivity {
+  std::uint64_t switch_flits = 0;
+  std::uint64_t vc_control_signals = 0;
+  std::uint64_t arb_grants = 0;
+  std::uint64_t be_router_flits = 0;
+  std::uint64_t link_flits_sent = 0;
+};
+
+class Router {
+ public:
+  Router(sim::Simulator& sim, const RouterConfig& cfg, NodeId node,
+         std::string name);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // --- network assembly ---
+  void attach_link(PortIdx port, Link* link);
+  Link* link(PortIdx port) const { return links_.at(port); }
+  /// Configures the BE output stage toward the neighbour on `port`.
+  void configure_be_downstream(PortIdx port, unsigned credits_per_vc,
+                               std::uint8_t peer_split_code);
+
+  // --- data-plane entry points (called by Link) ---
+  void receive_link_flit(PortIdx in_port, LinkFlit lf);
+  /// Reverse GS signal for the flow box of VC buffer (out_port, vc).
+  void receive_reverse(PortIdx out_port, VcIdx vc);
+  /// BE credit return for the BE output stage on out_port.
+  void receive_be_credit(PortIdx out_port, BeVcIdx vc);
+
+  // --- local (NA) side: GS injection ---
+  /// NA pushes a steered flit into the switching module via a local GS
+  /// input interface. The NA charges the local wire delay and obeys its
+  /// flow box; `iface` is recorded for diagnostics only.
+  void inject_local_gs(LocalIfaceIdx iface, LinkFlit lf);
+  /// First-hop reverse signals (to the NA's flow boxes).
+  void set_local_reverse_handler(std::function<void(LocalIfaceIdx)> h) {
+    local_reverse_ = std::move(h);
+  }
+
+  // --- local (NA) side: GS delivery ---
+  bool local_out_has_head(LocalIfaceIdx iface) const;
+  Flit local_out_pop(LocalIfaceIdx iface);
+  /// Fired when a local output interface has a head flit for the NA.
+  void set_local_out_notify(std::function<void(LocalIfaceIdx)> h) {
+    local_out_notify_ = std::move(h);
+  }
+
+  // --- local (NA) side: BE ---
+  void inject_local_be(Flit f);  ///< NA tracks the credits (per BE VC)
+  void set_local_be_credit_handler(std::function<void(BeVcIdx)> h) {
+    local_be_credit_ = std::move(h);
+  }
+  void set_local_be_delivery(std::function<void(Flit&&)> h) {
+    local_be_delivery_ = std::move(h);
+  }
+
+  // --- component access ---
+  const RouterConfig& config() const { return cfg_; }
+  const StageDelays& delays() const { return delays_; }
+  NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  SwitchingModule& switching() { return switching_; }
+  const SwitchingModule& switching() const { return switching_; }
+  ConnectionTable& table() { return table_; }
+  ProgrammingInterface& programming() { return prog_; }
+  LinkArbiter& arbiter(PortIdx port) { return *arbiters_.at(port); }
+  const LinkArbiter& arbiter(PortIdx port) const { return *arbiters_.at(port); }
+  BeRouter& be_router() { return be_; }
+  const BeRouter& be_router() const { return be_; }
+  BeOutputStage& be_output(PortIdx port) { return be_out_.at(port); }
+  VcBuffer& vc_buffer(VcBufferId id) { return *bufs_.at(buf_index(id)); }
+  VcFlowControl& flow_control(PortIdx port, VcIdx vc);
+
+  RouterActivity activity() const;
+
+ private:
+  std::size_t buf_index(VcBufferId id) const;
+  bool gs_eligible(PortIdx port, VcIdx vc) const;
+  void update_gs_request(PortIdx port, VcIdx vc);
+  void on_gs_grant(PortIdx port, VcIdx vc);
+
+  sim::Simulator& sim_;
+  RouterConfig cfg_;
+  StageDelays delays_;
+  NodeId node_;
+  std::string name_;
+
+  ConnectionTable table_;
+  SwitchingModule switching_;
+  VcControlModule vc_control_;
+  ProgrammingInterface prog_;
+  BeRouter be_;
+
+  // Network VC buffers (4 * V), then local output interfaces.
+  std::vector<std::unique_ptr<VcBuffer>> bufs_;
+  // Flow boxes for the network VC buffers only (local delivery has none).
+  std::vector<std::unique_ptr<VcFlowControl>> flow_;
+  std::array<std::unique_ptr<LinkArbiter>, kNumDirections> arbiters_;
+  std::array<BeOutputStage, kNumDirections> be_out_;
+  std::array<Link*, kNumDirections> links_{};
+
+  std::function<void(LocalIfaceIdx)> local_reverse_;
+  std::function<void(LocalIfaceIdx)> local_out_notify_;
+  std::function<void(BeVcIdx)> local_be_credit_;
+  std::function<void(Flit&&)> local_be_delivery_;
+
+  std::uint64_t link_flits_sent_ = 0;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,45 @@
+#include "noc/router/sharebox.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+void Sharebox::on_admit() {
+  MANGO_ASSERT(!locked_, "sharebox admitted a flit while locked");
+  locked_ = true;
+}
+
+void Sharebox::on_reverse_signal() {
+  MANGO_ASSERT(locked_, "unlock toggle on an unlocked sharebox");
+  count_reverse();
+  sim_.after(rearm_ps_, [this] {
+    locked_ = false;
+    notify_ready();
+  });
+}
+
+void CreditBox::on_admit() {
+  MANGO_ASSERT(credits_ > 0, "flit admitted without a credit");
+  --credits_;
+}
+
+void CreditBox::on_reverse_signal() {
+  count_reverse();
+  // The credit wire delay is charged by the caller (link / VC control
+  // module); the counter update itself is immediate.
+  MANGO_ASSERT(credits_ < capacity_, "credit overflow: more returns than admits");
+  ++credits_;
+  notify_ready();
+}
+
+std::unique_ptr<VcFlowControl> make_flow_control(sim::Simulator& sim,
+                                                 VcScheme scheme,
+                                                 sim::Time rearm_ps,
+                                                 unsigned credits) {
+  if (scheme == VcScheme::kShareBased) {
+    return std::make_unique<Sharebox>(sim, rearm_ps);
+  }
+  return std::make_unique<CreditBox>(sim, credits);
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,50 @@
+#include "noc/router/vc_buffer.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+void VcBuffer::accept_unshare(Flit f) {
+  MANGO_ASSERT(!unshare_.has_value(),
+               "unsharebox collision at " + to_string(id_) +
+                   " — two connections routed to one VC buffer?");
+  unshare_ = f;
+  ++flits_through_;
+  const unsigned occ = (unshare_ ? 1u : 0u) + (slot_ ? 1u : 0u);
+  peak_occupancy_ = std::max(peak_occupancy_, occ);
+  try_advance();
+}
+
+const Flit& VcBuffer::head() const {
+  MANGO_ASSERT(slot_.has_value(), "head() on empty VC buffer " + to_string(id_));
+  return *slot_;
+}
+
+Flit VcBuffer::pop() {
+  MANGO_ASSERT(slot_.has_value(), "pop() on empty VC buffer " + to_string(id_));
+  Flit f = *slot_;
+  slot_.reset();
+  if (scheme_ == VcScheme::kCreditBased && on_reverse_) on_reverse_();
+  try_advance();
+  return f;
+}
+
+void VcBuffer::try_advance() {
+  if (advancing_ || !unshare_.has_value() || slot_.has_value()) return;
+  advancing_ = true;
+  sim_.after(delays_.buf_advance, [this] {
+    advancing_ = false;
+    MANGO_ASSERT(unshare_.has_value() && !slot_.has_value(),
+                 "VC buffer advance raced at " + to_string(id_));
+    slot_ = *unshare_;
+    unshare_.reset();
+    // Share-based: the flit has left the unsharebox — the media is clear
+    // for this VC, toggle the unlock wire to the previous hop.
+    if (scheme_ == VcScheme::kShareBased && on_reverse_) on_reverse_();
+    if (on_head_) on_head_();
+    // A follower can only arrive later (it must cross the media first),
+    // so no second advance can be pending here.
+  });
+}
+
+}  // namespace mango::noc

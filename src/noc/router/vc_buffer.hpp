@@ -1,0 +1,85 @@
+// Output VC buffer: unsharebox latch + one-flit buffer slot.
+//
+// "To keep the area down, our output buffers are a single flit deep plus
+// one flit in the unsharebox" (Section 4.4). A flit arrives from the
+// switching module into the unsharebox; when the buffer slot is free it
+// advances into it. Depending on the VC control scheme the reverse
+// signal to the *previous* hop fires on that advance (share-based: the
+// unlock toggle — the flit has left the unsharebox, i.e. the media) or
+// when the flit leaves the buffer entirely (credit-based: a slot freed).
+//
+// The unsharebox must be empty when a flit arrives: the share-based
+// protocol guarantees it by construction, so a violation indicates a
+// misprogrammed network and raises ModelError (non-blocking invariant).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "noc/common/config.hpp"
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "noc/router/sharebox.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+
+class VcBuffer {
+ public:
+  using Notify = std::function<void()>;
+
+  VcBuffer(sim::Simulator& sim, const StageDelays& delays, VcScheme scheme,
+           VcBufferId id)
+      : sim_(sim), delays_(delays), scheme_(scheme), id_(id) {}
+
+  VcBuffer(const VcBuffer&) = delete;
+  VcBuffer& operator=(const VcBuffer&) = delete;
+
+  /// Fired when the buffer slot fills (a head flit became available).
+  void set_on_head(Notify n) { on_head_ = std::move(n); }
+
+  /// Fired when the reverse signal to the previous hop must be sent
+  /// (unlock toggle or credit return, per scheme).
+  void set_on_reverse(Notify n) { on_reverse_ = std::move(n); }
+
+  /// A flit arrives from the switching module into the unsharebox.
+  void accept_unshare(Flit f);
+
+  /// True if a head flit is available in the buffer slot.
+  bool has_head() const { return slot_.has_value(); }
+
+  /// Head flit (requires has_head()).
+  const Flit& head() const;
+
+  /// Removes and returns the head flit (link grant or NA consumption).
+  Flit pop();
+
+  VcBufferId id() const { return id_; }
+
+  /// True if the unsharebox currently holds a flit.
+  bool unshare_occupied() const { return unshare_.has_value(); }
+
+  /// Total flits that passed through (activity counter).
+  std::uint64_t flits_through() const { return flits_through_; }
+
+  /// Peak simultaneous occupancy ever observed (<= 2 by construction).
+  unsigned peak_occupancy() const { return peak_occupancy_; }
+
+ private:
+  void try_advance();
+
+  sim::Simulator& sim_;
+  const StageDelays& delays_;
+  VcScheme scheme_;
+  VcBufferId id_;
+  std::optional<Flit> unshare_;
+  std::optional<Flit> slot_;
+  bool advancing_ = false;
+  Notify on_head_;
+  Notify on_reverse_;
+  std::uint64_t flits_through_ = 0;
+  unsigned peak_occupancy_ = 0;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,25 @@
+#include "noc/router/vc_control.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+void VcControlModule::signal(VcBufferId buf) {
+  const ReverseEntry entry = table_.reverse(buf);  // throws if unprogrammed
+  ++signals_;
+  if (entry.in_port == kLocalPort) {
+    MANGO_ASSERT(static_cast<bool>(local_out_), "no local reverse sink wired");
+    // The NA sits next to the router; charge the (shorter) local wire.
+    // The receiving flow box adds its own re-arm delay.
+    sim_.after(delays_.na_link_fwd,
+               [this, iface = static_cast<LocalIfaceIdx>(entry.wire)] {
+                 local_out_(iface);
+               });
+    return;
+  }
+  MANGO_ASSERT(static_cast<bool>(network_out_), "no network reverse sink wired");
+  // The attached link charges the unlock-wire delay.
+  network_out_(entry.in_port, entry.wire);
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,151 @@
+#include "noc/traffic/generator.hpp"
+
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+GsStreamSource::GsStreamSource(sim::Simulator& sim, NetworkAdapter& na,
+                               LocalIfaceIdx iface, std::uint32_t tag,
+                               Options opt)
+    : sim_(sim), na_(na), iface_(iface), tag_(tag), opt_(opt) {}
+
+void GsStreamSource::start(sim::Time at) {
+  MANGO_ASSERT(!started_, "GS source started twice");
+  started_ = true;
+  const sim::Time t = std::max(at, sim_.now());
+  sim_.at(t, [this] {
+    started_at_ = sim_.now();
+    if (opt_.period_ps == 0) {
+      // Saturating: pull-model supplier, no queue growth.
+      na_.set_gs_supplier(iface_, [this] { return supply(); });
+    } else {
+      tick();
+    }
+  });
+}
+
+bool GsStreamSource::in_on_phase() const {
+  if (opt_.burst_on_ps == 0) return true;
+  const sim::Time cycle = opt_.burst_on_ps + opt_.burst_off_ps;
+  return (sim_.now() - started_at_) % cycle < opt_.burst_on_ps;
+}
+
+Flit GsStreamSource::make_flit() {
+  Flit f;
+  f.data = static_cast<std::uint32_t>(seq_ & 0xFFFFFFFFull);
+  f.tag = tag_;
+  f.seq = seq_++;
+  f.injected_at = sim_.now();
+  ++generated_;
+  return f;
+}
+
+std::optional<Flit> GsStreamSource::supply() {
+  if (stopped_ || !in_on_phase()) return std::nullopt;
+  if (opt_.max_flits != 0 && generated_ >= opt_.max_flits) return std::nullopt;
+  return make_flit();
+}
+
+void GsStreamSource::tick() {
+  if (stopped_) return;
+  if (opt_.max_flits != 0 && generated_ >= opt_.max_flits) return;
+  if (in_on_phase()) {
+    na_.gs_send(iface_, make_flit());
+  }
+  sim_.after(opt_.period_ps, [this] { tick(); });
+}
+
+BeTraceSource::BeTraceSource(Network& net, NodeId src, std::uint32_t tag,
+                             std::vector<TraceEntry> trace)
+    : net_(net), src_(src), tag_(tag), trace_(std::move(trace)) {
+  MANGO_ASSERT(net_.topology().in_bounds(src_), "trace source out of bounds");
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    MANGO_ASSERT(trace_[i].dst != src_, "trace destination equals source");
+    MANGO_ASSERT(net_.topology().in_bounds(trace_[i].dst),
+                 "trace destination out of bounds");
+    MANGO_ASSERT(i == 0 || trace_[i - 1].at <= trace_[i].at,
+                 "trace entries must be time-sorted");
+  }
+}
+
+void BeTraceSource::start() {
+  if (!trace_.empty()) {
+    net_.simulator().at(std::max(trace_.front().at, net_.simulator().now()),
+                        [this] { inject(0); });
+  }
+}
+
+void BeTraceSource::inject(std::size_t idx) {
+  const TraceEntry& e = trace_[idx];
+  std::vector<std::uint32_t> payload(std::max(1u, e.payload_words));
+  for (std::size_t w = 0; w < payload.size(); ++w) {
+    payload[w] = static_cast<std::uint32_t>(idx + w);
+  }
+  BePacket pkt = make_be_packet(net_.be_route(src_, e.dst), payload, tag_);
+  const sim::Time now = net_.simulator().now();
+  for (Flit& f : pkt.flits) f.injected_at = now;
+  net_.na(src_).send_be_packet(std::move(pkt), e.vc);
+  ++injected_;
+  if (idx + 1 < trace_.size()) {
+    const sim::Time next = std::max(trace_[idx + 1].at, now);
+    net_.simulator().at(next, [this, idx] { inject(idx + 1); });
+  }
+}
+
+BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
+                                 Options opt)
+    : net_(net), src_(src), tag_(tag), opt_(opt), rng_(opt.seed) {
+  MANGO_ASSERT(net_.topology().in_bounds(src_), "BE source out of bounds");
+  if (opt_.fixed_dst.has_value()) {
+    MANGO_ASSERT(*opt_.fixed_dst != src_, "BE destination equals source");
+  }
+}
+
+void BeTrafficSource::start(sim::Time at) {
+  net_.simulator().at(std::max(at, net_.simulator().now()),
+                      [this] { schedule_next(); });
+}
+
+NodeId BeTrafficSource::pick_dst() {
+  if (opt_.fixed_dst.has_value()) return *opt_.fixed_dst;
+  const std::size_t count = net_.node_count();
+  for (;;) {
+    const NodeId cand = net_.node_at(rng_.next_below(count));
+    if (cand != src_) return cand;
+  }
+}
+
+void BeTrafficSource::inject() {
+  if (stopped_) return;
+  if (opt_.max_packets != 0 && generated_ >= opt_.max_packets) return;
+  NetworkAdapter& na = net_.na(src_);
+  if (na.be_queue_flits() > opt_.na_queue_limit) {
+    // Backpressured: count and retry shortly without generating.
+    ++held_;
+    net_.simulator().after(1000, [this] { inject(); });
+    return;
+  }
+  const NodeId dst = pick_dst();
+  std::vector<std::uint32_t> payload(opt_.payload_words);
+  for (auto& w : payload) {
+    w = static_cast<std::uint32_t>(rng_.next_u64());
+  }
+  BePacket pkt = make_be_packet(net_.be_route(src_, dst), payload, tag_);
+  const sim::Time now = net_.simulator().now();
+  for (Flit& f : pkt.flits) f.injected_at = now;
+  na.send_be_packet(std::move(pkt));
+  ++generated_;
+  schedule_next();
+}
+
+void BeTrafficSource::schedule_next() {
+  if (stopped_) return;
+  sim::Time gap = 0;
+  if (opt_.mean_interarrival_ps > 0) {
+    gap = static_cast<sim::Time>(rng_.next_exponential(
+        static_cast<double>(opt_.mean_interarrival_ps)));
+  }
+  net_.simulator().after(gap, [this] { inject(); });
+}
+
+}  // namespace mango::noc

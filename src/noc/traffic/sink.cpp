@@ -1,0 +1,30 @@
+#include "noc/traffic/sink.hpp"
+
+namespace mango::noc {
+
+void MeasurementHub::record_gs_flit(sim::Time now, const Flit& f) {
+  FlowStats& s = flows_[f.tag];
+  ++s.flits;
+  s.latency_ns.add(sim::to_ns(now - f.injected_at));
+  s.throughput.record(now);
+  if (f.seq != s.next_seq) ++s.seq_errors;
+  s.next_seq = f.seq + 1;
+}
+
+void MeasurementHub::record_be_packet(sim::Time now, const BePacket& pkt) {
+  if (pkt.empty()) return;
+  const Flit& header = pkt.flits.front();
+  FlowStats& s = flows_[header.tag];
+  ++s.packets;
+  s.flits += pkt.size();
+  s.latency_ns.add(sim::to_ns(now - header.injected_at));
+  s.throughput.record(now);
+}
+
+std::uint64_t MeasurementHub::total_flits() const {
+  std::uint64_t n = 0;
+  for (const auto& [tag, s] : flows_) n += s.flits;
+  return n;
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,54 @@
+// Measurement sinks: per-flow latency/throughput/ordering statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "noc/common/flit.hpp"
+#include "noc/common/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace mango::noc {
+
+/// Statistics of one measured flow (GS connection or BE packet stream),
+/// keyed by the flit tag.
+struct FlowStats {
+  sim::Histogram latency_ns;      ///< per flit (GS) or per packet (BE)
+  sim::ThroughputMeter throughput; ///< flits (GS) / packets (BE)
+  std::uint64_t flits = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t seq_errors = 0;   ///< out-of-order or lost flits
+  std::uint64_t next_seq = 0;
+
+  /// Delivered flit rate in flits per nanosecond over [t0, t1].
+  double flits_per_ns(sim::Time t0, sim::Time t1) const {
+    if (t1 <= t0) return 0.0;
+    return static_cast<double>(flits) / sim::to_ns(t1 - t0);
+  }
+};
+
+/// Collects flow statistics; install its record_* hooks as NA handlers.
+class MeasurementHub {
+ public:
+  /// Records a delivered GS flit (latency = now - injected_at).
+  void record_gs_flit(sim::Time now, const Flit& f);
+
+  /// Records a delivered BE packet (latency measured on the header).
+  void record_be_packet(sim::Time now, const BePacket& pkt);
+
+  FlowStats& flow(std::uint32_t tag) { return flows_[tag]; }
+  std::map<std::uint32_t, FlowStats>& flows() { return flows_; }
+  const std::map<std::uint32_t, FlowStats>& flows() const { return flows_; }
+  bool has_flow(std::uint32_t tag) const {
+    return flows_.find(tag) != flows_.end();
+  }
+
+  std::uint64_t total_flits() const;
+
+ private:
+  std::map<std::uint32_t, FlowStats> flows_;
+};
+
+}  // namespace mango::noc

@@ -1,0 +1,53 @@
+#include "noc/traffic/workload.hpp"
+
+namespace mango::noc {
+
+void attach_hub(Network& net, MeasurementHub& hub) {
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    NetworkAdapter& na = net.na(net.node_at(i));
+    na.set_gs_handler([&net, &hub](LocalIfaceIdx, Flit&& f) {
+      hub.record_gs_flit(net.simulator().now(), f);
+    });
+    na.set_be_handler([&net, &hub](BePacket&& pkt) {
+      hub.record_be_packet(net.simulator().now(), pkt);
+    });
+  }
+}
+
+std::vector<std::unique_ptr<BeTrafficSource>> start_uniform_be(
+    Network& net, sim::Time mean_interarrival_ps, unsigned payload_words,
+    std::uint64_t seed, sim::Time start_at) {
+  std::vector<std::unique_ptr<BeTrafficSource>> sources;
+  sources.reserve(net.node_count());
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const NodeId n = net.node_at(i);
+    BeTrafficSource::Options opt;
+    opt.mean_interarrival_ps = mean_interarrival_ps;
+    opt.payload_words = payload_words;
+    opt.seed = seed + i;
+    sources.push_back(std::make_unique<BeTrafficSource>(
+        net, n, kBeTagBase + static_cast<std::uint32_t>(i), opt));
+    sources.back()->start(start_at);
+  }
+  return sources;
+}
+
+std::unique_ptr<GsStreamSource> saturate_connection(Network& net,
+                                                    ConnectionManager& mgr,
+                                                    NodeId src, NodeId dst,
+                                                    std::uint32_t tag,
+                                                    sim::Time start_at) {
+  const Connection& conn = mgr.open_direct(src, dst);
+  GsStreamSource::Options opt;  // period 0 = saturate
+  auto gen = std::make_unique<GsStreamSource>(
+      net.simulator(), net.na(src), conn.src_iface, tag, opt);
+  gen->start(start_at);
+  return gen;
+}
+
+double link_capacity_flits_per_ns(const Network& net) {
+  const StageDelays d = stage_delays(net.config().router.corner);
+  return 1000.0 / static_cast<double>(d.arb_cycle);
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,35 @@
+// Scenario builders shared by tests, examples and benches.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "noc/traffic/generator.hpp"
+#include "noc/traffic/sink.hpp"
+
+namespace mango::noc {
+
+/// Wires a MeasurementHub to every NA: GS flits and BE packets delivered
+/// anywhere in the network are recorded by flow tag.
+void attach_hub(Network& net, MeasurementHub& hub);
+
+/// Starts uniform-random BE traffic from every node. `mean_interarrival`
+/// is per node; tags are kBeTagBase + node index.
+inline constexpr std::uint32_t kBeTagBase = 0x42000000;
+std::vector<std::unique_ptr<BeTrafficSource>> start_uniform_be(
+    Network& net, sim::Time mean_interarrival_ps, unsigned payload_words,
+    std::uint64_t seed, sim::Time start_at = 0);
+
+/// Opens a connection (direct programming) and attaches a saturating
+/// source. Returns the generator; the connection is owned by `mgr`.
+std::unique_ptr<GsStreamSource> saturate_connection(
+    Network& net, ConnectionManager& mgr, NodeId src, NodeId dst,
+    std::uint32_t tag, sim::Time start_at = 0);
+
+/// Link-bandwidth reference: flits per nanosecond of one link at the
+/// configured corner (= 1 / arb_cycle).
+double link_capacity_flits_per_ns(const Network& net);
+
+}  // namespace mango::noc

@@ -1,0 +1,35 @@
+// Model-level error reporting.
+//
+// The MANGO architecture has invariants that hold by construction in
+// correctly programmed hardware (e.g. at most one flit of a VC in the
+// shared media, no two connections sharing a VC buffer). The simulator
+// checks them at run time; a violation means the *model user* mis-
+// programmed the network, so it is reported as a recoverable exception
+// rather than an abort. Tests rely on these throws for failure-injection.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mango {
+
+/// Raised when a structural/architectural invariant of the model is
+/// violated (misprogrammed connection tables, buffer overruns, ...).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void model_fail(const std::string& msg) { throw ModelError(msg); }
+
+}  // namespace mango
+
+/// Checks an architectural invariant; throws mango::ModelError on failure.
+#define MANGO_ASSERT(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::mango::model_fail(std::string("invariant violated: ") + (msg) +      \
+                          " [" #cond "] at " __FILE__ ":" +                   \
+                          std::to_string(__LINE__));                          \
+    }                                                                         \
+  } while (false)

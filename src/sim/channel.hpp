@@ -1,0 +1,108 @@
+// 4-phase bundled-data handshake channel model.
+//
+// A MANGO link or internal interface is a bundled-data channel: a request
+// wire, data wires and an acknowledge wire. The 4-phase protocol is
+//
+//   producer: data valid, req+    (forward latency L_fwd)
+//   consumer: ack+                 (consumer accepted the data)
+//   producer: req-                 \  return-to-zero phase,
+//   consumer: ack-                 /  lumped into L_rtz
+//
+// The channel holds at most one data token. We model the protocol at the
+// token level: send() delivers the token to the receiver after L_fwd, and
+// the producer side becomes ready again L_rtz after the consumer calls
+// ack(). The cycle time of a stage is therefore L_fwd + L_rtz, matching
+// the paper's observation that "the cycle time of the VC link is
+// sensitive to the forward latency of the flits" (Section 4.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mango::sim {
+
+/// Delay parameters of one handshake channel / pipeline stage.
+struct ChannelTiming {
+  Time forward_ps = 0;  ///< req/data propagation, producer -> consumer
+  Time rtz_ps = 0;      ///< ack + return-to-zero, consumer -> producer
+
+  constexpr Time cycle() const { return forward_ps + rtz_ps; }
+};
+
+/// One-place bundled-data channel carrying values of type T.
+///
+/// Wire-up: the consumer installs a receiver callback; the producer may
+/// install an on_ready callback to be woken when the channel frees up.
+/// Exactly one token may be in flight; violating the protocol (sending on
+/// a busy channel, acking an empty one) is a model error.
+template <typename T>
+class Channel {
+ public:
+  using Receiver = std::function<void(T&&)>;
+  using Notify = std::function<void()>;
+
+  Channel(Simulator& sim, ChannelTiming timing) : sim_(sim), timing_(timing) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Consumer side: installs the delivery callback.
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+
+  /// Producer side: installs the "channel became ready" callback.
+  void set_on_ready(Notify n) { on_ready_ = std::move(n); }
+
+  /// True if the producer may send (no token in flight or awaiting ack).
+  bool ready() const { return state_ == State::kIdle; }
+
+  /// Producer pushes a token; it arrives at the receiver after forward_ps.
+  void send(T value) {
+    MANGO_ASSERT(state_ == State::kIdle, "send on busy channel");
+    MANGO_ASSERT(static_cast<bool>(receiver_), "channel has no receiver");
+    state_ = State::kForward;
+    ++tokens_sent_;
+    // Boxed so the scheduled callback stays copyable even for move-only T.
+    auto boxed = std::make_shared<T>(std::move(value));
+    sim_.after(timing_.forward_ps,
+               [this, boxed] { deliver(std::move(*boxed)); });
+  }
+
+  /// Consumer acknowledges the token it received; after rtz_ps the
+  /// producer side becomes ready again (and on_ready fires).
+  void ack() {
+    MANGO_ASSERT(state_ == State::kDelivered, "ack without delivered token");
+    state_ = State::kRtz;
+    sim_.after(timing_.rtz_ps, [this] {
+      state_ = State::kIdle;
+      if (on_ready_) on_ready_();
+    });
+  }
+
+  /// Number of tokens ever sent (activity counter for the power model).
+  std::uint64_t tokens_sent() const { return tokens_sent_; }
+
+  const ChannelTiming& timing() const { return timing_; }
+
+ private:
+  enum class State { kIdle, kForward, kDelivered, kRtz };
+
+  void deliver(T&& v) {
+    state_ = State::kDelivered;
+    receiver_(std::move(v));
+  }
+
+  Simulator& sim_;
+  ChannelTiming timing_;
+  Receiver receiver_;
+  Notify on_ready_;
+  State state_ = State::kIdle;
+  std::uint64_t tokens_sent_ = 0;
+};
+
+}  // namespace mango::sim

@@ -1,0 +1,45 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+namespace mango::sim {
+
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger::Logger() {
+  sink_ = [](LogLevel lvl, Time now, const std::string& msg) {
+    std::fprintf(stderr, "[%s @ %s] %s\n", level_name(lvl),
+                 format_time(now).c_str(), msg.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = Logger().sink_;  // restore the default stderr sink
+  }
+}
+
+void Logger::log(LogLevel lvl, Time now, const std::string& msg) {
+  if (enabled(lvl)) sink_(lvl, now, msg);
+}
+
+}  // namespace mango::sim

@@ -1,0 +1,47 @@
+// Lightweight trace/log facility.
+//
+// Components log named events ("router 3: VC 5 granted link") guarded by
+// a global level so that full-network simulations stay fast when tracing
+// is off. Tests can install a capture sink to assert on emitted traces.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mango::sim {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, Time, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel lvl) const {
+    return static_cast<int>(lvl) <= static_cast<int>(level_);
+  }
+
+  /// Installs a sink (nullptr restores the default stderr sink).
+  void set_sink(Sink sink);
+
+  void log(LogLevel lvl, Time now, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+/// Convenience macro: evaluates the message only when the level is on.
+#define MANGO_LOG(lvl, now, msg_expr)                                  \
+  do {                                                                 \
+    auto& logger_ = ::mango::sim::Logger::instance();                  \
+    if (logger_.enabled(lvl)) logger_.log(lvl, now, msg_expr);         \
+  } while (false)
+
+}  // namespace mango::sim

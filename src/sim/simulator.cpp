@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mango::sim {
+
+void Simulator::at(Time t, Callback cb) {
+  MANGO_ASSERT(t >= now_, "cannot schedule an event in the past");
+  MANGO_ASSERT(static_cast<bool>(cb), "cannot schedule an empty callback");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via the
+  // const_cast-free route of copying the handle cheaply (shared state in
+  // std::function). Pop before dispatch so the callback may schedule.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++dispatched_;
+  ev.cb();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(Time t_end) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::string format_time(Time t) {
+  char buf[48];
+  if (t < 1000) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " ps", t);
+  } else if (t < 1000000) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", to_ns(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us(t));
+  }
+  return buf;
+}
+
+}  // namespace mango::sim

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel.
+//
+// Clockless (asynchronous) circuits are data-driven: every latch, arbiter
+// and handshake control fires when its inputs change, after a circuit-
+// specific delay. That maps directly onto a classic discrete-event kernel:
+// components schedule callbacks at absolute picosecond timestamps, and the
+// kernel dispatches them in (time, insertion-order) order so runs are
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace mango::sim {
+
+/// The event kernel. One instance drives one simulated network.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  void at(Time t, Callback cb);
+
+  /// Schedules `cb` after `delay` picoseconds.
+  void after(Time delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+
+  /// Dispatches the single next event. Returns false if none is pending.
+  bool step();
+
+  /// Runs until the queue drains or the next event is later than `t_end`;
+  /// leaves now() at min(t_end, time of last dispatched event).
+  /// Returns the number of events dispatched.
+  std::uint64_t run_until(Time t_end);
+
+  /// Runs until the event queue is empty. Returns events dispatched.
+  std::uint64_t run();
+
+  /// True if no event is pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total events dispatched since construction.
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace mango::sim

@@ -1,0 +1,114 @@
+// Measurement primitives used by sinks, benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mango::sim {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Latency histogram with exact quantiles (stores samples; network sims
+/// here produce at most a few million samples, well within memory).
+class Histogram {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::uint64_t count() const { return samples_.size(); }
+  double quantile(double q);  ///< q in [0,1]; 0 if empty
+  double p50() { return quantile(0.50); }
+  double p95() { return quantile(0.95); }
+  double p99() { return quantile(0.99); }
+  double max() { return quantile(1.0); }
+  double mean() const;
+
+  void reset() { samples_.clear(); sorted_ = false; }
+
+  /// Raw samples (unordered) — for merging histograms across flows.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Measures throughput of a flit/packet stream over a time window.
+class ThroughputMeter {
+ public:
+  void record(Time now, std::uint64_t units = 1) {
+    if (count_ == 0) first_ = now;
+    last_ = now;
+    count_ += units;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  /// Units per nanosecond over [window_start, window_end].
+  double per_ns(Time window_start, Time window_end) const {
+    if (window_end <= window_start) return 0.0;
+    return static_cast<double>(count_) /
+           to_ns(window_end - window_start);
+  }
+
+  /// Units per nanosecond over the observed first..last span.
+  double per_ns_observed() const {
+    if (count_ < 2 || last_ <= first_) return 0.0;
+    return static_cast<double>(count_ - 1) / to_ns(last_ - first_);
+  }
+
+  Time first() const { return first_; }
+  Time last() const { return last_; }
+
+  void reset() { *this = ThroughputMeter{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  Time first_ = 0;
+  Time last_ = 0;
+};
+
+/// Simple fixed-width text table printer used by the bench harnesses to
+/// emit paper-style tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table (header, separator, rows) to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mango::sim

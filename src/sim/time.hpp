@@ -1,0 +1,46 @@
+// Simulation time base for the MANGO clockless NoC model.
+//
+// Clockless circuits have no clock to count; the natural time base is
+// physical delay. All component delays (handshake latencies, wire delays,
+// arbitration overheads) are expressed in integer picoseconds, which keeps
+// event ordering exact and the simulation deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mango::sim {
+
+/// Absolute simulation time or a duration, in picoseconds.
+using Time = std::uint64_t;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr Time kTimeNever = std::numeric_limits<Time>::max();
+
+inline constexpr Time operator""_ps(unsigned long long v) { return static_cast<Time>(v); }
+inline constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v) * 1000; }
+inline constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * 1000000; }
+inline constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * 1000000000; }
+
+/// Converts a duration in picoseconds to (fractional) nanoseconds.
+inline constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Converts a duration in picoseconds to (fractional) microseconds.
+inline constexpr double to_us(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Frequency (in MHz) of a periodic process with the given period.
+/// A period of zero yields infinity-free 0.0 to keep tables printable.
+inline constexpr double period_to_mhz(Time period_ps) {
+  return period_ps == 0 ? 0.0 : 1e6 / static_cast<double>(period_ps);
+}
+
+/// Period (in ps, rounded to nearest) of a process running at `mhz`.
+inline constexpr Time mhz_to_period(double mhz) {
+  return mhz <= 0.0 ? kTimeNever : static_cast<Time>(1e6 / mhz + 0.5);
+}
+
+/// Human-readable rendering, e.g. "1.234 ns".
+std::string format_time(Time t);
+
+}  // namespace mango::sim

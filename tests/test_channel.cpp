@@ -1,0 +1,115 @@
+// Unit tests for the 4-phase bundled-data channel model.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/channel.hpp"
+
+namespace mango::sim {
+namespace {
+
+struct ChannelFixture : ::testing::Test {
+  Simulator sim;
+  ChannelTiming timing{400, 250};
+  Channel<int> ch{sim, timing};
+};
+
+TEST_F(ChannelFixture, TokenArrivesAfterForwardLatency) {
+  std::optional<int> got;
+  Time arrival = 0;
+  ch.set_receiver([&](int&& v) {
+    got = v;
+    arrival = sim.now();
+  });
+  sim.at(1000, [&] { ch.send(42); });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  EXPECT_EQ(arrival, 1400u);
+}
+
+TEST_F(ChannelFixture, ProducerReadyAgainAfterAckPlusRtz) {
+  Time ready_at = 0;
+  ch.set_receiver([&](int&&) { ch.ack(); });
+  ch.set_on_ready([&] { ready_at = sim.now(); });
+  ch.send(1);
+  sim.run();
+  // forward 400 + rtz 250.
+  EXPECT_EQ(ready_at, 650u);
+  EXPECT_TRUE(ch.ready());
+}
+
+TEST_F(ChannelFixture, CycleTimeIsForwardPlusRtz) {
+  EXPECT_EQ(timing.cycle(), 650u);
+  int received = 0;
+  Time last = 0;
+  Time gap = 0;
+  ch.set_receiver([&](int&&) {
+    ++received;
+    if (received == 2) gap = sim.now() - last;
+    last = sim.now();
+    ch.ack();
+  });
+  ch.set_on_ready([&] {
+    if (received < 2) ch.send(received);
+  });
+  ch.send(0);
+  sim.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(gap, timing.cycle());
+}
+
+TEST_F(ChannelFixture, SendOnBusyChannelIsProtocolViolation) {
+  ch.set_receiver([](int&&) {});
+  ch.send(1);
+  EXPECT_THROW(ch.send(2), ModelError);
+}
+
+TEST_F(ChannelFixture, AckWithoutDeliveredTokenIsProtocolViolation) {
+  ch.set_receiver([](int&&) {});
+  EXPECT_THROW(ch.ack(), ModelError);
+}
+
+TEST_F(ChannelFixture, SendWithoutReceiverIsAnError) {
+  Channel<int> orphan(sim, timing);
+  EXPECT_THROW(orphan.send(9), ModelError);
+}
+
+TEST_F(ChannelFixture, NotReadyWhileTokenInFlight) {
+  ch.set_receiver([](int&&) {});
+  EXPECT_TRUE(ch.ready());
+  ch.send(5);
+  EXPECT_FALSE(ch.ready());
+  sim.run();
+  EXPECT_FALSE(ch.ready());  // delivered but unacked
+  ch.ack();
+  sim.run();
+  EXPECT_TRUE(ch.ready());
+}
+
+TEST_F(ChannelFixture, CountsTokens) {
+  int n = 0;
+  ch.set_receiver([&](int&&) {
+    ++n;
+    ch.ack();
+  });
+  ch.set_on_ready([&] {
+    if (n < 5) ch.send(n);
+  });
+  ch.send(0);
+  sim.run();
+  EXPECT_EQ(ch.tokens_sent(), 5u);
+}
+
+TEST(ChannelMoveOnly, CarriesMoveOnlyPayloads) {
+  Simulator sim;
+  Channel<std::unique_ptr<int>> ch(sim, ChannelTiming{100, 100});
+  int got = 0;
+  ch.set_receiver([&](std::unique_ptr<int>&& p) { got = *p; });
+  ch.send(std::make_unique<int>(7));
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+}  // namespace
+}  // namespace mango::sim

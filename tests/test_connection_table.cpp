@@ -1,0 +1,98 @@
+// Unit tests for the per-router connection state.
+#include <gtest/gtest.h>
+
+#include "noc/router/connection_table.hpp"
+
+namespace mango::noc {
+namespace {
+
+struct TableFixture : ::testing::Test {
+  RouterConfig cfg;
+  ConnectionTable table{cfg};
+};
+
+TEST_F(TableFixture, ForwardEntryRoundTrip) {
+  const VcBufferId buf{port_of(Direction::kEast), 3};
+  EXPECT_FALSE(table.has_forward(buf));
+  table.set_forward(buf, SteerBits{5, 2});
+  ASSERT_TRUE(table.has_forward(buf));
+  EXPECT_EQ(table.forward(buf), (SteerBits{5, 2}));
+}
+
+TEST_F(TableFixture, ReverseEntryRoundTrip) {
+  const VcBufferId buf{port_of(Direction::kNorth), 7};
+  table.set_reverse(buf, ReverseEntry{port_of(Direction::kSouth), 4});
+  ASSERT_TRUE(table.has_reverse(buf));
+  EXPECT_EQ(table.reverse(buf), (ReverseEntry{port_of(Direction::kSouth), 4}));
+}
+
+TEST_F(TableFixture, LocalInterfaceEntries) {
+  const VcBufferId buf{kLocalPort, 2};
+  table.set_reverse(buf, ReverseEntry{port_of(Direction::kWest), 1});
+  EXPECT_TRUE(table.reserved(buf));
+  EXPECT_FALSE(table.has_forward(buf));  // last hop: no forward steer
+}
+
+TEST_F(TableFixture, ReprogrammingLiveEntriesIsAnError) {
+  const VcBufferId buf{port_of(Direction::kWest), 0};
+  table.set_forward(buf, SteerBits{1, 1});
+  EXPECT_THROW(table.set_forward(buf, SteerBits{2, 2}), mango::ModelError);
+  table.set_reverse(buf, ReverseEntry{kLocalPort, 0});
+  EXPECT_THROW(table.set_reverse(buf, ReverseEntry{kLocalPort, 1}),
+               mango::ModelError);
+}
+
+TEST_F(TableFixture, ClearAllowsReprogramming) {
+  const VcBufferId buf{port_of(Direction::kSouth), 5};
+  table.set_forward(buf, SteerBits{3, 0});
+  table.set_reverse(buf, ReverseEntry{port_of(Direction::kNorth), 2});
+  table.clear(buf);
+  EXPECT_FALSE(table.reserved(buf));
+  EXPECT_NO_THROW(table.set_forward(buf, SteerBits{4, 1}));
+}
+
+TEST_F(TableFixture, LookupOfUnprogrammedEntriesThrows) {
+  const VcBufferId buf{port_of(Direction::kEast), 1};
+  EXPECT_THROW(table.forward(buf), mango::ModelError);
+  EXPECT_THROW(table.reverse(buf), mango::ModelError);
+}
+
+TEST_F(TableFixture, OutOfRangeBuffersRejected) {
+  EXPECT_THROW(table.set_forward({port_of(Direction::kEast), 8}, SteerBits{}),
+               mango::ModelError);
+  EXPECT_THROW(table.set_forward({kLocalPort, 4}, SteerBits{}),
+               mango::ModelError);
+  EXPECT_THROW(table.set_forward({7, 0}, SteerBits{}), mango::ModelError);
+}
+
+TEST_F(TableFixture, CountsForwardEntries) {
+  EXPECT_EQ(table.forward_entries(), 0u);
+  table.set_forward({port_of(Direction::kEast), 0}, SteerBits{});
+  table.set_forward({port_of(Direction::kWest), 1}, SteerBits{});
+  EXPECT_EQ(table.forward_entries(), 2u);
+}
+
+TEST_F(TableFixture, StorageBitsMatchTheAreaModel) {
+  // 36 buffers x (1+5 + 1+6) bits — the connection-table area input.
+  EXPECT_EQ(table.storage_bits(), 36u * 13u);
+}
+
+TEST(TableCapacity, SupportsThePapersThirtyTwoConnections) {
+  // "The router simultaneously supports ... a total of 32 independently
+  // buffered GS connections" — all 4x8 network VC buffers programmable.
+  RouterConfig cfg;
+  ConnectionTable table(cfg);
+  EXPECT_EQ(cfg.max_gs_connections(), 32u);
+  unsigned programmed = 0;
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    for (VcIdx vc = 0; vc < cfg.vcs_per_port; ++vc) {
+      table.set_forward({p, vc}, SteerBits{0, 0});
+      ++programmed;
+    }
+  }
+  EXPECT_EQ(programmed, 32u);
+  EXPECT_EQ(table.forward_entries(), 32u);
+}
+
+}  // namespace
+}  // namespace mango::noc

@@ -1,0 +1,89 @@
+// Unit + property tests for the flit wire formats.
+#include <gtest/gtest.h>
+
+#include "noc/common/flit.hpp"
+#include "sim/random.hpp"
+
+namespace mango::noc {
+namespace {
+
+TEST(Flit, WireWidthsMatchThePaper) {
+  // 32 data bits + EOP + spare BE-VC bit = 34; 5 steering bits -> 39.
+  EXPECT_EQ(kFlitWireBits, 34u);
+  EXPECT_EQ(kSteerBits, 5u);
+  EXPECT_EQ(kLinkFlitBits, 39u);
+}
+
+TEST(Flit, EncodePlacesFieldsMsbFirst) {
+  LinkFlit lf;
+  lf.steer = SteerBits{0b101, 0b10};
+  lf.flit.data = 0xDEADBEEF;
+  lf.flit.eop = true;
+  lf.flit.bevc = false;
+  const std::uint64_t w = encode_link_flit(lf);
+  EXPECT_EQ(w >> 36, 0b101u);             // split
+  EXPECT_EQ((w >> 34) & 0x3u, 0b10u);     // steer vc
+  EXPECT_EQ((w >> 2) & 0xFFFFFFFFu, 0xDEADBEEFu);
+  EXPECT_EQ((w >> 1) & 1u, 1u);           // eop
+  EXPECT_EQ(w & 1u, 0u);                  // bevc
+}
+
+TEST(Flit, DecodeInvertsEncode) {
+  LinkFlit lf;
+  lf.steer = SteerBits{7, 3};
+  lf.flit.data = 0x12345678;
+  lf.flit.eop = false;
+  lf.flit.bevc = true;
+  const LinkFlit back = decode_link_flit(encode_link_flit(lf));
+  EXPECT_EQ(back.steer, lf.steer);
+  EXPECT_EQ(back.flit.data, lf.flit.data);
+  EXPECT_EQ(back.flit.eop, lf.flit.eop);
+  EXPECT_EQ(back.flit.bevc, lf.flit.bevc);
+}
+
+TEST(Flit, OverflowingWireImageIsRejected) {
+  EXPECT_THROW(decode_link_flit(std::uint64_t{1} << kLinkFlitBits),
+               mango::ModelError);
+}
+
+/// Property: encode/decode round-trips for random wire images.
+class FlitRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlitRoundTrip, RandomWireImagesRoundTrip) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    LinkFlit lf;
+    lf.steer.split = static_cast<std::uint8_t>(rng.next_below(8));
+    lf.steer.vc = static_cast<std::uint8_t>(rng.next_below(4));
+    lf.flit.data = static_cast<std::uint32_t>(rng.next_u64());
+    lf.flit.eop = rng.next_bool(0.5);
+    lf.flit.bevc = rng.next_bool(0.5);
+    const std::uint64_t w = encode_link_flit(lf);
+    ASSERT_LT(w, std::uint64_t{1} << kLinkFlitBits);
+    const LinkFlit back = decode_link_flit(w);
+    ASSERT_EQ(back.steer, lf.steer);
+    ASSERT_EQ(back.flit.data, lf.flit.data);
+    ASSERT_EQ(back.flit.eop, lf.flit.eop);
+    ASSERT_EQ(back.flit.bevc, lf.flit.bevc);
+    // Double round-trip is the identity on the wire image.
+    ASSERT_EQ(encode_link_flit(back), w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlitRoundTrip,
+                         ::testing::Values(1u, 42u, 0xFEEDu, 31337u));
+
+TEST(Flit, InstrumentationFieldsAreNotOnTheWire) {
+  LinkFlit lf;
+  lf.flit.data = 5;
+  lf.flit.tag = 77;
+  lf.flit.seq = 123;
+  lf.flit.injected_at = 99999;
+  const LinkFlit back = decode_link_flit(encode_link_flit(lf));
+  EXPECT_EQ(back.flit.tag, 0u);
+  EXPECT_EQ(back.flit.seq, 0u);
+  EXPECT_EQ(back.flit.injected_at, 0u);
+}
+
+}  // namespace
+}  // namespace mango::noc

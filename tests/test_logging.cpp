@@ -1,0 +1,70 @@
+// Tests for the trace/log facility.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.hpp"
+
+namespace mango::sim {
+namespace {
+
+struct LoggingFixture : ::testing::Test {
+  std::vector<std::string> captured;
+
+  void SetUp() override {
+    Logger::instance().set_sink(
+        [this](LogLevel, Time, const std::string& msg) {
+          captured.push_back(msg);
+        });
+    Logger::instance().set_level(LogLevel::kOff);
+  }
+  void TearDown() override {
+    Logger::instance().set_level(LogLevel::kOff);
+    Logger::instance().set_sink(nullptr);
+  }
+};
+
+TEST_F(LoggingFixture, OffLevelSuppressesEverything) {
+  MANGO_LOG(LogLevel::kInfo, 0, "hidden");
+  MANGO_LOG(LogLevel::kTrace, 0, "hidden too");
+  EXPECT_TRUE(captured.empty());
+}
+
+TEST_F(LoggingFixture, LevelsFilterMonotonically) {
+  Logger::instance().set_level(LogLevel::kDebug);
+  MANGO_LOG(LogLevel::kInfo, 0, "info");
+  MANGO_LOG(LogLevel::kDebug, 0, "debug");
+  MANGO_LOG(LogLevel::kTrace, 0, "trace");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "info");
+  EXPECT_EQ(captured[1], "debug");
+}
+
+TEST_F(LoggingFixture, MessageExpressionNotEvaluatedWhenOff) {
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("x");
+  };
+  MANGO_LOG(LogLevel::kTrace, 0, expensive());
+  EXPECT_EQ(evaluations, 0);
+  Logger::instance().set_level(LogLevel::kTrace);
+  MANGO_LOG(LogLevel::kTrace, 0, expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingFixture, EnabledReflectsLevel) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingFixture, RestoringDefaultSinkKeepsLevel) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_sink(nullptr);
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace mango::sim

@@ -1,0 +1,188 @@
+// Tests for the area / timing / power models (Section 6, Table 1).
+#include <gtest/gtest.h>
+
+#include "model/area.hpp"
+#include "model/power.hpp"
+#include "model/timing.hpp"
+
+namespace mango::model {
+namespace {
+
+using sim::operator""_ms;
+
+TEST(AreaModel, ReproducesTable1) {
+  const AreaBreakdown a = router_area(AreaConfig{});
+  // Paper Table 1, mm^2.
+  EXPECT_NEAR(a.connection_table, 0.005, 0.0005);
+  EXPECT_NEAR(a.switching_module, 0.065, 0.0005);
+  EXPECT_NEAR(a.vc_buffers, 0.047, 0.0005);
+  EXPECT_NEAR(a.link_access, 0.022, 0.0005);
+  EXPECT_NEAR(a.vc_control, 0.016, 0.0005);
+  EXPECT_NEAR(a.be_router, 0.033, 0.0005);
+  EXPECT_NEAR(a.total(), 0.188, 0.001);
+}
+
+TEST(AreaModel, SwitchingModuleScalesLinearlyInVcs) {
+  // Section 4.2: "The switching module ... scales linearly with the
+  // number of VCs."
+  AreaConfig v4, v8, v16;
+  v4.vcs_per_port = 4;
+  v8.vcs_per_port = 8;
+  v16.vcs_per_port = 16;
+  const double a4 = router_area(v4).switching_module;
+  const double a8 = router_area(v8).switching_module;
+  const double a16 = router_area(v16).switching_module;
+  EXPECT_NEAR(a8 / a4, 2.0, 1e-9);
+  EXPECT_NEAR(a16 / a8, 2.0, 1e-9);
+}
+
+TEST(AreaModel, VcControlScalesQuadraticallyInVcs) {
+  // The (P-1)*V-input mux per P*V wires => quadratic; the paper suggests
+  // a Clos network for larger V because of this.
+  AreaConfig v8, v16;
+  v8.vcs_per_port = 8;
+  v16.vcs_per_port = 16;
+  const double a8 = router_area(v8).vc_control;
+  const double a16 = router_area(v16).vc_control;
+  EXPECT_NEAR(a16 / a8, 4.0, 1e-9);
+}
+
+TEST(AreaModel, MoreVcsGrowTotalMonotonically) {
+  double prev = 0.0;
+  for (unsigned v : {2u, 4u, 8u, 16u}) {
+    AreaConfig cfg;
+    cfg.vcs_per_port = v;
+    const double total = router_area(cfg).total();
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+TEST(AreaModel, SwitchingAndBuffersDominate) {
+  // Section 6: "The switching module and the VC buffers together account
+  // for more than half of the total area."
+  const AreaBreakdown a = router_area(AreaConfig{});
+  EXPECT_GT(a.switching_module + a.vc_buffers, a.total() / 2.0);
+}
+
+TEST(AreaModel, SecondBeVcCostsItsBuffers) {
+  AreaConfig one, two;
+  two.be_vcs = 2;
+  const double delta =
+      router_area(two).be_router - router_area(one).be_router;
+  // One extra 4-deep 34-bit FIFO per input port.
+  const double expected = 5.0 * 4.0 * 34.0 *
+                          (47000.0 / (36.0 * 2.0 * 34.0)) / 1e6;
+  EXPECT_NEAR(delta, expected, 1e-9);
+}
+
+TEST(AreaModel, TdmComparatorMatchesAethereal) {
+  const TdmAreaBreakdown t = tdm_router_area(TdmAreaConfig{});
+  EXPECT_NEAR(t.total(), 0.175, 0.002);  // the 0.13 um ÆTHEREAL figure
+}
+
+TEST(TimingModel, PortSpeedMatchesThePaper) {
+  EXPECT_NEAR(port_speed_mhz(noc::TimingCorner::kWorstCase), 515.0, 1.0);
+  EXPECT_NEAR(port_speed_mhz(noc::TimingCorner::kTypical), 795.0, 1.0);
+}
+
+TEST(TimingModel, SingleVcIsSlowerThanTheLink) {
+  for (auto corner :
+       {noc::TimingCorner::kWorstCase, noc::TimingCorner::kTypical}) {
+    EXPECT_LT(single_vc_mhz(corner), port_speed_mhz(corner));
+  }
+}
+
+TEST(TimingModel, PipelinedLinksSlowTheShareLoop) {
+  // Longer links stretch the share-control loop (forward + unlock wire),
+  // lowering the single-VC cap — the Section 4.3 sensitivity.
+  const double one = single_vc_mhz(noc::TimingCorner::kWorstCase, 1);
+  const double three = single_vc_mhz(noc::TimingCorner::kWorstCase, 3);
+  EXPECT_LT(three, one);
+}
+
+TEST(TimingModel, FairShareGuaranteeIsOneEighth) {
+  const double guarantee = fair_share_guarantee_flits_per_ns(
+      noc::TimingCorner::kWorstCase, 8);
+  const double link = port_speed_mhz(noc::TimingCorner::kWorstCase) / 1000.0;
+  EXPECT_NEAR(guarantee, link / 8.0, 1e-9);
+}
+
+TEST(TimingModel, FewActiveVcsAreCappedByTheShareLoop) {
+  // With V=1 the "share" is the whole link but the loop binds.
+  const double g1 =
+      fair_share_guarantee_flits_per_ns(noc::TimingCorner::kWorstCase, 1);
+  const double loop =
+      1000.0 / static_cast<double>(
+                   single_vc_cycle_ps(noc::TimingCorner::kWorstCase, 1));
+  EXPECT_NEAR(g1, loop, 1e-12);
+}
+
+TEST(TimingModel, WorstCaseLatencyGrowsLinearlyInHops) {
+  const auto l1 = worst_case_latency_ps(noc::TimingCorner::kWorstCase, 8, 1);
+  const auto l4 = worst_case_latency_ps(noc::TimingCorner::kWorstCase, 8, 4);
+  EXPECT_EQ(l4, 4 * l1);
+}
+
+TEST(TimingModel, TypicalCornerIsUniformlyFaster) {
+  const noc::StageDelays worst = noc::stage_delays(noc::TimingCorner::kWorstCase);
+  const noc::StageDelays typ = noc::stage_delays(noc::TimingCorner::kTypical);
+  EXPECT_LT(typ.arb_cycle, worst.arb_cycle);
+  EXPECT_LT(typ.media_forward(), worst.media_forward());
+  EXPECT_LT(typ.single_vc_cycle(), worst.single_vc_cycle());
+  // The scale factor is the 515/795 period ratio.
+  EXPECT_NEAR(static_cast<double>(typ.arb_cycle) / worst.arb_cycle,
+              1258.0 / 1942.0, 0.001);
+}
+
+TEST(TimingModel, AlgTopPriorityWaitsOneArbitration) {
+  // Priority 0 never waits for anyone: bound = one arbitration cycle.
+  const noc::StageDelays d = noc::stage_delays(noc::TimingCorner::kWorstCase);
+  EXPECT_EQ(alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 0), d.arb_cycle);
+}
+
+TEST(TimingModel, AlgSecondPriorityBoundedButLarger) {
+  const auto w0 = alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 0);
+  const auto w1 = alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 1);
+  EXPECT_GT(w1, w0);
+  EXPECT_GT(w1, 0u);
+}
+
+TEST(TimingModel, AlgLowPrioritiesUnbounded) {
+  // With arb_cycle/single_vc_cycle ~ 0.91, two higher-priority VCs can
+  // saturate the link: priority 2 and below have no wait bound.
+  EXPECT_EQ(alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 2), 0u);
+  EXPECT_EQ(alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 7), 0u);
+}
+
+TEST(TimingModel, AlgBoundsRelaxOnLongerLinks) {
+  // Longer links slow the higher-priority VCs' loops, leaving more slack.
+  const auto short_link = alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 1, 1);
+  const auto long_link = alg_wait_bound_ps(noc::TimingCorner::kWorstCase, 1, 3);
+  EXPECT_LT(long_link, short_link);
+}
+
+TEST(PowerModel, ZeroActivityMeansZeroDynamicPower) {
+  // The headline clockless claim: zero dynamic power when idle.
+  const noc::RouterActivity idle{};
+  EXPECT_EQ(dynamic_energy_fj(idle), 0.0);
+  EXPECT_EQ(dynamic_power_mw(idle, 1_ms), 0.0);
+}
+
+TEST(PowerModel, EnergyProportionalToActivity) {
+  noc::RouterActivity a;
+  a.switch_flits = 100;
+  noc::RouterActivity b = a;
+  b.switch_flits = 200;
+  EXPECT_NEAR(dynamic_energy_fj(b), 2.0 * dynamic_energy_fj(a), 1e-9);
+}
+
+TEST(PowerModel, ClockedRouterBurnsPowerWhileIdle) {
+  const double idle_mw = clocked_idle_power_mw(500.0);
+  EXPECT_GT(idle_mw, 0.0);
+  // Scales with frequency.
+  EXPECT_NEAR(clocked_idle_power_mw(1000.0), 2.0 * idle_mw, 1e-9);
+}
+
+}  // namespace
+}  // namespace mango::model

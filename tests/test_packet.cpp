@@ -1,0 +1,124 @@
+// Unit + property tests for the BE header/packet format (Section 5).
+#include <gtest/gtest.h>
+
+#include "noc/common/packet.hpp"
+#include "sim/random.hpp"
+
+namespace mango::noc {
+namespace {
+
+TEST(BeHeader, SingleMoveEncodesMoveDeliveryAndIface) {
+  BeRoute r;
+  r.moves = {Direction::kEast};
+  r.iface = LocalIface::kNetworkAdapter;
+  const std::uint32_t h = build_be_header(r);
+  // MSBs: East (01), then delivery = opposite(East) = West (11), then
+  // iface 00, then zero padding.
+  EXPECT_EQ(header_code(h), 0b01u);
+  const std::uint32_t h1 = rotate_header(h);
+  EXPECT_EQ(header_code(h1), 0b11u);
+  const std::uint32_t h2 = rotate_header(h1);
+  EXPECT_EQ(header_code(h2), 0b00u);
+}
+
+TEST(BeHeader, ProgrammingIfaceBitSurvivesRotation) {
+  BeRoute r;
+  r.moves = {Direction::kNorth, Direction::kNorth};
+  r.iface = LocalIface::kProgramming;
+  std::uint32_t h = build_be_header(r);
+  h = rotate_header(h);            // consumed N
+  h = rotate_header(h);            // consumed N
+  EXPECT_EQ(header_code(h), static_cast<std::uint8_t>(Direction::kSouth));
+  h = rotate_header(h);            // consumed delivery code
+  EXPECT_EQ(header_code(h), 0b01u);  // kProgramming
+}
+
+TEST(BeHeader, EmptyRouteIsRejected) {
+  BeRoute r;
+  EXPECT_THROW(build_be_header(r), mango::ModelError);
+}
+
+TEST(BeHeader, FourteenMovesFitFifteenDoNot) {
+  BeRoute r;
+  r.moves.assign(14, Direction::kEast);  // 14 moves + delivery = 15 codes
+  EXPECT_NO_THROW(build_be_header(r));
+  r.moves.assign(15, Direction::kEast);  // 16 codes > budget
+  EXPECT_THROW(build_be_header(r), mango::ModelError);
+}
+
+TEST(BeHeader, RotationIsCircular) {
+  const std::uint32_t h = 0x9ABCDEF1;
+  std::uint32_t r = h;
+  for (int i = 0; i < 16; ++i) r = rotate_header(r);
+  EXPECT_EQ(r, h);  // 16 rotations of 2 bits = full circle
+}
+
+/// Property: walking the header consumes exactly the encoded moves, the
+/// delivery code and the interface bits, for random routes.
+class HeaderWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeaderWalk, RandomRoutesWalkCorrectly) {
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    BeRoute r;
+    const auto n = 1 + rng.next_below(14);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      r.moves.push_back(static_cast<Direction>(rng.next_below(4)));
+    }
+    r.iface = rng.next_bool(0.5) ? LocalIface::kProgramming
+                                 : LocalIface::kNetworkAdapter;
+    std::uint32_t h = build_be_header(r);
+    for (Direction d : r.moves) {
+      ASSERT_EQ(header_code(h), static_cast<std::uint8_t>(d));
+      h = rotate_header(h);
+    }
+    ASSERT_EQ(header_code(h), static_cast<std::uint8_t>(opposite(r.moves.back())));
+    h = rotate_header(h);
+    ASSERT_EQ(header_code(h), static_cast<std::uint8_t>(r.iface));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeaderWalk, ::testing::Values(7u, 99u, 4242u));
+
+TEST(BePacket, HeaderPlusPayloadWithEopOnLast) {
+  BeRoute r;
+  r.moves = {Direction::kWest};
+  const BePacket pkt = make_be_packet(r, {10, 20, 30}, /*tag=*/5);
+  ASSERT_EQ(pkt.size(), 4u);
+  EXPECT_EQ(pkt.flits[0].data, build_be_header(r));
+  EXPECT_FALSE(pkt.flits[0].eop);
+  EXPECT_EQ(pkt.flits[1].data, 10u);
+  EXPECT_EQ(pkt.flits[3].data, 30u);
+  EXPECT_TRUE(pkt.flits[3].eop);
+  EXPECT_FALSE(pkt.flits[2].eop);
+  for (const auto& f : pkt.flits) EXPECT_EQ(f.tag, 5u);
+}
+
+TEST(BePacket, EmptyPayloadGetsFillerFlit) {
+  BeRoute r;
+  r.moves = {Direction::kSouth};
+  const BePacket pkt = make_be_packet(r, {});
+  ASSERT_EQ(pkt.size(), 2u);
+  EXPECT_TRUE(pkt.flits[1].eop);
+  EXPECT_EQ(pkt.flits[1].data, 0u);  // a nop programming word
+}
+
+TEST(BePacket, SequenceNumbersAreConsecutive) {
+  BeRoute r;
+  r.moves = {Direction::kNorth};
+  const BePacket pkt = make_be_packet(r, {1, 2, 3, 4});
+  for (std::size_t i = 1; i < pkt.size(); ++i) {
+    EXPECT_EQ(pkt.flits[i].seq, i);
+  }
+}
+
+TEST(Direction, OppositeIsAnInvolution) {
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    const Direction d = direction_of(p);
+    EXPECT_EQ(opposite(opposite(d)), d);
+    EXPECT_NE(opposite(d), d);
+  }
+}
+
+}  // namespace
+}  // namespace mango::noc

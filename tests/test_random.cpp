@@ -1,0 +1,108 @@
+// Unit tests for the deterministic RNG and its distributions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mango::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(77);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroIsAnError) {
+  Rng rng(5);
+  EXPECT_THROW(rng.next_below(0), ModelError);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_exponential(250.0);
+  EXPECT_NEAR(sum / kDraws, 250.0, 5.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_exponential(0.0), ModelError);
+}
+
+TEST(Rng, GeometricMeanIsInverseP) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(rng.next_geometric(0.25));
+  }
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.15);
+}
+
+TEST(Rng, GeometricWithCertaintyIsOne) {
+  Rng rng(2);
+  EXPECT_EQ(rng.next_geometric(1.0), 1u);
+}
+
+}  // namespace
+}  // namespace mango::sim

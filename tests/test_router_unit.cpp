@@ -1,0 +1,104 @@
+// Router-assembly unit tests: wiring rules, accessors, activity
+// counters and misuse detection at the Router level.
+#include <gtest/gtest.h>
+
+#include "noc/link/link.hpp"
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::noc {
+namespace {
+
+TEST(RouterUnit, ComponentAccessorsWork) {
+  sim::Simulator sim;
+  RouterConfig cfg;
+  Router r(sim, cfg, NodeId{1, 2}, "R-test");
+  EXPECT_EQ(r.node(), (NodeId{1, 2}));
+  EXPECT_EQ(r.name(), "R-test");
+  EXPECT_EQ(r.config().vcs_per_port, 8u);
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    EXPECT_EQ(r.arbiter(p).total_grants(), 0u);
+    EXPECT_EQ(r.link(p), nullptr);  // unattached until a Link claims it
+  }
+  EXPECT_EQ(r.be_router().be_vcs(), 1u);
+}
+
+TEST(RouterUnit, DoubleLinkAttachRejected) {
+  sim::Simulator sim;
+  RouterConfig cfg;
+  Router a(sim, cfg, NodeId{0, 0}, "Ra");
+  Router b(sim, cfg, NodeId{1, 0}, "Rb");
+  Router c(sim, cfg, NodeId{2, 0}, "Rc");
+  Link ab(sim, Link::Endpoint{&a, port_of(Direction::kEast)},
+          Link::Endpoint{&b, port_of(Direction::kWest)});
+  // Port East of `a` is taken; a second link on it must be rejected.
+  EXPECT_THROW(Link(sim, Link::Endpoint{&a, port_of(Direction::kEast)},
+                    Link::Endpoint{&c, port_of(Direction::kWest)}),
+               mango::ModelError);
+}
+
+TEST(RouterUnit, SelfLinkRejected) {
+  sim::Simulator sim;
+  RouterConfig cfg;
+  Router a(sim, cfg, NodeId{0, 0}, "Ra");
+  EXPECT_THROW(Link(sim, Link::Endpoint{&a, port_of(Direction::kEast)},
+                    Link::Endpoint{&a, port_of(Direction::kWest)}),
+               mango::ModelError);
+}
+
+TEST(RouterUnit, FlowControlAccessorBounds) {
+  sim::Simulator sim;
+  RouterConfig cfg;
+  Router r(sim, cfg, NodeId{0, 0}, "R");
+  EXPECT_TRUE(r.flow_control(0, 0).can_admit());
+  EXPECT_THROW(r.flow_control(kLocalPort, 0), mango::ModelError);
+  EXPECT_THROW(r.flow_control(0, 8), mango::ModelError);
+}
+
+TEST(RouterUnit, ActivityCountersTrackTraffic) {
+  sim::Simulator sim;
+  MeshConfig mesh{2, 1, RouterConfig{}, 1};
+  Network net(sim, mesh);
+  ConnectionManager mgr(net, NodeId{0, 0});
+  const Connection& c = mgr.open_direct({0, 0}, {1, 0});
+  net.na({1, 0}).set_gs_handler([](LocalIfaceIdx, Flit&&) {});
+  const RouterActivity before = net.router({0, 0}).activity();
+  EXPECT_EQ(before.switch_flits, 0u);
+  for (int i = 0; i < 10; ++i) net.na({0, 0}).gs_send(c.src_iface, Flit{});
+  sim.run();
+  const RouterActivity a0 = net.router({0, 0}).activity();
+  const RouterActivity a1 = net.router({1, 0}).activity();
+  EXPECT_EQ(a0.switch_flits, 10u);       // local inject through the switch
+  EXPECT_EQ(a0.arb_grants, 10u);         // each flit won the link once
+  EXPECT_EQ(a0.link_flits_sent, 10u);
+  EXPECT_EQ(a1.switch_flits, 10u);       // received through the switch
+  EXPECT_EQ(a1.arb_grants, 0u);          // delivery needs no arbitration
+  // Both routers toggled reverse signals (R0 to the NA, R1 to R0).
+  EXPECT_EQ(a0.vc_control_signals, 10u);
+  EXPECT_EQ(a1.vc_control_signals, 10u);
+}
+
+TEST(RouterUnit, LocalGsInjectValidatesInterface) {
+  sim::Simulator sim;
+  RouterConfig cfg;
+  Router r(sim, cfg, NodeId{0, 0}, "R");
+  EXPECT_THROW(r.inject_local_gs(4, LinkFlit{}), mango::ModelError);
+}
+
+TEST(RouterUnit, UnattachedPortGrantIsDetected) {
+  // A flit steered towards a mesh-edge port with no link must raise.
+  sim::Simulator sim;
+  RouterConfig cfg;
+  Router r(sim, cfg, NodeId{0, 0}, "R");
+  r.set_local_reverse_handler([](LocalIfaceIdx) {});
+  const VcBufferId buf{port_of(Direction::kWest), 0};  // edge, no link
+  r.table().set_forward(buf, SteerBits{0, 0});
+  r.table().set_reverse(buf, ReverseEntry{kLocalPort, 0});
+  // Drop a flit straight into the buffer and let it request the link.
+  r.vc_buffer(buf).accept_unshare(Flit{});
+  EXPECT_THROW(sim.run(), mango::ModelError);
+}
+
+}  // namespace
+}  // namespace mango::noc

@@ -1,0 +1,141 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mango::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(300, [&] { order.push_back(3); });
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Simulator, SimultaneousEventsDispatchFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(500, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Time fired_at = 0;
+  sim.at(1000, [&] {
+    sim.after(250, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 1250u);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.after(10, chain);
+  };
+  sim.after(10, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(100, [&] { ++fired; });
+  sim.at(200, [&] { ++fired; });
+  sim.at(300, [&] { ++fired; });
+  const auto n = sim.run_until(250);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 250u);  // clock advances to the boundary
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtTheBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(250, [&] { ++fired; });
+  sim.run_until(250);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SchedulingInThePastIsAModelError) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.step();
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_THROW(sim.at(50, [] {}), ModelError);
+}
+
+TEST(Simulator, EmptyCallbackIsAModelError) {
+  Simulator sim;
+  EXPECT_THROW(sim.at(10, Simulator::Callback{}), ModelError);
+}
+
+TEST(Simulator, CountsDispatchedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.at(static_cast<Time>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_dispatched(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(100, [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(2); });
+  });
+  sim.at(100, [&] { order.push_back(3); });
+  sim.run();
+  // The zero-delay event was enqueued after the second t=100 event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(TimeHelpers, LiteralsAndConversions) {
+  EXPECT_EQ(1_ns, 1000u);
+  EXPECT_EQ(2_us, 2000000u);
+  EXPECT_EQ(1_ms, 1000000000u);
+  EXPECT_DOUBLE_EQ(to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_us(2500000), 2.5);
+}
+
+TEST(TimeHelpers, FrequencyConversions) {
+  // 1942 ps -> ~515 MHz (the paper's worst-case port speed).
+  EXPECT_NEAR(period_to_mhz(1942), 514.9, 0.1);
+  EXPECT_NEAR(period_to_mhz(1258), 794.9, 0.1);
+  EXPECT_EQ(mhz_to_period(500.0), 2000u);
+  EXPECT_EQ(period_to_mhz(0), 0.0);
+}
+
+TEST(TimeHelpers, FormatTime) {
+  EXPECT_EQ(format_time(500), "500 ps");
+  EXPECT_EQ(format_time(1500), "1.500 ns");
+  EXPECT_EQ(format_time(2500000), "2.500 us");
+}
+
+}  // namespace
+}  // namespace mango::sim

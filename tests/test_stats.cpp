@@ -1,0 +1,113 @@
+// Unit tests for the measurement primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/assert.hpp"
+#include "sim/stats.hpp"
+
+namespace mango::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, MeanMinMaxSum) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 8.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 20.0);
+}
+
+TEST(Accumulator, SampleVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  // Known dataset: sample variance = 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator a;
+  a.add(3.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, ResetClears) {
+  Accumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, QuantilesOfKnownData) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_NEAR(h.p50(), 50.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.max(), 100.0, 1e-9);
+  EXPECT_NEAR(h.p99(), 99.01, 0.05);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.p99(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, OutOfRangeQuantileThrows) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(1.5), mango::ModelError);
+}
+
+TEST(Histogram, UnsortedInsertionOrderDoesNotMatter) {
+  Histogram h;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) h.add(x);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  h.add(0.0);  // interleave adds with queries
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(ThroughputMeter, RatesOverWindows) {
+  ThroughputMeter m;
+  m.record(1000);   // 1 ns
+  m.record(2000);
+  m.record(3000);
+  m.record(4000);   // 4 ns
+  EXPECT_EQ(m.count(), 4u);
+  // 4 units over a 4 ns window.
+  EXPECT_DOUBLE_EQ(m.per_ns(0, 4000), 1.0);
+  // Observed span: 3 intervals over 3 ns.
+  EXPECT_DOUBLE_EQ(m.per_ns_observed(), 1.0);
+}
+
+TEST(ThroughputMeter, DegenerateWindows) {
+  ThroughputMeter m;
+  EXPECT_EQ(m.per_ns(0, 0), 0.0);
+  m.record(100);
+  EXPECT_EQ(m.per_ns_observed(), 0.0);  // single sample: no interval
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), mango::ModelError);
+}
+
+TEST(TablePrinter, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(0.0005, 3), "0.001");
+}
+
+}  // namespace
+}  // namespace mango::sim

@@ -1,0 +1,79 @@
+// Unit tests for the mesh topology.
+#include <gtest/gtest.h>
+
+#include "noc/network/topology.hpp"
+
+namespace mango::noc {
+namespace {
+
+TEST(MeshTopology, NodeCountAndIndexing) {
+  MeshTopology topo(4, 3);
+  EXPECT_EQ(topo.node_count(), 12u);
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    EXPECT_EQ(topo.index(topo.node_at(i)), i);
+  }
+}
+
+TEST(MeshTopology, BoundsChecks) {
+  MeshTopology topo(3, 3);
+  EXPECT_TRUE(topo.in_bounds({2, 2}));
+  EXPECT_FALSE(topo.in_bounds({3, 0}));
+  EXPECT_FALSE(topo.in_bounds({0, 3}));
+  EXPECT_THROW(topo.index({5, 5}), mango::ModelError);
+  EXPECT_THROW(topo.node_at(99), mango::ModelError);
+}
+
+TEST(MeshTopology, DegenerateMeshesRejected) {
+  EXPECT_THROW(MeshTopology(0, 4), mango::ModelError);
+  EXPECT_THROW(MeshTopology(1, 1), mango::ModelError);  // needs >= 2 nodes
+}
+
+TEST(MeshTopology, InteriorNodeHasFourNeighbors) {
+  MeshTopology topo(3, 3);
+  const NodeId c{1, 1};
+  EXPECT_EQ(topo.neighbor(c, Direction::kNorth), (NodeId{1, 2}));
+  EXPECT_EQ(topo.neighbor(c, Direction::kEast), (NodeId{2, 1}));
+  EXPECT_EQ(topo.neighbor(c, Direction::kSouth), (NodeId{1, 0}));
+  EXPECT_EQ(topo.neighbor(c, Direction::kWest), (NodeId{0, 1}));
+}
+
+TEST(MeshTopology, EdgeNodesHaveNoWraparound) {
+  MeshTopology topo(3, 3);
+  EXPECT_FALSE(topo.neighbor({0, 0}, Direction::kWest).has_value());
+  EXPECT_FALSE(topo.neighbor({0, 0}, Direction::kSouth).has_value());
+  EXPECT_FALSE(topo.neighbor({2, 2}, Direction::kEast).has_value());
+  EXPECT_FALSE(topo.neighbor({2, 2}, Direction::kNorth).has_value());
+}
+
+TEST(MeshTopology, NeighborIsSymmetric) {
+  MeshTopology topo(4, 4);
+  for (const NodeId n : topo.nodes()) {
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      const Direction d = direction_of(p);
+      const auto peer = topo.neighbor(n, d);
+      if (!peer.has_value()) continue;
+      EXPECT_EQ(topo.neighbor(*peer, opposite(d)), n);
+    }
+  }
+}
+
+TEST(MeshTopology, AnyNeighborDirectionIsValid) {
+  MeshTopology topo(2, 2);
+  for (const NodeId n : topo.nodes()) {
+    const Direction d = topo.any_neighbor_direction(n);
+    EXPECT_TRUE(topo.neighbor(n, d).has_value());
+  }
+}
+
+TEST(MeshTopology, NodesEnumeratesRowMajor) {
+  MeshTopology topo(2, 2);
+  const auto nodes = topo.nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], (NodeId{0, 0}));
+  EXPECT_EQ(nodes[1], (NodeId{1, 0}));
+  EXPECT_EQ(nodes[2], (NodeId{0, 1}));
+  EXPECT_EQ(nodes[3], (NodeId{1, 1}));
+}
+
+}  // namespace
+}  // namespace mango::noc
