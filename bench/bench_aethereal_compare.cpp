@@ -12,6 +12,7 @@
 #include "noc/common/config.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -22,8 +23,9 @@ namespace {
 /// TDM jitter: a connection with 1 of 16 slots; flits arriving at random
 /// phases wait up to a full table revolution.
 double tdm_worst_wait_ns(unsigned slots, sim::Time clk_ps) {
-  sim::Simulator simulator;
-  baseline::TdmRouter tdm(simulator, 5, slots, clk_ps);
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
+  baseline::TdmRouter tdm(ctx, 5, slots, clk_ps);
   tdm.reserve(1, 0, 1);
   sim::Histogram waits;
   sim::Time injected_at = 0;

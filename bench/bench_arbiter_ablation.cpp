@@ -17,6 +17,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -31,12 +32,13 @@ struct Result {
 };
 
 Result run(const RouterConfig& rcfg) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 2;
   mesh.router = rcfg;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -46,7 +48,7 @@ Result run(const RouterConfig& rcfg) {
   auto open = [&](NodeId src, NodeId dst) {
     const Connection& c = mgr.open_direct(src, dst);
     sources.push_back(std::make_unique<GsStreamSource>(
-        simulator, net.na(src), c.src_iface, tag++,
+        net.na(src), c.src_iface, tag++,
         GsStreamSource::Options{}));
     sources.back()->start();
   };
@@ -74,12 +76,13 @@ Result run(const RouterConfig& rcfg) {
 /// ALG priority level `priority` (VC index on the contended link), all
 /// other VCs saturating.
 double alg_probe_max_ns(unsigned priority) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 2;
   mesh.height = 1;
   mesh.router = baseline::alg_config();
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -96,14 +99,14 @@ double alg_probe_max_ns(unsigned priority) {
       continue;
     }
     sources.push_back(std::make_unique<GsStreamSource>(
-        simulator, net.na({0, 0}), c.src_iface, 100 + v,
+        net.na({0, 0}), c.src_iface, 100 + v,
         GsStreamSource::Options{}));
     sources.back()->start();
   }
   GsStreamSource::Options paced;
   paced.period_ps = 40000;  // well under any share: measures pure waits
   paced.max_flits = 200;
-  GsStreamSource probe(simulator, net.na({0, 0}), probe_conn->src_iface, 1,
+  GsStreamSource probe(net.na({0, 0}), probe_conn->src_iface, 1,
                        paced);
   probe.start();
   simulator.run_until(10000000);  // 10 us

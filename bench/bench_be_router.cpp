@@ -8,6 +8,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -24,11 +25,12 @@ struct Point {
 };
 
 Point run_load(sim::Time interarrival_ps) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 4;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   MeasurementHub hub;
   attach_hub(net, hub);
   auto sources = start_uniform_be(net, interarrival_ps, /*payload=*/4,
@@ -60,12 +62,13 @@ Point run_load(sim::Time interarrival_ps) {
 /// hotspot. With one BE VC the short packets wait behind the long ones
 /// in every shared FIFO; the second BE VC lets them overtake.
 double hol_probe_p99(unsigned be_vcs) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 2;
   mesh.router.be_vcs = be_vcs;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   MeasurementHub hub;
   attach_hub(net, hub);
 
@@ -99,11 +102,12 @@ double hol_probe_p99(unsigned be_vcs) {
 }
 
 double run_path_length(unsigned hops) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 8;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   MeasurementHub hub;
   attach_hub(net, hub);
   BeTrafficSource::Options opt;

@@ -13,6 +13,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -28,7 +29,8 @@ struct Outcome {
 };
 
 Outcome run(LinkSignaling s, sim::Time skew) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 2;
   mesh.height = 1;
@@ -36,13 +38,13 @@ Outcome run(LinkSignaling s, sim::Time skew) {
   mesh.link_skew_ps = skew;
   Outcome out;
   try {
-    Network net(simulator, mesh);
+    Network net(ctx, mesh);
     ConnectionManager mgr(net, NodeId{0, 0});
     MeasurementHub hub;
     attach_hub(net, hub);
     const Connection& c = mgr.open_direct({0, 0}, {1, 0});
     GsStreamSource::Options sat;
-    GsStreamSource src(simulator, net.na({0, 0}), c.src_iface, 1, sat);
+    GsStreamSource src(net.na({0, 0}), c.src_iface, 1, sat);
     src.start();
     simulator.run_until(200_ns);
     const std::uint64_t base = hub.flow(1).flits;

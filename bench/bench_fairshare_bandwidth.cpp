@@ -15,6 +15,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -30,11 +31,12 @@ struct Shares {
 };
 
 Shares measure(unsigned active_vcs) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -50,7 +52,7 @@ Shares measure(unsigned active_vcs) {
     const Connection& c = mgr.open_direct(src, dst);
     GsStreamSource::Options sat;
     sources.push_back(std::make_unique<GsStreamSource>(
-        simulator, net.na(src), c.src_iface, tag++, sat));
+        net.na(src), c.src_iface, tag++, sat));
     sources.back()->start();
   }
   const sim::Time warmup = 300_ns;

@@ -14,6 +14,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -30,9 +31,10 @@ struct Result {
 
 /// Generic router (Fig 3): probe + background through one output queue.
 Result run_generic(double background_load) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   const StageDelays d = stage_delays(TimingCorner::kWorstCase);
-  baseline::OutputBufferedRouter router(simulator, 5, d);
+  baseline::OutputBufferedRouter router(ctx, 5, d);
   sim::Histogram probe_lat;
   router.set_delivery([&](unsigned, Flit&& f, sim::Time lat) {
     if (f.tag == 1) probe_lat.add(sim::to_ns(lat));

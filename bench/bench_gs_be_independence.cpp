@@ -14,6 +14,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -33,11 +34,12 @@ struct Point {
 };
 
 Point run(sim::Time be_interarrival_ps) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 4;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -46,7 +48,7 @@ Point run(sim::Time be_interarrival_ps) {
   const Connection& c = mgr.open_direct({0, 0}, {3, 3});
   GsStreamSource::Options opt;
   opt.period_ps = 16000;
-  GsStreamSource gs(simulator, net.na({0, 0}), c.src_iface, 1, opt);
+  GsStreamSource gs(net.na({0, 0}), c.src_iface, 1, opt);
   gs.start();
 
   std::vector<std::unique_ptr<BeTrafficSource>> be;

@@ -11,6 +11,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -20,11 +21,12 @@ using sim::TablePrinter;
 namespace {
 
 double measure_power_mw(sim::Time gs_period_ps) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 2;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -34,7 +36,7 @@ double measure_power_mw(sim::Time gs_period_ps) {
     const Connection& c = mgr.open_direct({0, 0}, {1, 1});
     GsStreamSource::Options opt;
     opt.period_ps = gs_period_ps;
-    src = std::make_unique<GsStreamSource>(simulator, net.na({0, 0}),
+    src = std::make_unique<GsStreamSource>(net.na({0, 0}),
                                            c.src_iface, 1, opt);
     src->start();
   }

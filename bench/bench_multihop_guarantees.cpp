@@ -17,6 +17,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -33,11 +34,12 @@ struct Point {
 };
 
 Point run(unsigned hops, bool saturate) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 8;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -52,7 +54,7 @@ Point run(unsigned hops, bool saturate) {
   if (!saturate) {
     popt.period_ps = 9 * stage_delays(TimingCorner::kWorstCase).arb_cycle;
   }
-  GsStreamSource probe_src(simulator, net.na({0, 0}), probe.src_iface, 1,
+  GsStreamSource probe_src(net.na({0, 0}), probe.src_iface, 1,
                            popt);
   probe_src.start();
 
@@ -68,7 +70,7 @@ Point run(unsigned hops, bool saturate) {
     for (int i = 0; i < 3; ++i) {
       const Connection& c = mgr.open_direct(src, dst);
       bg.push_back(std::make_unique<GsStreamSource>(
-          simulator, net.na(src), c.src_iface, tag++,
+          net.na(src), c.src_iface, tag++,
           GsStreamSource::Options{}));
       bg.back()->start();
     }

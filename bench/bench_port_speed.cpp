@@ -14,6 +14,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -23,12 +24,13 @@ using sim::TablePrinter;
 namespace {
 
 double measure_port_speed(TimingCorner corner) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 2;
   mesh.router.corner = corner;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -43,7 +45,7 @@ double measure_port_speed(TimingCorner corner) {
     const Connection& c = mgr.open_direct(src, dst);
     GsStreamSource::Options sat;  // period 0 = saturate
     sources.push_back(std::make_unique<GsStreamSource>(
-        simulator, net.na(src), c.src_iface, tag++, sat));
+        net.na(src), c.src_iface, tag++, sat));
     sources.back()->start();
   };
   for (int i = 0; i < 4; ++i) open({2, 0}, {3, 1});

@@ -10,6 +10,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -24,11 +25,12 @@ struct Setup {
 };
 
 Setup run(unsigned hops, bool background) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 8;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
 
   std::vector<std::unique_ptr<BeTrafficSource>> be;

@@ -1,11 +1,20 @@
 // E14 — substrate performance: google-benchmark microbenchmarks of the
 // event kernel, handshake channels and a full router hop. These bound
 // how much simulated traffic the reproduction can run per wall second.
+//
+// Every kernel benchmark runs twice: once on the production calendar-
+// queue kernel (sim::Simulator) and once on the reference priority-queue
+// kernel (sim::LegacySimulator) it replaced, so the events/sec ratio of
+// the two is tracked release over release (BENCH_sim_kernel.json).
 #include <benchmark/benchmark.h>
+
+#include <functional>
 
 #include "noc/network/connection_manager.hpp"
 #include "noc/network/network.hpp"
 #include "sim/channel.hpp"
+#include "sim/context.hpp"
+#include "sim/legacy_kernel.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -14,9 +23,13 @@ using namespace mango::noc;
 
 namespace {
 
-void BM_EventDispatch(benchmark::State& state) {
+// Identical workload shapes run on both kernels, so the reported ratio is
+// pure kernel overhead (queue discipline + callback materialization).
+
+template <typename Kernel>
+void event_dispatch(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Simulator simulator;
+    Kernel simulator;
     const auto n = static_cast<std::uint64_t>(state.range(0));
     for (std::uint64_t i = 0; i < n; ++i) {
       simulator.at(i, [] {});
@@ -25,24 +38,89 @@ void BM_EventDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+
+void BM_EventDispatch(benchmark::State& state) {
+  event_dispatch<sim::Simulator>(state);
+}
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
 
-void BM_EventChain(benchmark::State& state) {
-  // Self-scheduling chain: the pattern every clockless stage uses.
+void BM_LegacyEventDispatch(benchmark::State& state) {
+  event_dispatch<sim::LegacySimulator>(state);
+}
+BENCHMARK(BM_LegacyEventDispatch)->Arg(1000)->Arg(100000);
+
+/// Self-scheduling chain: the pattern every clockless stage uses. The
+/// 24-byte functor exceeds std::function's 16-byte SBO (so the legacy
+/// kernel heap-allocates per event) and fits the calendar-queue kernel's
+/// inline capture budget — exactly the per-flit situation in the model.
+template <typename Kernel>
+struct ChainFn {
+  Kernel* simulator;
+  std::uint64_t* count;
+  std::uint64_t limit;
+  void operator()() const {
+    if (++*count < limit) simulator->after(100, *this);
+  }
+};
+
+template <typename Kernel>
+void event_chain(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Simulator simulator;
+    Kernel simulator;
     std::uint64_t count = 0;
     const auto limit = static_cast<std::uint64_t>(state.range(0));
-    std::function<void()> chain = [&] {
-      if (++count < limit) simulator.after(100, chain);
-    };
-    simulator.after(100, chain);
+    simulator.after(100, ChainFn<Kernel>{&simulator, &count, limit});
     simulator.run();
     benchmark::DoNotOptimize(count);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+
+void BM_EventChain(benchmark::State& state) {
+  event_chain<sim::Simulator>(state);
+}
 BENCHMARK(BM_EventChain)->Arg(100000);
+
+void BM_LegacyEventChain(benchmark::State& state) {
+  event_chain<sim::LegacySimulator>(state);
+}
+BENCHMARK(BM_LegacyEventChain)->Arg(100000);
+
+/// Interleaved near/far horizon traffic: stresses the calendar queue's
+/// overflow heap and wheel migration (timeouts and packet interarrivals
+/// mixed with handshake-scale delays, 64 concurrent event chains).
+template <typename Kernel>
+void event_mixed_horizon(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel simulator;
+    sim::Rng rng(7);
+    std::uint64_t count = 0;
+    const auto limit = static_cast<std::uint64_t>(state.range(0));
+    std::function<void()> self = [&simulator, &rng, &count, limit, &self] {
+      if (++count >= limit) return;
+      const bool far = rng.next_below(8) == 0;
+      simulator.after(far ? 1000000 + rng.next_below(5000000)
+                          : 60 + rng.next_below(2000),
+                      self);
+    };
+    for (int i = 0; i < 64; ++i) {
+      simulator.after(rng.next_below(2000), self);
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_EventMixedHorizon(benchmark::State& state) {
+  event_mixed_horizon<sim::Simulator>(state);
+}
+BENCHMARK(BM_EventMixedHorizon)->Arg(100000);
+
+void BM_LegacyEventMixedHorizon(benchmark::State& state) {
+  event_mixed_horizon<sim::LegacySimulator>(state);
+}
+BENCHMARK(BM_LegacyEventMixedHorizon)->Arg(100000);
 
 void BM_ChannelHandshakes(benchmark::State& state) {
   for (auto _ : state) {
@@ -69,9 +147,9 @@ void BM_GsFlitHop(benchmark::State& state) {
   // Full-stack cost of one GS flit across one router hop.
   for (auto _ : state) {
     state.PauseTiming();
-    sim::Simulator simulator;
+    sim::SimContext ctx;
     MeshConfig mesh{2, 1, RouterConfig{}, 1};
-    Network net(simulator, mesh);
+    Network net(ctx, mesh);
     ConnectionManager mgr(net, NodeId{0, 0});
     const Connection& c = mgr.open_direct({0, 0}, {1, 0});
     std::uint64_t delivered = 0;
@@ -82,7 +160,7 @@ void BM_GsFlitHop(benchmark::State& state) {
       net.na({0, 0}).gs_send(c.src_iface, Flit{});
     }
     state.ResumeTiming();
-    simulator.run();
+    ctx.run();
     benchmark::DoNotOptimize(delivered);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

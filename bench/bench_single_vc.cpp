@@ -10,6 +10,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -19,18 +20,19 @@ using sim::TablePrinter;
 namespace {
 
 double measure_single_vc(unsigned pipeline_stages) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 2;
   mesh.height = 2;
   mesh.link_pipeline_stages = pipeline_stages;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
   const Connection& c = mgr.open_direct({0, 0}, {1, 0});
   GsStreamSource::Options sat;
-  GsStreamSource src(simulator, net.na({0, 0}), c.src_iface, 1, sat);
+  GsStreamSource src(net.na({0, 0}), c.src_iface, 1, sat);
   src.start();
   const sim::Time warmup = 300_ns;
   const sim::Time window = 6000_ns;

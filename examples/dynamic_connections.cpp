@@ -14,6 +14,7 @@
 #include "noc/traffic/generator.hpp"
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -21,11 +22,12 @@ using sim::operator""_us;
 
 int main() {
   std::printf("Dynamic GS connections on a 3x3 MANGO mesh\n\n");
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 3;
   mesh.height = 3;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   MeasurementHub hub;
   attach_hub(net, hub);
   ConnectionManager mgr(net, NodeId{0, 0});
@@ -45,7 +47,7 @@ int main() {
         opt.period_ps = 5000;
         opt.max_flits = 1000;
         stream1 = std::make_unique<GsStreamSource>(
-            simulator, net.na(conn.src), conn.src_iface, conn.id, opt);
+            net.na(conn.src), conn.src_iface, conn.id, opt);
         stream1->start();
       });
   first_id = c1.id;
@@ -75,7 +77,7 @@ int main() {
     opt.period_ps = 5000;
     opt.max_flits = 1000;
     stream2 = std::make_unique<GsStreamSource>(
-        simulator, net.na(conn.src), conn.src_iface, conn.id, opt);
+        net.na(conn.src), conn.src_iface, conn.id, opt);
     stream2->start();
   });
 

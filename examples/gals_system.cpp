@@ -12,6 +12,7 @@
 #include "noc/na/ocp.hpp"
 #include "noc/network/network.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -27,10 +28,10 @@ struct MasterDriver {
   NodeId self;
   NodeId mem;
 
-  MasterDriver(sim::Simulator& simulator, Network& network, NodeId node,
-               NodeId memory, ClockDomain clock, const char* name,
-               int transactions, std::uint32_t base)
-      : master(simulator, network.na(node), clock, name),
+  MasterDriver(Network& network, NodeId node, NodeId memory,
+               ClockDomain clock, const char* name, int transactions,
+               std::uint32_t base)
+      : master(network.na(node), clock, name),
         remaining(transactions),
         addr_base(base),
         net(network),
@@ -59,22 +60,21 @@ struct MasterDriver {
 int main() {
   std::printf("GALS SoC: independently clocked cores over clockless "
               "MANGO (Fig 1)\n\n");
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 2;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
 
   const NodeId cpu{0, 0}, dsp{1, 0}, memory{1, 1};
   ClockDomain cpu_clk(1000, 0);     // 1 GHz
   ClockDomain dsp_clk(1333, 211);   // 750 MHz, arbitrary phase
   ClockDomain mem_clk(2500, 97);    // 400 MHz
 
-  OcpSlave mem_slave(simulator, net.na(memory), mem_clk, "memory", 1024);
-  MasterDriver cpu_drv(simulator, net, cpu, memory, cpu_clk, "cpu", 200,
-                       0x000);
-  MasterDriver dsp_drv(simulator, net, dsp, memory, dsp_clk, "dsp", 200,
-                       0x100);
+  OcpSlave mem_slave(net.na(memory), mem_clk, "memory", 1024);
+  MasterDriver cpu_drv(net, cpu, memory, cpu_clk, "cpu", 200, 0x000);
+  MasterDriver dsp_drv(net, dsp, memory, dsp_clk, "dsp", 200, 0x100);
 
   cpu_drv.pump();
   dsp_drv.pump();

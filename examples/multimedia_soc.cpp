@@ -14,6 +14,7 @@
 #include "noc/traffic/generator.hpp"
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -25,11 +26,12 @@ constexpr std::uint32_t kCameraTag = 1;
 constexpr std::uint32_t kDisplayTag = 2;
 
 void run_phase(const char* name, sim::Time be_interarrival_ps) {
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 4;
   mesh.height = 4;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
   MeasurementHub hub;
   attach_hub(net, hub);
   ConnectionManager mgr(net, NodeId{0, 0});
@@ -41,11 +43,11 @@ void run_phase(const char* name, sim::Time be_interarrival_ps) {
   GsStreamSource::Options video;
   video.period_ps = 8000;
   video.max_flits = 4000;
-  GsStreamSource camera(simulator, net.na({0, 3}), cam.src_iface, kCameraTag,
+  GsStreamSource camera(net.na({0, 3}), cam.src_iface, kCameraTag,
                         video);
   camera.start();
   // The processor relays frames onward at the same rate.
-  GsStreamSource processor(simulator, net.na({2, 2}), disp.src_iface,
+  GsStreamSource processor(net.na({2, 2}), disp.src_iface,
                            kDisplayTag, video);
   processor.start();
 

@@ -14,6 +14,7 @@
 #include "noc/traffic/generator.hpp"
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
+#include "sim/context.hpp"
 
 using namespace mango;
 using namespace mango::noc;
@@ -23,11 +24,12 @@ int main() {
   // 1. An event kernel and a 2x2 mesh of MANGO routers with the paper's
   //    demonstrator configuration (8 VCs/port, fair-share arbitration,
   //    worst-case 0.12 um timing).
-  sim::Simulator simulator;
+  sim::SimContext ctx;
+  sim::Simulator& simulator = ctx.sim();
   MeshConfig mesh;
   mesh.width = 2;
   mesh.height = 2;
-  Network net(simulator, mesh);
+  Network net(ctx, mesh);
 
   // 2. Measurement: record every delivered GS flit / BE packet by tag.
   MeasurementHub hub;
@@ -48,7 +50,7 @@ int main() {
   GsStreamSource::Options opt;
   opt.period_ps = 4000;
   opt.max_flits = 10000;
-  GsStreamSource source(simulator, net.na(conn.src), conn.src_iface,
+  GsStreamSource source(net.na(conn.src), conn.src_iface,
                         /*tag=*/1, opt);
   source.start();
 

@@ -4,9 +4,9 @@
 
 namespace mango::baseline {
 
-OutputBufferedRouter::OutputBufferedRouter(sim::Simulator& sim, unsigned ports,
+OutputBufferedRouter::OutputBufferedRouter(sim::SimContext& ctx, unsigned ports,
                                            const noc::StageDelays& delays)
-    : sim_(sim),
+    : sim_(ctx.sim()),
       ports_(ports),
       delays_(delays),
       queues_(ports),

@@ -20,6 +20,7 @@
 
 #include "noc/common/config.hpp"
 #include "noc/common/flit.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
 
@@ -31,7 +32,7 @@ class OutputBufferedRouter {
   using Delivery =
       std::function<void(unsigned out, noc::Flit&&, sim::Time latency)>;
 
-  OutputBufferedRouter(sim::Simulator& sim, unsigned ports,
+  OutputBufferedRouter(sim::SimContext& ctx, unsigned ports,
                        const noc::StageDelays& delays);
 
   void set_delivery(Delivery d) { delivery_ = std::move(d); }

@@ -4,9 +4,9 @@
 
 namespace mango::baseline {
 
-TdmRouter::TdmRouter(sim::Simulator& sim, unsigned ports, unsigned slots,
+TdmRouter::TdmRouter(sim::SimContext& ctx, unsigned ports, unsigned slots,
                      sim::Time clock_period_ps)
-    : sim_(sim),
+    : sim_(ctx.sim()),
       ports_(ports),
       slots_(slots),
       period_(clock_period_ps),

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "noc/common/flit.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::baseline {
@@ -29,7 +30,7 @@ class TdmRouter {
  public:
   using Delivery = std::function<void(std::uint32_t conn, noc::Flit&&)>;
 
-  TdmRouter(sim::Simulator& sim, unsigned ports, unsigned slots,
+  TdmRouter(sim::SimContext& ctx, unsigned ports, unsigned slots,
             sim::Time clock_period_ps);
 
   void set_delivery(Delivery d) { delivery_ = std::move(d); }

@@ -5,17 +5,26 @@
 
 namespace mango::noc {
 
-Link::Link(sim::Simulator& sim, Endpoint a, Endpoint b,
-           unsigned pipeline_stages, LinkSignaling signaling,
-           sim::Time skew_ps)
-    : sim_(sim),
+namespace {
+
+sim::Simulator& link_sim(const Link::Endpoint& a, const Link::Endpoint& b) {
+  MANGO_ASSERT(a.router != nullptr && b.router != nullptr,
+               "link endpoints must be routers");
+  MANGO_ASSERT(&a.router->ctx() == &b.router->ctx(),
+               "link endpoints live in different simulation contexts");
+  return a.router->ctx().sim();
+}
+
+}  // namespace
+
+Link::Link(Endpoint a, Endpoint b, unsigned pipeline_stages,
+           LinkSignaling signaling, sim::Time skew_ps)
+    : sim_(link_sim(a, b)),
       a_(a),
       b_(b),
       stages_(pipeline_stages),
       signaling_(signaling),
       skew_(skew_ps) {
-  MANGO_ASSERT(a_.router != nullptr && b_.router != nullptr,
-               "link endpoints must be routers");
   MANGO_ASSERT(a_.router != b_.router, "self-links are not supported");
   MANGO_ASSERT(stages_ >= 1, "a link has at least one wire segment");
   if (signaling_ == LinkSignaling::kBundledData) {

@@ -37,8 +37,10 @@ class Link {
   /// bundling margin. 1-of-4 links are delay-insensitive: any skew is
   /// tolerated and simply adds to the forward latency, together with the
   /// completion-detection overhead.
-  Link(sim::Simulator& sim, Endpoint a, Endpoint b,
-       unsigned pipeline_stages = 1,
+  ///
+  /// The link runs in the SimContext of its endpoint routers (which must
+  /// agree — one kernel drives one network).
+  Link(Endpoint a, Endpoint b, unsigned pipeline_stages = 1,
        LinkSignaling signaling = LinkSignaling::kBundledData,
        sim::Time skew_ps = 0);
 

@@ -4,9 +4,8 @@
 
 namespace mango::noc {
 
-NetworkAdapter::NetworkAdapter(sim::Simulator& sim, Router& router,
-                               std::string name)
-    : sim_(sim),
+NetworkAdapter::NetworkAdapter(Router& router, std::string name)
+    : sim_(router.ctx().sim()),
       router_(router),
       name_(std::move(name)),
       delays_(router.delays()),

@@ -42,7 +42,9 @@ class NetworkAdapter {
   using BeHandler = std::function<void(BePacket&&)>;
   using GsSupplier = std::function<std::optional<Flit>()>;
 
-  NetworkAdapter(sim::Simulator& sim, Router& router, std::string name);
+  /// Attaches to `router`'s local port and runs in the router's
+  /// SimContext.
+  NetworkAdapter(Router& router, std::string name);
 
   // --- GS source side ---
   /// Binds a source interface to a connection: first-hop steering bits

@@ -29,9 +29,11 @@ std::uint8_t ocp_decode_tag(std::uint32_t w0) {
 
 std::uint32_t ocp_decode_low20(std::uint32_t w0) { return w0 & 0xFFFFF; }
 
-OcpMaster::OcpMaster(sim::Simulator& sim, NetworkAdapter& na,
-                     ClockDomain clock, std::string name)
-    : sim_(sim), na_(na), clock_(clock), name_(std::move(name)) {
+OcpMaster::OcpMaster(NetworkAdapter& na, ClockDomain clock, std::string name)
+    : sim_(na.router().ctx().sim()),
+      na_(na),
+      clock_(clock),
+      name_(std::move(name)) {
   na_.set_be_handler([this](BePacket&& pkt) { on_packet(std::move(pkt)); });
 }
 
@@ -83,9 +85,9 @@ void OcpMaster::on_packet(BePacket&& pkt) {
   });
 }
 
-OcpSlave::OcpSlave(sim::Simulator& sim, NetworkAdapter& na, ClockDomain clock,
-                   std::string name, std::size_t memory_words)
-    : sim_(sim),
+OcpSlave::OcpSlave(NetworkAdapter& na, ClockDomain clock, std::string name,
+                   std::size_t memory_words)
+    : sim_(na.router().ctx().sim()),
       na_(na),
       clock_(clock),
       name_(std::move(name)),

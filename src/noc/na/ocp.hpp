@@ -70,8 +70,8 @@ class OcpMaster {
  public:
   using Completion = std::function<void(const OcpResponse&)>;
 
-  OcpMaster(sim::Simulator& sim, NetworkAdapter& na, ClockDomain clock,
-            std::string name);
+  /// Speaks through `na` and runs in its SimContext.
+  OcpMaster(NetworkAdapter& na, ClockDomain clock, std::string name);
 
   /// Issues a transaction to the slave reached by `route`; `return_route`
   /// is the slave-to-master route for the response. The completion fires
@@ -97,8 +97,8 @@ class OcpMaster {
 /// A clocked OCP slave: a small memory served over the BE network.
 class OcpSlave {
  public:
-  OcpSlave(sim::Simulator& sim, NetworkAdapter& na, ClockDomain clock,
-           std::string name, std::size_t memory_words = 1024);
+  OcpSlave(NetworkAdapter& na, ClockDomain clock, std::string name,
+           std::size_t memory_words = 1024);
 
   std::uint32_t peek(std::uint32_t addr) const;
   void poke(std::uint32_t addr, std::uint32_t data);

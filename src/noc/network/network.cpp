@@ -4,16 +4,16 @@
 
 namespace mango::noc {
 
-Network::Network(sim::Simulator& sim, const MeshConfig& cfg)
-    : sim_(sim), cfg_(cfg), topo_(cfg.width, cfg.height) {
+Network::Network(sim::SimContext& ctx, const MeshConfig& cfg)
+    : ctx_(ctx), cfg_(cfg), topo_(cfg.width, cfg.height) {
   routers_.reserve(topo_.node_count());
   nas_.reserve(topo_.node_count());
   for (std::size_t i = 0; i < topo_.node_count(); ++i) {
     const NodeId n = topo_.node_at(i);
     routers_.push_back(std::make_unique<Router>(
-        sim_, cfg_.router, n, "R" + to_string(n)));
+        ctx_, cfg_.router, n, "R" + to_string(n)));
     nas_.push_back(std::make_unique<NetworkAdapter>(
-        sim_, *routers_.back(), "NA" + to_string(n)));
+        *routers_.back(), "NA" + to_string(n)));
   }
 
   // Links: connect each node to its East and North neighbours.
@@ -23,13 +23,14 @@ Network::Network(sim::Simulator& sim, const MeshConfig& cfg)
       const auto peer = topo_.neighbor(n, d);
       if (!peer.has_value()) continue;
       links_.push_back(std::make_unique<Link>(
-          sim_,
           Link::Endpoint{&router(n), port_of(d)},
           Link::Endpoint{&router(*peer), port_of(opposite(d))},
           cfg_.link_pipeline_stages, cfg_.link_signaling,
           cfg_.link_skew_ps));
     }
   }
+  ctx_.stats().counter("network.routers") += topo_.node_count();
+  ctx_.stats().counter("network.links") += links_.size();
 
   // BE downstream configuration: credits = the peer's BE input depth and
   // the split code that reaches the peer's BE router.

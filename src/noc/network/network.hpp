@@ -12,6 +12,7 @@
 #include "noc/na/network_adapter.hpp"
 #include "noc/network/topology.hpp"
 #include "noc/router/router.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -27,11 +28,12 @@ struct MeshConfig {
 
 class Network {
  public:
-  Network(sim::Simulator& sim, const MeshConfig& cfg);
+  Network(sim::SimContext& ctx, const MeshConfig& cfg);
 
   const MeshTopology& topology() const { return topo_; }
   const MeshConfig& config() const { return cfg_; }
-  sim::Simulator& simulator() { return sim_; }
+  sim::SimContext& ctx() { return ctx_; }
+  sim::Simulator& simulator() { return ctx_.sim(); }
 
   Router& router(NodeId n) { return *routers_.at(topo_.index(n)); }
   const Router& router(NodeId n) const { return *routers_.at(topo_.index(n)); }
@@ -50,7 +52,7 @@ class Network {
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::SimContext& ctx_;
   MeshConfig cfg_;
   MeshTopology topo_;
   std::vector<std::unique_ptr<Router>> routers_;

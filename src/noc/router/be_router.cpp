@@ -28,9 +28,10 @@ Flit BeInputBuffer::pop() {
   return f;
 }
 
-BeRouter::BeRouter(sim::Simulator& sim, const RouterConfig& cfg,
+BeRouter::BeRouter(sim::SimContext& ctx, const RouterConfig& cfg,
                    const StageDelays& delays, std::string name)
-    : sim_(sim), delays_(delays), name_(std::move(name)), be_vcs_(cfg.be_vcs) {
+    : sim_(ctx.sim()), delays_(delays), name_(std::move(name)),
+      be_vcs_(cfg.be_vcs) {
   MANGO_ASSERT(be_vcs_ >= 1 && be_vcs_ <= kMaxBeVcs,
                "the single header bit supports 1 or 2 BE VCs");
   for (PortIdx p = 0; p < kNumPorts; ++p) {

@@ -32,6 +32,8 @@
 #include "noc/common/flit.hpp"
 #include "noc/common/ids.hpp"
 #include "noc/common/packet.hpp"
+#include "sim/callback.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -39,7 +41,7 @@ namespace mango::noc {
 /// Credit-controlled BE input FIFO (one per input port per BE VC).
 class BeInputBuffer {
  public:
-  using Notify = std::function<void()>;
+  using Notify = sim::InlineCallback;
 
   BeInputBuffer(unsigned capacity, std::string name)
       : capacity_(capacity), name_(std::move(name)) {}
@@ -81,7 +83,7 @@ class BeRouter {
     std::function<void(Flit&&)> push;  ///< hand over one flit
   };
 
-  BeRouter(sim::Simulator& sim, const RouterConfig& cfg,
+  BeRouter(sim::SimContext& ctx, const RouterConfig& cfg,
            const StageDelays& delays, std::string name);
 
   /// Wires an output (Router does this during assembly).

@@ -64,18 +64,19 @@ void BeOutputStage::update_request() {
   arb_->set_request_be(any);
 }
 
-Router::Router(sim::Simulator& sim, const RouterConfig& cfg, NodeId node,
+Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
                std::string name)
-    : sim_(sim),
+    : ctx_(ctx),
+      sim_(ctx.sim()),
       cfg_(cfg),
       delays_(stage_delays(cfg.corner)),
       node_(node),
       name_(std::move(name)),
       table_(cfg),
-      switching_(sim, cfg, delays_),
-      vc_control_(sim, table_, delays_),
+      switching_(sim_, cfg, delays_),
+      vc_control_(sim_, table_, delays_),
       prog_(table_),
-      be_(sim, cfg, delays_, name_) {
+      be_(ctx, cfg, delays_, name_) {
   const unsigned v = cfg_.vcs_per_port;
   const VcScheme scheme = cfg_.arbiter == ArbiterKind::kUnregulated
                               ? VcScheme::kCreditBased

@@ -33,6 +33,7 @@
 #include "noc/router/switching.hpp"
 #include "noc/router/vc_buffer.hpp"
 #include "noc/router/vc_control.hpp"
+#include "sim/context.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -91,11 +92,16 @@ struct RouterActivity {
 
 class Router {
  public:
-  Router(sim::Simulator& sim, const RouterConfig& cfg, NodeId node,
+  Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
          std::string name);
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
+
+  /// The simulation services this router runs in. Components attached to
+  /// the router (NA, links, traffic) reach the kernel/RNG/stats this way
+  /// instead of taking them as constructor arguments.
+  sim::SimContext& ctx() { return ctx_; }
 
   // --- network assembly ---
   void attach_link(PortIdx port, Link* link);
@@ -163,7 +169,8 @@ class Router {
   void update_gs_request(PortIdx port, VcIdx vc);
   void on_gs_grant(PortIdx port, VcIdx vc);
 
-  sim::Simulator& sim_;
+  sim::SimContext& ctx_;
+  sim::Simulator& sim_;  ///< = ctx_.sim(); cached for the hot paths
   RouterConfig cfg_;
   StageDelays delays_;
   NodeId node_;

@@ -17,9 +17,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -27,7 +27,9 @@ namespace mango::noc {
 /// Upstream-side admission control for one VC onto one shared media.
 class VcFlowControl {
  public:
-  using Notify = std::function<void()>;
+  /// Inline callback: ready notifications fire once per flit, and their
+  /// captures ([this, port, vc]-sized) stay within the inline budget.
+  using Notify = sim::InlineCallback;
 
   virtual ~VcFlowControl() = default;
 

@@ -14,20 +14,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "noc/common/config.hpp"
 #include "noc/common/flit.hpp"
 #include "noc/common/ids.hpp"
 #include "noc/router/sharebox.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
 
 class VcBuffer {
  public:
-  using Notify = std::function<void()>;
+  using Notify = sim::InlineCallback;
 
   VcBuffer(sim::Simulator& sim, const StageDelays& delays, VcScheme scheme,
            VcBufferId id)

@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "noc/common/config.hpp"
 #include "noc/common/ids.hpp"
 #include "noc/router/connection_table.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -26,11 +26,11 @@ class VcControlModule {
  public:
   /// Reverse signal leaving through a network input port's unlock output
   /// (the attached link forwards it to the upstream router and charges
-  /// the wire delay).
-  using NetworkOut = std::function<void(PortIdx in_port, VcIdx wire)>;
+  /// the wire delay). Inline callback: unlock wires toggle once per flit.
+  using NetworkOut = sim::InlineFunction<void(PortIdx in_port, VcIdx wire)>;
 
   /// Reverse signal to the local NA (first hop of a connection).
-  using LocalOut = std::function<void(LocalIfaceIdx iface)>;
+  using LocalOut = sim::InlineFunction<void(LocalIfaceIdx iface)>;
 
   VcControlModule(sim::Simulator& sim, const ConnectionTable& table,
                   const StageDelays& delays)

@@ -4,10 +4,15 @@
 
 namespace mango::noc {
 
-GsStreamSource::GsStreamSource(sim::Simulator& sim, NetworkAdapter& na,
-                               LocalIfaceIdx iface, std::uint32_t tag,
-                               Options opt)
-    : sim_(sim), na_(na), iface_(iface), tag_(tag), opt_(opt) {}
+GsStreamSource::GsStreamSource(NetworkAdapter& na, LocalIfaceIdx iface,
+                               std::uint32_t tag, Options opt)
+    : sim_(na.router().ctx().sim()),
+      na_(na),
+      iface_(iface),
+      tag_(tag),
+      opt_(opt),
+      generated_stat_(
+          &na.router().ctx().stats().counter("traffic.gs_flits_generated")) {}
 
 void GsStreamSource::start(sim::Time at) {
   MANGO_ASSERT(!started_, "GS source started twice");
@@ -37,6 +42,7 @@ Flit GsStreamSource::make_flit() {
   f.seq = seq_++;
   f.injected_at = sim_.now();
   ++generated_;
+  ++*generated_stat_;
   return f;
 }
 
@@ -94,7 +100,13 @@ void BeTraceSource::inject(std::size_t idx) {
 
 BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
                                  Options opt)
-    : net_(net), src_(src), tag_(tag), opt_(opt), rng_(opt.seed) {
+    : net_(net),
+      src_(src),
+      tag_(tag),
+      opt_(opt),
+      rng_(opt.seed),
+      generated_stat_(
+          &net.ctx().stats().counter("traffic.be_packets_generated")) {
   MANGO_ASSERT(net_.topology().in_bounds(src_), "BE source out of bounds");
   if (opt_.fixed_dst.has_value()) {
     MANGO_ASSERT(*opt_.fixed_dst != src_, "BE destination equals source");
@@ -135,6 +147,7 @@ void BeTrafficSource::inject() {
   for (Flit& f : pkt.flits) f.injected_at = now;
   na.send_be_packet(std::move(pkt));
   ++generated_;
+  ++*generated_stat_;
   schedule_next();
 }
 

@@ -34,8 +34,9 @@ class GsStreamSource {
     std::uint64_t max_flits = 0;
   };
 
-  GsStreamSource(sim::Simulator& sim, NetworkAdapter& na, LocalIfaceIdx iface,
-                 std::uint32_t tag, Options opt);
+  /// Drives `na`'s source interface `iface`; runs in the NA's SimContext.
+  GsStreamSource(NetworkAdapter& na, LocalIfaceIdx iface, std::uint32_t tag,
+                 Options opt);
 
   void start(sim::Time at = 0);
   void stop() { stopped_ = true; }
@@ -54,6 +55,9 @@ class GsStreamSource {
   LocalIfaceIdx iface_;
   std::uint32_t tag_;
   Options opt_;
+  /// "traffic.gs_flits_generated" in the context stats registry, resolved
+  /// once at construction (no map lookup per flit).
+  std::uint64_t* generated_stat_;
   sim::Time started_at_ = 0;
   std::uint64_t generated_ = 0;
   std::uint64_t seq_ = 0;
@@ -127,6 +131,8 @@ class BeTrafficSource {
   std::uint32_t tag_;
   Options opt_;
   sim::Rng rng_;
+  /// "traffic.be_packets_generated" in the context stats registry.
+  std::uint64_t* generated_stat_;
   std::uint64_t generated_ = 0;
   std::uint64_t held_ = 0;
   bool stopped_ = false;

@@ -39,8 +39,8 @@ std::unique_ptr<GsStreamSource> saturate_connection(Network& net,
                                                     sim::Time start_at) {
   const Connection& conn = mgr.open_direct(src, dst);
   GsStreamSource::Options opt;  // period 0 = saturate
-  auto gen = std::make_unique<GsStreamSource>(
-      net.simulator(), net.na(src), conn.src_iface, tag, opt);
+  auto gen = std::make_unique<GsStreamSource>(net.na(src), conn.src_iface,
+                                              tag, opt);
   gen->start(start_at);
   return gen;
 }

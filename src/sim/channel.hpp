@@ -16,12 +16,10 @@
 // sensitive to the forward latency of the flits" (Section 4.3).
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <optional>
 #include <utility>
 
 #include "sim/assert.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -44,8 +42,10 @@ struct ChannelTiming {
 template <typename T>
 class Channel {
  public:
-  using Receiver = std::function<void(T&&)>;
-  using Notify = std::function<void()>;
+  /// Inline-capture callbacks: installing a receiver or scheduling a
+  /// token delivery never heap-allocates for ordinary captures.
+  using Receiver = InlineFunction<void(T&&), 4>;
+  using Notify = InlineCallback;
 
   Channel(Simulator& sim, ChannelTiming timing) : sim_(sim), timing_(timing) {}
 
@@ -67,10 +67,11 @@ class Channel {
     MANGO_ASSERT(static_cast<bool>(receiver_), "channel has no receiver");
     state_ = State::kForward;
     ++tokens_sent_;
-    // Boxed so the scheduled callback stays copyable even for move-only T.
-    auto boxed = std::make_shared<T>(std::move(value));
+    // The token moves into the scheduled callback directly; the kernel's
+    // inline-capture event nodes keep this allocation-free for flit-sized
+    // (and move-only) payloads.
     sim_.after(timing_.forward_ps,
-               [this, boxed] { deliver(std::move(*boxed)); });
+               [this, v = std::move(value)]() mutable { deliver(std::move(v)); });
   }
 
   /// Consumer acknowledges the token it received; after rtz_ps the

@@ -1,32 +1,184 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
 namespace mango::sim {
 
+Simulator::~Simulator() {
+  // Nodes live inside slabs_; pending callbacks are destroyed with the
+  // EventNode destructors when the slabs are released. Nothing to do.
+}
+
+Simulator::EventNode* Simulator::alloc_node() {
+  if (free_list_ == nullptr) {
+    slabs_.push_back(std::make_unique<EventNode[]>(kSlabNodes));
+    EventNode* block = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlabNodes; ++i) {
+      block[i].next = free_list_;
+      free_list_ = &block[i];
+    }
+  }
+  EventNode* n = free_list_;
+  free_list_ = n->next;
+  n->next = nullptr;
+  return n;
+}
+
+void Simulator::free_node(EventNode* n) {
+  n->cb.reset();
+  n->next = free_list_;
+  free_list_ = n;
+}
+
 void Simulator::at(Time t, Callback cb) {
   MANGO_ASSERT(t >= now_, "cannot schedule an event in the past");
   MANGO_ASSERT(static_cast<bool>(cb), "cannot schedule an empty callback");
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  EventNode* n = alloc_node();
+  n->time = t;
+  n->seq = next_seq_++;
+  n->cb = std::move(cb);
+  insert(n);
+}
+
+void Simulator::insert(EventNode* n) {
+  if (pending_ == 0) {
+    // Queue fully drained: re-anchor the wheel at the current time so the
+    // horizon always starts at now() (run_until may have advanced now()
+    // far past the stale cursor).
+    cur_granule_ = granule_of(now_);
+  } else if (granule_of(n->time) < cur_granule_) {
+    // The cursor fast-forwarded past this granule (next_event_time()
+    // scanning ahead of a declined run_until boundary). Rewind it to
+    // now()'s granule: every bucket in [granule(now), cur_granule_) is
+    // empty — the cursor only skips empty or drained buckets — so the
+    // rewound window still covers every wheel event.
+    cur_granule_ = granule_of(now_);
+  }
+  ++pending_;
+  if (granule_of(n->time) < cur_granule_ + kWheelSize) {
+    insert_wheel(n);
+  } else {
+    overflow_.push_back(n);
+    std::push_heap(overflow_.begin(), overflow_.end(),
+                   [](const EventNode* a, const EventNode* b) {
+                     return earlier(b->time, b->seq, a->time, a->seq);
+                   });
+  }
+}
+
+void Simulator::insert_wheel(EventNode* n) {
+  Bucket& b = wheel_[granule_of(n->time) & kWheelMask];
+  ++wheel_count_;
+  if (b.head == nullptr) {
+    n->next = nullptr;
+    b.head = b.tail = n;
+    return;
+  }
+  // Fast path: sequence numbers grow monotonically and most events are
+  // scheduled time-forward, so the overwhelmingly common case appends.
+  if (earlier(b.tail->time, b.tail->seq, n->time, n->seq)) {
+    n->next = nullptr;
+    b.tail->next = n;
+    b.tail = n;
+    return;
+  }
+  // Out-of-order within the bucket (a shorter delay scheduled after a
+  // longer one landing in the same granule): sorted insert.
+  if (earlier(n->time, n->seq, b.head->time, b.head->seq)) {
+    n->next = b.head;
+    b.head = n;
+    return;
+  }
+  EventNode* prev = b.head;
+  while (prev->next != nullptr &&
+         earlier(prev->next->time, prev->next->seq, n->time, n->seq)) {
+    prev = prev->next;
+  }
+  n->next = prev->next;
+  prev->next = n;
+  if (n->next == nullptr) b.tail = n;
+}
+
+void Simulator::migrate_overflow() {
+  const auto later = [](const EventNode* a, const EventNode* b) {
+    return earlier(b->time, b->seq, a->time, a->seq);
+  };
+  while (!overflow_.empty() &&
+         granule_of(overflow_.front()->time) < cur_granule_ + kWheelSize) {
+    // The heap pops in (time, seq) order, so same-bucket migrants arrive
+    // in dispatch order and insert_wheel's append fast path applies.
+    std::pop_heap(overflow_.begin(), overflow_.end(), later);
+    EventNode* n = overflow_.back();
+    overflow_.pop_back();
+    insert_wheel(n);
+  }
+}
+
+Simulator::EventNode* Simulator::pop_earliest() {
+  if (wheel_count_ == 0) {
+    // Everything pending lives in the overflow; jump the cursor to it.
+    cur_granule_ = granule_of(overflow_.front()->time);
+  } else if (!overflow_.empty() &&
+             granule_of(overflow_.front()->time) < cur_granule_) {
+    // next_event_time() fast-forwarded the cursor past the overflow
+    // top's granule (an overflow event older than every wheel event).
+    // Rewind to now()'s granule — the skipped buckets are empty — so the
+    // migration below lands it ahead of the cursor, not behind it.
+    cur_granule_ = granule_of(now_);
+  }
+  migrate_overflow();
+  Bucket* b = &wheel_[cur_granule_ & kWheelMask];
+  while (b->head == nullptr) {
+    ++cur_granule_;
+    b = &wheel_[cur_granule_ & kWheelMask];
+  }
+  EventNode* n = b->head;
+  b->head = n->next;
+  if (b->head == nullptr) b->tail = nullptr;
+  --wheel_count_;
+  --pending_;
+  return n;
+}
+
+Time Simulator::next_event_time() {
+  if (pending_ == 0) return kTimeNever;
+  Time best = kTimeNever;
+  if (wheel_count_ > 0) {
+    // A wheel event exists within the horizon, so the scan terminates.
+    // Advancing the cursor over the empty buckets is safe — pop_earliest
+    // would skip them anyway, and insert() rewinds the cursor if a later
+    // schedule lands below it — and lets the step() that typically
+    // follows start its scan at the non-empty bucket found here.
+    while (wheel_[cur_granule_ & kWheelMask].head == nullptr) ++cur_granule_;
+    best = wheel_[cur_granule_ & kWheelMask].head->time;
+  }
+  // An overflow event can be *earlier* than wheel events inserted after
+  // the cursor advanced past its granule (it only migrates at pop time),
+  // so the overflow top always participates in the minimum.
+  if (!overflow_.empty() && overflow_.front()->time < best) {
+    best = overflow_.front()->time;
+  }
+  return best;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via the
-  // const_cast-free route of copying the handle cheaply (shared state in
-  // std::function). Pop before dispatch so the callback may schedule.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
+  if (pending_ == 0) return false;
+  EventNode* n = pop_earliest();
+  now_ = n->time;
   ++dispatched_;
-  ev.cb();
+  // Move the callback out and recycle the node *before* dispatch so the
+  // callback may freely schedule (and thus allocate) new events.
+  Callback cb = std::move(n->cb);
+  free_node(n);
+  cb();
   return true;
 }
 
 std::uint64_t Simulator::run_until(Time t_end) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().time <= t_end) {
+  while (pending_ != 0 && next_event_time() <= t_end) {
     step();
     ++n;
   }

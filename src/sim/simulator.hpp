@@ -6,14 +6,34 @@
 // components schedule callbacks at absolute picosecond timestamps, and the
 // kernel dispatches them in (time, insertion-order) order so runs are
 // fully deterministic.
+//
+// Event storage is a slab-allocated intrusive list behind a two-level
+// calendar queue (see DESIGN.md):
+//
+//   * a near-horizon wheel of kWheelSize buckets, each covering one
+//     2^kBucketShift-ps granule. Nearly every handshake delay in the model
+//     (60 ps .. ~16 ns) lands within the wheel horizon, so insert and pop
+//     are O(1) amortized — no heap percolation per event;
+//   * a min-heap overflow for events beyond the horizon (timeouts, traffic
+//     interarrivals, warm-up deadlines). Overflow events migrate into the
+//     wheel as the cursor approaches them.
+//
+// Callbacks are InlineFunction with a generous inline-capture budget sized
+// for the largest per-flit capture (a LinkFlit plus an endpoint), and the
+// event nodes are recycled through a free list carved from slabs — the
+// steady-state event loop performs no allocation at all.
+//
+// Dispatch order is exactly (time, insertion seq), bit-identical to the
+// straightforward priority-queue kernel (sim/legacy_kernel.hpp keeps that
+// implementation for differential tests and benchmarks).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "sim/assert.hpp"
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace mango::sim {
@@ -21,11 +41,14 @@ namespace mango::sim {
 /// The event kernel. One instance drives one simulated network.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  /// 8 words of inline capture: fits every per-flit callback in the model
+  /// (the largest captures a link Endpoint plus a 40-byte LinkFlit).
+  using Callback = InlineFunction<void(), 8>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   /// Current simulation time.
   Time now() const { return now_; }
@@ -39,8 +62,8 @@ class Simulator {
   /// Dispatches the single next event. Returns false if none is pending.
   bool step();
 
-  /// Runs until the queue drains or the next event is later than `t_end`;
-  /// leaves now() at min(t_end, time of last dispatched event).
+  /// Runs until the queue drains or the next event is later than `t_end`
+  /// (events exactly at `t_end` are dispatched); leaves now() at `t_end`.
   /// Returns the number of events dispatched.
   std::uint64_t run_until(Time t_end);
 
@@ -48,28 +71,69 @@ class Simulator {
   std::uint64_t run();
 
   /// True if no event is pending.
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return pending_ == 0; }
 
   /// Number of pending events.
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return pending_; }
+
+  /// Time of the earliest pending event; kTimeNever when idle. Fast-
+  /// forwards the wheel cursor over empty buckets as a side effect, so a
+  /// peek-then-step sequence (run_until's loop) scans each bucket once.
+  Time next_event_time();
 
   /// Total events dispatched since construction.
   std::uint64_t events_dispatched() const { return dispatched_; }
 
  private:
-  struct Event {
-    Time time;
-    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+  struct EventNode {
+    Time time = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break for simultaneous events
+    EventNode* next = nullptr;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr unsigned kBucketShift = 9;  // 512 ps per bucket
+  static constexpr unsigned kWheelBits = 12;   // 4096 buckets, ~2.1 us horizon
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kSlabNodes = 256;
+
+  static constexpr std::uint64_t granule_of(Time t) { return t >> kBucketShift; }
+
+  /// True when (ta, sa) dispatches strictly before (tb, sb).
+  static constexpr bool earlier(Time ta, std::uint64_t sa, Time tb,
+                                std::uint64_t sb) {
+    return ta != tb ? ta < tb : sa < sb;
+  }
+
+  EventNode* alloc_node();
+  void free_node(EventNode* n);
+  void insert(EventNode* n);
+  void insert_wheel(EventNode* n);
+  /// Moves every overflow event now inside the wheel horizon into the wheel.
+  void migrate_overflow();
+  /// Unlinks and returns the earliest pending event (caller checks pending_).
+  EventNode* pop_earliest();
+
+  // Slab storage: nodes are carved in blocks and recycled via free_list_;
+  // nothing is returned to the system until destruction.
+  std::vector<std::unique_ptr<EventNode[]>> slabs_;
+  EventNode* free_list_ = nullptr;
+
+  Bucket wheel_[kWheelSize] = {};
+  std::size_t wheel_count_ = 0;
+  /// Granule of the wheel cursor; every wheel event's granule lies in
+  /// [cur_granule_, cur_granule_ + kWheelSize).
+  std::uint64_t cur_granule_ = 0;
+
+  /// Beyond-horizon events: min-heap on (time, seq).
+  std::vector<EventNode*> overflow_;
+
+  std::size_t pending_ = 0;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;

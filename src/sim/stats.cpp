@@ -53,6 +53,11 @@ double Histogram::mean() const {
          static_cast<double>(samples_.size());
 }
 
+std::uint64_t StatsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,43 @@ class ThroughputMeter {
   std::uint64_t count_ = 0;
   Time first_ = 0;
   Time last_ = 0;
+};
+
+/// Named measurement registry bundled into SimContext: components record
+/// counters/distributions under dotted names ("traffic.be_packets",
+/// "network.links") without threading individual stat objects through
+/// constructor argument lists. Names are created on first access, so a
+/// lookup never fails; iteration order is lexicographic (deterministic
+/// reports).
+class StatsRegistry {
+ public:
+  /// Monotonic counter (created at 0 on first access).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// Streaming accumulator (created empty on first access).
+  Accumulator& accumulator(const std::string& name) { return accs_[name]; }
+
+  /// Exact-quantile histogram (created empty on first access).
+  Histogram& histogram(const std::string& name) { return hists_[name]; }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Accumulator>& accumulators() const {
+    return accs_;
+  }
+  const std::map<std::string, Histogram>& histograms() const { return hists_; }
+
+  // Note: deliberately no reset()/clear(). Components resolve stat
+  // references once at wiring time and hold them for the simulation's
+  // lifetime; destroying entries would dangle those references. Fresh
+  // measurements come from a fresh SimContext.
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Accumulator> accs_;
+  std::map<std::string, Histogram> hists_;
 };
 
 /// Simple fixed-width text table printer used by the bench harnesses to

@@ -5,12 +5,14 @@
 
 #include "noc/router/arbiter.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 struct ArbiterHarness {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   RouterConfig cfg;
   StageDelays delays = stage_delays(TimingCorner::kWorstCase);
   std::unique_ptr<LinkArbiter> arb;

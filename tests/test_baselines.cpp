@@ -6,6 +6,7 @@
 #include "baseline/tdm_router.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
+#include "sim/context.hpp"
 
 namespace mango::baseline {
 namespace {
@@ -15,9 +16,10 @@ using noc::StageDelays;
 using sim::operator""_ns;
 
 TEST(OutputBuffered, UncontendedLatencyIsConstant) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   const StageDelays d = noc::stage_delays(noc::TimingCorner::kWorstCase);
-  OutputBufferedRouter router(sim, 5, d);
+  OutputBufferedRouter router(ctx, 5, d);
   std::vector<sim::Time> latencies;
   router.set_delivery([&](unsigned, Flit&&, sim::Time lat) {
     latencies.push_back(lat);
@@ -36,9 +38,10 @@ TEST(OutputBuffered, UncontendedLatencyIsConstant) {
 TEST(OutputBuffered, ContentionInflatesAndVariesLatency) {
   // Fig 3's flaw: four inputs target one output simultaneously; the
   // later flits queue behind the earlier ones.
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   const StageDelays d = noc::stage_delays(noc::TimingCorner::kWorstCase);
-  OutputBufferedRouter router(sim, 5, d);
+  OutputBufferedRouter router(ctx, 5, d);
   std::vector<sim::Time> latencies;
   router.set_delivery([&](unsigned, Flit&&, sim::Time lat) {
     latencies.push_back(lat);
@@ -54,16 +57,17 @@ TEST(OutputBuffered, ContentionInflatesAndVariesLatency) {
 }
 
 TEST(OutputBuffered, PortBoundsChecked) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   const StageDelays d = noc::stage_delays(noc::TimingCorner::kWorstCase);
-  OutputBufferedRouter router(sim, 3, d);
+  OutputBufferedRouter router(ctx, 3, d);
   EXPECT_THROW(router.inject(3, 0, Flit{}), mango::ModelError);
   EXPECT_THROW(router.inject(0, 9, Flit{}), mango::ModelError);
 }
 
 struct TdmFixture : ::testing::Test {
-  sim::Simulator sim;
-  TdmRouter tdm{sim, /*ports=*/5, /*slots=*/16, /*clock=*/2000};
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
+  TdmRouter tdm{ctx, /*ports=*/5, /*slots=*/16, /*clock=*/2000};
 };
 
 TEST_F(TdmFixture, ReserveAndRelease) {

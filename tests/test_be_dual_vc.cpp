@@ -8,6 +8,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -15,7 +16,8 @@ namespace {
 using sim::operator""_us;
 
 struct DualVcFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh;
   std::unique_ptr<Network> net;
   MeasurementHub hub;
@@ -24,7 +26,7 @@ struct DualVcFixture : ::testing::Test {
     mesh.width = 3;
     mesh.height = 2;
     mesh.router.be_vcs = 2;
-    net = std::make_unique<Network>(sim, mesh);
+    net = std::make_unique<Network>(ctx, mesh);
     attach_hub(*net, hub);
   }
 };
@@ -127,19 +129,19 @@ TEST_F(DualVcFixture, UniformTrafficOnBothVcsDeliversEverything) {
 }
 
 TEST(BeVcConfig, SingleVcRejectsVc1Traffic) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   MeshConfig mesh;  // default: be_vcs = 1
-  Network net(sim, mesh);
+  Network net(ctx, mesh);
   EXPECT_THROW(net.na({0, 0}).send_be_packet(
                    make_be_packet(net.be_route({0, 0}, {1, 0}), {1u}), 1),
                mango::ModelError);
 }
 
 TEST(BeVcConfig, ThreeVcsImpossibleWithOneHeaderBit) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   MeshConfig mesh;
   mesh.router.be_vcs = 3;
-  EXPECT_THROW(Network(sim, mesh), mango::ModelError);
+  EXPECT_THROW(Network(ctx, mesh), mango::ModelError);
 }
 
 }  // namespace

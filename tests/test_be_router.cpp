@@ -7,15 +7,17 @@
 #include "noc/common/packet.hpp"
 #include "noc/router/be_router.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 struct BeHarness {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   RouterConfig cfg;
   StageDelays delays = stage_delays(TimingCorner::kWorstCase);
-  BeRouter be{sim, cfg, delays, "be-test"};
+  BeRouter be{ctx, cfg, delays, "be-test"};
   std::map<unsigned, std::vector<Flit>> out;
   std::map<PortIdx, int> credits_returned;
 

@@ -15,6 +15,7 @@
 #include "noc/traffic/workload.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -25,14 +26,15 @@ class NetworkFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(NetworkFuzz, RandomScenarioUpholdsAllInvariants) {
   sim::Rng rng(GetParam());
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
 
   MeshConfig mesh;
   mesh.width = static_cast<std::uint16_t>(2 + rng.next_below(3));   // 2..4
   mesh.height = static_cast<std::uint16_t>(2 + rng.next_below(3));  // 2..4
   mesh.router.be_vcs = 1 + static_cast<unsigned>(rng.next_below(2));
   mesh.link_pipeline_stages = 1 + static_cast<unsigned>(rng.next_below(2));
-  Network net(sim, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -71,7 +73,7 @@ TEST_P(NetworkFuzz, RandomScenarioUpholdsAllInvariants) {
       f.id = c.id;
       f.src = src;
       f.tag = tag++;
-      f.gen = std::make_unique<GsStreamSource>(sim, net.na(src), c.src_iface,
+      f.gen = std::make_unique<GsStreamSource>(net.na(src), c.src_iface,
                                                f.tag, opt);
       f.gen->start();
       flows.push_back(std::move(f));

@@ -7,6 +7,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -23,24 +24,25 @@ MeshConfig mesh_with(LinkSignaling s, sim::Time skew,
 }
 
 TEST(LinkSignalingTest, BundledDataAcceptsSkewWithinMargin) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   const StageDelays d = stage_delays(TimingCorner::kWorstCase);
   EXPECT_NO_THROW(
-      Network(sim, mesh_with(LinkSignaling::kBundledData, d.bundling_margin)));
+      Network(ctx, mesh_with(LinkSignaling::kBundledData, d.bundling_margin)));
 }
 
 TEST(LinkSignalingTest, BundledDataRejectsExcessSkew) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   const StageDelays d = stage_delays(TimingCorner::kWorstCase);
   EXPECT_THROW(
-      Network(sim,
+      Network(ctx,
               mesh_with(LinkSignaling::kBundledData, d.bundling_margin + 1)),
       mango::ModelError);
 }
 
 TEST(LinkSignalingTest, OneOfFourToleratesArbitrarySkew) {
-  sim::Simulator sim;
-  Network net(sim, mesh_with(LinkSignaling::kOneOfFour, 5000));
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
+  Network net(ctx, mesh_with(LinkSignaling::kOneOfFour, 5000));
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -58,9 +60,9 @@ TEST(LinkSignalingTest, OneOfFourToleratesArbitrarySkew) {
 
 TEST(LinkSignalingTest, OneOfFourPaysSkewAndCompletionInLatency) {
   const StageDelays d = stage_delays(TimingCorner::kWorstCase);
-  sim::Simulator s1, s2;
-  Network bundled(s1, mesh_with(LinkSignaling::kBundledData, 0));
-  Network di(s2, mesh_with(LinkSignaling::kOneOfFour, 300));
+  sim::SimContext c1, c2;
+  Network bundled(c1, mesh_with(LinkSignaling::kBundledData, 0));
+  Network di(c2, mesh_with(LinkSignaling::kOneOfFour, 300));
   const Link& lb = *bundled.links().front();
   const Link& ld = *di.links().front();
   EXPECT_EQ(lb.forward_latency(), d.merge_fwd + d.link_fwd);
@@ -71,15 +73,15 @@ TEST(LinkSignalingTest, OneOfFourPaysSkewAndCompletionInLatency) {
 TEST(LinkSignalingTest, OneOfFourUsesAboutTwiceTheDataWires) {
   EXPECT_EQ(link_forward_wires(LinkSignaling::kBundledData), 40u);  // 39 + req
   EXPECT_EQ(link_forward_wires(LinkSignaling::kOneOfFour), 80u);    // 20 * 4
-  sim::Simulator sim;
-  Network net(sim, mesh_with(LinkSignaling::kOneOfFour, 0));
+  sim::SimContext ctx;
+  Network net(ctx, mesh_with(LinkSignaling::kOneOfFour, 0));
   // + ack + 8 unlock wires + BE credit.
   EXPECT_EQ(net.links().front()->wires_per_direction(), 80u + 1 + 8 + 1);
 }
 
 TEST(LinkSignalingTest, PipelinedStagesMultiplyLatency) {
-  sim::Simulator sim;
-  Network net(sim, mesh_with(LinkSignaling::kBundledData, 0, /*stages=*/3));
+  sim::SimContext ctx;
+  Network net(ctx, mesh_with(LinkSignaling::kBundledData, 0, /*stages=*/3));
   const StageDelays d = stage_delays(TimingCorner::kWorstCase);
   EXPECT_EQ(net.links().front()->forward_latency(),
             d.merge_fwd + 3 * d.link_fwd);
@@ -89,10 +91,11 @@ TEST(LinkSignalingTest, PipelinedStagesMultiplyLatency) {
 
 TEST(LinkSignalingTest, SkewedDiLinksStillMeetGuarantees) {
   // The end-to-end GS machinery is agnostic to the signaling choice.
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig cfg = mesh_with(LinkSignaling::kOneOfFour, 400);
   cfg.width = 3;
-  Network net(sim, cfg);
+  Network net(ctx, cfg);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);

@@ -7,6 +7,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -14,9 +15,10 @@ namespace {
 using sim::operator""_ns;
 
 struct MeshFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{4, 4, RouterConfig{}, 1};
-  Network net{sim, mesh};
+  Network net{ctx, mesh};
   ConnectionManager mgr{net, NodeId{0, 0}};
   MeasurementHub hub;
 
@@ -28,7 +30,7 @@ TEST_F(MeshFixture, MultiHopConnectionDeliversInOrder) {
   EXPECT_EQ(conn.link_hops(), 6u);
   GsStreamSource::Options opt;
   opt.max_flits = 300;
-  GsStreamSource src(sim, net.na({0, 0}), conn.src_iface, /*tag=*/7, opt);
+  GsStreamSource src(net.na({0, 0}), conn.src_iface, /*tag=*/7, opt);
   src.start();
   sim.run();
   const FlowStats& s = hub.flow(7);
@@ -42,9 +44,9 @@ TEST_F(MeshFixture, CrossTrafficConnectionsShareLinksFairly) {
   const Connection& c2 = mgr.open_direct({0, 0}, {2, 0});
   const Connection& c3 = mgr.open_direct({0, 0}, {1, 0});
   GsStreamSource::Options sat;  // saturating
-  GsStreamSource s1(sim, net.na({0, 0}), c1.src_iface, 1, sat);
-  GsStreamSource s2(sim, net.na({0, 0}), c2.src_iface, 2, sat);
-  GsStreamSource s3(sim, net.na({0, 0}), c3.src_iface, 3, sat);
+  GsStreamSource s1(net.na({0, 0}), c1.src_iface, 1, sat);
+  GsStreamSource s2(net.na({0, 0}), c2.src_iface, 2, sat);
+  GsStreamSource s3(net.na({0, 0}), c3.src_iface, 3, sat);
   s1.start();
   s2.start();
   s3.start();
@@ -98,7 +100,7 @@ TEST_F(MeshFixture, GsAndBeCoexistOnTheSameLinks) {
   const Connection& conn = mgr.open_direct({0, 0}, {3, 0});
   GsStreamSource::Options gopt;
   gopt.max_flits = 200;
-  GsStreamSource gs(sim, net.na({0, 0}), conn.src_iface, 1, gopt);
+  GsStreamSource gs(net.na({0, 0}), conn.src_iface, 1, gopt);
   gs.start();
   auto be_sources = start_uniform_be(net, 20000, 4, 123);
   sim.run_until(600_ns);
@@ -115,16 +117,17 @@ TEST_F(MeshFixture, GsAndBeCoexistOnTheSameLinks) {
 }
 
 TEST_F(MeshFixture, PipelinedLinksStillDeliverEverything) {
-  sim::Simulator sim2;
+  sim::SimContext ctx2;
+  sim::Simulator& sim2 = ctx2.sim();
   MeshConfig long_mesh{2, 2, RouterConfig{}, 3};  // 3-stage pipelined links
-  Network net2(sim2, long_mesh);
+  Network net2(ctx2, long_mesh);
   ConnectionManager mgr2(net2, NodeId{0, 0});
   MeasurementHub hub2;
   attach_hub(net2, hub2);
   const Connection& conn = mgr2.open_direct({0, 0}, {1, 1});
   GsStreamSource::Options opt;
   opt.max_flits = 100;
-  GsStreamSource src(sim2, net2.na({0, 0}), conn.src_iface, 3, opt);
+  GsStreamSource src(net2.na({0, 0}), conn.src_iface, 3, opt);
   src.start();
   sim2.run();
   EXPECT_EQ(hub2.flow(3).flits, 100u);
@@ -142,7 +145,7 @@ TEST_F(MeshFixture, SaturatedLinkReachesPortSpeed) {
     const Connection& c = mgr.open_direct(src_node, dst_node);
     GsStreamSource::Options sat;
     sources.push_back(std::make_unique<GsStreamSource>(
-        sim, net.na(src_node), c.src_iface, tag++, sat));
+        net.na(src_node), c.src_iface, tag++, sat));
     sources.back()->start();
   };
   open({2, 1}, {3, 0});

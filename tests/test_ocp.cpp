@@ -4,6 +4,7 @@
 #include "noc/na/ocp.hpp"
 #include "noc/network/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -49,15 +50,16 @@ TEST(OcpWords, BadCommandRejected) {
 }
 
 struct OcpFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{2, 2, RouterConfig{}, 1};
-  Network net{sim, mesh};
+  Network net{ctx, mesh};
   // Master at (0,0) clocked at 1 GHz; slave at (1,1) clocked at 650 MHz —
   // unrelated frequencies, the GALS situation of Fig 1.
   ClockDomain master_clk{1000, 0};
   ClockDomain slave_clk{1538, 77};
-  OcpMaster master{sim, net.na({0, 0}), master_clk, "cpu"};
-  OcpSlave slave{sim, net.na({1, 1}), slave_clk, "mem", 256};
+  OcpMaster master{net.na({0, 0}), master_clk, "cpu"};
+  OcpSlave slave{net.na({1, 1}), slave_clk, "mem", 256};
 
   BeRoute to_slave() { return net.be_route({0, 0}, {1, 1}); }
   BeRoute to_master() { return net.be_route({1, 1}, {0, 0}); }

@@ -7,6 +7,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -15,9 +16,10 @@ using sim::operator""_ns;
 using sim::operator""_us;
 
 TEST(NetworkReportTest, IdleNetworkIsAllZero) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{2, 2, RouterConfig{}, 1};
-  Network net(sim, mesh);
+  Network net(ctx, mesh);
   sim.run_until(1_us);
   const NetworkReport r = NetworkReport::collect(net, 1_us);
   ASSERT_EQ(r.routers.size(), 4u);
@@ -31,9 +33,10 @@ TEST(NetworkReportTest, IdleNetworkIsAllZero) {
 }
 
 TEST(NetworkReportTest, SaturatedLinkShowsFullUtilization) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{2, 1, RouterConfig{}, 1};
-  Network net(sim, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);
@@ -58,9 +61,10 @@ TEST(NetworkReportTest, SaturatedLinkShowsFullUtilization) {
 }
 
 TEST(NetworkReportTest, CountsBothTrafficClasses) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{2, 2, RouterConfig{}, 1};
-  Network net(sim, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   MeasurementHub hub;
   attach_hub(net, hub);

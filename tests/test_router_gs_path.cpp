@@ -6,14 +6,16 @@
 #include "noc/network/connection_manager.hpp"
 #include "noc/network/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 struct GsPathFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{2, 1, RouterConfig{}, 1};
-  Network net{sim, mesh};
+  Network net{ctx, mesh};
   ConnectionManager mgr{net, NodeId{0, 0}};
   const StageDelays& d = net.router({0, 0}).delays();
 

@@ -6,14 +6,15 @@
 #include "noc/network/connection_manager.hpp"
 #include "noc/network/network.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 TEST(RouterUnit, ComponentAccessorsWork) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   RouterConfig cfg;
-  Router r(sim, cfg, NodeId{1, 2}, "R-test");
+  Router r(ctx, cfg, NodeId{1, 2}, "R-test");
   EXPECT_EQ(r.node(), (NodeId{1, 2}));
   EXPECT_EQ(r.name(), "R-test");
   EXPECT_EQ(r.config().vcs_per_port, 8u);
@@ -25,41 +26,42 @@ TEST(RouterUnit, ComponentAccessorsWork) {
 }
 
 TEST(RouterUnit, DoubleLinkAttachRejected) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   RouterConfig cfg;
-  Router a(sim, cfg, NodeId{0, 0}, "Ra");
-  Router b(sim, cfg, NodeId{1, 0}, "Rb");
-  Router c(sim, cfg, NodeId{2, 0}, "Rc");
-  Link ab(sim, Link::Endpoint{&a, port_of(Direction::kEast)},
+  Router a(ctx, cfg, NodeId{0, 0}, "Ra");
+  Router b(ctx, cfg, NodeId{1, 0}, "Rb");
+  Router c(ctx, cfg, NodeId{2, 0}, "Rc");
+  Link ab(Link::Endpoint{&a, port_of(Direction::kEast)},
           Link::Endpoint{&b, port_of(Direction::kWest)});
   // Port East of `a` is taken; a second link on it must be rejected.
-  EXPECT_THROW(Link(sim, Link::Endpoint{&a, port_of(Direction::kEast)},
+  EXPECT_THROW(Link(Link::Endpoint{&a, port_of(Direction::kEast)},
                     Link::Endpoint{&c, port_of(Direction::kWest)}),
                mango::ModelError);
 }
 
 TEST(RouterUnit, SelfLinkRejected) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   RouterConfig cfg;
-  Router a(sim, cfg, NodeId{0, 0}, "Ra");
-  EXPECT_THROW(Link(sim, Link::Endpoint{&a, port_of(Direction::kEast)},
+  Router a(ctx, cfg, NodeId{0, 0}, "Ra");
+  EXPECT_THROW(Link(Link::Endpoint{&a, port_of(Direction::kEast)},
                     Link::Endpoint{&a, port_of(Direction::kWest)}),
                mango::ModelError);
 }
 
 TEST(RouterUnit, FlowControlAccessorBounds) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   RouterConfig cfg;
-  Router r(sim, cfg, NodeId{0, 0}, "R");
+  Router r(ctx, cfg, NodeId{0, 0}, "R");
   EXPECT_TRUE(r.flow_control(0, 0).can_admit());
   EXPECT_THROW(r.flow_control(kLocalPort, 0), mango::ModelError);
   EXPECT_THROW(r.flow_control(0, 8), mango::ModelError);
 }
 
 TEST(RouterUnit, ActivityCountersTrackTraffic) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{2, 1, RouterConfig{}, 1};
-  Network net(sim, mesh);
+  Network net(ctx, mesh);
   ConnectionManager mgr(net, NodeId{0, 0});
   const Connection& c = mgr.open_direct({0, 0}, {1, 0});
   net.na({1, 0}).set_gs_handler([](LocalIfaceIdx, Flit&&) {});
@@ -80,17 +82,18 @@ TEST(RouterUnit, ActivityCountersTrackTraffic) {
 }
 
 TEST(RouterUnit, LocalGsInjectValidatesInterface) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
   RouterConfig cfg;
-  Router r(sim, cfg, NodeId{0, 0}, "R");
+  Router r(ctx, cfg, NodeId{0, 0}, "R");
   EXPECT_THROW(r.inject_local_gs(4, LinkFlit{}), mango::ModelError);
 }
 
 TEST(RouterUnit, UnattachedPortGrantIsDetected) {
   // A flit steered towards a mesh-edge port with no link must raise.
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   RouterConfig cfg;
-  Router r(sim, cfg, NodeId{0, 0}, "R");
+  Router r(ctx, cfg, NodeId{0, 0}, "R");
   r.set_local_reverse_handler([](LocalIfaceIdx) {});
   const VcBufferId buf{port_of(Direction::kWest), 0};  // edge, no link
   r.table().set_forward(buf, SteerBits{0, 0});

@@ -1,0 +1,294 @@
+// Calendar-queue scheduler coverage: ordering semantics the NoC model
+// depends on, wheel/overflow mechanics, and a randomized differential
+// check against the reference priority-queue kernel.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/callback.hpp"
+#include "sim/legacy_kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mango::sim {
+namespace {
+
+// One wheel bucket is 512 ps and the wheel spans 4096 buckets, so events
+// past ~2.1 us of the cursor take the overflow path. Derived here rather
+// than exported: the values are an implementation detail, the tests only
+// need "definitely beyond the horizon".
+constexpr Time kBeyondHorizon = 8 * 1000 * 1000;  // 8 us
+
+TEST(Scheduler, SameTimestampDispatchesInInsertionOrderAcrossBuckets) {
+  Simulator sim;
+  std::vector<int> order;
+  // Interleave three timestamps so insertions hit the same bucket list
+  // non-monotonically: 700 and 900 share bucket 1, 100 sits in bucket 0.
+  sim.at(900, [&] { order.push_back(3); });
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(700, [&] { order.push_back(2); });
+  sim.at(900, [&] { order.push_back(4); });  // same time, later insertion
+  sim.at(700, [&] { order.push_back(5); });  // sorted insert mid-bucket
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 5, 3, 4}));
+}
+
+TEST(Scheduler, OverflowEventsDispatchAfterWheelEvents) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(kBeyondHorizon, [&] { order.push_back(2); });  // overflow path
+  sim.at(500, [&] { order.push_back(1); });             // wheel path
+  sim.at(2 * kBeyondHorizon, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 2 * kBeyondHorizon);
+}
+
+TEST(Scheduler, OverflowTieBreaksBySeqAfterMigration) {
+  Simulator sim;
+  std::vector<int> order;
+  // Both beyond the horizon at the same timestamp: the overflow heap must
+  // preserve insertion order when they migrate into one bucket.
+  for (int i = 0; i < 8; ++i) {
+    sim.at(kBeyondHorizon, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, OverflowEventEarlierThanLaterWheelInsertStillWins) {
+  // Regression shape: an overflow event whose granule enters the wheel
+  // window only after the cursor advances must still dispatch before a
+  // *later* event that was inserted directly into the wheel.
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&] {
+    // From t=10 the horizon ends around ~2.1 us, so 5 us is overflow.
+    sim.at(5 * 1000 * 1000, [&] { order.push_back(2); });
+    // Walk the cursor forward with a chain of near events until the
+    // 5 us granule is inside the window, then insert a later wheel event.
+    sim.at(4 * 1000 * 1000, [&] {
+      sim.at(5 * 1000 * 1000 + 100, [&] { order.push_back(3); });
+      order.push_back(1);
+    });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, RunUntilBoundaryWithOverflowEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(100, [&] { ++fired; });
+  sim.at(kBeyondHorizon, [&] { ++fired; });
+  sim.at(kBeyondHorizon + 1, [&] { ++fired; });
+  // Stop between the wheel event and the overflow events.
+  EXPECT_EQ(sim.run_until(kBeyondHorizon - 1), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), kBeyondHorizon - 1);
+  // Boundary inclusive: exactly at the overflow event's time.
+  EXPECT_EQ(sim.run_until(kBeyondHorizon), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Scheduler, SchedulingAfterIdleRunUntilReanchorsTheWheel) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(100, [&] { ++fired; });
+  sim.run();
+  // Advance the clock far past the (stale) wheel cursor, then schedule
+  // near events again: they must land and dispatch normally.
+  sim.run_until(100 * kBeyondHorizon);
+  EXPECT_EQ(sim.now(), 100 * kBeyondHorizon);
+  sim.after(500, [&] { ++fired; });
+  sim.after(200, [&] { ++fired; });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100 * kBeyondHorizon + 500);
+}
+
+TEST(Scheduler, WheelRolloverManyRotations) {
+  // A periodic event crosses the wheel seam (granule wrap) thousands of
+  // times; each dispatch must see monotonically advancing time.
+  Simulator sim;
+  std::uint64_t count = 0;
+  Time last = 0;
+  bool monotonic = true;
+  constexpr std::uint64_t kTicks = 20000;
+  // 1300 ps period: co-prime-ish with the 512 ps bucket so the event
+  // lands at varying bucket offsets.
+  struct Tick {
+    Simulator* sim;
+    std::uint64_t* count;
+    Time* last;
+    bool* monotonic;
+    void operator()() const {
+      if (sim->now() < *last) *monotonic = false;
+      *last = sim->now();
+      if (++*count < kTicks) sim->after(1300, *this);
+    }
+  };
+  sim.after(1300, Tick{&sim, &count, &last, &monotonic});
+  sim.run();
+  EXPECT_EQ(count, kTicks);
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(sim.now(), 1300 * kTicks);
+}
+
+TEST(Scheduler, InsertBelowFastForwardedCursorStillDispatchesInOrder) {
+  // run_until declines an event after next_event_time() fast-forwarded
+  // the wheel cursor to its bucket; a subsequent insert below the cursor
+  // must rewind it (insert() guard) and dispatch everything in order.
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(100, [&] { order.push_back(1); });
+  sim.at(1 * 1000 * 1000, [&] { order.push_back(3); });  // same wheel window
+  EXPECT_EQ(sim.run_until(500), 1u);  // dispatches t=100, peeks at t=1e6
+  sim.at(600, [&] { order.push_back(2); });  // granule below the cursor
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 1 * 1000 * 1000u);
+}
+
+TEST(Scheduler, OverflowMigrationAfterCursorFastForward) {
+  // An overflow event older than every wheel event, with a
+  // next_event_time() call interposed so the cursor has fast-forwarded
+  // past the overflow granule before the migration happens (pop_earliest
+  // rewind guard).
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(10, [&] {
+    sim.at(5 * 1000 * 1000, [&] { order.push_back(2); });  // overflow
+    sim.at(4 * 1000 * 1000, [&] {
+      sim.at(5 * 1000 * 1000 + 100, [&] { order.push_back(3); });  // wheel
+      order.push_back(1);
+    });
+  });
+  // Drain up to just past t=4e6, peeking (and fast-forwarding) each step.
+  while (sim.next_event_time() <= 4 * 1000 * 1000) sim.step();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NextEventTimeSeesBothWheelAndOverflow) {
+  Simulator sim;
+  EXPECT_EQ(sim.next_event_time(), kTimeNever);
+  sim.at(kBeyondHorizon, [] {});
+  EXPECT_EQ(sim.next_event_time(), kBeyondHorizon);
+  sim.at(300, [] {});
+  EXPECT_EQ(sim.next_event_time(), 300u);
+  sim.step();
+  EXPECT_EQ(sim.next_event_time(), kBeyondHorizon);
+}
+
+TEST(Scheduler, LargeCaptureSpillsToHeapAndStillRuns) {
+  Simulator sim;
+  struct Big {
+    std::uint64_t words[32] = {};
+  };
+  static_assert(!Simulator::Callback::stores_inline<Big>());
+  Big big;
+  big.words[31] = 42;
+  std::uint64_t seen = 0;
+  sim.at(10, [big, &seen] { seen = big.words[31]; });
+  sim.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(InlineFunctionTest, InlineCapturesDoNotAllocate) {
+  struct Small {
+    void* a;
+    void* b;
+    void* c;
+    void operator()() const {}
+  };
+  static_assert(InlineCallback::stores_inline<Small>());
+  static_assert(Simulator::Callback::stores_inline<Small>());
+}
+
+TEST(InlineFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  int hits = 0;
+  InlineCallback a = [&hits] { ++hits; };
+  InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesWork) {
+  auto p = std::make_unique<int>(7);
+  InlineFunction<int()> f = [p = std::move(p)] { return *p; };
+  EXPECT_EQ(f(), 7);
+}
+
+/// Randomized differential test: the calendar-queue kernel and the
+/// reference priority-queue kernel must produce bit-identical dispatch
+/// sequences — (time, event id) — for identical workloads mixing
+/// handshake-scale delays, far timeouts and same-time ties.
+template <typename Kernel>
+std::vector<std::pair<Time, std::uint64_t>> run_storm(std::uint64_t seed) {
+  Kernel sim;
+  Rng rng(seed);
+  std::vector<std::pair<Time, std::uint64_t>> trace;
+  std::uint64_t next_id = 0;
+  std::uint64_t budget = 20000;
+
+  struct Ctl {
+    Kernel* sim;
+    Rng* rng;
+    std::vector<std::pair<Time, std::uint64_t>>* trace;
+    std::uint64_t* next_id;
+    std::uint64_t* budget;
+  } ctl{&sim, &rng, &trace, &next_id, &budget};
+
+  struct Node {
+    Ctl* c;
+    std::uint64_t id;
+    void operator()() const {
+      c->trace->emplace_back(c->sim->now(), id);
+      if (*c->budget == 0) return;
+      // 0-2 follow-ups with mixed horizons, sometimes zero delay.
+      const std::uint64_t kids = c->rng->next_below(3);
+      for (std::uint64_t k = 0; k < kids && *c->budget > 0; ++k) {
+        --*c->budget;
+        const std::uint64_t kind = c->rng->next_below(10);
+        Time d = 0;
+        if (kind == 0) {
+          d = 0;  // same-timestamp tie
+        } else if (kind == 1) {
+          d = 3 * 1000 * 1000 + c->rng->next_below(20 * 1000 * 1000);
+        } else {
+          d = 60 + c->rng->next_below(2500);
+        }
+        c->sim->after(d, Node{c, (*c->next_id)++});
+      }
+    }
+  };
+
+  for (int i = 0; i < 32; ++i) {
+    sim.after(rng.next_below(1000), Node{&ctl, next_id++});
+  }
+  sim.run();
+  return trace;
+}
+
+TEST(SchedulerDifferential, BitIdenticalDispatchVsLegacyKernel) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    const auto a = run_storm<Simulator>(seed);
+    const auto b = run_storm<LegacySimulator>(seed);
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "divergence at event " << i << ", seed "
+                            << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mango::sim

@@ -3,12 +3,14 @@
 
 #include "noc/router/sharebox.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 TEST(Sharebox, LockUnlockCycle) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   Sharebox box(sim, /*rearm_ps=*/100);
   EXPECT_TRUE(box.can_admit());
   box.on_admit();
@@ -22,14 +24,16 @@ TEST(Sharebox, LockUnlockCycle) {
 }
 
 TEST(Sharebox, DoubleAdmitIsProtocolViolation) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   Sharebox box(sim, 100);
   box.on_admit();
   EXPECT_THROW(box.on_admit(), mango::ModelError);
 }
 
 TEST(Sharebox, UnlockWhileUnlockedIsProtocolViolation) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   Sharebox box(sim, 100);
   EXPECT_THROW(box.on_reverse_signal(), mango::ModelError);
 }
@@ -37,7 +41,8 @@ TEST(Sharebox, UnlockWhileUnlockedIsProtocolViolation) {
 TEST(Sharebox, AtMostOneFlitInTheMedia) {
   // The defining share-based property: between admit and unlock, no
   // further admit is possible.
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   Sharebox box(sim, 50);
   int admitted = 0;
   for (int round = 0; round < 20; ++round) {
@@ -53,7 +58,8 @@ TEST(Sharebox, AtMostOneFlitInTheMedia) {
 }
 
 TEST(CreditBox, AllowsAsManyInFlightAsCredits) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   CreditBox box(sim, 3);
   EXPECT_EQ(box.credits(), 3u);
   box.on_admit();
@@ -64,7 +70,8 @@ TEST(CreditBox, AllowsAsManyInFlightAsCredits) {
 }
 
 TEST(CreditBox, CreditReturnReenables) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   CreditBox box(sim, 1);
   box.on_admit();
   int ready = 0;
@@ -75,13 +82,15 @@ TEST(CreditBox, CreditReturnReenables) {
 }
 
 TEST(CreditBox, OverflowingCreditsIsProtocolViolation) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   CreditBox box(sim, 2);
   EXPECT_THROW(box.on_reverse_signal(), mango::ModelError);
 }
 
 TEST(FlowControlFactory, BuildsTheRequestedScheme) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   auto share = make_flow_control(sim, VcScheme::kShareBased, 100, 2);
   auto credit = make_flow_control(sim, VcScheme::kCreditBased, 100, 2);
   ASSERT_NE(dynamic_cast<Sharebox*>(share.get()), nullptr);

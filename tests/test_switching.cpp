@@ -6,12 +6,14 @@
 #include "noc/common/config.hpp"
 #include "noc/router/switching.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 struct SwitchingFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   RouterConfig cfg;
   StageDelays delays = stage_delays(TimingCorner::kWorstCase);
   SwitchingModule sw{sim, cfg, delays};
@@ -145,7 +147,8 @@ TEST_F(SwitchingFixture, CountsRoutedFlits) {
 }
 
 TEST(SwitchingConfig, RejectsOversizedVcCounts) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   RouterConfig cfg;
   cfg.vcs_per_port = 9;  // 5 steering bits cap at 8
   const StageDelays delays = stage_delays(TimingCorner::kWorstCase);
@@ -153,7 +156,8 @@ TEST(SwitchingConfig, RejectsOversizedVcCounts) {
 }
 
 TEST(SwitchingConfig, SmallerVcCountsWork) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   RouterConfig cfg;
   cfg.vcs_per_port = 4;  // one half-switch per output
   const StageDelays delays = stage_delays(TimingCorner::kWorstCase);

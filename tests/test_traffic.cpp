@@ -8,6 +8,7 @@
 #include "noc/traffic/sink.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
@@ -16,9 +17,10 @@ using sim::operator""_ns;
 using sim::operator""_us;
 
 struct TrafficFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   MeshConfig mesh{3, 2, RouterConfig{}, 1};
-  Network net{sim, mesh};
+  Network net{ctx, mesh};
   ConnectionManager mgr{net, NodeId{0, 0}};
   MeasurementHub hub;
 
@@ -29,7 +31,7 @@ TEST_F(TrafficFixture, CbrSourceHitsItsRate) {
   const Connection& c = mgr.open_direct({0, 0}, {2, 0});
   GsStreamSource::Options opt;
   opt.period_ps = 10000;  // 0.1 flits/ns
-  GsStreamSource src(sim, net.na({0, 0}), c.src_iface, 1, opt);
+  GsStreamSource src(net.na({0, 0}), c.src_iface, 1, opt);
   src.start();
   sim.run_until(50_us);
   src.stop();
@@ -45,7 +47,7 @@ TEST_F(TrafficFixture, BurstSourceAlternatesOnOff) {
   opt.period_ps = 4000;
   opt.burst_on_ps = 20000;
   opt.burst_off_ps = 20000;  // 50% duty
-  GsStreamSource src(sim, net.na({0, 0}), c.src_iface, 2, opt);
+  GsStreamSource src(net.na({0, 0}), c.src_iface, 2, opt);
   src.start();
   sim.run_until(80_us);
   src.stop();
@@ -61,7 +63,7 @@ TEST_F(TrafficFixture, MaxFlitsStopsTheSource) {
   GsStreamSource::Options opt;
   opt.period_ps = 2000;
   opt.max_flits = 123;
-  GsStreamSource src(sim, net.na({0, 0}), c.src_iface, 3, opt);
+  GsStreamSource src(net.na({0, 0}), c.src_iface, 3, opt);
   src.start();
   sim.run();
   EXPECT_EQ(src.generated(), 123u);
@@ -73,7 +75,7 @@ TEST_F(TrafficFixture, DelayedStartHonored) {
   GsStreamSource::Options opt;
   opt.period_ps = 1000;
   opt.max_flits = 10;
-  GsStreamSource src(sim, net.na({0, 0}), c.src_iface, 4, opt);
+  GsStreamSource src(net.na({0, 0}), c.src_iface, 4, opt);
   src.start(5_us);
   sim.run();
   // First delivery can't predate the start time.

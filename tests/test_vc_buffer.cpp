@@ -3,12 +3,14 @@
 
 #include "noc/router/vc_buffer.hpp"
 #include "sim/simulator.hpp"
+#include "sim/context.hpp"
 
 namespace mango::noc {
 namespace {
 
 struct VcBufferFixture : ::testing::Test {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   StageDelays delays = stage_delays(TimingCorner::kWorstCase);
   VcBufferId id{port_of(Direction::kEast), 2};
   VcBuffer buf{sim, delays, VcScheme::kShareBased, id};
@@ -85,7 +87,8 @@ TEST_F(VcBufferFixture, CountsFlitsAndPeakOccupancy) {
 }
 
 TEST(VcBufferCredit, CreditSchemeSignalsOnPop) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   const StageDelays delays = stage_delays(TimingCorner::kWorstCase);
   VcBuffer buf(sim, delays, VcScheme::kCreditBased,
                VcBufferId{port_of(Direction::kWest), 0});
@@ -99,7 +102,8 @@ TEST(VcBufferCredit, CreditSchemeSignalsOnPop) {
 }
 
 TEST(VcBufferOrder, FifoOrderPreserved) {
-  sim::Simulator sim;
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
   const StageDelays delays = stage_delays(TimingCorner::kWorstCase);
   VcBuffer buf(sim, delays, VcScheme::kShareBased,
                VcBufferId{port_of(Direction::kNorth), 1});
