@@ -6,8 +6,11 @@
 // seeded their own RNGs, stats lived wherever a bench put them); now a
 // single context object is threaded through Network -> Router/NA/Link ->
 // traffic, and any component can reach every service from it. Two
-// SimContexts never share state, so independent simulations can run
-// side by side in one process (A/B corners, differential tests).
+// SimContexts never share state — each owns its kernel, RNG, stats and
+// logger — so independent simulations can run side by side in one
+// process (A/B corners, differential tests). Only the MANGO_LOG macro
+// bypasses the context: it writes to the process-global
+// Logger::instance(), not to any context's logger.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +28,7 @@ class SimContext {
   static constexpr std::uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ull;
 
   explicit SimContext(std::uint64_t seed = kDefaultSeed)
-      : seed_(seed), rng_(seed), log_(Logger::instance()) {}
+      : seed_(seed), rng_(seed) {}
 
   SimContext(const SimContext&) = delete;
   SimContext& operator=(const SimContext&) = delete;
@@ -54,7 +57,7 @@ class SimContext {
   Simulator sim_;
   Rng rng_;
   StatsRegistry stats_;
-  Logger& log_;
+  Logger log_;
 };
 
 }  // namespace mango::sim

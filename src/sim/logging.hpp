@@ -18,6 +18,11 @@ class Logger {
  public:
   using Sink = std::function<void(LogLevel, Time, const std::string&)>;
 
+  /// A fresh logger: level kOff, default stderr sink. SimContext owns one
+  /// per simulation so contexts stay fully isolated.
+  Logger();
+
+  /// The process-global logger backing the MANGO_LOG macro.
   static Logger& instance();
 
   void set_level(LogLevel lvl) { level_ = lvl; }
@@ -32,7 +37,6 @@ class Logger {
   void log(LogLevel lvl, Time now, const std::string& msg);
 
  private:
-  Logger();
   LogLevel level_ = LogLevel::kOff;
   Sink sink_;
 };

@@ -45,26 +45,30 @@ void Simulator::at(Time t, Callback cb) {
 void Simulator::insert(EventNode* n) {
   if (pending_ == 0) {
     // Queue fully drained: re-anchor the wheel at the current time so the
-    // horizon always starts at now() (run_until may have advanced now()
-    // far past the stale cursor).
+    // cursor starts at (or below) the new event's granule (run_until may
+    // have advanced now() far past the stale cursor).
     cur_granule_ = granule_of(now_);
   } else if (granule_of(n->time) < cur_granule_) {
     // The cursor fast-forwarded past this granule (next_event_time()
     // scanning ahead of a declined run_until boundary). Rewind it to
-    // now()'s granule: every bucket in [granule(now), cur_granule_) is
-    // empty — the cursor only skips empty or drained buckets — so the
-    // rewound window still covers every wheel event.
+    // now()'s granule: every pending event has time >= now() and — by the
+    // now()-anchored admission bound below — every wheel event's granule
+    // lies in [granule(now), granule(now) + kWheelSize), so the rewound
+    // cursor sits at or below every wheel event and each bucket still
+    // holds events of a single granule.
     cur_granule_ = granule_of(now_);
   }
   ++pending_;
-  if (granule_of(n->time) < cur_granule_ + kWheelSize) {
+  // Wheel admission is bounded by now(), NOT the cursor: the cursor may
+  // legitimately sit anywhere in [granule(now), granule(now) + kWheelSize)
+  // after fast-forwarding, and a cursor-relative bound would admit events
+  // that alias into an already-passed bucket — and so dispatch one full
+  // wheel lap early — once a near insert rewinds the cursor.
+  if (granule_of(n->time) < granule_of(now_) + kWheelSize) {
     insert_wheel(n);
   } else {
     overflow_.push_back(n);
-    std::push_heap(overflow_.begin(), overflow_.end(),
-                   [](const EventNode* a, const EventNode* b) {
-                     return earlier(b->time, b->seq, a->time, a->seq);
-                   });
+    std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
   }
 }
 
@@ -102,14 +106,13 @@ void Simulator::insert_wheel(EventNode* n) {
 }
 
 void Simulator::migrate_overflow() {
-  const auto later = [](const EventNode* a, const EventNode* b) {
-    return earlier(b->time, b->seq, a->time, a->seq);
-  };
+  // Same now()-anchored horizon as insert(): migrating against the cursor
+  // would re-create the one-lap-early aliasing that admission avoids.
   while (!overflow_.empty() &&
-         granule_of(overflow_.front()->time) < cur_granule_ + kWheelSize) {
+         granule_of(overflow_.front()->time) < granule_of(now_) + kWheelSize) {
     // The heap pops in (time, seq) order, so same-bucket migrants arrive
     // in dispatch order and insert_wheel's append fast path applies.
-    std::pop_heap(overflow_.begin(), overflow_.end(), later);
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
     EventNode* n = overflow_.back();
     overflow_.pop_back();
     insert_wheel(n);
@@ -118,14 +121,23 @@ void Simulator::migrate_overflow() {
 
 Simulator::EventNode* Simulator::pop_earliest() {
   if (wheel_count_ == 0) {
-    // Everything pending lives in the overflow; jump the cursor to it.
-    cur_granule_ = granule_of(overflow_.front()->time);
-  } else if (!overflow_.empty() &&
-             granule_of(overflow_.front()->time) < cur_granule_) {
+    // Everything pending lives beyond the horizon: pop the overflow heap
+    // directly and re-anchor the cursor at the popped event's granule.
+    // step() sets now() to its time before dispatch, so the remaining
+    // overflow (all with time >= this one) stays ahead of the window.
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    EventNode* n = overflow_.back();
+    overflow_.pop_back();
+    cur_granule_ = granule_of(n->time);
+    --pending_;
+    return n;
+  }
+  if (!overflow_.empty() &&
+      granule_of(overflow_.front()->time) < cur_granule_) {
     // next_event_time() fast-forwarded the cursor past the overflow
     // top's granule (an overflow event older than every wheel event).
-    // Rewind to now()'s granule — the skipped buckets are empty — so the
-    // migration below lands it ahead of the cursor, not behind it.
+    // Rewind to now()'s granule — at or below every pending granule — so
+    // the migration below lands it ahead of the cursor, not behind it.
     cur_granule_ = granule_of(now_);
   }
   migrate_overflow();
@@ -182,7 +194,16 @@ std::uint64_t Simulator::run_until(Time t_end) {
     step();
     ++n;
   }
-  if (now_ < t_end) now_ = t_end;
+  if (now_ < t_end) {
+    now_ = t_end;
+    // Keep the cursor at or above granule(now) — the wheel scan is only
+    // correct when every wheel event lies within one lap of the cursor,
+    // and admission bounds events by granule(now) + kWheelSize. The jump
+    // cannot pass a non-empty bucket: everything still pending is later
+    // than t_end. (step() maintains the invariant by itself: the popped
+    // event's granule, where the cursor ends up, is granule(new now).)
+    if (cur_granule_ < granule_of(now_)) cur_granule_ = granule_of(now_);
+  }
   return n;
 }
 

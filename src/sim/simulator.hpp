@@ -95,6 +95,13 @@ class Simulator {
     EventNode* head = nullptr;
     EventNode* tail = nullptr;
   };
+  /// Min-heap comparator for the overflow: true when `a` dispatches after
+  /// `b`.
+  struct HeapLater {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      return earlier(b->time, b->seq, a->time, a->seq);
+    }
+  };
 
   static constexpr unsigned kBucketShift = 9;  // 512 ps per bucket
   static constexpr unsigned kWheelBits = 12;   // 4096 buckets, ~2.1 us horizon
@@ -126,8 +133,12 @@ class Simulator {
 
   Bucket wheel_[kWheelSize] = {};
   std::size_t wheel_count_ = 0;
-  /// Granule of the wheel cursor; every wheel event's granule lies in
-  /// [cur_granule_, cur_granule_ + kWheelSize).
+  /// Granule of the wheel cursor. Invariants: every wheel event's granule
+  /// lies in [granule(now), granule(now) + kWheelSize) — admission and
+  /// migration are bounded by now(), so each bucket holds events of one
+  /// granule only — and the cursor never passes a non-empty bucket, so
+  /// cur_granule_ <= the minimum wheel granule whenever the wheel is
+  /// non-empty (insert() rewinds it to granule(now) otherwise).
   std::uint64_t cur_granule_ = 0;
 
   /// Beyond-horizon events: min-heap on (time, seq).

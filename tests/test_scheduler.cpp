@@ -49,13 +49,20 @@ TEST(Scheduler, OverflowEventsDispatchAfterWheelEvents) {
 TEST(Scheduler, OverflowTieBreaksBySeqAfterMigration) {
   Simulator sim;
   std::vector<int> order;
-  // Both beyond the horizon at the same timestamp: the overflow heap must
+  // All beyond the horizon at the same timestamp: the overflow heap must
   // preserve insertion order when they migrate into one bucket.
   for (int i = 0; i < 8; ++i) {
     sim.at(kBeyondHorizon, [&order, i] { order.push_back(i); });
   }
+  // Advance the clock to just below the ties and anchor a wheel event so
+  // the ties actually take the migration path (with an empty wheel the
+  // kernel pops the overflow heap directly, which would not cover it).
+  sim.run_until(kBeyondHorizon - 1000);
+  sim.after(50, [&order] { order.push_back(-1); });
   sim.run();
-  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  ASSERT_EQ(order.size(), 9u);
+  EXPECT_EQ(order[0], -1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i) + 1], i);
 }
 
 TEST(Scheduler, OverflowEventEarlierThanLaterWheelInsertStillWins) {
@@ -153,6 +160,29 @@ TEST(Scheduler, InsertBelowFastForwardedCursorStillDispatchesInOrder) {
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(sim.now(), 1 * 1000 * 1000u);
+}
+
+TEST(Scheduler, FarInsertUnderFastForwardedCursorDoesNotLapEarly) {
+  // Regression: run_until() declines the first event after
+  // next_event_time() fast-forwarded the cursor well past granule(now).
+  // An insert that is beyond now()'s wheel horizon but *within the
+  // cursor's* must not be admitted to the wheel: a subsequent near insert
+  // rewinds the cursor to granule(now), and the far event — aliased into
+  // a bucket between the rewound cursor and the declined event — would
+  // dispatch one full wheel lap early (and drag now() backwards after it).
+  Simulator sim;
+  std::vector<int> order;
+  // Granules (512 ps buckets): 51200 -> 100, 2107392 -> 4116, 5120 -> 10.
+  // From now()=10 the horizon ends at granule 4096; from the cursor
+  // (fast-forwarded to 100) it would end at 4196, wrongly admitting 4116.
+  sim.at(51200, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run_until(10), 0u);  // peek fast-forwards cursor to 100
+  sim.at(2107392, [&] { order.push_back(3); });  // beyond now()+horizon
+  sim.at(5120, [&] { order.push_back(1); });     // below cursor: rewinds
+  std::vector<Time> times;
+  while (sim.step()) times.push_back(sim.now());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(times, (std::vector<Time>{5120, 51200, 2107392}));
 }
 
 TEST(Scheduler, OverflowMigrationAfterCursorFastForward) {
@@ -274,7 +304,32 @@ std::vector<std::pair<Time, std::uint64_t>> run_storm(std::uint64_t seed) {
   for (int i = 0; i < 32; ++i) {
     sim.after(rng.next_below(1000), Node{&ctl, next_id++});
   }
-  sim.run();
+  // Drive through randomized run_until() boundaries instead of one run(),
+  // peeking next_event_time() (which fast-forwards the calendar cursor)
+  // and scheduling fresh events from *outside* any callback between
+  // segments — the cursor fast-forward/rewind state space that pure
+  // run()-driven storms never enter. The wheel horizon is ~2.1 us, so the
+  // delay mix below straddles it from both sides.
+  while (!sim.idle()) {
+    sim.run_until(sim.now() + 1 + rng.next_below(6 * 1000 * 1000));
+    (void)sim.next_event_time();
+    const std::uint64_t extra = rng.next_below(3);
+    for (std::uint64_t k = 0; k < extra && budget > 0; ++k) {
+      --budget;
+      const std::uint64_t kind = rng.next_below(4);
+      Time d = 0;
+      if (kind == 0) {
+        d = rng.next_below(2500);  // near: below the cursor when rewound
+      } else if (kind == 1) {
+        // Horizon edge: beyond now()+horizon yet possibly within the
+        // fast-forwarded cursor's window (the lap-early aliasing shape).
+        d = 2 * 1000 * 1000 + rng.next_below(400 * 1000);
+      } else {
+        d = 3 * 1000 * 1000 + rng.next_below(20 * 1000 * 1000);  // far
+      }
+      sim.after(d, Node{&ctl, next_id++});
+    }
+  }
   return trace;
 }
 
