@@ -1,0 +1,272 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "model/timing.hpp"
+#include "noc/network/connection_manager.hpp"
+#include "noc/network/network.hpp"
+#include "noc/network/report.hpp"
+#include "sim/context.hpp"
+#include "sim/stats.hpp"
+
+namespace mango::exp {
+
+namespace {
+
+/// Appends every flow with a tag in [base, base+count) to `merged` in
+/// tag order (deterministic) and returns the matched flows.
+std::vector<const noc::FlowStats*> flows_in_range(
+    const noc::MeasurementHub& hub, std::uint32_t base, std::uint32_t count) {
+  std::vector<const noc::FlowStats*> out;
+  for (const auto& [tag, s] : hub.flows()) {
+    if (tag >= base && tag < base + count) out.push_back(&s);
+  }
+  return out;
+}
+
+ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
+                            noc::Network& net, const noc::MeasurementHub& hub,
+                            const std::vector<noc::GsSetEndpoint>& gs_eps) {
+  ScenarioStats st;
+  st.events = ctx.sim().events_dispatched();
+  const double duration_ns = sim::to_ns(spec.duration_ps);
+
+  // --- BE aggregate ---
+  st.be_packets_generated =
+      ctx.stats().counter_value("traffic.be_packets_generated");
+  sim::Histogram be_lat;
+  for (const noc::FlowStats* f : flows_in_range(
+           hub, noc::kBeTagBase,
+           static_cast<std::uint32_t>(net.node_count()))) {
+    st.be_packets_delivered += f->packets;
+    for (const double s : f->latency_ns.samples()) be_lat.add(s);
+  }
+  if (duration_ns > 0) {
+    st.be_throughput_pkts_per_ns =
+        static_cast<double>(st.be_packets_delivered) / duration_ns;
+  }
+  st.be_latency_p50_ns = be_lat.p50();
+  st.be_latency_p95_ns = be_lat.p95();
+  st.be_latency_p99_ns = be_lat.p99();
+  st.be_latency_max_ns = be_lat.max();
+
+  // --- GS aggregate + guarantee check ---
+  st.gs_connections = gs_eps.size();
+  st.gs_flits_generated =
+      ctx.stats().counter_value("traffic.gs_flits_generated");
+  const double guarantee = model::fair_share_guarantee_flits_per_ns(
+      spec.router.corner, spec.router.vcs_per_port,
+      net.config().link_pipeline_stages);
+  const double offered = spec.gs_period_ps == 0
+                             ? guarantee
+                             : 1000.0 / static_cast<double>(spec.gs_period_ps);
+  const double expected_rate = std::min(offered, guarantee);
+  sim::Histogram gs_lat;
+  for (const noc::GsSetEndpoint& ep : gs_eps) {
+    if (!hub.has_flow(ep.tag)) {
+      // Nothing delivered on an open, driven connection at all.
+      ++st.guarantee_violations;
+      continue;
+    }
+    const auto& flows = hub.flows();
+    const noc::FlowStats& f = flows.at(ep.tag);
+    st.gs_flits_delivered += f.flits;
+    st.gs_seq_errors += f.seq_errors;
+    sim::Accumulator acc;
+    for (const double s : f.latency_ns.samples()) {
+      gs_lat.add(s);
+      acc.add(s);
+    }
+    st.gs_jitter_max_ns = std::max(st.gs_jitter_max_ns, acc.stddev());
+    // Rate contract: over the horizon the connection must deliver at
+    // least min(offered, guarantee), with 10% tolerance for fill and
+    // drain edges. Only meaningful when the horizon spans many flits.
+    const double expected_count = expected_rate * duration_ns;
+    const bool shortfall =
+        expected_count >= 16.0 &&
+        static_cast<double>(f.flits) < 0.9 * expected_count;
+    if (shortfall || f.seq_errors > 0) ++st.guarantee_violations;
+  }
+  if (duration_ns > 0) {
+    st.gs_throughput_flits_per_ns =
+        static_cast<double>(st.gs_flits_delivered) / duration_ns;
+  }
+  st.gs_latency_p50_ns = gs_lat.p50();
+  st.gs_latency_p99_ns = gs_lat.p99();
+  st.gs_latency_max_ns = gs_lat.max();
+
+  // --- link summary ---
+  const noc::NetworkReport rep =
+      noc::NetworkReport::collect(net, spec.duration_ps);
+  st.total_flits_on_links = rep.total_flits_on_links;
+  st.peak_link_utilization = rep.peak_link_utilization;
+  return st;
+}
+
+std::uint64_t sum_held(
+    const std::vector<std::unique_ptr<noc::BeTrafficSource>>& sources) {
+  std::uint64_t held = 0;
+  for (const auto& s : sources) held += s->offered_but_held();
+  return held;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ScenarioResult result;
+  result.spec = spec;
+  try {
+    sim::SimContext ctx(spec.seed);
+    noc::MeshConfig mesh;
+    mesh.width = spec.width;
+    mesh.height = spec.height;
+    mesh.router = spec.router;
+    noc::Network net(ctx, mesh);
+    noc::MeasurementHub hub;
+    noc::attach_hub(net, hub);
+
+    noc::ConnectionManager mgr(net, net.node_at(0));
+    const std::vector<noc::GsSetEndpoint> gs_eps =
+        noc::open_gs_set(net, mgr, spec.gs_set, spec.gs_opt);
+    noc::GsStreamSource::Options gs_opt;
+    gs_opt.period_ps = spec.gs_period_ps;
+    const auto gs_sources = noc::start_gs_set(net, gs_eps, gs_opt);
+    const auto be_sources = noc::start_pattern_be(
+        net, spec.pattern, spec.pattern_opt, spec.be_interarrival_ps,
+        spec.payload_words, spec.seed);
+
+    ctx.run_until(spec.duration_ps);
+    result.stats = collect_stats(spec, ctx, net, hub, gs_eps);
+    result.stats.be_injections_held = sum_held(be_sources);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return result;
+}
+
+std::vector<ScenarioSpec> SweepGrid::expand() const {
+  const auto meshes_v =
+      meshes.empty()
+          ? std::vector<std::pair<std::uint16_t, std::uint16_t>>{{base.width,
+                                                                  base.height}}
+          : meshes;
+  const auto patterns_v = patterns.empty()
+                              ? std::vector<noc::BePattern>{base.pattern}
+                              : patterns;
+  const auto ia_v = interarrivals_ps.empty()
+                        ? std::vector<sim::Time>{base.be_interarrival_ps}
+                        : interarrivals_ps;
+  const auto gs_v = gs_sets.empty() ? std::vector<noc::GsSetKind>{base.gs_set}
+                                    : gs_sets;
+  const auto seeds_v =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(meshes_v.size() * patterns_v.size() * ia_v.size() *
+                gs_v.size() * seeds_v.size());
+  for (const auto& [w, h] : meshes_v) {
+    for (const noc::BePattern p : patterns_v) {
+      for (const sim::Time ia : ia_v) {
+        for (const noc::GsSetKind g : gs_v) {
+          for (const std::uint64_t s : seeds_v) {
+            ScenarioSpec spec = base;
+            spec.width = w;
+            spec.height = h;
+            spec.pattern = p;
+            spec.be_interarrival_ps = ia;
+            spec.gs_set = g;
+            spec.seed = s;
+            spec.name = std::string(noc::to_string(p)) + "-" +
+                        std::to_string(w) + "x" + std::to_string(h) + "-ia" +
+                        std::to_string(ia) + "-gs:" + noc::to_string(g) +
+                        "-s" + std::to_string(s);
+            specs.push_back(std::move(spec));
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+namespace {
+
+SweepGrid make_ci_smoke() {
+  SweepGrid g;
+  g.base.duration_ps = 1000000;  // 1 us horizon per scenario
+  g.base.be_interarrival_ps = 8000;
+  g.base.gs_period_ps = 8000;
+  g.meshes = {{2, 2}, {3, 3}};
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kTranspose,
+                noc::BePattern::kHotspot};
+  g.gs_sets = {noc::GsSetKind::kRing};
+  g.seeds = {1};
+  return g;
+}
+
+SweepGrid make_patterns_4x4() {
+  SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 2000000;
+  g.patterns = noc::all_be_patterns();
+  g.interarrivals_ps = {4000, 12000};
+  g.gs_sets = {noc::GsSetKind::kNone, noc::GsSetKind::kRing};
+  return g;
+}
+
+SweepGrid make_rate_sweep_4x4() {
+  SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 2000000;
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kTornado};
+  g.interarrivals_ps = {2000, 4000, 8000, 16000, 32000};
+  g.seeds = {1, 2};
+  return g;
+}
+
+SweepGrid make_gs_stress_4x4() {
+  SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 2000000;
+  g.base.gs_period_ps = 0;  // saturate every connection
+  g.base.be_interarrival_ps = 4000;
+  g.gs_sets = {noc::GsSetKind::kRing, noc::GsSetKind::kRandomPairs,
+               noc::GsSetKind::kAllToHotspot};
+  g.seeds = {1, 2};
+  return g;
+}
+
+SweepGrid make_bench_grid() {
+  SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 5000000;
+  g.base.be_interarrival_ps = 4000;
+  g.base.gs_set = noc::GsSetKind::kRing;
+  g.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  return g;
+}
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  return {"ci-smoke", "patterns-4x4", "rate-sweep-4x4", "gs-stress-4x4",
+          "bench-grid"};
+}
+
+std::optional<SweepGrid> find_preset(const std::string& name) {
+  if (name == "ci-smoke") return make_ci_smoke();
+  if (name == "patterns-4x4") return make_patterns_4x4();
+  if (name == "rate-sweep-4x4") return make_rate_sweep_4x4();
+  if (name == "gs-stress-4x4") return make_gs_stress_4x4();
+  if (name == "bench-grid") return make_bench_grid();
+  return std::nullopt;
+}
+
+}  // namespace mango::exp

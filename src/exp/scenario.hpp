@@ -1,0 +1,114 @@
+// Declarative simulation scenarios.
+//
+// A ScenarioSpec is a value describing one complete experiment: mesh
+// size, BE traffic pattern and rate, GS connection set, duration and
+// seed. run_scenario() turns a spec into numbers inside its own
+// SimContext, touching no state outside that context — which is what
+// lets the SweepRunner (sweep.hpp) execute many specs concurrently.
+// SweepGrid expands cartesian products of spec dimensions, and a small
+// registry of named presets ("ci-smoke", ...) gives CI and the CLI
+// stable entry points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/common/config.hpp"
+#include "noc/traffic/workload.hpp"
+#include "sim/time.hpp"
+
+namespace mango::exp {
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::uint16_t width = 4;
+  std::uint16_t height = 4;
+  noc::RouterConfig router;
+
+  // Best-effort traffic, one source per node (see start_pattern_be).
+  noc::BePattern pattern = noc::BePattern::kUniform;
+  noc::BePatternOptions pattern_opt;
+  sim::Time be_interarrival_ps = 10000;  ///< mean per node; 0 = saturate
+  unsigned payload_words = 4;
+
+  // Guaranteed-service connection set, each driven by a CBR source.
+  noc::GsSetKind gs_set = noc::GsSetKind::kNone;
+  noc::GsSetOptions gs_opt;
+  sim::Time gs_period_ps = 4000;  ///< flit period per connection; 0 = saturate
+
+  sim::Time duration_ps = 2000000;  ///< simulated horizon (2 us default)
+  std::uint64_t seed = 1;
+};
+
+/// Everything measured from one scenario run. All fields derive from
+/// the simulation alone (no wall-clock), so two runs of the same spec
+/// are bit-identical regardless of scheduling or thread placement.
+struct ScenarioStats {
+  std::uint64_t events = 0;
+
+  // BE aggregate over all node flows.
+  std::uint64_t be_packets_generated = 0;
+  std::uint64_t be_packets_delivered = 0;
+  std::uint64_t be_injections_held = 0;  ///< backpressured injection attempts
+  double be_throughput_pkts_per_ns = 0.0;
+  double be_latency_p50_ns = 0.0;
+  double be_latency_p95_ns = 0.0;
+  double be_latency_p99_ns = 0.0;
+  double be_latency_max_ns = 0.0;
+
+  // GS aggregate over the connection set.
+  std::uint64_t gs_connections = 0;
+  std::uint64_t gs_flits_generated = 0;
+  std::uint64_t gs_flits_delivered = 0;
+  double gs_throughput_flits_per_ns = 0.0;
+  double gs_latency_p50_ns = 0.0;
+  double gs_latency_p99_ns = 0.0;
+  double gs_latency_max_ns = 0.0;
+  /// Worst per-connection delivery jitter (stddev of latency samples).
+  double gs_jitter_max_ns = 0.0;
+
+  /// GS connections whose delivered rate fell below the fair-share
+  /// guarantee (min(offered, guarantee), 10% tolerance) or that saw
+  /// sequence errors — the paper's per-connection service contract.
+  std::uint64_t guarantee_violations = 0;
+  std::uint64_t gs_seq_errors = 0;
+
+  // Network-wide link summary (NetworkReport).
+  std::uint64_t total_flits_on_links = 0;
+  double peak_link_utilization = 0.0;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  ScenarioStats stats;
+  std::string error;    ///< non-empty if the run threw (stats invalid)
+  double wall_ms = 0.0; ///< host time; excluded from deterministic output
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs one scenario to its horizon in a fresh SimContext and collects
+/// stats. Deterministic per spec; throws nothing (errors are captured).
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Cartesian scenario grid. Empty dimension vectors fall back to the
+/// base spec's value; expansion order (and thus scenario naming and
+/// report order) is meshes > patterns > interarrivals > gs_sets > seeds.
+struct SweepGrid {
+  ScenarioSpec base;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> meshes;
+  std::vector<noc::BePattern> patterns;
+  std::vector<sim::Time> interarrivals_ps;
+  std::vector<noc::GsSetKind> gs_sets;
+  std::vector<std::uint64_t> seeds;
+
+  std::vector<ScenarioSpec> expand() const;
+};
+
+/// Registry of named preset grids (stable CI/CLI entry points).
+std::vector<std::string> preset_names();
+std::optional<SweepGrid> find_preset(const std::string& name);
+
+}  // namespace mango::exp

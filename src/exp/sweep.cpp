@@ -1,0 +1,172 @@
+#include "exp/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "noc/network/report.hpp"
+
+namespace mango::exp {
+
+std::size_t SweepReport::failed() const {
+  std::size_t n = 0;
+  for (const ScenarioResult& r : results) {
+    if (!r.ok()) ++n;
+  }
+  return n;
+}
+
+std::uint64_t SweepReport::total_events() const {
+  std::uint64_t n = 0;
+  for (const ScenarioResult& r : results) n += r.stats.events;
+  return n;
+}
+
+std::uint64_t SweepReport::total_violations() const {
+  std::uint64_t n = 0;
+  for (const ScenarioResult& r : results) n += r.stats.guarantee_violations;
+  return n;
+}
+
+double SweepReport::scenarios_per_hour() const {
+  if (wall_ms <= 0.0) return 0.0;
+  return static_cast<double>(results.size()) / (wall_ms / 3600000.0);
+}
+
+namespace {
+
+void write_spec(noc::JsonWriter& w, const ScenarioSpec& s) {
+  w.begin_object();
+  w.kv("name", s.name);
+  w.kv("width", static_cast<std::uint64_t>(s.width));
+  w.kv("height", static_cast<std::uint64_t>(s.height));
+  w.kv("pattern", noc::to_string(s.pattern));
+  w.kv("be_interarrival_ps", s.be_interarrival_ps);
+  w.kv("payload_words", s.payload_words);
+  w.kv("gs_set", noc::to_string(s.gs_set));
+  w.kv("gs_period_ps", s.gs_period_ps);
+  w.kv("duration_ps", s.duration_ps);
+  w.kv("seed", s.seed);
+  w.end_object();
+}
+
+void write_stats(noc::JsonWriter& w, const ScenarioStats& st) {
+  w.begin_object();
+  w.kv("events", st.events);
+  w.kv("be_packets_generated", st.be_packets_generated);
+  w.kv("be_packets_delivered", st.be_packets_delivered);
+  w.kv("be_injections_held", st.be_injections_held);
+  w.kv("be_throughput_pkts_per_ns", st.be_throughput_pkts_per_ns);
+  w.kv("be_latency_p50_ns", st.be_latency_p50_ns);
+  w.kv("be_latency_p95_ns", st.be_latency_p95_ns);
+  w.kv("be_latency_p99_ns", st.be_latency_p99_ns);
+  w.kv("be_latency_max_ns", st.be_latency_max_ns);
+  w.kv("gs_connections", st.gs_connections);
+  w.kv("gs_flits_generated", st.gs_flits_generated);
+  w.kv("gs_flits_delivered", st.gs_flits_delivered);
+  w.kv("gs_throughput_flits_per_ns", st.gs_throughput_flits_per_ns);
+  w.kv("gs_latency_p50_ns", st.gs_latency_p50_ns);
+  w.kv("gs_latency_p99_ns", st.gs_latency_p99_ns);
+  w.kv("gs_latency_max_ns", st.gs_latency_max_ns);
+  w.kv("gs_jitter_max_ns", st.gs_jitter_max_ns);
+  w.kv("guarantee_violations", st.guarantee_violations);
+  w.kv("gs_seq_errors", st.gs_seq_errors);
+  w.kv("total_flits_on_links", st.total_flits_on_links);
+  w.kv("peak_link_utilization", st.peak_link_utilization);
+  w.end_object();
+}
+
+}  // namespace
+
+void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
+  w.begin_object();
+  w.kv("scenarios", static_cast<std::uint64_t>(results.size()));
+  w.kv("failed", static_cast<std::uint64_t>(failed()));
+  w.kv("guarantee_violations", total_violations());
+  w.kv("total_events", total_events());
+  if (include_timing) {
+    w.kv("jobs", jobs);
+    w.kv("wall_ms", wall_ms);
+    w.kv("scenarios_per_hour", scenarios_per_hour());
+  }
+  w.key("results");
+  w.begin_array();
+  for (const ScenarioResult& r : results) {
+    w.begin_object();
+    w.key("spec");
+    write_spec(w, r.spec);
+    if (r.ok()) {
+      w.key("stats");
+      write_stats(w, r.stats);
+    } else {
+      w.kv("error", r.error);
+    }
+    if (include_timing) w.kv("wall_ms", r.wall_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string SweepReport::stats_json() const {
+  std::string out;
+  noc::JsonWriter w(&out);
+  write_json(w, /*include_timing=*/false);
+  out.push_back('\n');
+  return out;
+}
+
+std::string SweepReport::full_json() const {
+  std::string out;
+  noc::JsonWriter w(&out);
+  write_json(w, /*include_timing=*/true);
+  out.push_back('\n');
+  return out;
+}
+
+SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
+                             unsigned jobs, ProgressFn on_done) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepReport report;
+  report.results.resize(specs.size());
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  if (!specs.empty() && jobs > specs.size()) {
+    jobs = static_cast<unsigned>(specs.size());
+  }
+  report.jobs = jobs;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      report.results[i] = run_scenario(specs[i]);
+      const std::size_t finished =
+          done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (on_done) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        on_done(finished, specs.size(), report.results[i]);
+      }
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+}  // namespace mango::exp

@@ -1,0 +1,61 @@
+// Parallel scenario sweeps.
+//
+// SweepRunner fans a list of ScenarioSpecs across a std::thread pool.
+// Each scenario runs inside its own SimContext (one context per worker
+// at a time, zero shared mutable state between scenarios), so results
+// are bit-identical for any --jobs value: workers write into a
+// preallocated slot per spec and the report keeps spec order, not
+// completion order. The only process-global the simulation layer has is
+// Logger::instance() behind MANGO_LOG, which the sweep contract
+// requires to stay at its default kOff level while a sweep is running
+// (see DESIGN.md "Experiment layer").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace mango::noc {
+class JsonWriter;
+}
+
+namespace mango::exp {
+
+struct SweepReport {
+  std::vector<ScenarioResult> results;  ///< spec order, not finish order
+  unsigned jobs = 1;
+  double wall_ms = 0.0;
+
+  std::size_t failed() const;
+  std::uint64_t total_events() const;
+  std::uint64_t total_violations() const;
+
+  /// Scenarios per hour of wall time over this sweep (throughput figure
+  /// tracked by BENCH_sweep.json).
+  double scenarios_per_hour() const;
+
+  /// Deterministic serialization: specs + simulation stats only. Equal
+  /// strings for equal spec lists regardless of jobs/machine load.
+  std::string stats_json() const;
+
+  /// stats_json plus wall-clock timing and job count.
+  std::string full_json() const;
+
+  void write_json(noc::JsonWriter& w, bool include_timing) const;
+};
+
+class SweepRunner {
+ public:
+  /// Called after each scenario finishes (serialized by a mutex).
+  using ProgressFn = std::function<void(std::size_t done, std::size_t total,
+                                        const ScenarioResult&)>;
+
+  /// Runs every spec; `jobs` worker threads (0 = hardware concurrency).
+  static SweepReport run(const std::vector<ScenarioSpec>& specs,
+                         unsigned jobs, ProgressFn on_done = {});
+};
+
+}  // namespace mango::exp

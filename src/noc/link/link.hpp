@@ -61,6 +61,10 @@ class Link {
   sim::Time skew() const { return skew_; }
   std::uint64_t flits_carried() const { return flits_carried_; }
 
+  /// First endpoint as constructed (diagnostics/reports identify a link
+  /// by this side).
+  const Endpoint& endpoint_a() const { return a_; }
+
   /// Forward latency of this link (merge + stages * wire, plus skew and
   /// completion detection for 1-of-4).
   sim::Time forward_latency() const;

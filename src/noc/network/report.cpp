@@ -1,10 +1,135 @@
 #include "noc/network/report.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
 
 #include "sim/assert.hpp"
 
 namespace mango::noc {
+namespace {
+
+void value_escaped_into(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\t': out.append("\\t"); break;
+      case '\r': out.append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+// --- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::comma_and_indent() {
+  if (stack_.empty()) return;
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": on the same line
+  }
+  if (!stack_.back().first) out_->push_back(',');
+  stack_.back().first = false;
+  out_->push_back('\n');
+  out_->append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::begin_object() {
+  comma_and_indent();
+  out_->push_back('{');
+  stack_.push_back(Level{false, true});
+}
+
+void JsonWriter::end_object() {
+  MANGO_ASSERT(!stack_.empty() && !stack_.back().array, "json: not in object");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) {
+    out_->push_back('\n');
+    out_->append(2 * stack_.size(), ' ');
+  }
+  out_->push_back('}');
+}
+
+void JsonWriter::begin_array() {
+  comma_and_indent();
+  out_->push_back('[');
+  stack_.push_back(Level{true, true});
+}
+
+void JsonWriter::end_array() {
+  MANGO_ASSERT(!stack_.empty() && stack_.back().array, "json: not in array");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) {
+    out_->push_back('\n');
+    out_->append(2 * stack_.size(), ' ');
+  }
+  out_->push_back(']');
+}
+
+void JsonWriter::key(const std::string& k) {
+  MANGO_ASSERT(!stack_.empty() && !stack_.back().array,
+               "json: key outside object");
+  comma_and_indent();
+  value_escaped_into(*out_, k);
+  out_->append(": ");
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_and_indent();
+  value_escaped_into(*out_, v);
+}
+
+void JsonWriter::value(double v) {
+  comma_and_indent();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_->append(std::isnan(v) ? "null" : (v > 0 ? "1e308" : "-1e308"));
+    return;
+  }
+  // std::to_chars is specified as printf %.17g in the C locale, so the
+  // output is byte-stable even when the embedding application has set a
+  // comma-decimal LC_NUMERIC (snprintf would emit invalid JSON there).
+  char buf[32];
+  const auto res =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  out_->append(buf, res.ptr);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_and_indent();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_->append(buf);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_and_indent();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_->append(buf);
+}
+
+void JsonWriter::value(bool v) {
+  comma_and_indent();
+  out_->append(v ? "true" : "false");
+}
 
 NetworkReport NetworkReport::collect(Network& net, sim::Time window_ps) {
   MANGO_ASSERT(window_ps > 0, "report window must be positive");
@@ -19,6 +144,8 @@ NetworkReport NetworkReport::collect(Network& net, sim::Time window_ps) {
   const StageDelays d = stage_delays(net.config().router.corner);
   for (const auto& link : net.links()) {
     LinkReport lr;
+    lr.a = link->endpoint_a().router->node();
+    lr.a_port = link->endpoint_a().port;
     lr.flits = link->flits_carried();
     // A link carries at most one flit per arb_cycle per direction; the
     // counter aggregates both directions, so normalize by 2 slots/cycle.
@@ -49,6 +176,36 @@ void NetworkReport::print(std::FILE* out) const {
                links.size(),
                static_cast<unsigned long long>(total_flits_on_links),
                peak_link_utilization * 100.0);
+}
+
+void NetworkReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("routers");
+  w.begin_array();
+  for (const RouterReport& r : routers) {
+    w.begin_object();
+    w.kv("node", to_string(r.node));
+    w.kv("switch_flits", r.switch_flits);
+    w.kv("arb_grants", r.arb_grants);
+    w.kv("be_flits", r.be_flits);
+    w.kv("vc_control_signals", r.vc_control_signals);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("links");
+  w.begin_array();
+  for (const LinkReport& l : links) {
+    w.begin_object();
+    w.kv("node", to_string(l.a));
+    w.kv("port", port_name(l.a_port));
+    w.kv("flits", l.flits);
+    w.kv("utilization", l.utilization);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("total_flits_on_links", total_flits_on_links);
+  w.kv("peak_link_utilization", peak_link_utilization);
+  w.end_object();
 }
 
 }  // namespace mango::noc

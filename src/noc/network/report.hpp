@@ -1,14 +1,62 @@
 // Network-wide observability: per-router activity and per-link
-// utilization summaries for examples, benches and post-run analysis.
+// utilization summaries for examples, benches and post-run analysis,
+// plus the JSON writer used by them and the exp/ sweep reports.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "noc/network/network.hpp"
 #include "sim/time.hpp"
 
 namespace mango::noc {
+
+/// Minimal streaming JSON writer. Emits deterministic, byte-stable
+/// output: doubles are rendered with %.17g (shortest exact round-trip
+/// is not needed — identical bits always yield identical text), and the
+/// caller controls key order. No pretty-printing state beyond a fixed
+/// two-space indent.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes the key of the next member (objects only).
+  void key(const std::string& k);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void comma_and_indent();
+
+  std::string* out_;
+  struct Level {
+    bool array = false;
+    bool first = true;
+  };
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
 
 struct LinkReport {
   NodeId a;
@@ -37,6 +85,9 @@ struct NetworkReport {
 
   /// Renders a compact table to `out`.
   void print(std::FILE* out = stdout) const;
+
+  /// Serializes the report as one JSON object into `w`.
+  void write_json(JsonWriter& w) const;
 };
 
 }  // namespace mango::noc

@@ -114,11 +114,32 @@ BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
 }
 
 void BeTrafficSource::start(sim::Time at) {
-  net_.simulator().at(std::max(at, net_.simulator().now()),
-                      [this] { schedule_next(); });
+  net_.simulator().at(std::max(at, net_.simulator().now()), [this] {
+    if (modulated()) schedule_phase_toggle();
+    schedule_next();
+  });
+}
+
+void BeTrafficSource::schedule_phase_toggle() {
+  const double mean = static_cast<double>(
+      on_phase_ ? opt_.burst_on_mean_ps : opt_.burst_off_mean_ps);
+  const auto len =
+      std::max<sim::Time>(1, static_cast<sim::Time>(rng_.next_exponential(mean)));
+  phase_end_ = net_.simulator().now() + len;
+  net_.simulator().after(len, [this] {
+    if (stopped_) return;
+    on_phase_ = !on_phase_;
+    schedule_phase_toggle();
+  });
 }
 
 NodeId BeTrafficSource::pick_dst() {
+  if (opt_.dst_picker) {
+    const NodeId d = opt_.dst_picker(rng_);
+    MANGO_ASSERT(net_.topology().in_bounds(d) && d != src_,
+                 "dst_picker returned an invalid destination");
+    return d;
+  }
   if (opt_.fixed_dst.has_value()) return *opt_.fixed_dst;
   const std::size_t count = net_.node_count();
   for (;;) {
@@ -130,6 +151,12 @@ NodeId BeTrafficSource::pick_dst() {
 void BeTrafficSource::inject() {
   if (stopped_) return;
   if (opt_.max_packets != 0 && generated_ >= opt_.max_packets) return;
+  if (modulated() && !on_phase_) {
+    // Defer to the ON edge. The toggle event at phase_end_ was scheduled
+    // before this one, so it dispatches first and flips the phase.
+    net_.simulator().at(phase_end_, [this] { inject(); });
+    return;
+  }
   NetworkAdapter& na = net_.na(src_);
   if (na.be_queue_flits() > opt_.na_queue_limit) {
     // Backpressured: count and retry shortly without generating.

@@ -106,6 +106,17 @@ class BeTrafficSource {
     unsigned payload_words = 4;
     /// Fixed destination; unset = uniform random over other nodes.
     std::optional<NodeId> fixed_dst;
+    /// Per-packet destination chooser (traffic patterns); overrides
+    /// fixed_dst and the uniform default. Must return an in-bounds node
+    /// different from the source. Draws from the source's own RNG so the
+    /// whole injection process stays deterministic per seed.
+    std::function<NodeId(sim::Rng&)> dst_picker;
+    /// Markov-modulated on/off injection: the source alternates ON and
+    /// OFF phases with exponentially distributed lengths of these means;
+    /// packets are only injected while ON (injections that land in an
+    /// OFF phase are deferred to the next ON edge). Both 0 = unmodulated.
+    sim::Time burst_on_mean_ps = 0;
+    sim::Time burst_off_mean_ps = 0;
     /// Holds injection while the NA BE queue exceeds this (backpressure).
     std::size_t na_queue_limit = 64;
     std::uint64_t max_packets = 0;  ///< 0 = unlimited
@@ -123,8 +134,12 @@ class BeTrafficSource {
 
  private:
   void schedule_next();
+  void schedule_phase_toggle();
   void inject();
   NodeId pick_dst();
+  bool modulated() const {
+    return opt_.burst_on_mean_ps > 0 && opt_.burst_off_mean_ps > 0;
+  }
 
   Network& net_;
   NodeId src_;
@@ -135,6 +150,8 @@ class BeTrafficSource {
   std::uint64_t* generated_stat_;
   std::uint64_t generated_ = 0;
   std::uint64_t held_ = 0;
+  bool on_phase_ = true;        ///< current on/off modulation phase
+  sim::Time phase_end_ = 0;     ///< when the current phase toggles
   bool stopped_ = false;
 };
 

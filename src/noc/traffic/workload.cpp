@@ -1,5 +1,9 @@
 #include "noc/traffic/workload.hpp"
 
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
 namespace mango::noc {
 
 void attach_hub(Network& net, MeasurementHub& hub) {
@@ -17,19 +21,9 @@ void attach_hub(Network& net, MeasurementHub& hub) {
 std::vector<std::unique_ptr<BeTrafficSource>> start_uniform_be(
     Network& net, sim::Time mean_interarrival_ps, unsigned payload_words,
     std::uint64_t seed, sim::Time start_at) {
-  std::vector<std::unique_ptr<BeTrafficSource>> sources;
-  sources.reserve(net.node_count());
-  for (std::size_t i = 0; i < net.node_count(); ++i) {
-    const NodeId n = net.node_at(i);
-    BeTrafficSource::Options opt;
-    opt.mean_interarrival_ps = mean_interarrival_ps;
-    opt.payload_words = payload_words;
-    opt.seed = seed + i;
-    sources.push_back(std::make_unique<BeTrafficSource>(
-        net, n, kBeTagBase + static_cast<std::uint32_t>(i), opt));
-    sources.back()->start(start_at);
-  }
-  return sources;
+  BePatternOptions popt;
+  return start_pattern_be(net, BePattern::kUniform, popt, mean_interarrival_ps,
+                          payload_words, seed, start_at);
 }
 
 std::unique_ptr<GsStreamSource> saturate_connection(Network& net,
@@ -48,6 +42,249 @@ std::unique_ptr<GsStreamSource> saturate_connection(Network& net,
 double link_capacity_flits_per_ns(const Network& net) {
   const StageDelays d = stage_delays(net.config().router.corner);
   return 1000.0 / static_cast<double>(d.arb_cycle);
+}
+
+// --- BE patterns -----------------------------------------------------------
+
+const char* to_string(BePattern p) {
+  switch (p) {
+    case BePattern::kUniform: return "uniform";
+    case BePattern::kTranspose: return "transpose";
+    case BePattern::kBitComplement: return "bit-complement";
+    case BePattern::kTornado: return "tornado";
+    case BePattern::kHotspot: return "hotspot";
+    case BePattern::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+std::optional<BePattern> be_pattern_from_string(const std::string& s) {
+  for (const BePattern p : all_be_patterns()) {
+    if (s == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<BePattern> all_be_patterns() {
+  return {BePattern::kUniform,  BePattern::kTranspose,
+          BePattern::kBitComplement, BePattern::kTornado,
+          BePattern::kHotspot, BePattern::kBursty};
+}
+
+std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
+                                  const MeshTopology& topo) {
+  MANGO_ASSERT(topo.in_bounds(src), "pattern source out of bounds");
+  const std::uint16_t w = topo.width();
+  const std::uint16_t h = topo.height();
+  NodeId dst = src;
+  switch (p) {
+    case BePattern::kTranspose: {
+      // Row-major matrix transpose as an index permutation:
+      // i -> (i*w) mod (N-1), last index fixed. Always a bijection
+      // (gcd(w, w*h-1) = 1) and equal to the (x,y)->(y,x) coordinate
+      // swap on square meshes.
+      const std::size_t n = topo.node_count();
+      const std::size_t i = topo.index(src);
+      if (n < 2 || i == n - 1) return std::nullopt;
+      dst = topo.node_at((i * w) % (n - 1));
+      break;
+    }
+    case BePattern::kBitComplement: {
+      // Linear-index complement: i -> N-1-i (coordinate complement on
+      // power-of-two meshes, well defined on any size).
+      const std::size_t n = topo.node_count();
+      dst = topo.node_at(n - 1 - topo.index(src));
+      break;
+    }
+    case BePattern::kTornado:
+      // Half-ring offset in each dimension.
+      dst = NodeId{static_cast<std::uint16_t>((src.x + w / 2) % w),
+                   static_cast<std::uint16_t>((src.y + h / 2) % h)};
+      break;
+    case BePattern::kUniform:
+    case BePattern::kHotspot:
+    case BePattern::kBursty:
+      return std::nullopt;  // stochastic: no fixed destination
+  }
+  if (dst == src) return std::nullopt;  // self-mapped nodes stay silent
+  return dst;
+}
+
+namespace {
+
+NodeId pick_uniform_other(NodeId src, const MeshTopology& topo,
+                          sim::Rng& rng) {
+  const std::size_t n = topo.node_count();
+  for (;;) {
+    const NodeId cand = topo.node_at(rng.next_below(n));
+    if (cand != src) return cand;
+  }
+}
+
+}  // namespace
+
+NodeId pattern_pick_dst(BePattern p, NodeId src, const MeshTopology& topo,
+                        const BePatternOptions& opt, sim::Rng& rng) {
+  MANGO_ASSERT(topo.node_count() > 1, "pattern needs at least two nodes");
+  switch (p) {
+    case BePattern::kHotspot:
+      if (src != opt.hotspot && rng.next_bool(opt.hotspot_fraction)) {
+        return opt.hotspot;
+      }
+      return pick_uniform_other(src, topo, rng);
+    case BePattern::kUniform:
+    case BePattern::kBursty:
+      return pick_uniform_other(src, topo, rng);
+    default: {
+      const std::optional<NodeId> d = pattern_dst(p, src, topo);
+      MANGO_ASSERT(d.has_value(), "pattern_pick_dst on a silent node");
+      return *d;
+    }
+  }
+}
+
+std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
+    Network& net, BePattern pattern, const BePatternOptions& popt,
+    sim::Time mean_interarrival_ps, unsigned payload_words,
+    std::uint64_t seed, sim::Time start_at) {
+  const MeshTopology& topo = net.topology();
+  std::vector<std::unique_ptr<BeTrafficSource>> sources;
+  sources.reserve(net.node_count());
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    const NodeId n = net.node_at(i);
+    BeTrafficSource::Options opt;
+    opt.mean_interarrival_ps = mean_interarrival_ps;
+    opt.payload_words = payload_words;
+    opt.seed = seed + i;
+    switch (pattern) {
+      case BePattern::kTranspose:
+      case BePattern::kBitComplement:
+      case BePattern::kTornado: {
+        const std::optional<NodeId> d = pattern_dst(pattern, n, topo);
+        if (!d.has_value()) continue;  // self-mapped: silent node
+        opt.fixed_dst = *d;
+        break;
+      }
+      case BePattern::kBursty:
+        opt.burst_on_mean_ps = popt.burst_on_mean_ps;
+        opt.burst_off_mean_ps = popt.burst_off_mean_ps;
+        [[fallthrough]];
+      case BePattern::kUniform:
+      case BePattern::kHotspot:
+        // Stochastic patterns all sample through pattern_pick_dst, the
+        // single implementation the distribution tests exercise.
+        opt.dst_picker = [pattern, n, &topo, popt](sim::Rng& rng) {
+          return pattern_pick_dst(pattern, n, topo, popt, rng);
+        };
+        break;
+    }
+    sources.push_back(std::make_unique<BeTrafficSource>(
+        net, n, kBeTagBase + static_cast<std::uint32_t>(i), opt));
+    sources.back()->start(start_at);
+  }
+  return sources;
+}
+
+// --- GS connection sets ----------------------------------------------------
+
+const char* to_string(GsSetKind k) {
+  switch (k) {
+    case GsSetKind::kNone: return "none";
+    case GsSetKind::kRing: return "ring";
+    case GsSetKind::kRandomPairs: return "random-pairs";
+    case GsSetKind::kAllToHotspot: return "all-to-hotspot";
+  }
+  return "?";
+}
+
+std::optional<GsSetKind> gs_set_from_string(const std::string& s) {
+  for (const GsSetKind k :
+       {GsSetKind::kNone, GsSetKind::kRing, GsSetKind::kRandomPairs,
+        GsSetKind::kAllToHotspot}) {
+    if (s == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Opens src->dst directly; returns nullopt when VC/interface resources
+/// along the path are exhausted (the manager rolls back before throwing).
+std::optional<GsSetEndpoint> try_open(ConnectionManager& mgr, NodeId src,
+                                      NodeId dst, std::uint32_t tag) {
+  try {
+    const Connection& c = mgr.open_direct(src, dst);
+    return GsSetEndpoint{c.id, src, dst, c.src_iface, tag};
+  } catch (const ModelError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::vector<GsSetEndpoint> open_gs_set(Network& net, ConnectionManager& mgr,
+                                       GsSetKind kind,
+                                       const GsSetOptions& opt) {
+  std::vector<GsSetEndpoint> eps;
+  const std::size_t n = net.node_count();
+  std::uint32_t tag = kGsTagBase;
+  switch (kind) {
+    case GsSetKind::kNone:
+      break;
+    case GsSetKind::kRing:
+      if (n < 2) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        const NodeId src = net.node_at(i);
+        const NodeId dst = net.node_at((i + 1) % n);
+        if (auto ep = try_open(mgr, src, dst, tag)) {
+          eps.push_back(*ep);
+          ++tag;
+        }
+      }
+      break;
+    case GsSetKind::kRandomPairs: {
+      if (n < 2) break;
+      sim::Rng rng(opt.seed);
+      // Bounded resampling keeps the loop finite under exhaustion.
+      unsigned attempts = opt.pair_count * 8 + 8;
+      while (eps.size() < opt.pair_count && attempts-- > 0) {
+        const NodeId src = net.node_at(rng.next_below(n));
+        const NodeId dst = net.node_at(rng.next_below(n));
+        if (src == dst) continue;
+        if (auto ep = try_open(mgr, src, dst, tag)) {
+          eps.push_back(*ep);
+          ++tag;
+        }
+      }
+      break;
+    }
+    case GsSetKind::kAllToHotspot:
+      MANGO_ASSERT(net.topology().in_bounds(opt.hotspot),
+                   "hotspot out of bounds");
+      for (std::size_t i = 0; i < n; ++i) {
+        const NodeId src = net.node_at(i);
+        if (src == opt.hotspot) continue;
+        auto ep = try_open(mgr, src, opt.hotspot, tag);
+        if (!ep.has_value()) break;  // dst sink interfaces exhausted
+        eps.push_back(*ep);
+        ++tag;
+      }
+      break;
+  }
+  return eps;
+}
+
+std::vector<std::unique_ptr<GsStreamSource>> start_gs_set(
+    Network& net, const std::vector<GsSetEndpoint>& endpoints,
+    const GsStreamSource::Options& opt, sim::Time start_at) {
+  std::vector<std::unique_ptr<GsStreamSource>> sources;
+  sources.reserve(endpoints.size());
+  for (const GsSetEndpoint& ep : endpoints) {
+    sources.push_back(std::make_unique<GsStreamSource>(
+        net.na(ep.src), ep.src_iface, ep.tag, opt));
+    sources.back()->start(start_at);
+  }
+  return sources;
 }
 
 }  // namespace mango::noc

@@ -1,7 +1,11 @@
-// Scenario builders shared by tests, examples and benches.
+// Scenario builders shared by tests, examples, benches and the exp/
+// sweep layer: canonical BE traffic patterns and parameterized GS
+// connection sets.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "noc/network/connection_manager.hpp"
@@ -31,5 +35,99 @@ std::unique_ptr<GsStreamSource> saturate_connection(
 /// Link-bandwidth reference: flits per nanosecond of one link at the
 /// configured corner (= 1 / arb_cycle).
 double link_capacity_flits_per_ns(const Network& net);
+
+// ---------------------------------------------------------------------------
+// BE traffic patterns
+// ---------------------------------------------------------------------------
+
+/// Canonical best-effort traffic patterns (Dally/Towles naming).
+/// kUniform/kHotspot/kBursty pick destinations stochastically per packet;
+/// kTranspose/kBitComplement/kTornado are fixed permutations of the mesh.
+/// kBursty is spatially uniform with Markov-modulated on/off injection.
+enum class BePattern {
+  kUniform,
+  kTranspose,
+  kBitComplement,
+  kTornado,
+  kHotspot,
+  kBursty,
+};
+
+const char* to_string(BePattern p);
+std::optional<BePattern> be_pattern_from_string(const std::string& s);
+std::vector<BePattern> all_be_patterns();
+
+struct BePatternOptions {
+  NodeId hotspot{0, 0};           ///< kHotspot target node
+  double hotspot_fraction = 0.5;  ///< probability a packet goes to the hotspot
+  sim::Time burst_on_mean_ps = 50000;    ///< kBursty mean ON phase
+  sim::Time burst_off_mean_ps = 150000;  ///< kBursty mean OFF phase
+};
+
+/// Fixed destination of `src` under a permutation pattern. nullopt for
+/// stochastic patterns, and for nodes the permutation maps to themselves
+/// (those nodes stay silent — e.g. the diagonal under transpose).
+std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
+                                  const MeshTopology& topo);
+
+/// Per-packet destination for the stochastic patterns (kUniform,
+/// kHotspot, kBursty). Always returns an in-bounds node != src.
+NodeId pattern_pick_dst(BePattern p, NodeId src, const MeshTopology& topo,
+                        const BePatternOptions& opt, sim::Rng& rng);
+
+/// Starts one BE source per node following `pattern`. Permutation nodes
+/// that map to themselves get no source. Tags are kBeTagBase + node
+/// index; per-node RNGs derive from `seed` + index as in
+/// start_uniform_be.
+std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
+    Network& net, BePattern pattern, const BePatternOptions& popt,
+    sim::Time mean_interarrival_ps, unsigned payload_words,
+    std::uint64_t seed, sim::Time start_at = 0);
+
+// ---------------------------------------------------------------------------
+// GS connection sets
+// ---------------------------------------------------------------------------
+
+/// Parameterized families of GS connection sets.
+enum class GsSetKind {
+  kNone,         ///< no GS traffic
+  kRing,         ///< node i -> node (i+1) % N, row-major order
+  kRandomPairs,  ///< `pair_count` random (src != dst) pairs
+  kAllToHotspot, ///< every node -> hotspot, capped by local sink ifaces
+};
+
+const char* to_string(GsSetKind k);
+std::optional<GsSetKind> gs_set_from_string(const std::string& s);
+
+struct GsSetOptions {
+  unsigned pair_count = 4;   ///< kRandomPairs: how many pairs to open
+  NodeId hotspot{0, 0};      ///< kAllToHotspot target
+  std::uint64_t seed = 1;    ///< kRandomPairs sampling seed
+};
+
+/// One opened GS connection of a set, ready to be driven.
+struct GsSetEndpoint {
+  ConnectionId conn = 0;
+  NodeId src;
+  NodeId dst;
+  LocalIfaceIdx src_iface = 0;
+  std::uint32_t tag = 0;
+};
+
+inline constexpr std::uint32_t kGsTagBase = 0x47000000;
+
+/// Opens the connections of a set via direct programming. Pairs that
+/// cannot be routed with the remaining VC/interface resources are
+/// skipped (kRandomPairs resamples, kAllToHotspot stops), so the result
+/// may hold fewer connections than requested — deterministic per seed.
+std::vector<GsSetEndpoint> open_gs_set(Network& net, ConnectionManager& mgr,
+                                       GsSetKind kind,
+                                       const GsSetOptions& opt);
+
+/// Attaches one GsStreamSource per endpoint (same Options each, the
+/// endpoint's tag) and starts them at `start_at`.
+std::vector<std::unique_ptr<GsStreamSource>> start_gs_set(
+    Network& net, const std::vector<GsSetEndpoint>& endpoints,
+    const GsStreamSource::Options& opt, sim::Time start_at = 0);
 
 }  // namespace mango::noc

@@ -84,5 +84,32 @@ TEST(NetworkReportTest, CountsBothTrafficClasses) {
   EXPECT_THROW(NetworkReport::collect(net, 0), mango::ModelError);
 }
 
+TEST(NetworkReportTest, JsonCarriesIdentifiedLinksAndTotals) {
+  sim::SimContext ctx;
+  sim::Simulator& sim = ctx.sim();
+  MeshConfig mesh{2, 1, RouterConfig{}, 1};
+  Network net(ctx, mesh);
+  ConnectionManager mgr(net, NodeId{0, 0});
+  MeasurementHub hub;
+  attach_hub(net, hub);
+  auto src = saturate_connection(net, mgr, {0, 0}, {1, 0}, /*tag=*/1);
+  sim.run_until(1_us);
+  const NetworkReport r = NetworkReport::collect(net, 1_us);
+  std::string out;
+  JsonWriter w(&out);
+  r.write_json(w);
+  // Every router and the (identified) link appear, with nonzero totals.
+  EXPECT_NE(out.find("\"node\": \"(0,0)\""), std::string::npos);
+  EXPECT_NE(out.find("\"node\": \"(1,0)\""), std::string::npos);
+  EXPECT_NE(out.find("\"port\": \"E\""), std::string::npos);
+  EXPECT_NE(out.find("\"total_flits_on_links\""), std::string::npos);
+  EXPECT_EQ(out.find("0,5"), std::string::npos);  // no comma decimals ever
+  // Same report serialized twice is byte-identical.
+  std::string out2;
+  JsonWriter w2(&out2);
+  r.write_json(w2);
+  EXPECT_EQ(out, out2);
+}
+
 }  // namespace
 }  // namespace mango::noc

@@ -1,0 +1,204 @@
+// exp/ sweep subsystem: grid expansion, scenario execution, and the
+// core parallel-determinism contract — the same spec list produces a
+// bit-identical report for any worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "noc/network/report.hpp"
+
+namespace mango::exp {
+namespace {
+
+SweepGrid small_grid() {
+  SweepGrid g;
+  g.base.duration_ps = 500000;  // 0.5 us keeps the test quick
+  g.base.be_interarrival_ps = 10000;
+  g.base.gs_period_ps = 8000;
+  g.meshes = {{2, 2}, {3, 3}};
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kTornado,
+                noc::BePattern::kBursty};
+  g.gs_sets = {noc::GsSetKind::kRing};
+  g.seeds = {1, 2};
+  return g;
+}
+
+TEST(SweepGrid, ExpandsCartesianProductInStableOrder) {
+  const auto specs = small_grid().expand();
+  ASSERT_EQ(specs.size(), 2u * 3u * 1u * 1u * 2u);
+  EXPECT_EQ(specs[0].name, "uniform-2x2-ia10000-gs:ring-s1");
+  EXPECT_EQ(specs[1].name, "uniform-2x2-ia10000-gs:ring-s2");
+  EXPECT_EQ(specs.back().name, "bursty-3x3-ia10000-gs:ring-s2");
+  // Every name is unique.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i].name, specs[j].name);
+    }
+  }
+}
+
+TEST(SweepGrid, EmptyDimensionsFallBackToBase) {
+  SweepGrid g;
+  g.base.width = 5;
+  g.base.height = 2;
+  g.base.seed = 9;
+  const auto specs = g.expand();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].width, 5);
+  EXPECT_EQ(specs[0].height, 2);
+  EXPECT_EQ(specs[0].seed, 9u);
+}
+
+TEST(Presets, AllNamedPresetsExpandNonEmpty) {
+  for (const std::string& name : preset_names()) {
+    const auto g = find_preset(name);
+    ASSERT_TRUE(g.has_value()) << name;
+    EXPECT_FALSE(g->expand().empty()) << name;
+  }
+  EXPECT_FALSE(find_preset("no-such-preset").has_value());
+}
+
+TEST(RunScenario, DeliversTrafficAndMeetsGuarantees) {
+  ScenarioSpec spec;
+  spec.name = "unit";
+  spec.width = spec.height = 3;
+  spec.pattern = noc::BePattern::kUniform;
+  spec.be_interarrival_ps = 10000;
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 8000;
+  spec.duration_ps = 1000000;
+  const ScenarioResult r = run_scenario(spec);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_GT(r.stats.events, 0u);
+  EXPECT_GT(r.stats.be_packets_delivered, 0u);
+  EXPECT_EQ(r.stats.gs_connections, 9u);
+  EXPECT_GT(r.stats.gs_flits_delivered, 0u);
+  EXPECT_EQ(r.stats.gs_seq_errors, 0u);
+  EXPECT_EQ(r.stats.guarantee_violations, 0u);
+  EXPECT_GT(r.stats.be_latency_p99_ns, 0.0);
+  EXPECT_GT(r.stats.gs_latency_p50_ns, 0.0);
+  EXPECT_GT(r.stats.peak_link_utilization, 0.0);
+}
+
+// The MANGO claim the sweep harness exists to batter: GS service is
+// independent of BE load. Saturating BE traffic must not push a GS
+// connection set below its fair-share guarantee.
+TEST(RunScenario, GsGuaranteesHoldUnderBeSaturation) {
+  ScenarioSpec spec;
+  spec.width = spec.height = 3;
+  spec.pattern = noc::BePattern::kHotspot;
+  spec.be_interarrival_ps = 1000;  // far past BE saturation
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 0;  // saturate every connection
+  spec.duration_ps = 2000000;
+  const ScenarioResult r = run_scenario(spec);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.stats.guarantee_violations, 0u);
+  EXPECT_EQ(r.stats.gs_seq_errors, 0u);
+}
+
+TEST(RunScenario, ErrorsAreCapturedNotThrown) {
+  ScenarioSpec spec;
+  spec.width = 0;  // invalid mesh
+  spec.height = 0;
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error.empty());
+}
+
+// Determinism under parallelism: one context per scenario, results
+// keyed by spec order — the serialized stats must be bit-identical for
+// --jobs 1 and --jobs 8 (and any other count).
+TEST(SweepRunner, Jobs1VsJobs8AreBitIdentical) {
+  const auto specs = small_grid().expand();
+  const SweepReport seq = SweepRunner::run(specs, 1);
+  const SweepReport par = SweepRunner::run(specs, 8);
+  EXPECT_EQ(seq.jobs, 1u);
+  ASSERT_EQ(seq.results.size(), par.results.size());
+  for (std::size_t i = 0; i < seq.results.size(); ++i) {
+    EXPECT_EQ(seq.results[i].spec.name, par.results[i].spec.name);
+  }
+  const std::string a = seq.stats_json();
+  const std::string b = par.stats_json();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);  // byte-for-byte, bit-exact doubles included
+}
+
+TEST(SweepRunner, ProgressCallbackSeesEveryScenario) {
+  const auto specs = small_grid().expand();
+  std::size_t calls = 0;
+  std::size_t max_done = 0;
+  const SweepReport rep = SweepRunner::run(
+      specs, 4, [&](std::size_t done, std::size_t total,
+                    const ScenarioResult& r) {
+        ++calls;
+        max_done = std::max(max_done, done);
+        EXPECT_EQ(total, specs.size());
+        EXPECT_TRUE(r.ok()) << r.error;
+      });
+  EXPECT_EQ(calls, specs.size());
+  EXPECT_EQ(max_done, specs.size());
+  EXPECT_EQ(rep.failed(), 0u);
+}
+
+TEST(SweepReport, JsonShapesAreWellFormedAndTimingIsSeparated) {
+  SweepGrid g;
+  g.base.width = g.base.height = 2;
+  g.base.duration_ps = 200000;
+  g.base.gs_set = noc::GsSetKind::kRing;
+  const SweepReport rep = SweepRunner::run(g.expand(), 1);
+  const std::string stable = rep.stats_json();
+  const std::string full = rep.full_json();
+  // Deterministic output never carries wall-clock fields.
+  EXPECT_EQ(stable.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(stable.find("scenarios_per_hour"), std::string::npos);
+  EXPECT_NE(full.find("wall_ms"), std::string::npos);
+  EXPECT_NE(full.find("\"jobs\""), std::string::npos);
+  // Both start as an object and balance braces.
+  for (const std::string* s : {&stable, &full}) {
+    EXPECT_EQ((*s)[0], '{');
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s->size(); ++i) {
+      const char c = (*s)[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+        EXPECT_GE(depth, 0);
+      }
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+TEST(JsonWriter, EscapesAndNestsCorrectly) {
+  std::string out;
+  noc::JsonWriter w(&out);
+  w.begin_object();
+  w.kv("plain", std::string("a\"b\\c\nd"));
+  w.key("arr");
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(-1.5);
+  w.value(true);
+  w.end_array();
+  w.key("empty");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_NE(out.find("\\\"b\\\\c\\n"), std::string::npos);
+  EXPECT_NE(out.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(out.find("-1.5"), std::string::npos);
+  EXPECT_NE(out.find("{}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mango::exp
