@@ -6,6 +6,7 @@
 
 #include "model/timing.hpp"
 #include "noc/network/connection_manager.hpp"
+#include "sim/assert.hpp"
 #include "noc/network/network.hpp"
 #include "noc/network/report.hpp"
 #include "sim/context.hpp"
@@ -114,17 +115,41 @@ std::uint64_t sum_held(
 
 }  // namespace
 
+noc::TopologySpec ScenarioSpec::topology_spec() const {
+  const std::uint32_t nodes32 =
+      static_cast<std::uint32_t>(width) * height;
+  switch (topology) {
+    case noc::TopologyKind::kMesh:
+      return noc::TopologySpec::mesh(width, height);
+    case noc::TopologyKind::kTorus:
+      return noc::TopologySpec::torus(width, height);
+    case noc::TopologyKind::kRing:
+    case noc::TopologyKind::kGraph: {
+      // Node labels are 16-bit: reject instead of silently truncating
+      // width*height into a wrong-size fabric.
+      MANGO_ASSERT(nodes32 <= 0xFFFF,
+                   "ring/graph fabrics support at most 65535 nodes (got " +
+                       std::to_string(nodes32) + ")");
+      const auto nodes = static_cast<std::uint16_t>(nodes32);
+      return topology == noc::TopologyKind::kRing
+                 ? noc::TopologySpec::ring(nodes)
+                 : noc::TopologySpec::irregular(
+                       noc::GraphSpec::irregular(nodes));
+    }
+  }
+  return noc::TopologySpec::mesh(width, height);  // unreachable
+}
+
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto t0 = std::chrono::steady_clock::now();
   ScenarioResult result;
   result.spec = spec;
   try {
     sim::SimContext ctx(spec.seed);
-    noc::MeshConfig mesh;
-    mesh.width = spec.width;
-    mesh.height = spec.height;
-    mesh.router = spec.router;
-    noc::Network net(ctx, mesh);
+    noc::NetworkConfig net_cfg;
+    net_cfg.topology = spec.topology_spec();
+    net_cfg.router = spec.router;
+    noc::Network net(ctx, net_cfg);
     noc::MeasurementHub hub;
     noc::attach_hub(net, hub);
 
@@ -152,6 +177,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 }
 
 std::vector<ScenarioSpec> SweepGrid::expand() const {
+  const auto topologies_v =
+      topologies.empty() ? std::vector<noc::TopologyKind>{base.topology}
+                         : topologies;
   const auto meshes_v =
       meshes.empty()
           ? std::vector<std::pair<std::uint16_t, std::uint16_t>>{{base.width,
@@ -169,25 +197,28 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
       seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
 
   std::vector<ScenarioSpec> specs;
-  specs.reserve(meshes_v.size() * patterns_v.size() * ia_v.size() *
-                gs_v.size() * seeds_v.size());
-  for (const auto& [w, h] : meshes_v) {
-    for (const noc::BePattern p : patterns_v) {
-      for (const sim::Time ia : ia_v) {
-        for (const noc::GsSetKind g : gs_v) {
-          for (const std::uint64_t s : seeds_v) {
-            ScenarioSpec spec = base;
-            spec.width = w;
-            spec.height = h;
-            spec.pattern = p;
-            spec.be_interarrival_ps = ia;
-            spec.gs_set = g;
-            spec.seed = s;
-            spec.name = std::string(noc::to_string(p)) + "-" +
-                        std::to_string(w) + "x" + std::to_string(h) + "-ia" +
-                        std::to_string(ia) + "-gs:" + noc::to_string(g) +
-                        "-s" + std::to_string(s);
-            specs.push_back(std::move(spec));
+  specs.reserve(topologies_v.size() * meshes_v.size() * patterns_v.size() *
+                ia_v.size() * gs_v.size() * seeds_v.size());
+  for (const noc::TopologyKind t : topologies_v) {
+    for (const auto& [w, h] : meshes_v) {
+      for (const noc::BePattern p : patterns_v) {
+        for (const sim::Time ia : ia_v) {
+          for (const noc::GsSetKind g : gs_v) {
+            for (const std::uint64_t s : seeds_v) {
+              ScenarioSpec spec = base;
+              spec.topology = t;
+              spec.width = w;
+              spec.height = h;
+              spec.pattern = p;
+              spec.be_interarrival_ps = ia;
+              spec.gs_set = g;
+              spec.seed = s;
+              spec.name = std::string(noc::to_string(p)) + "-" +
+                          spec.topology_spec().label() + "-ia" +
+                          std::to_string(ia) + "-gs:" + noc::to_string(g) +
+                          "-s" + std::to_string(s);
+              specs.push_back(std::move(spec));
+            }
           }
         }
       }
@@ -243,6 +274,26 @@ SweepGrid make_gs_stress_4x4() {
   return g;
 }
 
+SweepGrid make_topologies_4x4() {
+  // One 16-node fabric of every kind under identical traffic: the
+  // cross-topology comparison grid. be_vcs = 2 arms the dateline VC
+  // classes torus/ring routing requires (and keeps the router config
+  // uniform across the fabrics being compared).
+  SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 1000000;
+  g.base.be_interarrival_ps = 8000;
+  g.base.gs_period_ps = 8000;
+  g.base.router.be_vcs = 2;
+  g.topologies = {noc::TopologyKind::kMesh, noc::TopologyKind::kTorus,
+                  noc::TopologyKind::kRing, noc::TopologyKind::kGraph};
+  // Patterns defined on every fabric (transpose/tornado are not).
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kBitComplement};
+  g.gs_sets = {noc::GsSetKind::kRing};
+  g.seeds = {1};
+  return g;
+}
+
 SweepGrid make_bench_grid() {
   SweepGrid g;
   g.base.width = g.base.height = 4;
@@ -256,8 +307,8 @@ SweepGrid make_bench_grid() {
 }  // namespace
 
 std::vector<std::string> preset_names() {
-  return {"ci-smoke", "patterns-4x4", "rate-sweep-4x4", "gs-stress-4x4",
-          "bench-grid"};
+  return {"ci-smoke",      "patterns-4x4", "rate-sweep-4x4",
+          "gs-stress-4x4", "topologies-4x4", "bench-grid"};
 }
 
 std::optional<SweepGrid> find_preset(const std::string& name) {
@@ -265,6 +316,7 @@ std::optional<SweepGrid> find_preset(const std::string& name) {
   if (name == "patterns-4x4") return make_patterns_4x4();
   if (name == "rate-sweep-4x4") return make_rate_sweep_4x4();
   if (name == "gs-stress-4x4") return make_gs_stress_4x4();
+  if (name == "topologies-4x4") return make_topologies_4x4();
   if (name == "bench-grid") return make_bench_grid();
   return std::nullopt;
 }

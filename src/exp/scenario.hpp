@@ -23,6 +23,11 @@ namespace mango::exp {
 
 struct ScenarioSpec {
   std::string name = "scenario";
+  /// Fabric: mesh/torus use width x height; ring and the built-in
+  /// irregular graph use width * height nodes (so one grid axis sweeps
+  /// equal-sized fabrics of every kind). Torus and ring need
+  /// router.be_vcs = 2 for the dateline deadlock-avoidance classes.
+  noc::TopologyKind topology = noc::TopologyKind::kMesh;
   std::uint16_t width = 4;
   std::uint16_t height = 4;
   noc::RouterConfig router;
@@ -40,6 +45,9 @@ struct ScenarioSpec {
 
   sim::Time duration_ps = 2000000;  ///< simulated horizon (2 us default)
   std::uint64_t seed = 1;
+
+  /// The TopologySpec this scenario's network is built from.
+  noc::TopologySpec topology_spec() const;
 };
 
 /// Everything measured from one scenario run. All fields derive from
@@ -95,9 +103,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 
 /// Cartesian scenario grid. Empty dimension vectors fall back to the
 /// base spec's value; expansion order (and thus scenario naming and
-/// report order) is meshes > patterns > interarrivals > gs_sets > seeds.
+/// report order) is topologies > meshes > patterns > interarrivals >
+/// gs_sets > seeds.
 struct SweepGrid {
   ScenarioSpec base;
+  std::vector<noc::TopologyKind> topologies;
   std::vector<std::pair<std::uint16_t, std::uint16_t>> meshes;
   std::vector<noc::BePattern> patterns;
   std::vector<sim::Time> interarrivals_ps;

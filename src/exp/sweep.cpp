@@ -39,6 +39,7 @@ namespace {
 void write_spec(noc::JsonWriter& w, const ScenarioSpec& s) {
   w.begin_object();
   w.kv("name", s.name);
+  w.kv("topology", s.topology_spec().label());
   w.kv("width", static_cast<std::uint64_t>(s.width));
   w.kv("height", static_cast<std::uint64_t>(s.height));
   w.kv("pattern", noc::to_string(s.pattern));

@@ -17,9 +17,12 @@ std::uint32_t build_be_header(const BeRoute& route) {
   };
   for (Direction d : route.moves) push2(static_cast<std::uint8_t>(d));
   // Delivery: "choosing a direction back to where it came from" — the
-  // packet arrives at the destination on input opposite(last move), so
-  // pointing back out of that port is the code opposite(last move).
-  push2(static_cast<std::uint8_t>(opposite(route.moves.back())));
+  // code must equal the port the packet arrives on at the destination.
+  // With opposite-port link wiring (mesh/torus/ring) that is
+  // opposite(last move), the default; irregular-graph routes set
+  // `delivery` to the arrival port the topology reports.
+  push2(static_cast<std::uint8_t>(
+      route.delivery.value_or(opposite(route.moves.back()))));
   push2(static_cast<std::uint8_t>(route.iface));
   // Left-align: codes are consumed from the MSBs.
   header <<= (32 - used_bits);

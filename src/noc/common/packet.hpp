@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "noc/common/flit.hpp"
@@ -34,10 +35,15 @@ enum class LocalIface : std::uint8_t {
 /// Maximum direction codes (moves + delivery) in one header.
 inline constexpr unsigned kMaxHeaderCodes = 15;
 
-/// A source route: the link moves (>= 1) plus the local interface at the
-/// destination. The delivery code is derived (opposite of the last move).
+/// A source route: the link moves (each the out-port at one hop, >= 1)
+/// plus the local interface at the destination. `delivery` is the port
+/// the final hop arrives on at the destination (the code that reads as
+/// "back the way it came" there); unset, it is derived as the opposite
+/// of the last move — correct on mesh/torus/ring wiring, while routes on
+/// irregular graphs carry the arrival port the topology reports.
 struct BeRoute {
   std::vector<Direction> moves;
+  std::optional<Direction> delivery;
   LocalIface iface = LocalIface::kNetworkAdapter;
 };
 

@@ -2,7 +2,37 @@
 
 #include <cstdlib>
 
+#include "sim/assert.hpp"
+
 namespace mango::noc {
+
+namespace {
+
+/// step() without the wrap assertion: returns false instead when the
+/// move would leave the non-negative coordinate grid.
+bool try_step(NodeId& n, Direction d) {
+  switch (d) {
+    case Direction::kNorth:
+      if (n.y == 0xFFFF) return false;
+      ++n.y;
+      return true;
+    case Direction::kEast:
+      if (n.x == 0xFFFF) return false;
+      ++n.x;
+      return true;
+    case Direction::kSouth:
+      if (n.y == 0) return false;
+      --n.y;
+      return true;
+    case Direction::kWest:
+      if (n.x == 0) return false;
+      --n.x;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+}  // namespace
 
 std::vector<Direction> xy_route(NodeId src, NodeId dst) {
   std::vector<Direction> moves;
@@ -17,13 +47,12 @@ std::vector<Direction> xy_route(NodeId src, NodeId dst) {
 }
 
 NodeId step(NodeId n, Direction d) {
-  switch (d) {
-    case Direction::kNorth: return {n.x, static_cast<std::uint16_t>(n.y + 1)};
-    case Direction::kEast: return {static_cast<std::uint16_t>(n.x + 1), n.y};
-    case Direction::kSouth: return {n.x, static_cast<std::uint16_t>(n.y - 1)};
-    case Direction::kWest: return {static_cast<std::uint16_t>(n.x - 1), n.y};
-  }
-  return n;  // unreachable
+  NodeId out = n;
+  MANGO_ASSERT(try_step(out, d),
+               "step(" + to_string(n) + ", " + to_string(d) +
+                   ") wraps the coordinate grid — wrap-around moves must "
+                   "go through the topology (Topology::link_peer)");
+  return out;
 }
 
 unsigned hop_distance(NodeId a, NodeId b) {
@@ -34,7 +63,9 @@ unsigned hop_distance(NodeId a, NodeId b) {
 
 bool route_reaches(NodeId src, NodeId dst, const std::vector<Direction>& moves) {
   NodeId cur = src;
-  for (Direction d : moves) cur = step(cur, d);
+  for (Direction d : moves) {
+    if (!try_step(cur, d)) return false;
+  }
   return cur == dst;
 }
 

@@ -1,9 +1,18 @@
-// Route computation for the mesh.
+// Mesh-geometry route math and the BE VC-class (dateline) rule.
 //
 // The BE router performs pure source routing; deadlock freedom comes from
-// the *source* computing XY-ordered routes (Section 5: "to avoid
-// deadlocks XY-routing is employed"). GS connections reuse the same path
-// computation when the connection manager reserves VCs hop by hop.
+// the *source* computing cycle-free routes (Section 5: "to avoid
+// deadlocks XY-routing is employed" — on the mesh). GS connections reuse
+// the same path computation when the connection manager reserves VCs hop
+// by hop.
+//
+// The free functions below are MESH GEOMETRY ONLY: they know Manhattan
+// coordinates and nothing about wrap-around links or irregular
+// adjacency. Production route and distance queries go through the
+// Topology / RoutingAlgorithm layers (noc/network/topology.hpp,
+// noc/network/routing.hpp), which are wrap-aware; feeding these
+// functions a torus-width wrap is a checked error (step() asserts
+// instead of silently wrapping the 16-bit coordinate).
 #pragma once
 
 #include <vector>
@@ -17,13 +26,47 @@ namespace mango::noc {
 /// src == dst yields an empty route.
 std::vector<Direction> xy_route(NodeId src, NodeId dst);
 
-/// Applies one move to a node position (no bounds check).
+/// Applies one move to a mesh position. Checked: stepping South of y=0 or
+/// West of x=0 (a wrap) raises ModelError — wrap-capable fabrics walk
+/// through Topology::link_peer instead.
 NodeId step(NodeId n, Direction d);
 
-/// Number of mesh hops between two nodes (Manhattan distance).
+/// Number of mesh hops between two nodes (Manhattan distance). Mesh
+/// only: wrap-aware distances come from RoutingAlgorithm::hop_distance.
 unsigned hop_distance(NodeId a, NodeId b);
 
-/// True if the move sequence leads from src to dst.
+/// True if the move sequence leads from src to dst on an unbounded mesh.
+/// A sequence that walks off the coordinate grid returns false (it can
+/// reach nothing). Topology-aware checks: Topology::route_reaches.
 bool route_reaches(NodeId src, NodeId dst, const std::vector<Direction>& moves);
+
+// ---------------------------------------------------------------------------
+// BE VC classes (dateline scheme)
+// ---------------------------------------------------------------------------
+
+/// Dimension of a direction: East/West = 0, North/South = 1. Wrap
+/// topologies run one dateline scheme per dimension.
+constexpr unsigned dimension_of(Direction d) {
+  return (d == Direction::kEast || d == Direction::kWest) ? 0u : 1u;
+}
+
+/// One step of the dateline VC-class rule, shared by the BE routers
+/// (which rewrite the flit's bevc bit when forwarding) and the
+/// channel-dependency-graph validator (which models the same rule):
+/// a packet starts each dimension on VC class 0 and is promoted to
+/// class 1 when forwarded across that dimension's dateline link; the
+/// class is inherited while the packet continues straight within one
+/// dimension. `in` is the port the flit arrived on (kLocalPort for
+/// injection), `out` the network direction it leaves by.
+constexpr unsigned be_vc_class_step(PortIdx in, Direction out, unsigned cur,
+                                    bool out_is_dateline) {
+  unsigned v = 0;
+  if (is_network_port(in) &&
+      dimension_of(direction_of(in)) == dimension_of(out)) {
+    v = cur;  // continuing within the dimension: keep the class
+  }
+  if (out_is_dateline) v = 1;
+  return v;
+}
 
 }  // namespace mango::noc

@@ -7,7 +7,7 @@ namespace mango::noc {
 
 ConnectionManager::ConnectionManager(Network& net, NodeId host)
     : net_(net), host_(host) {
-  MANGO_ASSERT(net_.topology().in_bounds(host_), "host node out of bounds");
+  MANGO_ASSERT(net_.topology().contains(host_), "host node out of bounds");
   // Track programming completion on every router.
   for (std::size_t i = 0; i < net_.node_count(); ++i) {
     const NodeId n = net_.node_at(i);
@@ -54,39 +54,46 @@ std::vector<ConnectionManager::PlannedHop> ConnectionManager::plan(
     NodeId src, NodeId dst, LocalIfaceIdx& src_iface_out) {
   MANGO_ASSERT(src != dst,
                "a connection links two *different* local ports (Section 3)");
-  const std::vector<Direction> moves = xy_route(src, dst);
+  // The GS path is the same one the BE source route takes: the installed
+  // routing algorithm over the topology's port adjacency. `arrival[k]`
+  // is the port hop k's router receives the connection on (k >= 1) —
+  // read off the link wiring, which on irregular graphs is not simply
+  // opposite(move).
+  const std::vector<Direction> moves = net_.routing().route(src, dst);
   const std::size_t n = moves.size();
 
   src_iface_out = allocate_local_source(src);
 
   // Pick buffers (no state mutation yet; commit() records ownership).
   std::vector<PlannedHop> hops;
+  std::vector<PortIdx> arrival(n + 1, kLocalPort);
   hops.reserve(n + 1);
   NodeId cur = src;
   for (std::size_t k = 0; k < n; ++k) {
     const PortIdx out = port_of(moves[k]);
     hops.push_back(PlannedHop{cur, VcBufferId{out, allocate_vc(cur, out)},
                               std::nullopt, ReverseEntry{}});
-    cur = step(cur, moves[k]);
+    const auto peer = net_.topology().link_peer(cur, out);
+    MANGO_ASSERT(peer.has_value(), "route uses an unwired port");
+    cur = peer->node;
+    arrival[k + 1] = peer->port;
   }
-  MANGO_ASSERT(cur == dst, "XY route did not reach the destination");
+  MANGO_ASSERT(cur == dst, "route did not reach the destination");
   hops.push_back(PlannedHop{dst, VcBufferId{kLocalPort, allocate_local_sink(dst)},
                             std::nullopt, ReverseEntry{}});
 
   // Forward steering: entry at hop k guides flits into hop k+1's buffer,
   // encoded against the *next* router's split map.
   for (std::size_t k = 0; k < n; ++k) {
-    const PortIdx in_at_next = port_of(opposite(moves[k]));
     hops[k].forward = net_.router(hops[k + 1].node)
                           .switching()
-                          .encode_gs(in_at_next, hops[k + 1].buffer);
+                          .encode_gs(arrival[k + 1], hops[k + 1].buffer);
   }
   // Reverse map: hop 0 signals the source NA; hop k>0 signals back over
   // the link it receives from, on the previous buffer's VC wire.
   hops[0].reverse = ReverseEntry{kLocalPort, src_iface_out};
   for (std::size_t k = 1; k <= n; ++k) {
-    hops[k].reverse = ReverseEntry{port_of(opposite(moves[k - 1])),
-                                   hops[k - 1].buffer.vc};
+    hops[k].reverse = ReverseEntry{arrival[k], hops[k - 1].buffer.vc};
   }
   return hops;
 }

@@ -4,71 +4,101 @@
 
 namespace mango::noc {
 
-Network::Network(sim::SimContext& ctx, const MeshConfig& cfg)
-    : ctx_(ctx), cfg_(cfg), topo_(cfg.width, cfg.height) {
-  routers_.reserve(topo_.node_count());
-  nas_.reserve(topo_.node_count());
-  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
-    const NodeId n = topo_.node_at(i);
+Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
+    : ctx_(ctx),
+      cfg_(cfg),
+      topo_(make_topology(cfg.topology)),
+      routing_(make_routing(*topo_)) {
+  MANGO_ASSERT(topo_->node_count() >= 2,
+               "a network needs at least two nodes (self-programming uses "
+               "out-and-back routes)");
+  MANGO_ASSERT(
+      cfg_.router.be_vcs >= routing_->required_be_vcs(),
+      std::string(routing_->name()) + " routing on " + topo_->label() +
+          " needs " + std::to_string(routing_->required_be_vcs()) +
+          " BE VCs (dateline classes) but the router config has " +
+          std::to_string(cfg_.router.be_vcs));
+  // Deadlock freedom is a construction invariant, not an assumption:
+  // reject any (topology, routing, VC config) whose BE channel
+  // dependency graph is cyclic.
+  const DeadlockCheck check =
+      check_deadlock_freedom(*topo_, *routing_, cfg_.router.be_vcs);
+  MANGO_ASSERT(check.acyclic,
+               std::string(routing_->name()) + " routing on " +
+                   topo_->label() +
+                   " is not deadlock-free; dependency cycle: " + check.cycle);
+
+  routers_.reserve(topo_->node_count());
+  nas_.reserve(topo_->node_count());
+  for (std::size_t i = 0; i < topo_->node_count(); ++i) {
+    const NodeId n = topo_->node_at(i);
     routers_.push_back(std::make_unique<Router>(
         ctx_, cfg_.router, n, "R" + to_string(n)));
     nas_.push_back(std::make_unique<NetworkAdapter>(
         *routers_.back(), "NA" + to_string(n)));
   }
 
-  // Links: connect each node to its East and North neighbours.
-  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
-    const NodeId n = topo_.node_at(i);
-    for (Direction d : {Direction::kEast, Direction::kNorth}) {
-      const auto peer = topo_.neighbor(n, d);
+  // Links: one per undirected edge of the adjacency graph. Each edge is
+  // instantiated from its lexicographically smaller (node index, port)
+  // endpoint so parallel links (e.g. both directions of a 2-wide torus
+  // ring) are each created exactly once. Port order East, North, South,
+  // West keeps mesh link creation in the historical order.
+  for (std::size_t i = 0; i < topo_->node_count(); ++i) {
+    const NodeId n = topo_->node_at(i);
+    for (const Direction d : {Direction::kEast, Direction::kNorth,
+                              Direction::kSouth, Direction::kWest}) {
+      const auto peer = topo_->link_peer(n, port_of(d));
       if (!peer.has_value()) continue;
+      const std::size_t peer_idx = topo_->index(peer->node);
+      if (std::make_pair(i, port_of(d)) >
+          std::make_pair(peer_idx, peer->port)) {
+        continue;  // created from the other endpoint
+      }
       links_.push_back(std::make_unique<Link>(
           Link::Endpoint{&router(n), port_of(d)},
-          Link::Endpoint{&router(*peer), port_of(opposite(d))},
+          Link::Endpoint{&router(peer->node), peer->port},
           cfg_.link_pipeline_stages, cfg_.link_signaling,
           cfg_.link_skew_ps));
     }
   }
-  ctx_.stats().counter("network.routers") += topo_.node_count();
+  ctx_.stats().counter("network.routers") += topo_->node_count();
   ctx_.stats().counter("network.links") += links_.size();
 
   // BE downstream configuration: credits = the peer's BE input depth and
-  // the split code that reaches the peer's BE router.
-  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
-    const NodeId n = topo_.node_at(i);
+  // the split code that reaches the peer's BE router via the port the
+  // link arrives on over there.
+  for (std::size_t i = 0; i < topo_->node_count(); ++i) {
+    const NodeId n = topo_->node_at(i);
     for (PortIdx p = 0; p < kNumDirections; ++p) {
-      const auto peer = topo_.neighbor(n, direction_of(p));
+      const auto peer = topo_->link_peer(n, p);
       if (!peer.has_value()) continue;
-      Router& peer_router = router(*peer);
-      const PortIdx peer_in = port_of(opposite(direction_of(p)));
+      Router& peer_router = router(peer->node);
       router(n).configure_be_downstream(
           p, peer_router.config().be_buffer_depth,
-          peer_router.switching().be_code(peer_in));
+          peer_router.switching().be_code(peer->port));
+    }
+  }
+
+  // Wrap fabrics: arm the dateline VC-class rule on every BE router.
+  const BeVcClassMap vc_map = routing_->vc_class_map();
+  if (vc_map.enabled) {
+    for (std::size_t i = 0; i < topo_->node_count(); ++i) {
+      routers_[i]->be_router().set_vc_classes(vc_map.dateline[i]);
     }
   }
 }
 
 BeRoute Network::be_route(NodeId src, NodeId dst, LocalIface iface) const {
-  MANGO_ASSERT(topo_.in_bounds(src) && topo_.in_bounds(dst),
-               "route endpoints out of bounds");
+  MANGO_ASSERT(topo_->contains(src) && topo_->contains(dst),
+               "route endpoints outside the topology");
   BeRoute r;
   r.iface = iface;
-  if (src == dst) {
-    // Reaching a node's own local port. A plain out-and-back bounce is
-    // impossible: the return code would equal "back the way it came" at
-    // the neighbour and deliver there. Instead loop around an adjacent
-    // mesh square (4 hops); the final code then points back out the
-    // arrival port of `src` itself, which is the local-delivery rule.
-    MANGO_ASSERT(topo_.width() >= 2 && topo_.height() >= 2,
-                 "self-routes need a 2x2 mesh square");
-    const Direction dx =
-        src.x + 1 < topo_.width() ? Direction::kEast : Direction::kWest;
-    const Direction dy =
-        src.y + 1 < topo_.height() ? Direction::kNorth : Direction::kSouth;
-    r.moves = {dy, dx, opposite(dy), opposite(dx)};
-    return r;
-  }
-  r.moves = xy_route(src, dst);
+  r.moves = src == dst ? routing_->self_route(src) : routing_->route(src, dst);
+  const auto end = topo_->walk(src, r.moves);
+  MANGO_ASSERT(end.has_value() && end->node == dst,
+               "routing produced a route that does not reach " +
+                   to_string(dst));
+  r.delivery = direction_of(end->arrival_port);
   return r;
 }
 

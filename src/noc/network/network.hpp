@@ -1,4 +1,7 @@
-// A complete MANGO network: routers in a mesh, links, network adapters.
+// A complete MANGO network: routers on a pluggable topology, links
+// wired from its port-level adjacency graph, network adapters, and the
+// topology's canonical routing algorithm (rejected at construction if
+// its channel-dependency graph is cyclic).
 #pragma once
 
 #include <memory>
@@ -10,6 +13,7 @@
 #include "noc/common/packet.hpp"
 #include "noc/link/link.hpp"
 #include "noc/na/network_adapter.hpp"
+#include "noc/network/routing.hpp"
 #include "noc/network/topology.hpp"
 #include "noc/router/router.hpp"
 #include "sim/context.hpp"
@@ -17,34 +21,60 @@
 
 namespace mango::noc {
 
-struct MeshConfig {
-  std::uint16_t width = 2;
-  std::uint16_t height = 2;
+struct NetworkConfig {
+  TopologySpec topology;  ///< default: 2x2 mesh
   RouterConfig router;
   unsigned link_pipeline_stages = 1;
   LinkSignaling link_signaling = LinkSignaling::kBundledData;
   sim::Time link_skew_ps = 0;  ///< worst wire skew per link stage
 };
 
+/// Mesh shorthand kept for the (many) mesh-only experiments: the same
+/// fields the paper's demonstrator is described by, convertible to the
+/// general NetworkConfig.
+struct MeshConfig {
+  std::uint16_t width = 2;
+  std::uint16_t height = 2;
+  RouterConfig router;
+  unsigned link_pipeline_stages = 1;
+  LinkSignaling link_signaling = LinkSignaling::kBundledData;
+  sim::Time link_skew_ps = 0;
+
+  operator NetworkConfig() const {
+    NetworkConfig cfg;
+    cfg.topology = TopologySpec::mesh(width, height);
+    cfg.router = router;
+    cfg.link_pipeline_stages = link_pipeline_stages;
+    cfg.link_signaling = link_signaling;
+    cfg.link_skew_ps = link_skew_ps;
+    return cfg;
+  }
+};
+
 class Network {
  public:
-  Network(sim::SimContext& ctx, const MeshConfig& cfg);
+  Network(sim::SimContext& ctx, const NetworkConfig& cfg);
 
-  const MeshTopology& topology() const { return topo_; }
-  const MeshConfig& config() const { return cfg_; }
+  const Topology& topology() const { return *topo_; }
+  const RoutingAlgorithm& routing() const { return *routing_; }
+  const NetworkConfig& config() const { return cfg_; }
   sim::SimContext& ctx() { return ctx_; }
   sim::Simulator& simulator() { return ctx_.sim(); }
 
-  Router& router(NodeId n) { return *routers_.at(topo_.index(n)); }
-  const Router& router(NodeId n) const { return *routers_.at(topo_.index(n)); }
-  NetworkAdapter& na(NodeId n) { return *nas_.at(topo_.index(n)); }
+  Router& router(NodeId n) { return *routers_.at(topo_->index(n)); }
+  const Router& router(NodeId n) const {
+    return *routers_.at(topo_->index(n));
+  }
+  NetworkAdapter& na(NodeId n) { return *nas_.at(topo_->index(n)); }
 
-  std::size_t node_count() const { return topo_.node_count(); }
-  NodeId node_at(std::size_t idx) const { return topo_.node_at(idx); }
+  std::size_t node_count() const { return topo_->node_count(); }
+  NodeId node_at(std::size_t idx) const { return topo_->node_at(idx); }
 
-  /// BE route from src to dst (XY). src == dst yields a 4-hop loop
-  /// around an adjacent mesh square (used to reach a node's own local
-  /// port, e.g. for self-programming; see DESIGN.md).
+  /// BE route from src to dst under the installed routing algorithm.
+  /// src == dst yields the topology's shortest u-turn-free cycle back to
+  /// src (used to reach a node's own local port, e.g. for
+  /// self-programming; see DESIGN.md) — a checked error on fabrics with
+  /// no such cycle (e.g. tree graphs).
   BeRoute be_route(NodeId src, NodeId dst,
                    LocalIface iface = LocalIface::kNetworkAdapter) const;
 
@@ -53,8 +83,9 @@ class Network {
 
  private:
   sim::SimContext& ctx_;
-  MeshConfig cfg_;
-  MeshTopology topo_;
+  NetworkConfig cfg_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<RoutingAlgorithm> routing_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<NetworkAdapter>> nas_;

@@ -134,6 +134,7 @@ void JsonWriter::value(bool v) {
 NetworkReport NetworkReport::collect(Network& net, sim::Time window_ps) {
   MANGO_ASSERT(window_ps > 0, "report window must be positive");
   NetworkReport report;
+  report.topology = net.topology().label();
   for (std::size_t i = 0; i < net.node_count(); ++i) {
     const NodeId n = net.node_at(i);
     const RouterActivity a = net.router(n).activity();
@@ -172,14 +173,15 @@ void NetworkReport::print(std::FILE* out) const {
                  static_cast<unsigned long long>(r.vc_control_signals));
   }
   std::fprintf(out,
-               "links: %zu, flits carried %llu, peak utilization %.1f%%\n",
-               links.size(),
+               "[%s] links: %zu, flits carried %llu, peak utilization %.1f%%\n",
+               topology.c_str(), links.size(),
                static_cast<unsigned long long>(total_flits_on_links),
                peak_link_utilization * 100.0);
 }
 
 void NetworkReport::write_json(JsonWriter& w) const {
   w.begin_object();
+  w.kv("topology", topology);
   w.key("routers");
   w.begin_array();
   for (const RouterReport& r : routers) {

@@ -74,6 +74,7 @@ struct RouterReport {
 };
 
 struct NetworkReport {
+  std::string topology;  ///< fabric label, e.g. "mesh-4x4" or "ring-16"
   std::vector<RouterReport> routers;
   std::vector<LinkReport> links;
   std::uint64_t total_flits_on_links = 0;

@@ -1,0 +1,494 @@
+#include "noc/network/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "noc/common/flit.hpp"
+#include "sim/assert.hpp"
+
+namespace mango::noc {
+
+// --- base --------------------------------------------------------------------
+
+unsigned RoutingAlgorithm::hop_distance(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  return static_cast<unsigned>(route(a, b).size());
+}
+
+std::vector<Direction> RoutingAlgorithm::self_route(NodeId src) const {
+  // BFS over (node, arrival port) states for the shortest cycle back to
+  // src that never leaves a node by its arrival port (the u-turn code
+  // means local delivery). Port order gives deterministic tie-breaks.
+  MANGO_ASSERT(topo_.contains(src), "self-route source not in the topology");
+  struct State {
+    std::size_t node_idx;
+    PortIdx in_port;
+  };
+  const std::size_t n = topo_.node_count();
+  // parent[state] = (previous state index, move), or unset.
+  std::vector<std::optional<std::pair<std::size_t, Direction>>> parent(
+      n * kNumDirections);
+  const auto state_id = [](std::size_t node_idx, PortIdx in_port) {
+    return node_idx * kNumDirections + in_port;
+  };
+  std::deque<State> queue;
+  const std::size_t src_idx = topo_.index(src);
+
+  const auto expand = [&](NodeId at, PortIdx in_port,
+                          std::optional<std::size_t> from_state)
+      -> std::optional<std::size_t> {
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      if (is_network_port(in_port) && p == in_port) continue;  // u-turn
+      const auto peer = topo_.link_peer(at, p);
+      if (!peer.has_value()) continue;
+      const std::size_t peer_idx = topo_.index(peer->node);
+      const std::size_t sid = state_id(peer_idx, peer->port);
+      if (parent[sid].has_value()) continue;  // visited
+      parent[sid] = {from_state.value_or(sid), direction_of(p)};
+      if (peer_idx == src_idx) return sid;  // cycle closed
+      queue.push_back(State{peer_idx, peer->port});
+    }
+    return std::nullopt;
+  };
+
+  // Seed: first hops out of src (in_port = local, no u-turn constraint).
+  std::optional<std::size_t> goal = expand(src, kLocalPort, std::nullopt);
+  while (!goal.has_value() && !queue.empty()) {
+    const State st = queue.front();
+    queue.pop_front();
+    goal = expand(topo_.node_at(st.node_idx), st.in_port,
+                  state_id(st.node_idx, st.in_port));
+  }
+  if (!goal.has_value()) {
+    model_fail("topology " + topo_.label() +
+               " has no u-turn-free cycle through " + to_string(src) +
+               " — self-routes (programming a host's own router by "
+               "packet) are unavailable on this fabric");
+  }
+  std::vector<Direction> moves;
+  std::size_t sid = *goal;
+  for (;;) {
+    const auto& [prev, move] = *parent[sid];
+    moves.push_back(move);
+    if (prev == sid) break;  // seed state points at itself
+    sid = prev;
+  }
+  std::reverse(moves.begin(), moves.end());
+  return moves;
+}
+
+// --- XY on the mesh ----------------------------------------------------------
+
+std::vector<Direction> XyRouting::route(NodeId src, NodeId dst) const {
+  MANGO_ASSERT(topo_.contains(src) && topo_.contains(dst),
+               "route endpoints out of bounds");
+  return xy_route(src, dst);
+}
+
+unsigned XyRouting::hop_distance(NodeId a, NodeId b) const {
+  return mango::noc::hop_distance(a, b);  // Manhattan
+}
+
+// --- dimension-ordered torus -------------------------------------------------
+
+namespace {
+
+/// Minimal moves along one wrap dimension: distance `fwd` going the
+/// positive direction, `extent - fwd` going back; ties go forward.
+void append_dim_moves(std::vector<Direction>& moves, unsigned from,
+                      unsigned to, unsigned extent, Direction fwd_dir,
+                      Direction back_dir) {
+  const unsigned fwd = (to + extent - from) % extent;
+  const unsigned back = extent - fwd;
+  if (fwd == 0) return;
+  if (fwd <= back) {
+    moves.insert(moves.end(), fwd, fwd_dir);
+  } else {
+    moves.insert(moves.end(), back, back_dir);
+  }
+}
+
+}  // namespace
+
+std::vector<Direction> TorusDorRouting::route(NodeId src, NodeId dst) const {
+  MANGO_ASSERT(topo_.contains(src) && topo_.contains(dst),
+               "route endpoints out of bounds");
+  const auto& torus = static_cast<const TorusTopology&>(topo_);
+  std::vector<Direction> moves;
+  append_dim_moves(moves, src.x, dst.x, torus.width(), Direction::kEast,
+                   Direction::kWest);
+  append_dim_moves(moves, src.y, dst.y, torus.height(), Direction::kNorth,
+                   Direction::kSouth);
+  return moves;
+}
+
+unsigned TorusDorRouting::hop_distance(NodeId a, NodeId b) const {
+  const auto& torus = static_cast<const TorusTopology&>(topo_);
+  const unsigned dxf = (b.x + torus.width() - a.x) % torus.width();
+  const unsigned dyf = (b.y + torus.height() - a.y) % torus.height();
+  return std::min(dxf, torus.width() - dxf) +
+         std::min(dyf, torus.height() - dyf);
+}
+
+BeVcClassMap TorusDorRouting::vc_class_map() const {
+  const auto& torus = static_cast<const TorusTopology&>(topo_);
+  BeVcClassMap map;
+  map.enabled = true;
+  map.dateline.resize(topo_.node_count());
+  for (std::size_t i = 0; i < topo_.node_count(); ++i) {
+    const NodeId n = topo_.node_at(i);
+    // The wrap links are the datelines: forwarding East off the high-x
+    // edge (or West off x=0, North off the high-y edge, South off y=0)
+    // crosses one.
+    map.dateline[i][port_of(Direction::kEast)] = n.x + 1 == torus.width();
+    map.dateline[i][port_of(Direction::kWest)] = n.x == 0;
+    map.dateline[i][port_of(Direction::kNorth)] = n.y + 1 == torus.height();
+    map.dateline[i][port_of(Direction::kSouth)] = n.y == 0;
+  }
+  return map;
+}
+
+// --- ring --------------------------------------------------------------------
+
+std::vector<Direction> RingRouting::route(NodeId src, NodeId dst) const {
+  MANGO_ASSERT(topo_.contains(src) && topo_.contains(dst),
+               "route endpoints out of bounds");
+  const unsigned n = static_cast<unsigned>(topo_.node_count());
+  std::vector<Direction> moves;
+  append_dim_moves(moves, src.x, dst.x, n, Direction::kEast,
+                   Direction::kWest);
+  return moves;
+}
+
+unsigned RingRouting::hop_distance(NodeId a, NodeId b) const {
+  const unsigned n = static_cast<unsigned>(topo_.node_count());
+  const unsigned fwd = (b.x + n - a.x) % n;
+  return std::min(fwd, n - fwd);
+}
+
+BeVcClassMap RingRouting::vc_class_map() const {
+  const unsigned n = static_cast<unsigned>(topo_.node_count());
+  BeVcClassMap map;
+  map.enabled = true;
+  map.dateline.resize(n);
+  map.dateline[n - 1][port_of(Direction::kEast)] = true;  // (n-1) -> 0
+  map.dateline[0][port_of(Direction::kWest)] = true;      // 0 -> (n-1)
+  return map;
+}
+
+// --- shortest-path tables ----------------------------------------------------
+
+ShortestPathRouting::ShortestPathRouting(const Topology& topo)
+    : RoutingAlgorithm(topo) {
+  const std::size_t n = topo.node_count();
+  constexpr std::uint16_t kUnreached = 0xFFFF;
+  dist_.assign(n, std::vector<std::uint16_t>(n, kUnreached));
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    auto& field = dist_[dst];
+    field[dst] = 0;
+    std::deque<std::size_t> queue{dst};
+    while (!queue.empty()) {
+      const std::size_t cur = queue.front();
+      queue.pop_front();
+      const NodeId cur_node = topo.node_at(cur);
+      for (PortIdx p = 0; p < kNumDirections; ++p) {
+        const auto peer = topo.link_peer(cur_node, p);
+        if (!peer.has_value()) continue;
+        const std::size_t pi = topo.index(peer->node);
+        if (field[pi] != kUnreached) continue;
+        field[pi] = static_cast<std::uint16_t>(field[cur] + 1);
+        queue.push_back(pi);
+      }
+    }
+    MANGO_ASSERT(
+        std::find(field.begin(), field.end(), kUnreached) == field.end(),
+        "topology " + topo.label() + " is disconnected: node " +
+            to_string(topo.node_at(dst)) + " is unreachable");
+  }
+}
+
+std::vector<Direction> ShortestPathRouting::route(NodeId src,
+                                                  NodeId dst) const {
+  MANGO_ASSERT(topo_.contains(src) && topo_.contains(dst),
+               "route endpoints out of bounds");
+  const std::size_t dst_idx = topo_.index(dst);
+  const auto& field = dist_[dst_idx];
+  std::vector<Direction> moves;
+  NodeId cur = src;
+  std::size_t cur_idx = topo_.index(src);
+  moves.reserve(field[cur_idx]);
+  while (cur_idx != dst_idx) {
+    // Greedy descent: distance strictly decreases each hop, so the walk
+    // terminates and never re-exits through its arrival port.
+    bool advanced = false;
+    for (PortIdx p = 0; p < kNumDirections && !advanced; ++p) {
+      const auto peer = topo_.link_peer(cur, p);
+      if (!peer.has_value()) continue;
+      const std::size_t pi = topo_.index(peer->node);
+      if (field[pi] + 1 != field[cur_idx]) continue;
+      moves.push_back(direction_of(p));
+      cur = peer->node;
+      cur_idx = pi;
+      advanced = true;
+    }
+    MANGO_ASSERT(advanced, "distance field has no descent — corrupt table");
+  }
+  return moves;
+}
+
+unsigned ShortestPathRouting::hop_distance(NodeId a, NodeId b) const {
+  return dist_[topo_.index(b)][topo_.index(a)];
+}
+
+// --- up*/down* ---------------------------------------------------------------
+
+UpDownRouting::UpDownRouting(const Topology& topo) : RoutingAlgorithm(topo) {
+  const std::size_t n = topo.node_count();
+  constexpr std::uint16_t kUnreached = 0xFFFF;
+
+  // BFS levels from node 0 define the up orientation.
+  level_.assign(n, kUnreached);
+  level_[0] = 0;
+  std::deque<std::size_t> queue{0};
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    const NodeId cur_node = topo.node_at(cur);
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      const auto peer = topo.link_peer(cur_node, p);
+      if (!peer.has_value()) continue;
+      const std::size_t pi = topo.index(peer->node);
+      if (level_[pi] != kUnreached) continue;
+      level_[pi] = static_cast<std::uint16_t>(level_[cur] + 1);
+      queue.push_back(pi);
+    }
+  }
+  MANGO_ASSERT(
+      std::find(level_.begin(), level_.end(), kUnreached) == level_.end(),
+      "topology " + topo.label() + " is disconnected");
+
+  // Per destination: backward BFS over the legal-step state graph.
+  // States: node * 2 + phase (0 = may still climb, 1 = descending).
+  // Forward steps: (v,0) -up-> (u,0); (v,0) -down-> (u,1);
+  //                (v,1) -down-> (u,1).
+  dist_.assign(n, std::vector<std::uint16_t>(2 * n, kUnreached));
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    auto& d = dist_[dst];
+    d[2 * dst] = 0;
+    d[2 * dst + 1] = 0;
+    std::deque<std::size_t> states{2 * dst, 2 * dst + 1};
+    while (!states.empty()) {
+      const std::size_t s = states.front();
+      states.pop_front();
+      const std::size_t u = s / 2;
+      const unsigned phase = s % 2;
+      const NodeId u_node = topo.node_at(u);
+      // Predecessors v with a legal step v -> u landing in state s.
+      for (PortIdx p = 0; p < kNumDirections; ++p) {
+        const auto peer = topo.link_peer(u_node, p);
+        if (!peer.has_value()) continue;
+        const std::size_t v = topo.index(peer->node);
+        const bool up_move = is_up(v, u);  // the v -> u direction
+        std::size_t pred;
+        if (phase == 0) {
+          if (!up_move) continue;  // only up moves land in phase 0
+          pred = 2 * v;            // and only from phase 0
+        } else {
+          if (up_move) continue;  // down moves land in phase 1 ...
+          if (d[2 * v] == kUnreached) {
+            d[2 * v] = static_cast<std::uint16_t>(d[s] + 1);
+            states.push_back(2 * v);  // ... from phase 0 (the turn) ...
+          }
+          pred = 2 * v + 1;  // ... or from phase 1
+        }
+        if (d[pred] == kUnreached) {
+          d[pred] = static_cast<std::uint16_t>(d[s] + 1);
+          states.push_back(pred);
+        }
+      }
+    }
+    MANGO_ASSERT(
+        [&] {
+          for (std::size_t v = 0; v < n; ++v) {
+            if (d[2 * v] == kUnreached) return false;
+          }
+          return true;
+        }(),
+        "up*/down* cannot reach " + to_string(topo.node_at(dst)) +
+            " from every node — topology " + topo.label() +
+            " is disconnected");
+  }
+}
+
+std::vector<Direction> UpDownRouting::route(NodeId src, NodeId dst) const {
+  MANGO_ASSERT(topo_.contains(src) && topo_.contains(dst),
+               "route endpoints out of bounds");
+  const std::size_t dst_idx = topo_.index(dst);
+  const auto& d = dist_[dst_idx];
+  std::vector<Direction> moves;
+  NodeId cur = src;
+  std::size_t cur_idx = topo_.index(src);
+  unsigned phase = 0;
+  moves.reserve(d[2 * cur_idx]);
+  while (cur_idx != dst_idx) {
+    bool advanced = false;
+    for (PortIdx p = 0; p < kNumDirections && !advanced; ++p) {
+      const auto peer = topo_.link_peer(cur, p);
+      if (!peer.has_value()) continue;
+      const std::size_t pi = topo_.index(peer->node);
+      const bool up_move = is_up(cur_idx, pi);
+      if (phase == 1 && up_move) continue;  // no down->up turns
+      const unsigned next_phase = up_move ? phase : 1;
+      if (d[2 * pi + next_phase] + 1 != d[2 * cur_idx + phase]) continue;
+      moves.push_back(direction_of(p));
+      cur = peer->node;
+      cur_idx = pi;
+      phase = next_phase;
+      advanced = true;
+    }
+    MANGO_ASSERT(advanced, "up*/down* table has no descent — corrupt table");
+  }
+  return moves;
+}
+
+unsigned UpDownRouting::hop_distance(NodeId a, NodeId b) const {
+  return dist_[topo_.index(b)][2 * topo_.index(a)];
+}
+
+// --- factory -----------------------------------------------------------------
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo) {
+  switch (topo.kind()) {
+    case TopologyKind::kMesh:
+      return std::make_unique<XyRouting>(
+          static_cast<const MeshTopology&>(topo));
+    case TopologyKind::kTorus:
+      return std::make_unique<TorusDorRouting>(
+          static_cast<const TorusTopology&>(topo));
+    case TopologyKind::kRing:
+      return std::make_unique<RingRouting>(
+          static_cast<const RingTopology&>(topo));
+    case TopologyKind::kGraph:
+      // Unconstrained shortest paths deadlock on cyclic graphs (the
+      // validator rejects them); up*/down* turns are the canonical
+      // deadlock-free discipline for irregular fabrics.
+      return std::make_unique<UpDownRouting>(topo);
+  }
+  model_fail("unknown topology kind");
+}
+
+// --- deadlock validator ------------------------------------------------------
+
+namespace {
+
+std::string channel_name(const Topology& topo, std::uint32_t chan) {
+  const unsigned vc = chan % kMaxBeVcs;
+  const unsigned port = (chan / kMaxBeVcs) % kNumDirections;
+  const std::size_t node = chan / (kMaxBeVcs * kNumDirections);
+  return to_string(topo.node_at(node)) + "." +
+         port_name(static_cast<PortIdx>(port)) + "/vc" + std::to_string(vc);
+}
+
+}  // namespace
+
+DeadlockCheck check_deadlock_freedom(const Topology& topo,
+                                     const RoutingAlgorithm& routing,
+                                     unsigned be_vcs) {
+  const std::size_t n = topo.node_count();
+  const BeVcClassMap map = routing.vc_class_map();
+  // The dateline rule only takes effect when the router configuration
+  // actually has a second BE VC — modelling exactly what the hardware
+  // would do, so a torus forced onto one VC is correctly reported as
+  // cyclic.
+  const bool classes = map.enabled && be_vcs >= 2;
+  const std::size_t chans = n * kNumDirections * kMaxBeVcs;
+  std::vector<std::vector<std::uint32_t>> deps(chans);
+
+  // Exhaustive pair coverage up to 512 nodes; beyond that, a
+  // deterministic stratified subset (every k-th node as src and as dst)
+  // bounds validation cost on very large fabrics.
+  const std::size_t stride = n <= 512 ? 1 : (n + 511) / 512;
+  std::vector<std::size_t> sample;
+  for (std::size_t i = 0; i < n; i += stride) sample.push_back(i);
+
+  for (const std::size_t si : sample) {
+    for (const std::size_t di : sample) {
+      if (si == di) continue;
+      const NodeId src = topo.node_at(si);
+      const NodeId dst = topo.node_at(di);
+      const std::vector<Direction> moves = routing.route(src, dst);
+      NodeId cur = src;
+      PortIdx in = kLocalPort;
+      unsigned vc = 0;
+      std::optional<std::uint32_t> prev;
+      for (const Direction d : moves) {
+        const std::size_t ci = topo.index(cur);
+        MANGO_ASSERT(!is_network_port(in) || in != port_of(d),
+                     "route " + to_string(src) + "->" + to_string(dst) +
+                         " u-turns at " + to_string(cur) +
+                         " (reads as the local-delivery code)");
+        if (classes) {
+          vc = be_vc_class_step(in, d, vc,
+                                map.dateline[ci][port_of(d)]);
+        }
+        const auto chan = static_cast<std::uint32_t>(
+            (ci * kNumDirections + port_of(d)) * kMaxBeVcs + vc);
+        if (prev.has_value() && *prev != chan) {
+          auto& out = deps[*prev];
+          if (std::find(out.begin(), out.end(), chan) == out.end()) {
+            out.push_back(chan);
+          }
+        }
+        prev = chan;
+        const auto peer = topo.link_peer(cur, port_of(d));
+        MANGO_ASSERT(peer.has_value(),
+                     "route " + to_string(src) + "->" + to_string(dst) +
+                         " uses the unwired port " + port_name(port_of(d)) +
+                         " at " + to_string(cur));
+        cur = peer->node;
+        in = peer->port;
+      }
+      MANGO_ASSERT(cur == dst, "route " + to_string(src) + "->" +
+                                   to_string(dst) + " ends at " +
+                                   to_string(cur));
+    }
+  }
+
+  // Iterative 3-colour DFS; a back edge is a dependency cycle.
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> color(chans, kWhite);
+  std::vector<std::uint32_t> stack;
+  std::vector<std::size_t> edge_pos(chans, 0);
+  for (std::uint32_t root = 0; root < chans; ++root) {
+    if (color[root] != kWhite || deps[root].empty()) continue;
+    stack.push_back(root);
+    color[root] = kGrey;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      if (edge_pos[u] < deps[u].size()) {
+        const std::uint32_t v = deps[u][edge_pos[u]++];
+        if (color[v] == kGrey) {
+          // Report the cycle: the grey stack from v back to u.
+          DeadlockCheck out;
+          out.acyclic = false;
+          const auto it = std::find(stack.begin(), stack.end(), v);
+          for (auto s = it; s != stack.end(); ++s) {
+            out.cycle += channel_name(topo, *s) + " -> ";
+          }
+          out.cycle += channel_name(topo, v);
+          return out;
+        }
+        if (color[v] == kWhite) {
+          color[v] = kGrey;
+          stack.push_back(v);
+        }
+      } else {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return DeadlockCheck{};
+}
+
+}  // namespace mango::noc

@@ -1,0 +1,190 @@
+// Routing algorithms over pluggable topologies.
+//
+// A RoutingAlgorithm turns (src, dst) into the out-port move sequence
+// the source-routed BE header encodes and the GS connection manager
+// walks when it reserves VCs hop by hop. Implementations:
+//
+//   * XyRouting            — dimension-ordered XY on the mesh (the
+//                            paper's scheme; acyclic by monotonicity),
+//   * TorusDorRouting      — minimal dimension-ordered routing on the
+//                            torus; wrap rings are broken by a dateline
+//                            VC-class scheme (packets start a dimension
+//                            on BE VC 0 and are promoted to VC 1 when
+//                            crossing the wrap link), so it requires two
+//                            BE VCs,
+//   * RingRouting          — the 1D case of the same scheme,
+//   * UpDownRouting        — shortest-path table routing for irregular
+//                            graphs, restricted to up*/down* turns over
+//                            a BFS spanning order (up edges point toward
+//                            the root level). Pure minimal routing on an
+//                            irregular graph is NOT deadlock-free in
+//                            general — ShortestPathRouting below exists
+//                            as exactly that counterexample and the
+//                            validator rejects it.
+//
+// Deadlock freedom is not taken on faith: check_deadlock_freedom()
+// builds the channel-dependency graph of (topology, routing, VC-class
+// rule) and reports the first cycle, and Network construction rejects
+// cyclic routing functions up front.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/common/ids.hpp"
+#include "noc/common/route.hpp"
+#include "noc/network/topology.hpp"
+
+namespace mango::noc {
+
+/// Where the BE VC-class (dateline) rule applies: per node, which out
+/// ports cross a dateline. `enabled == false` (mesh, irregular graphs)
+/// means flits keep their injected BE VC — the paper's baseline
+/// behaviour.
+struct BeVcClassMap {
+  bool enabled = false;
+  /// dateline[node_index][out_port]
+  std::vector<std::array<bool, kNumDirections>> dateline;
+
+  bool is_dateline(std::size_t node_idx, PortIdx out) const {
+    return enabled && dateline[node_idx][out];
+  }
+};
+
+class RoutingAlgorithm {
+ public:
+  explicit RoutingAlgorithm(const Topology& topo) : topo_(topo) {}
+  virtual ~RoutingAlgorithm() = default;
+
+  RoutingAlgorithm(const RoutingAlgorithm&) = delete;
+  RoutingAlgorithm& operator=(const RoutingAlgorithm&) = delete;
+
+  virtual const char* name() const = 0;
+
+  /// Out-port move sequence from src to dst (src != dst). Every
+  /// implementation guarantees: the route reaches dst over wired links,
+  /// and no intermediate hop leaves by its arrival port (a u-turn would
+  /// read as the local-delivery code).
+  virtual std::vector<Direction> route(NodeId src, NodeId dst) const = 0;
+
+  /// Link hops between two nodes under this routing (wrap-aware; the
+  /// topology-correct replacement for the mesh-only free hop_distance).
+  virtual unsigned hop_distance(NodeId a, NodeId b) const;
+
+  /// The dateline VC-class rule this routing needs (empty by default).
+  virtual BeVcClassMap vc_class_map() const { return {}; }
+  /// BE VCs the scheme needs (2 when vc_class_map() is enabled).
+  virtual unsigned required_be_vcs() const { return 1; }
+
+  /// Shortest u-turn-free cycle from src back to its own local port
+  /// (self-routes reach a node's own NA/programming interface; see
+  /// DESIGN.md). ModelError when the topology has no such cycle through
+  /// src (e.g. tree graphs).
+  std::vector<Direction> self_route(NodeId src) const;
+
+  const Topology& topology() const { return topo_; }
+
+ protected:
+  const Topology& topo_;
+};
+
+class XyRouting : public RoutingAlgorithm {
+ public:
+  explicit XyRouting(const MeshTopology& topo)
+      : RoutingAlgorithm(topo) {}
+  const char* name() const override { return "xy"; }
+  std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  unsigned hop_distance(NodeId a, NodeId b) const override;
+};
+
+class TorusDorRouting : public RoutingAlgorithm {
+ public:
+  explicit TorusDorRouting(const TorusTopology& topo)
+      : RoutingAlgorithm(topo) {}
+  const char* name() const override { return "torus-dor"; }
+  std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  unsigned hop_distance(NodeId a, NodeId b) const override;
+  BeVcClassMap vc_class_map() const override;
+  unsigned required_be_vcs() const override { return 2; }
+};
+
+class RingRouting : public RoutingAlgorithm {
+ public:
+  explicit RingRouting(const RingTopology& topo) : RoutingAlgorithm(topo) {}
+  const char* name() const override { return "ring"; }
+  std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  unsigned hop_distance(NodeId a, NodeId b) const override;
+  BeVcClassMap vc_class_map() const override;
+  unsigned required_be_vcs() const override { return 2; }
+};
+
+/// Unrestricted minimal table routing: per-destination BFS distance
+/// fields, greedy descent with deterministic tie-breaks. On cyclic
+/// graphs its channel-dependency graph is cyclic in general, so
+/// make_routing() never installs it — it is the reference "plausible
+/// but deadlock-prone" routing function the validator demonstrably
+/// rejects (tests/test_routing.cpp) and a baseline for route-length
+/// comparisons.
+class ShortestPathRouting : public RoutingAlgorithm {
+ public:
+  explicit ShortestPathRouting(const Topology& topo);
+  const char* name() const override { return "shortest-path"; }
+  std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  unsigned hop_distance(NodeId a, NodeId b) const override;
+
+ private:
+  /// dist_[dst_idx][node_idx] = link hops node -> dst.
+  std::vector<std::vector<std::uint16_t>> dist_;
+};
+
+/// Up*/down* table routing for irregular graphs: edges are oriented
+/// toward the BFS-level order rooted at node 0 (lower (level, index) is
+/// "up"); a legal route climbs zero or more up edges, then descends zero
+/// or more down edges — a down->up turn never occurs, which makes the
+/// channel-dependency graph provably acyclic on ANY connected graph.
+/// Routes are the shortest legal ones (table-driven, deterministic
+/// tie-breaks), possibly longer than the unconstrained minimum.
+class UpDownRouting : public RoutingAlgorithm {
+ public:
+  explicit UpDownRouting(const Topology& topo);
+  const char* name() const override { return "up-down"; }
+  std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  unsigned hop_distance(NodeId a, NodeId b) const override;
+
+ private:
+  bool is_up(std::size_t from, std::size_t to) const {
+    return std::make_pair(level_[to], to) < std::make_pair(level_[from], from);
+  }
+
+  std::vector<std::uint16_t> level_;  ///< BFS level from the root
+  /// dist_[dst_idx][node_idx * 2 + phase] = remaining legal hops to dst,
+  /// phase 0 = may still climb, phase 1 = descending only.
+  std::vector<std::vector<std::uint16_t>> dist_;
+};
+
+/// The canonical routing for a topology (what Network installs).
+std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo);
+
+/// Result of the channel-dependency-graph acyclicity check.
+struct DeadlockCheck {
+  bool acyclic = true;
+  /// Human-readable description of the first dependency cycle found
+  /// (empty when acyclic).
+  std::string cycle;
+};
+
+/// Builds the channel-dependency graph of `routing` over `topo` —
+/// channels are (link, BE VC class) pairs, with the VC class evolved by
+/// the routing's dateline rule — and checks it for cycles. Exhaustive
+/// over all src/dst pairs up to 512 nodes, deterministically stratified
+/// beyond. `be_vcs` guards that the rule never demands a class the
+/// router configuration lacks.
+DeadlockCheck check_deadlock_freedom(const Topology& topo,
+                                     const RoutingAlgorithm& routing,
+                                     unsigned be_vcs);
+
+}  // namespace mango::noc

@@ -1,37 +1,229 @@
 #include "noc/network/topology.hpp"
 
+#include <algorithm>
+
 #include "sim/assert.hpp"
 
 namespace mango::noc {
 
-MeshTopology::MeshTopology(std::uint16_t width, std::uint16_t height)
-    : width_(width), height_(height) {
-  MANGO_ASSERT(width_ >= 1 && height_ >= 1, "degenerate mesh");
-  MANGO_ASSERT(node_count() >= 2,
-               "a network needs at least two nodes (self-programming uses "
-               "out-and-back routes)");
+// --- kinds -------------------------------------------------------------------
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kGraph: return "graph";
+  }
+  return "?";
 }
 
-std::size_t MeshTopology::index(NodeId n) const {
-  MANGO_ASSERT(in_bounds(n), "node " + to_string(n) + " out of bounds");
-  return static_cast<std::size_t>(n.y) * width_ + n.x;
+std::optional<TopologyKind> topology_kind_from_string(const std::string& s) {
+  for (const TopologyKind k : all_topology_kinds()) {
+    if (s == to_string(k)) return k;
+  }
+  return std::nullopt;
 }
 
-NodeId MeshTopology::node_at(std::size_t idx) const {
+std::vector<TopologyKind> all_topology_kinds() {
+  return {TopologyKind::kMesh, TopologyKind::kTorus, TopologyKind::kRing,
+          TopologyKind::kGraph};
+}
+
+// --- GraphSpec ---------------------------------------------------------------
+
+GraphSpec GraphSpec::parse(const std::string& s) {
+  GraphSpec spec;
+  std::size_t pos = 0;
+  std::uint16_t max_node = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    const std::string tok = s.substr(pos, comma - pos);
+    const std::size_t dash = tok.find('-');
+    MANGO_ASSERT(dash != std::string::npos && dash > 0 &&
+                     dash + 1 < tok.size(),
+                 "graph edge '" + tok + "' is not of the form a-b");
+    const auto to_node = [&tok](const std::string& part) -> std::uint16_t {
+      MANGO_ASSERT(!part.empty() && part.size() <= 5 &&
+                       part.find_first_not_of("0123456789") == std::string::npos,
+                   "graph node '" + part + "' in '" + tok +
+                       "' is not a number");
+      const unsigned long v = std::stoul(part);
+      // <= 65534 so node_count = max + 1 still fits the 16-bit label.
+      MANGO_ASSERT(v <= 65534, "graph node index " + part + " out of range");
+      return static_cast<std::uint16_t>(v);
+    };
+    const std::uint16_t a = to_node(tok.substr(0, dash));
+    const std::uint16_t b = to_node(tok.substr(dash + 1));
+    spec.edges.emplace_back(a, b);
+    max_node = std::max({max_node, a, b});
+    pos = comma + 1;
+  }
+  MANGO_ASSERT(!spec.edges.empty(), "graph spec has no edges");
+  spec.node_count = static_cast<std::uint16_t>(max_node + 1);
+  return spec;
+}
+
+GraphSpec GraphSpec::irregular(std::uint16_t nodes) {
+  MANGO_ASSERT(nodes >= 2, "an irregular graph needs at least two nodes");
+  GraphSpec spec;
+  spec.node_count = nodes;
+  // Ternary-tree backbone: node i hangs off (i-1)/3. Node degrees are at
+  // most 4 (parent + three children), leaving leaves room for chords.
+  for (std::uint16_t i = 1; i < nodes; ++i) {
+    spec.edges.emplace_back(i, static_cast<std::uint16_t>((i - 1) / 3));
+  }
+  // Chords pair up consecutive leaves, adding cycles (so u-turn-free
+  // self-routes exist) while keeping shortest-path routing's channel
+  // dependencies acyclic (asserted by the deadlock validator and the
+  // routing property tests).
+  std::vector<std::uint16_t> leaves;
+  for (std::uint16_t i = 0; i < nodes; ++i) {
+    if (3u * i + 1 >= nodes) leaves.push_back(i);
+  }
+  for (std::size_t j = 0; j + 1 < leaves.size(); j += 2) {
+    spec.edges.emplace_back(leaves[j], leaves[j + 1]);
+  }
+  return spec;
+}
+
+// --- TopologySpec ------------------------------------------------------------
+
+TopologySpec TopologySpec::mesh(std::uint16_t w, std::uint16_t h) {
+  TopologySpec s;
+  s.kind = TopologyKind::kMesh;
+  s.width = w;
+  s.height = h;
+  return s;
+}
+
+TopologySpec TopologySpec::torus(std::uint16_t w, std::uint16_t h) {
+  TopologySpec s;
+  s.kind = TopologyKind::kTorus;
+  s.width = w;
+  s.height = h;
+  return s;
+}
+
+TopologySpec TopologySpec::ring(std::uint16_t nodes) {
+  TopologySpec s;
+  s.kind = TopologyKind::kRing;
+  s.width = nodes;
+  s.height = 1;
+  return s;
+}
+
+TopologySpec TopologySpec::irregular(GraphSpec g) {
+  TopologySpec s;
+  s.kind = TopologyKind::kGraph;
+  s.width = g.node_count;
+  s.height = 1;
+  s.graph = std::move(g);
+  return s;
+}
+
+std::size_t TopologySpec::node_count() const {
+  if (kind == TopologyKind::kGraph) return graph.node_count;
+  return static_cast<std::size_t>(width) * height;
+}
+
+std::string TopologySpec::label() const {
+  switch (kind) {
+    case TopologyKind::kMesh:
+    case TopologyKind::kTorus:
+      return std::string(to_string(kind)) + "-" + std::to_string(width) +
+             "x" + std::to_string(height);
+    case TopologyKind::kRing:
+    case TopologyKind::kGraph:
+      return std::string(to_string(kind)) + "-" +
+             std::to_string(node_count());
+  }
+  return "?";
+}
+
+// --- Topology base -----------------------------------------------------------
+
+std::vector<NodeId> Topology::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) out.push_back(node_at(i));
+  return out;
+}
+
+unsigned Topology::degree(NodeId n) const {
+  unsigned d = 0;
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    if (link_peer(n, p).has_value()) ++d;
+  }
+  return d;
+}
+
+Direction Topology::any_neighbor_direction(NodeId n) const {
+  MANGO_ASSERT(contains(n), "node " + to_string(n) + " not in the topology");
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    if (link_peer(n, p).has_value()) return direction_of(p);
+  }
+  model_fail("node " + to_string(n) + " has no neighbours (" + label() + ")");
+}
+
+std::optional<Topology::WalkEnd> Topology::walk(
+    NodeId src, const std::vector<Direction>& moves) const {
+  if (moves.empty()) return std::nullopt;
+  NodeId cur = src;
+  PortIdx arrival = 0;
+  for (const Direction d : moves) {
+    const auto peer = link_peer(cur, port_of(d));
+    if (!peer.has_value()) return std::nullopt;
+    cur = peer->node;
+    arrival = peer->port;
+  }
+  return WalkEnd{cur, arrival};
+}
+
+bool Topology::route_reaches(NodeId src, NodeId dst,
+                             const std::vector<Direction>& moves) const {
+  if (moves.empty()) return src == dst;
+  const auto end = walk(src, moves);
+  return end.has_value() && end->node == dst;
+}
+
+// --- Grid2DTopology ----------------------------------------------------------
+
+std::size_t Grid2DTopology::index(NodeId n) const {
+  MANGO_ASSERT(contains(n), "node " + to_string(n) + " out of bounds");
+  return static_cast<std::size_t>(n.y) * width() + n.x;
+}
+
+NodeId Grid2DTopology::node_at(std::size_t idx) const {
   MANGO_ASSERT(idx < node_count(), "node index out of range");
-  return NodeId{static_cast<std::uint16_t>(idx % width_),
-                static_cast<std::uint16_t>(idx / width_)};
+  return NodeId{static_cast<std::uint16_t>(idx % width()),
+                static_cast<std::uint16_t>(idx / width())};
+}
+
+// --- MeshTopology ------------------------------------------------------------
+
+MeshTopology::MeshTopology(std::uint16_t width, std::uint16_t height)
+    : Grid2DTopology(TopologySpec::mesh(width, height)) {
+  MANGO_ASSERT(width >= 1 && height >= 1, "degenerate mesh");
 }
 
 std::optional<NodeId> MeshTopology::neighbor(NodeId n, Direction d) const {
+  const auto peer = link_peer(n, port_of(d));
+  if (!peer.has_value()) return std::nullopt;
+  return peer->node;
+}
+
+std::optional<PortPeer> MeshTopology::link_peer(NodeId n, PortIdx p) const {
   MANGO_ASSERT(in_bounds(n), "node out of bounds");
+  if (!is_network_port(p)) return std::nullopt;
+  const Direction d = direction_of(p);
   // Guard against wrap-around on the mesh edge.
   switch (d) {
     case Direction::kNorth:
-      if (n.y + 1 >= height_) return std::nullopt;
+      if (n.y + 1 >= height()) return std::nullopt;
       break;
     case Direction::kEast:
-      if (n.x + 1 >= width_) return std::nullopt;
+      if (n.x + 1 >= width()) return std::nullopt;
       break;
     case Direction::kSouth:
       if (n.y == 0) return std::nullopt;
@@ -40,22 +232,148 @@ std::optional<NodeId> MeshTopology::neighbor(NodeId n, Direction d) const {
       if (n.x == 0) return std::nullopt;
       break;
   }
-  return step(n, d);
+  return PortPeer{step(n, d), port_of(opposite(d))};
 }
 
-Direction MeshTopology::any_neighbor_direction(NodeId n) const {
-  for (PortIdx p = 0; p < kNumDirections; ++p) {
-    const Direction d = direction_of(p);
-    if (neighbor(n, d).has_value()) return d;
+// --- TorusTopology -----------------------------------------------------------
+
+TorusTopology::TorusTopology(std::uint16_t width, std::uint16_t height)
+    : Grid2DTopology(TopologySpec::torus(width, height)) {
+  MANGO_ASSERT(width >= 2 && height >= 2,
+               "a torus needs both dimensions >= 2 (wrap links would be "
+               "self-loops otherwise) — use ring for 1D");
+}
+
+std::optional<PortPeer> TorusTopology::link_peer(NodeId n, PortIdx p) const {
+  MANGO_ASSERT(contains(n), "node out of bounds");
+  if (!is_network_port(p)) return std::nullopt;
+  const std::uint16_t w = width();
+  const std::uint16_t h = height();
+  NodeId peer = n;
+  switch (direction_of(p)) {
+    case Direction::kNorth:
+      peer.y = static_cast<std::uint16_t>((n.y + 1) % h);
+      break;
+    case Direction::kEast:
+      peer.x = static_cast<std::uint16_t>((n.x + 1) % w);
+      break;
+    case Direction::kSouth:
+      peer.y = static_cast<std::uint16_t>((n.y + h - 1) % h);
+      break;
+    case Direction::kWest:
+      peer.x = static_cast<std::uint16_t>((n.x + w - 1) % w);
+      break;
   }
-  model_fail("node " + to_string(n) + " has no neighbours");
+  return PortPeer{peer, port_of(opposite(direction_of(p)))};
 }
 
-std::vector<NodeId> MeshTopology::nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(node_count());
-  for (std::size_t i = 0; i < node_count(); ++i) out.push_back(node_at(i));
-  return out;
+// --- RingTopology ------------------------------------------------------------
+
+RingTopology::RingTopology(std::uint16_t nodes)
+    : Topology(TopologySpec::ring(nodes)) {
+  MANGO_ASSERT(nodes >= 2, "a ring needs at least two nodes");
+}
+
+std::size_t RingTopology::index(NodeId n) const {
+  MANGO_ASSERT(contains(n), "node " + to_string(n) + " not on the ring");
+  return n.x;
+}
+
+NodeId RingTopology::node_at(std::size_t idx) const {
+  MANGO_ASSERT(idx < node_count(), "node index out of range");
+  return NodeId{static_cast<std::uint16_t>(idx), 0};
+}
+
+std::optional<PortPeer> RingTopology::link_peer(NodeId n, PortIdx p) const {
+  MANGO_ASSERT(contains(n), "node not on the ring");
+  const std::uint16_t count = spec().width;
+  switch (p < kNumDirections ? direction_of(p) : Direction::kNorth) {
+    case Direction::kEast:
+      return PortPeer{{static_cast<std::uint16_t>((n.x + 1) % count), 0},
+                      port_of(Direction::kWest)};
+    case Direction::kWest:
+      return PortPeer{
+          {static_cast<std::uint16_t>((n.x + count - 1) % count), 0},
+          port_of(Direction::kEast)};
+    default:
+      return std::nullopt;  // North/South (and the local port) are unwired
+  }
+}
+
+// --- GraphTopology -----------------------------------------------------------
+
+GraphTopology::GraphTopology(GraphSpec g)
+    : Topology(TopologySpec::irregular(g)) {
+  MANGO_ASSERT(g.node_count >= 2, "a graph topology needs >= 2 nodes");
+  adjacency_.resize(g.node_count);
+  const auto first_free_port = [this](std::uint16_t node) -> PortIdx {
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      if (!adjacency_[node][p].has_value()) return p;
+    }
+    model_fail("graph node " + std::to_string(node) +
+               " exceeds the four router ports (degree > 4)");
+  };
+  for (const auto& [a, b] : g.edges) {
+    MANGO_ASSERT(a < g.node_count && b < g.node_count,
+                 "graph edge endpoint out of range");
+    MANGO_ASSERT(a != b, "graph self-loops are not supported");
+    const PortIdx pa = first_free_port(a);
+    const PortIdx pb = first_free_port(b);
+    adjacency_[a][pa] = {b, pb};
+    adjacency_[b][pb] = {a, pa};
+  }
+  // Connectivity check: every node must be reachable, or routing (and
+  // link wiring) would silently strand traffic.
+  std::vector<bool> seen(g.node_count, false);
+  std::vector<std::uint16_t> frontier{0};
+  seen[0] = true;
+  while (!frontier.empty()) {
+    const std::uint16_t cur = frontier.back();
+    frontier.pop_back();
+    for (const auto& peer : adjacency_[cur]) {
+      if (peer.has_value() && !seen[peer->first]) {
+        seen[peer->first] = true;
+        frontier.push_back(peer->first);
+      }
+    }
+  }
+  MANGO_ASSERT(std::find(seen.begin(), seen.end(), false) == seen.end(),
+               "graph topology is disconnected");
+}
+
+std::size_t GraphTopology::index(NodeId n) const {
+  MANGO_ASSERT(contains(n), "node " + to_string(n) + " not in the graph");
+  return n.x;
+}
+
+NodeId GraphTopology::node_at(std::size_t idx) const {
+  MANGO_ASSERT(idx < node_count(), "node index out of range");
+  return NodeId{static_cast<std::uint16_t>(idx), 0};
+}
+
+std::optional<PortPeer> GraphTopology::link_peer(NodeId n, PortIdx p) const {
+  MANGO_ASSERT(contains(n), "node not in the graph");
+  if (!is_network_port(p)) return std::nullopt;
+  const auto& peer = adjacency_[n.x][p];
+  if (!peer.has_value()) return std::nullopt;
+  return PortPeer{{peer->first, 0}, peer->second};
+}
+
+// --- factory -----------------------------------------------------------------
+
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::kMesh:
+      return std::make_unique<MeshTopology>(spec.width, spec.height);
+    case TopologyKind::kTorus:
+      return std::make_unique<TorusTopology>(spec.width, spec.height);
+    case TopologyKind::kRing:
+      return std::make_unique<RingTopology>(
+          static_cast<std::uint16_t>(spec.node_count()));
+    case TopologyKind::kGraph:
+      return std::make_unique<GraphTopology>(spec.graph);
+  }
+  model_fail("unknown topology kind");
 }
 
 }  // namespace mango::noc

@@ -1,8 +1,28 @@
-// Mesh topology helpers.
+// Pluggable network topologies.
+//
+// A Topology is a port-level adjacency graph over router nodes: every
+// node exposes up to four network ports (the Direction values double as
+// port labels on all fabrics — the 2-bit BE header codes address ports,
+// not geometry), and link_peer() answers "where does the link on this
+// port go, and on which port does it arrive". Four implementations:
+//
+//   * MeshTopology  — the paper's 2D mesh (no wrap links),
+//   * TorusTopology — 2D mesh with wrap-around links in both dimensions,
+//   * RingTopology  — a 1D cycle on the East/West ports,
+//   * GraphTopology — an arbitrary adjacency loaded from a GraphSpec
+//                     (degree <= 4, connected; ports auto-assigned).
+//
+// Route computation lives in the RoutingAlgorithm layer
+// (noc/network/routing.hpp); the Network wires links straight from this
+// adjacency.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "noc/common/ids.hpp"
@@ -10,36 +30,198 @@
 
 namespace mango::noc {
 
-/// A width x height 2D mesh. Coordinates: x grows East, y grows North;
-/// node (0,0) is the south-west corner.
-class MeshTopology {
+enum class TopologyKind : std::uint8_t {
+  kMesh,
+  kTorus,
+  kRing,
+  kGraph,
+};
+
+const char* to_string(TopologyKind k);
+std::optional<TopologyKind> topology_kind_from_string(const std::string& s);
+std::vector<TopologyKind> all_topology_kinds();
+
+/// An arbitrary undirected adjacency: `edges` between node indices
+/// 0..node_count-1. Each node carries at most four edges (one per router
+/// port); ports are assigned in edge order (first free port at each
+/// endpoint). Self-loops are rejected; parallel edges are allowed.
+struct GraphSpec {
+  std::uint16_t node_count = 0;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> edges;
+
+  /// Parses "a-b,c-d,..." (node count = max index + 1). ModelError on
+  /// malformed input.
+  static GraphSpec parse(const std::string& s);
+
+  /// Deterministic built-in irregular fabric: a ternary-tree backbone
+  /// (node i hangs off (i-1)/3) plus chords between consecutive leaves,
+  /// giving heterogeneous degrees, non-uniform distances and enough
+  /// cycles for u-turn-free self-routes. Used by the "graph" topology
+  /// axis of the sweep CLI and the topologies-4x4 preset.
+  static GraphSpec irregular(std::uint16_t nodes);
+};
+
+/// Value description of a topology (what NetworkConfig carries and the
+/// sweep layer puts on its grid axes).
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kMesh;
+  std::uint16_t width = 2;   ///< mesh/torus X extent; ring/graph: node count
+  std::uint16_t height = 2;  ///< mesh/torus Y extent; 1 for ring/graph
+  GraphSpec graph;           ///< kGraph only
+
+  static TopologySpec mesh(std::uint16_t w, std::uint16_t h);
+  static TopologySpec torus(std::uint16_t w, std::uint16_t h);
+  static TopologySpec ring(std::uint16_t nodes);
+  static TopologySpec irregular(GraphSpec g);
+
+  std::size_t node_count() const;
+  /// Human-readable tag used in scenario names and JSON reports:
+  /// "mesh-4x4", "torus-4x4", "ring-16", "graph-16".
+  std::string label() const;
+};
+
+/// One end of a link as seen from the other: the peer node and the port
+/// the link attaches to over there.
+struct PortPeer {
+  NodeId node;
+  PortIdx port = 0;
+
+  friend bool operator==(const PortPeer& a, const PortPeer& b) {
+    return a.node == b.node && a.port == b.port;
+  }
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologySpec spec) : spec_(std::move(spec)) {}
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  const TopologySpec& spec() const { return spec_; }
+  TopologyKind kind() const { return spec_.kind; }
+  std::string label() const { return spec_.label(); }
+
+  virtual std::size_t node_count() const = 0;
+  /// Linear index of a member node (ModelError otherwise).
+  virtual std::size_t index(NodeId n) const = 0;
+  virtual NodeId node_at(std::size_t idx) const = 0;
+  virtual bool contains(NodeId n) const = 0;
+  /// The link leaving `n` on port `p`, if that port is wired.
+  virtual std::optional<PortPeer> link_peer(NodeId n, PortIdx p) const = 0;
+
+  /// All nodes in index order.
+  std::vector<NodeId> nodes() const;
+  /// Wired network ports of `n`.
+  unsigned degree(NodeId n) const;
+  /// Any wired direction from n. Checked: ModelError when the node has
+  /// no neighbours at all (e.g. a 1x1 mesh).
+  Direction any_neighbor_direction(NodeId n) const;
+
+  /// End state of applying `moves` (each an out-port) from `src`:
+  /// the final node and the port the last hop arrived on. nullopt if a
+  /// move names an unwired port, or for an empty move list.
+  struct WalkEnd {
+    NodeId node;
+    PortIdx arrival_port = 0;
+  };
+  std::optional<WalkEnd> walk(NodeId src,
+                              const std::vector<Direction>& moves) const;
+
+  /// True if the move sequence leads from src to dst over wired links.
+  /// This is the wrap-aware replacement for the mesh-only free function
+  /// route_reaches().
+  bool route_reaches(NodeId src, NodeId dst,
+                     const std::vector<Direction>& moves) const;
+
+ private:
+  TopologySpec spec_;
+};
+
+/// Shared row-major enumeration of a width x height 2D grid (mesh and
+/// torus differ only in their links). Coordinates: x grows East, y
+/// grows North; node (0,0) is the south-west corner.
+class Grid2DTopology : public Topology {
+ public:
+  using Topology::Topology;
+
+  std::uint16_t width() const { return spec().width; }
+  std::uint16_t height() const { return spec().height; }
+
+  std::size_t node_count() const override {
+    return static_cast<std::size_t>(width()) * height();
+  }
+  std::size_t index(NodeId n) const override;
+  NodeId node_at(std::size_t idx) const override;
+  bool contains(NodeId n) const override {
+    return n.x < width() && n.y < height();
+  }
+};
+
+/// A 2D mesh (no wrap links). A 1x1 mesh is constructible as a graph
+/// value, but has no neighbours (and a Network needs >= 2 nodes).
+class MeshTopology : public Grid2DTopology {
  public:
   MeshTopology(std::uint16_t width, std::uint16_t height);
 
-  std::uint16_t width() const { return width_; }
-  std::uint16_t height() const { return height_; }
-  std::size_t node_count() const {
-    return static_cast<std::size_t>(width_) * height_;
-  }
+  bool in_bounds(NodeId n) const { return contains(n); }
 
-  bool in_bounds(NodeId n) const { return n.x < width_ && n.y < height_; }
-
-  /// Linear index of a node (row-major).
-  std::size_t index(NodeId n) const;
-  NodeId node_at(std::size_t idx) const;
+  std::optional<PortPeer> link_peer(NodeId n, PortIdx p) const override;
 
   /// Neighbour in direction d, if inside the mesh.
   std::optional<NodeId> neighbor(NodeId n, Direction d) const;
+};
 
-  /// Any in-bounds direction from n (used for out-and-back self routes).
-  Direction any_neighbor_direction(NodeId n) const;
+/// A 2D torus: the mesh plus wrap-around links. Every node has all four
+/// ports wired. width == 2 (or height == 2) yields two parallel links
+/// between the same node pair, one per direction — a valid degenerate
+/// torus.
+class TorusTopology : public Grid2DTopology {
+ public:
+  TorusTopology(std::uint16_t width, std::uint16_t height);
 
-  /// All nodes, row-major.
-  std::vector<NodeId> nodes() const;
+  std::optional<PortPeer> link_peer(NodeId n, PortIdx p) const override;
+};
+
+/// N nodes on a 1D cycle using the East/West ports: node i's East link
+/// reaches node (i+1) % N. Nodes are labelled {i, 0}.
+class RingTopology : public Topology {
+ public:
+  explicit RingTopology(std::uint16_t nodes);
+
+  std::size_t node_count() const override { return spec().width; }
+  std::size_t index(NodeId n) const override;
+  NodeId node_at(std::size_t idx) const override;
+  bool contains(NodeId n) const override {
+    return n.y == 0 && n.x < spec().width;
+  }
+  std::optional<PortPeer> link_peer(NodeId n, PortIdx p) const override;
+};
+
+/// Arbitrary adjacency from a GraphSpec. Nodes are labelled {i, 0};
+/// edge endpoints get the first free port in spec order. Construction
+/// rejects self-loops, degree > 4 and disconnected graphs.
+class GraphTopology : public Topology {
+ public:
+  explicit GraphTopology(GraphSpec spec);
+
+  std::size_t node_count() const override { return adjacency_.size(); }
+  std::size_t index(NodeId n) const override;
+  NodeId node_at(std::size_t idx) const override;
+  bool contains(NodeId n) const override {
+    return n.y == 0 && n.x < adjacency_.size();
+  }
+  std::optional<PortPeer> link_peer(NodeId n, PortIdx p) const override;
 
  private:
-  std::uint16_t width_;
-  std::uint16_t height_;
+  /// adjacency_[node][port] -> peer (node index, port).
+  std::vector<std::array<std::optional<std::pair<std::uint16_t, PortIdx>>,
+                         kNumDirections>>
+      adjacency_;
 };
+
+/// Builds the topology described by `spec`. ModelError on invalid specs.
+std::unique_ptr<Topology> make_topology(const TopologySpec& spec);
 
 }  // namespace mango::noc

@@ -1,5 +1,6 @@
 #include "noc/router/be_router.hpp"
 
+#include "noc/common/route.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -65,6 +66,21 @@ void BeRouter::push_input(PortIdx in, Flit&& f) {
   inputs_.at(in)[vc].push(f);
 }
 
+void BeRouter::set_vc_classes(const std::array<bool, kNumDirections>& dateline) {
+  MANGO_ASSERT(be_vcs_ == 2,
+               "the dateline VC-class rule needs both BE VCs (be_vcs = 2)");
+  vc_classes_enabled_ = true;
+  dateline_ = dateline;
+}
+
+BeVcIdx BeRouter::out_vc_class(PortIdx in, unsigned out, BeVcIdx cur) const {
+  if (!vc_classes_enabled_ || !is_network_port(static_cast<PortIdx>(out))) {
+    return cur;  // local delivery, or no dateline scheme on this fabric
+  }
+  return static_cast<BeVcIdx>(be_vc_class_step(
+      in, direction_of(static_cast<PortIdx>(out)), cur, dateline_[out]));
+}
+
 void BeRouter::notify_output_ready(unsigned out) { try_route(out); }
 
 unsigned BeRouter::decode_target(PortIdx in, std::uint32_t header) const {
@@ -103,6 +119,7 @@ void BeRouter::try_route(unsigned out) {
   const unsigned slots = kNumPorts * be_vcs_;
   PortIdx in = kNumPorts;
   BeVcIdx vc = 0;
+  BeVcIdx ovc = 0;  ///< outgoing VC class of the selected flit
   for (unsigned i = 0; i < slots; ++i) {
     const unsigned s = (ost.rr_next + i) % slots;
     const PortIdx cand_in = static_cast<PortIdx>(s / be_vcs_);
@@ -110,13 +127,19 @@ void BeRouter::try_route(unsigned out) {
     const InputState& cst = in_state_[cand_in][cand_vc];
     if (!inputs_[cand_in][cand_vc].has_head()) continue;
     if (!cst.target.has_value() || *cst.target != out) continue;
-    const auto& lock = ost.locked[cand_vc];
-    if (lock.has_value() && *lock != cand_in) continue;  // lane held
-    if (!outputs_[out].ready(cand_vc)) continue;         // stage full
+    // The downstream lane is the *outgoing* VC class (the dateline rule
+    // may promote the flit); locking and readiness follow that lane.
+    const BeVcIdx cand_ovc = out_vc_class(cand_in, out, cand_vc);
+    const auto& lock = ost.locked[cand_ovc];
+    if (lock.has_value() && *lock != std::make_pair(cand_in, cand_vc)) {
+      continue;  // lane held by another packet
+    }
+    if (!outputs_[out].ready(cand_ovc)) continue;  // stage full
     in = cand_in;
     vc = cand_vc;
+    ovc = cand_ovc;
     if (!lock.has_value()) {
-      ost.locked[cand_vc] = cand_in;
+      ost.locked[cand_ovc] = std::make_pair(cand_in, cand_vc);
       ost.rr_next = (s + 1) % slots;
     }
     break;
@@ -138,6 +161,10 @@ void BeRouter::try_route(unsigned out) {
     }
     ist.awaiting_header = false;
   }
+  // Dateline promotion: the whole packet is rewritten consistently (the
+  // class depends only on (in, out, input VC), constant per packet), so
+  // the downstream wormhole stays contiguous per lane.
+  f.bevc = ovc != 0;
   const bool eop = f.eop;
   ++flits_routed_;
   ++out_flits_[out];
@@ -145,7 +172,7 @@ void BeRouter::try_route(unsigned out) {
     ++packets_routed_;
     ist.awaiting_header = true;
     ist.target.reset();
-    ost.locked[vc].reset();
+    ost.locked[ovc].reset();
     // The next packet's header may already sit at the input head; its
     // head callback fired while our stale target was still set, so
     // re-decode explicitly.

@@ -92,6 +92,15 @@ class BeRouter {
   /// Installs the upstream credit-return callback of an input port.
   void set_credit_return(PortIdx in, std::function<void(BeVcIdx)> cb);
 
+  /// Activates the dateline VC-class rule for wrap topologies
+  /// (torus/ring): a flit entering a dimension travels on BE VC 0 and is
+  /// promoted to VC 1 when forwarded out a port marked as a dateline
+  /// (its bevc bit is rewritten on the way to the output stage). The
+  /// class is inherited while the packet continues within one dimension.
+  /// Requires be_vcs == 2. Never called on mesh/irregular networks —
+  /// flits then keep their injected VC (the paper's baseline).
+  void set_vc_classes(const std::array<bool, kNumDirections>& dateline);
+
   /// Flit arriving on an input port (from the switching module's BE code
   /// or from the NA's local BE interface); its bevc bit selects the VC.
   void push_input(PortIdx in, Flit&& f);
@@ -114,8 +123,13 @@ class BeRouter {
     bool awaiting_header = true;
   };
   struct OutputState {
-    /// Wormhole grant holder per BE VC lane.
-    std::array<std::optional<PortIdx>, kMaxBeVcs> locked{};
+    /// Wormhole grant holder per *outgoing* BE VC lane: the (input
+    /// port, input VC) pair whose packet owns the lane. Keyed by the
+    /// outgoing class because the dateline rule may map different input
+    /// VCs onto one downstream lane, and packet contiguity must hold
+    /// per downstream buffer.
+    std::array<std::optional<std::pair<PortIdx, BeVcIdx>>, kMaxBeVcs>
+        locked{};
     bool busy = false;   ///< mid routing cycle
     unsigned rr_next = 0;  ///< fair arbitration over (port, vc) pairs
   };
@@ -124,11 +138,16 @@ class BeRouter {
   void try_route(unsigned out);
   /// Decodes the routing target of a header arriving on `in`.
   unsigned decode_target(PortIdx in, std::uint32_t header) const;
+  /// Outgoing BE VC class of a flit on input VC `cur` forwarded from
+  /// `in` to `out` (identity unless set_vc_classes() armed the rule).
+  BeVcIdx out_vc_class(PortIdx in, unsigned out, BeVcIdx cur) const;
 
   sim::Simulator& sim_;
   const StageDelays& delays_;
   std::string name_;
   unsigned be_vcs_;
+  bool vc_classes_enabled_ = false;
+  std::array<bool, kNumDirections> dateline_{};
   std::array<std::vector<BeInputBuffer>, kNumPorts> inputs_;
   std::array<std::array<InputState, kMaxBeVcs>, kNumPorts> in_state_{};
   std::array<OutputHooks, kNumOutputs> outputs_{};

@@ -64,10 +64,10 @@ void GsStreamSource::tick() {
 BeTraceSource::BeTraceSource(Network& net, NodeId src, std::uint32_t tag,
                              std::vector<TraceEntry> trace)
     : net_(net), src_(src), tag_(tag), trace_(std::move(trace)) {
-  MANGO_ASSERT(net_.topology().in_bounds(src_), "trace source out of bounds");
+  MANGO_ASSERT(net_.topology().contains(src_), "trace source out of bounds");
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     MANGO_ASSERT(trace_[i].dst != src_, "trace destination equals source");
-    MANGO_ASSERT(net_.topology().in_bounds(trace_[i].dst),
+    MANGO_ASSERT(net_.topology().contains(trace_[i].dst),
                  "trace destination out of bounds");
     MANGO_ASSERT(i == 0 || trace_[i - 1].at <= trace_[i].at,
                  "trace entries must be time-sorted");
@@ -107,7 +107,7 @@ BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
       rng_(opt.seed),
       generated_stat_(
           &net.ctx().stats().counter("traffic.be_packets_generated")) {
-  MANGO_ASSERT(net_.topology().in_bounds(src_), "BE source out of bounds");
+  MANGO_ASSERT(net_.topology().contains(src_), "BE source out of bounds");
   if (opt_.fixed_dst.has_value()) {
     MANGO_ASSERT(*opt_.fixed_dst != src_, "BE destination equals source");
   }
@@ -136,7 +136,7 @@ void BeTrafficSource::schedule_phase_toggle() {
 NodeId BeTrafficSource::pick_dst() {
   if (opt_.dst_picker) {
     const NodeId d = opt_.dst_picker(rng_);
-    MANGO_ASSERT(net_.topology().in_bounds(d) && d != src_,
+    MANGO_ASSERT(net_.topology().contains(d) && d != src_,
                  "dst_picker returned an invalid destination");
     return d;
   }

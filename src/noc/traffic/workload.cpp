@@ -71,19 +71,41 @@ std::vector<BePattern> all_be_patterns() {
           BePattern::kHotspot, BePattern::kBursty};
 }
 
+bool pattern_supported(BePattern p, const Topology& topo) {
+  switch (p) {
+    case BePattern::kUniform:
+    case BePattern::kHotspot:
+    case BePattern::kBursty:
+    case BePattern::kBitComplement:
+      return true;  // only need the node enumeration
+    case BePattern::kTranspose:
+      // The index form i -> i*w mod (N-1) needs a meaningful row width.
+      return topo.kind() == TopologyKind::kMesh ||
+             topo.kind() == TopologyKind::kTorus;
+    case BePattern::kTornado:
+      // Half-extent offsets need fabric dimensions.
+      return topo.kind() != TopologyKind::kGraph;
+  }
+  return false;
+}
+
 std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
-                                  const MeshTopology& topo) {
-  MANGO_ASSERT(topo.in_bounds(src), "pattern source out of bounds");
-  const std::uint16_t w = topo.width();
-  const std::uint16_t h = topo.height();
+                                  const Topology& topo) {
+  MANGO_ASSERT(topo.contains(src), "pattern source not in the topology");
+  MANGO_ASSERT(pattern_supported(p, topo),
+               std::string("BE pattern '") + to_string(p) +
+                   "' is not defined on topology " + topo.label() +
+                   " — pick a supported pattern (see pattern_supported)");
+  const std::uint16_t w = topo.spec().width;
+  const std::uint16_t h = topo.spec().height;
+  const std::size_t n = topo.node_count();
   NodeId dst = src;
   switch (p) {
     case BePattern::kTranspose: {
       // Row-major matrix transpose as an index permutation:
       // i -> (i*w) mod (N-1), last index fixed. Always a bijection
       // (gcd(w, w*h-1) = 1) and equal to the (x,y)->(y,x) coordinate
-      // swap on square meshes.
-      const std::size_t n = topo.node_count();
+      // swap on square grids (mesh and torus).
       const std::size_t i = topo.index(src);
       if (n < 2 || i == n - 1) return std::nullopt;
       dst = topo.node_at((i * w) % (n - 1));
@@ -91,15 +113,19 @@ std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
     }
     case BePattern::kBitComplement: {
       // Linear-index complement: i -> N-1-i (coordinate complement on
-      // power-of-two meshes, well defined on any size).
-      const std::size_t n = topo.node_count();
+      // power-of-two grids, well defined on any node enumeration).
       dst = topo.node_at(n - 1 - topo.index(src));
       break;
     }
     case BePattern::kTornado:
-      // Half-ring offset in each dimension.
-      dst = NodeId{static_cast<std::uint16_t>((src.x + w / 2) % w),
-                   static_cast<std::uint16_t>((src.y + h / 2) % h)};
+      // Half-extent offset in each dimension; on a ring this is the
+      // classic half-ring shift i -> (i + N/2) mod N.
+      if (topo.kind() == TopologyKind::kRing) {
+        dst = topo.node_at((topo.index(src) + n / 2) % n);
+      } else {
+        dst = NodeId{static_cast<std::uint16_t>((src.x + w / 2) % w),
+                     static_cast<std::uint16_t>((src.y + h / 2) % h)};
+      }
       break;
     case BePattern::kUniform:
     case BePattern::kHotspot:
@@ -112,8 +138,7 @@ std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
 
 namespace {
 
-NodeId pick_uniform_other(NodeId src, const MeshTopology& topo,
-                          sim::Rng& rng) {
+NodeId pick_uniform_other(NodeId src, const Topology& topo, sim::Rng& rng) {
   const std::size_t n = topo.node_count();
   for (;;) {
     const NodeId cand = topo.node_at(rng.next_below(n));
@@ -123,7 +148,7 @@ NodeId pick_uniform_other(NodeId src, const MeshTopology& topo,
 
 }  // namespace
 
-NodeId pattern_pick_dst(BePattern p, NodeId src, const MeshTopology& topo,
+NodeId pattern_pick_dst(BePattern p, NodeId src, const Topology& topo,
                         const BePatternOptions& opt, sim::Rng& rng) {
   MANGO_ASSERT(topo.node_count() > 1, "pattern needs at least two nodes");
   switch (p) {
@@ -147,7 +172,11 @@ std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
     Network& net, BePattern pattern, const BePatternOptions& popt,
     sim::Time mean_interarrival_ps, unsigned payload_words,
     std::uint64_t seed, sim::Time start_at) {
-  const MeshTopology& topo = net.topology();
+  const Topology& topo = net.topology();
+  MANGO_ASSERT(pattern_supported(pattern, topo),
+               std::string("BE pattern '") + to_string(pattern) +
+                   "' is not defined on topology " + topo.label() +
+                   " — pick a supported pattern (see pattern_supported)");
   std::vector<std::unique_ptr<BeTrafficSource>> sources;
   sources.reserve(net.node_count());
   for (std::size_t i = 0; i < net.node_count(); ++i) {
@@ -259,7 +288,7 @@ std::vector<GsSetEndpoint> open_gs_set(Network& net, ConnectionManager& mgr,
       break;
     }
     case GsSetKind::kAllToHotspot:
-      MANGO_ASSERT(net.topology().in_bounds(opt.hotspot),
+      MANGO_ASSERT(net.topology().contains(opt.hotspot),
                    "hotspot out of bounds");
       for (std::size_t i = 0; i < n; ++i) {
         const NodeId src = net.node_at(i);

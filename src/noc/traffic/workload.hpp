@@ -42,8 +42,11 @@ double link_capacity_flits_per_ns(const Network& net);
 
 /// Canonical best-effort traffic patterns (Dally/Towles naming).
 /// kUniform/kHotspot/kBursty pick destinations stochastically per packet;
-/// kTranspose/kBitComplement/kTornado are fixed permutations of the mesh.
-/// kBursty is spatially uniform with Markov-modulated on/off injection.
+/// kTranspose/kBitComplement/kTornado are fixed permutations of the node
+/// set. kBursty is spatially uniform with Markov-modulated on/off
+/// injection. Patterns are defined per topology family — see
+/// pattern_supported(); requesting an undefined combination (e.g.
+/// transpose on a ring) is a checked error, never a silent remap.
 enum class BePattern {
   kUniform,
   kTranspose,
@@ -64,21 +67,29 @@ struct BePatternOptions {
   sim::Time burst_off_mean_ps = 150000;  ///< kBursty mean OFF phase
 };
 
+/// Whether `p` is defined on `topo`'s family. Uniform, hotspot, bursty
+/// and bit-complement work on every topology (they only need the node
+/// enumeration); transpose needs a 2D grid (mesh/torus); tornado needs a
+/// dimensioned fabric (mesh/torus/ring).
+bool pattern_supported(BePattern p, const Topology& topo);
+
 /// Fixed destination of `src` under a permutation pattern. nullopt for
 /// stochastic patterns, and for nodes the permutation maps to themselves
 /// (those nodes stay silent — e.g. the diagonal under transpose).
+/// ModelError when the pattern is not defined on this topology.
 std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
-                                  const MeshTopology& topo);
+                                  const Topology& topo);
 
 /// Per-packet destination for the stochastic patterns (kUniform,
-/// kHotspot, kBursty). Always returns an in-bounds node != src.
-NodeId pattern_pick_dst(BePattern p, NodeId src, const MeshTopology& topo,
+/// kHotspot, kBursty). Always returns a member node != src.
+NodeId pattern_pick_dst(BePattern p, NodeId src, const Topology& topo,
                         const BePatternOptions& opt, sim::Rng& rng);
 
 /// Starts one BE source per node following `pattern`. Permutation nodes
 /// that map to themselves get no source. Tags are kBeTagBase + node
 /// index; per-node RNGs derive from `seed` + index as in
-/// start_uniform_be.
+/// start_uniform_be. ModelError (before any source starts) when the
+/// pattern is undefined on the network's topology.
 std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
     Network& net, BePattern pattern, const BePatternOptions& popt,
     sim::Time mean_interarrival_ps, unsigned payload_words,

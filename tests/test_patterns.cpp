@@ -165,6 +165,60 @@ TEST(Patterns, HotspotSourceAtHotspotFallsBackToUniform) {
   }
 }
 
+TEST(Patterns, SupportMatrixPerTopologyFamily) {
+  const MeshTopology mesh(4, 4);
+  const TorusTopology torus(4, 4);
+  const RingTopology ring(8);
+  const GraphTopology graph(GraphSpec::irregular(8));
+  for (const BePattern p : all_be_patterns()) {
+    EXPECT_TRUE(pattern_supported(p, mesh)) << to_string(p);
+    EXPECT_TRUE(pattern_supported(p, torus)) << to_string(p);
+  }
+  EXPECT_TRUE(pattern_supported(BePattern::kTornado, ring));
+  EXPECT_TRUE(pattern_supported(BePattern::kBitComplement, ring));
+  EXPECT_FALSE(pattern_supported(BePattern::kTranspose, ring));
+  EXPECT_FALSE(pattern_supported(BePattern::kTranspose, graph));
+  EXPECT_FALSE(pattern_supported(BePattern::kTornado, graph));
+  EXPECT_TRUE(pattern_supported(BePattern::kUniform, graph));
+  EXPECT_TRUE(pattern_supported(BePattern::kHotspot, graph));
+}
+
+TEST(Patterns, UnsupportedPatternFailsLoudlyNotSilently) {
+  const RingTopology ring(8);
+  EXPECT_THROW(pattern_dst(BePattern::kTranspose, {0, 0}, ring),
+               mango::ModelError);
+  sim::SimContext ctx;
+  NetworkConfig cfg;
+  cfg.topology = TopologySpec::ring(6);
+  cfg.router.be_vcs = 2;
+  Network net(ctx, cfg);
+  BePatternOptions popt;
+  EXPECT_THROW(
+      start_pattern_be(net, BePattern::kTranspose, popt, 10000, 2, 1),
+      mango::ModelError);
+}
+
+TEST(Patterns, TornadoOnRingIsTheHalfRingShift) {
+  const RingTopology ring(8);
+  const auto d = pattern_dst(BePattern::kTornado, {1, 0}, ring);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, (NodeId{5, 0}));
+  // Bit-complement works on any enumeration, e.g. the irregular graph.
+  const GraphTopology graph(GraphSpec::irregular(8));
+  const auto c = pattern_dst(BePattern::kBitComplement, {2, 0}, graph);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, (NodeId{5, 0}));
+}
+
+TEST(Patterns, TransposeOnTorusMatchesMeshPermutation) {
+  const MeshTopology mesh(4, 4);
+  const TorusTopology torus(4, 4);
+  for (std::size_t i = 0; i < mesh.node_count(); ++i) {
+    EXPECT_EQ(pattern_dst(BePattern::kTranspose, mesh.node_at(i), mesh),
+              pattern_dst(BePattern::kTranspose, torus.node_at(i), torus));
+  }
+}
+
 TEST(Patterns, StringRoundTrip) {
   for (const BePattern p : all_be_patterns()) {
     const auto back = be_pattern_from_string(to_string(p));

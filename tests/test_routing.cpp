@@ -1,0 +1,245 @@
+// The routing layer: per-topology route properties, self-routes, the
+// dateline VC-class rule and the channel-dependency-graph deadlock
+// validator — including its rejection of intentionally cyclic routing
+// functions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "noc/network/network.hpp"
+#include "noc/network/routing.hpp"
+#include "noc/network/topology.hpp"
+#include "sim/context.hpp"
+#include "sim/random.hpp"
+
+namespace mango::noc {
+namespace {
+
+std::vector<TopologySpec> fuzz_specs() {
+  return {
+      TopologySpec::mesh(2, 2),
+      TopologySpec::mesh(4, 4),
+      TopologySpec::mesh(5, 3),
+      TopologySpec::mesh(1, 6),
+      TopologySpec::torus(2, 2),
+      TopologySpec::torus(4, 4),
+      TopologySpec::torus(3, 5),
+      TopologySpec::ring(2),
+      TopologySpec::ring(5),
+      TopologySpec::ring(8),
+      TopologySpec::irregular(GraphSpec::irregular(8)),
+      TopologySpec::irregular(GraphSpec::irregular(16)),
+      TopologySpec::irregular(GraphSpec::parse("0-1,1-2,2-3,3-0,1-3")),
+  };
+}
+
+/// The property bundle every (topology, canonical routing) pair must
+/// satisfy, checked over fuzzed src/dst pairs:
+///   * the route reaches dst over wired links (topology-aware walk),
+///   * its length equals the algorithm's hop_distance,
+///   * no hop is a u-turn (the BE delivery code would fire early),
+///   * the channel-dependency graph is acyclic.
+TEST(RoutingProperties, EveryTopologyRoutingPairFuzzedEndToEnd) {
+  for (const TopologySpec& spec : fuzz_specs()) {
+    const auto topo = make_topology(spec);
+    const auto routing = make_routing(*topo);
+
+    const DeadlockCheck check = check_deadlock_freedom(
+        *topo, *routing, routing->required_be_vcs());
+    EXPECT_TRUE(check.acyclic)
+        << topo->label() << "/" << routing->name() << ": " << check.cycle;
+
+    sim::Rng rng(0xF00D + spec.width);
+    const std::size_t n = topo->node_count();
+    const unsigned pairs = n <= 16 ? 0 : 256;  // small: exhaustive
+    const auto check_pair = [&](NodeId src, NodeId dst) {
+      if (src == dst) return;
+      const std::vector<Direction> moves = routing->route(src, dst);
+      ASSERT_TRUE(topo->route_reaches(src, dst, moves))
+          << topo->label() << " " << to_string(src) << "->"
+          << to_string(dst);
+      EXPECT_EQ(moves.size(), routing->hop_distance(src, dst))
+          << topo->label() << " " << to_string(src) << "->"
+          << to_string(dst);
+      // No u-turns: walk and compare each out port to the arrival port.
+      NodeId cur = src;
+      PortIdx in = kLocalPort;
+      for (const Direction d : moves) {
+        ASSERT_TRUE(!is_network_port(in) || in != port_of(d))
+            << topo->label() << ": u-turn at " << to_string(cur);
+        const auto peer = topo->link_peer(cur, port_of(d));
+        ASSERT_TRUE(peer.has_value());
+        cur = peer->node;
+        in = peer->port;
+      }
+    };
+    if (pairs == 0) {
+      for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t d = 0; d < n; ++d) {
+          check_pair(topo->node_at(s), topo->node_at(d));
+        }
+      }
+    } else {
+      for (unsigned i = 0; i < pairs; ++i) {
+        check_pair(topo->node_at(rng.next_below(n)),
+                   topo->node_at(rng.next_below(n)));
+      }
+    }
+  }
+}
+
+TEST(RoutingProperties, HopDistanceIsWrapAware) {
+  const auto torus = make_topology(TopologySpec::torus(4, 4));
+  const auto torus_routing = make_routing(*torus);
+  // (0,0) -> (3,3) is 6 mesh hops but 2 torus hops (one wrap each way).
+  EXPECT_EQ(torus_routing->hop_distance({0, 0}, {3, 3}), 2u);
+  EXPECT_EQ(hop_distance({0, 0}, {3, 3}), 6u);  // the mesh-only function
+
+  const auto ring = make_topology(TopologySpec::ring(8));
+  const auto ring_routing = make_routing(*ring);
+  EXPECT_EQ(ring_routing->hop_distance({0, 0}, {7, 0}), 1u);
+  EXPECT_EQ(ring_routing->hop_distance({0, 0}, {4, 0}), 4u);
+}
+
+// The mesh-only free step() must fail loudly when fed a wrap move
+// instead of silently wrapping the 16-bit coordinate.
+TEST(RoutingProperties, FreeStepRejectsCoordinateWraps) {
+  EXPECT_THROW(step({0, 0}, Direction::kWest), mango::ModelError);
+  EXPECT_THROW(step({0, 0}, Direction::kSouth), mango::ModelError);
+  EXPECT_EQ(step({1, 1}, Direction::kWest), (NodeId{0, 1}));
+  // route_reaches tolerates (and fails) such sequences instead.
+  EXPECT_FALSE(route_reaches({0, 0}, {0, 0},
+                             {Direction::kWest, Direction::kEast}));
+}
+
+TEST(SelfRoutes, ShortestUturnFreeCyclesPerTopology) {
+  for (const TopologySpec& spec : fuzz_specs()) {
+    if (spec.kind == TopologyKind::kMesh &&
+        (spec.width < 2 || spec.height < 2)) {
+      continue;  // path-shaped meshes have no cycle (checked below)
+    }
+    const auto topo = make_topology(spec);
+    const auto routing = make_routing(*topo);
+    for (std::size_t i = 0; i < topo->node_count(); ++i) {
+      const NodeId n = topo->node_at(i);
+      const std::vector<Direction> cycle = routing->self_route(n);
+      ASSERT_GE(cycle.size(), 2u) << topo->label();
+      EXPECT_TRUE(topo->route_reaches(n, n, cycle)) << topo->label();
+    }
+  }
+}
+
+TEST(SelfRoutes, MeshUsesTheFourHopSquare) {
+  const auto topo = make_topology(TopologySpec::mesh(4, 4));
+  const auto routing = make_routing(*topo);
+  EXPECT_EQ(routing->self_route({0, 0}).size(), 4u);
+  // A 2-node torus ring has a 2-hop cycle over the parallel links.
+  const auto torus = make_topology(TopologySpec::torus(2, 2));
+  EXPECT_EQ(make_routing(*torus)->self_route({0, 0}).size(), 2u);
+}
+
+TEST(SelfRoutes, AcyclicFabricsFailLoudly) {
+  // A pure tree has no u-turn-free cycle at all.
+  const auto tree =
+      make_topology(TopologySpec::irregular(GraphSpec::parse("0-1,1-2,1-3")));
+  EXPECT_THROW(make_routing(*tree)->self_route({0, 0}), mango::ModelError);
+  // Neither does a 1-wide (path-shaped) mesh.
+  const auto path = make_topology(TopologySpec::mesh(1, 6));
+  EXPECT_THROW(make_routing(*path)->self_route({0, 2}), mango::ModelError);
+}
+
+// --- the deadlock validator itself ------------------------------------------
+
+/// An intentionally cyclic routing function: always route clockwise
+/// (East) around the ring, with no dateline classes. Its channel
+/// dependency graph is the full East ring cycle.
+class ClockwiseRingRouting : public RoutingAlgorithm {
+ public:
+  explicit ClockwiseRingRouting(const Topology& topo)
+      : RoutingAlgorithm(topo) {}
+  const char* name() const override { return "clockwise"; }
+  std::vector<Direction> route(NodeId src, NodeId dst) const override {
+    const unsigned n = static_cast<unsigned>(topo_.node_count());
+    const unsigned hops = (dst.x + n - src.x) % n;
+    return std::vector<Direction>(hops, Direction::kEast);
+  }
+};
+
+TEST(DeadlockValidator, RejectsIntentionallyCyclicRouting) {
+  const auto ring = make_topology(TopologySpec::ring(4));
+  ClockwiseRingRouting cyclic(*ring);
+  const DeadlockCheck check = check_deadlock_freedom(*ring, cyclic, 2);
+  EXPECT_FALSE(check.acyclic);
+  EXPECT_NE(check.cycle.find("->"), std::string::npos) << check.cycle;
+}
+
+TEST(DeadlockValidator, TorusWithoutSecondBeVcIsCyclic) {
+  // The same minimal DOR routing that is valid with dateline classes is
+  // correctly reported cyclic when the router config lacks the second
+  // BE VC the classes live on.
+  const auto torus = make_topology(TopologySpec::torus(4, 4));
+  const auto routing = make_routing(*torus);
+  EXPECT_TRUE(check_deadlock_freedom(*torus, *routing, 2).acyclic);
+  const DeadlockCheck one_vc = check_deadlock_freedom(*torus, *routing, 1);
+  EXPECT_FALSE(one_vc.acyclic);
+  EXPECT_FALSE(one_vc.cycle.empty());
+}
+
+TEST(DeadlockValidator, UnconstrainedShortestPathsOnIrregularGraphRejected) {
+  // The "obvious" minimal routing on the built-in irregular fabric is
+  // genuinely deadlock-prone — the reason make_routing installs
+  // up*/down* there instead.
+  const auto topo =
+      make_topology(TopologySpec::irregular(GraphSpec::irregular(16)));
+  ShortestPathRouting minimal(*topo);
+  EXPECT_FALSE(check_deadlock_freedom(*topo, minimal, 1).acyclic);
+  UpDownRouting updown(*topo);
+  EXPECT_TRUE(check_deadlock_freedom(*topo, updown, 1).acyclic);
+}
+
+TEST(DeadlockValidator, NetworkConstructionEnforcesIt) {
+  // Torus with be_vcs = 1: rejected before any router is built.
+  sim::SimContext ctx;
+  NetworkConfig cfg;
+  cfg.topology = TopologySpec::torus(3, 3);
+  EXPECT_THROW(Network(ctx, cfg), mango::ModelError);
+  cfg.router.be_vcs = 2;
+  Network net(ctx, cfg);  // with dateline classes it constructs
+  EXPECT_EQ(net.node_count(), 9u);
+}
+
+// --- dateline VC classes -----------------------------------------------------
+
+TEST(VcClasses, DatelineRuleStepsAsSpecified) {
+  // Injection starts at class 0; crossing a dateline promotes to 1; a
+  // dimension change resets; staying in-dimension inherits.
+  EXPECT_EQ(be_vc_class_step(kLocalPort, Direction::kEast, 0, false), 0u);
+  EXPECT_EQ(be_vc_class_step(kLocalPort, Direction::kEast, 0, true), 1u);
+  const PortIdx from_west = port_of(Direction::kWest);
+  EXPECT_EQ(be_vc_class_step(from_west, Direction::kEast, 1, false), 1u);
+  EXPECT_EQ(be_vc_class_step(from_west, Direction::kNorth, 1, false), 0u);
+  EXPECT_EQ(be_vc_class_step(from_west, Direction::kNorth, 1, true), 1u);
+}
+
+TEST(VcClasses, TorusMapMarksExactlyTheWrapPorts) {
+  const auto torus = make_topology(TopologySpec::torus(4, 3));
+  const auto routing = make_routing(*torus);
+  const BeVcClassMap map = routing->vc_class_map();
+  ASSERT_TRUE(map.enabled);
+  ASSERT_EQ(map.dateline.size(), torus->node_count());
+  for (std::size_t i = 0; i < torus->node_count(); ++i) {
+    const NodeId n = torus->node_at(i);
+    EXPECT_EQ(map.is_dateline(i, port_of(Direction::kEast)), n.x == 3u);
+    EXPECT_EQ(map.is_dateline(i, port_of(Direction::kWest)), n.x == 0u);
+    EXPECT_EQ(map.is_dateline(i, port_of(Direction::kNorth)), n.y == 2u);
+    EXPECT_EQ(map.is_dateline(i, port_of(Direction::kSouth)), n.y == 0u);
+  }
+  // Mesh routing has no classes.
+  const auto mesh = make_topology(TopologySpec::mesh(4, 4));
+  EXPECT_FALSE(make_routing(*mesh)->vc_class_map().enabled);
+}
+
+}  // namespace
+}  // namespace mango::noc

@@ -3,6 +3,7 @@
 // bit-identical report for any worker count.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 #include "exp/scenario.hpp"
@@ -28,15 +29,31 @@ SweepGrid small_grid() {
 TEST(SweepGrid, ExpandsCartesianProductInStableOrder) {
   const auto specs = small_grid().expand();
   ASSERT_EQ(specs.size(), 2u * 3u * 1u * 1u * 2u);
-  EXPECT_EQ(specs[0].name, "uniform-2x2-ia10000-gs:ring-s1");
-  EXPECT_EQ(specs[1].name, "uniform-2x2-ia10000-gs:ring-s2");
-  EXPECT_EQ(specs.back().name, "bursty-3x3-ia10000-gs:ring-s2");
+  EXPECT_EQ(specs[0].name, "uniform-mesh-2x2-ia10000-gs:ring-s1");
+  EXPECT_EQ(specs[1].name, "uniform-mesh-2x2-ia10000-gs:ring-s2");
+  EXPECT_EQ(specs.back().name, "bursty-mesh-3x3-ia10000-gs:ring-s2");
   // Every name is unique.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     for (std::size_t j = i + 1; j < specs.size(); ++j) {
       EXPECT_NE(specs[i].name, specs[j].name);
     }
   }
+}
+
+TEST(SweepGrid, TopologyIsAGridAxis) {
+  SweepGrid g;
+  g.base.width = g.base.height = 3;
+  g.base.router.be_vcs = 2;
+  g.topologies = {noc::TopologyKind::kMesh, noc::TopologyKind::kTorus,
+                  noc::TopologyKind::kRing};
+  g.seeds = {1, 2};
+  const auto specs = g.expand();
+  ASSERT_EQ(specs.size(), 3u * 2u);
+  EXPECT_EQ(specs[0].topology, noc::TopologyKind::kMesh);
+  EXPECT_NE(specs[0].name.find("mesh-3x3"), std::string::npos);
+  EXPECT_EQ(specs[2].topology, noc::TopologyKind::kTorus);
+  EXPECT_NE(specs[4].name.find("ring-9"), std::string::npos);
+  EXPECT_EQ(specs[4].topology_spec().node_count(), 9u);
 }
 
 TEST(SweepGrid, EmptyDimensionsFallBackToBase) {
@@ -58,6 +75,71 @@ TEST(Presets, AllNamedPresetsExpandNonEmpty) {
     EXPECT_FALSE(g->expand().empty()) << name;
   }
   EXPECT_FALSE(find_preset("no-such-preset").has_value());
+}
+
+TEST(Presets, Topologies4x4CoversAllFourFabrics) {
+  const auto g = find_preset("topologies-4x4");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->base.router.be_vcs, 2u);  // dateline classes for torus/ring
+  const auto specs = g->expand();
+  std::set<noc::TopologyKind> kinds;
+  for (const auto& s : specs) {
+    kinds.insert(s.topology);
+    // Only patterns defined on every fabric belong on this grid.
+    EXPECT_TRUE(noc::pattern_supported(
+        s.pattern, *noc::make_topology(s.topology_spec())))
+        << s.name;
+  }
+  EXPECT_EQ(kinds.size(), 4u);
+}
+
+// Every topology kind runs end to end — BE and GS traffic delivered,
+// zero guarantee violations — in one short scenario each.
+TEST(RunScenario, EveryTopologyDeliversTrafficAndMeetsGuarantees) {
+  for (const noc::TopologyKind kind : noc::all_topology_kinds()) {
+    ScenarioSpec spec;
+    spec.topology = kind;
+    spec.width = spec.height = 3;
+    spec.router.be_vcs = 2;
+    spec.pattern = noc::BePattern::kUniform;
+    spec.be_interarrival_ps = 10000;
+    spec.gs_set = noc::GsSetKind::kRing;
+    spec.gs_period_ps = 8000;
+    spec.duration_ps = 500000;
+    spec.name = std::string("unit-") + noc::to_string(kind);
+    const ScenarioResult r = run_scenario(spec);
+    ASSERT_TRUE(r.ok()) << spec.name << ": " << r.error;
+    EXPECT_GT(r.stats.be_packets_delivered, 0u) << spec.name;
+    EXPECT_GT(r.stats.gs_flits_delivered, 0u) << spec.name;
+    EXPECT_EQ(r.stats.gs_seq_errors, 0u) << spec.name;
+    EXPECT_EQ(r.stats.guarantee_violations, 0u) << spec.name;
+  }
+}
+
+// Node labels are 16-bit: a ring/graph fabric bigger than 65535 nodes
+// must be rejected, not silently truncated to a wrong-size fabric.
+TEST(RunScenario, OversizedRingFabricIsRejectedNotTruncated) {
+  ScenarioSpec spec;
+  spec.topology = noc::TopologyKind::kRing;
+  spec.width = spec.height = 300;  // 90000 nodes
+  EXPECT_THROW(spec.topology_spec(), mango::ModelError);
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("at most 65535"), std::string::npos) << r.error;
+}
+
+// A pattern that is undefined on the fabric must surface as a captured
+// scenario error, not silent remapping.
+TEST(RunScenario, IncompatiblePatternFailsLoudly) {
+  ScenarioSpec spec;
+  spec.topology = noc::TopologyKind::kRing;
+  spec.router.be_vcs = 2;
+  spec.pattern = noc::BePattern::kTranspose;
+  spec.duration_ps = 100000;
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("not defined on topology"), std::string::npos)
+      << r.error;
 }
 
 TEST(RunScenario, DeliversTrafficAndMeetsGuarantees) {

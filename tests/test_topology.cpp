@@ -1,10 +1,27 @@
-// Unit tests for the mesh topology.
+// Unit tests for the pluggable topologies (mesh, torus, ring, graph).
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "noc/network/topology.hpp"
 
 namespace mango::noc {
 namespace {
+
+// Symmetry: if the link on (n, p) arrives at (m, q), the link on (m, q)
+// arrives back at (n, p). Holds on every topology implementation.
+void expect_link_symmetry(const Topology& topo) {
+  for (const NodeId n : topo.nodes()) {
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      const auto peer = topo.link_peer(n, p);
+      if (!peer.has_value()) continue;
+      const auto back = topo.link_peer(peer->node, peer->port);
+      ASSERT_TRUE(back.has_value()) << topo.label();
+      EXPECT_EQ(back->node, n) << topo.label();
+      EXPECT_EQ(back->port, p) << topo.label();
+    }
+  }
+}
 
 TEST(MeshTopology, NodeCountAndIndexing) {
   MeshTopology topo(4, 3);
@@ -25,7 +42,17 @@ TEST(MeshTopology, BoundsChecks) {
 
 TEST(MeshTopology, DegenerateMeshesRejected) {
   EXPECT_THROW(MeshTopology(0, 4), mango::ModelError);
-  EXPECT_THROW(MeshTopology(1, 1), mango::ModelError);  // needs >= 2 nodes
+  EXPECT_THROW(MeshTopology(4, 0), mango::ModelError);
+}
+
+// Regression: a 1x1 mesh is a valid (single-node) graph value, but it
+// has no neighbour in any direction — any_neighbor_direction used to be
+// reachable there and must be a checked error, not silent garbage.
+TEST(MeshTopology, OneByOneMeshHasNoNeighborDirection) {
+  MeshTopology topo(1, 1);
+  EXPECT_EQ(topo.node_count(), 1u);
+  EXPECT_EQ(topo.degree({0, 0}), 0u);
+  EXPECT_THROW(topo.any_neighbor_direction({0, 0}), mango::ModelError);
 }
 
 TEST(MeshTopology, InteriorNodeHasFourNeighbors) {
@@ -47,14 +74,7 @@ TEST(MeshTopology, EdgeNodesHaveNoWraparound) {
 
 TEST(MeshTopology, NeighborIsSymmetric) {
   MeshTopology topo(4, 4);
-  for (const NodeId n : topo.nodes()) {
-    for (PortIdx p = 0; p < kNumDirections; ++p) {
-      const Direction d = direction_of(p);
-      const auto peer = topo.neighbor(n, d);
-      if (!peer.has_value()) continue;
-      EXPECT_EQ(topo.neighbor(*peer, opposite(d)), n);
-    }
-  }
+  expect_link_symmetry(topo);
 }
 
 TEST(MeshTopology, AnyNeighborDirectionIsValid) {
@@ -73,6 +93,157 @@ TEST(MeshTopology, NodesEnumeratesRowMajor) {
   EXPECT_EQ(nodes[1], (NodeId{1, 0}));
   EXPECT_EQ(nodes[2], (NodeId{0, 1}));
   EXPECT_EQ(nodes[3], (NodeId{1, 1}));
+}
+
+TEST(TorusTopology, EveryPortIsWiredAndWrapsAround) {
+  TorusTopology topo(4, 3);
+  for (const NodeId n : topo.nodes()) {
+    EXPECT_EQ(topo.degree(n), 4u);
+  }
+  // Wrap links connect the edges.
+  const auto east_wrap = topo.link_peer({3, 1}, port_of(Direction::kEast));
+  ASSERT_TRUE(east_wrap.has_value());
+  EXPECT_EQ(east_wrap->node, (NodeId{0, 1}));
+  EXPECT_EQ(east_wrap->port, port_of(Direction::kWest));
+  const auto south_wrap = topo.link_peer({2, 0}, port_of(Direction::kSouth));
+  ASSERT_TRUE(south_wrap.has_value());
+  EXPECT_EQ(south_wrap->node, (NodeId{2, 2}));
+  EXPECT_EQ(south_wrap->port, port_of(Direction::kNorth));
+  expect_link_symmetry(topo);
+}
+
+TEST(TorusTopology, WidthTwoHasParallelLinksOnDistinctPorts) {
+  TorusTopology topo(2, 2);
+  const auto east = topo.link_peer({0, 0}, port_of(Direction::kEast));
+  const auto west = topo.link_peer({0, 0}, port_of(Direction::kWest));
+  ASSERT_TRUE(east.has_value() && west.has_value());
+  EXPECT_EQ(east->node, (NodeId{1, 0}));
+  EXPECT_EQ(west->node, (NodeId{1, 0}));  // same neighbour ...
+  EXPECT_NE(east->port, west->port);      // ... two separate links
+  expect_link_symmetry(topo);
+}
+
+TEST(TorusTopology, OneDimensionalTorusRejected) {
+  EXPECT_THROW(TorusTopology(1, 4), mango::ModelError);
+  EXPECT_THROW(TorusTopology(4, 1), mango::ModelError);
+}
+
+TEST(RingTopology, CycleOnEastWestPorts) {
+  RingTopology topo(5);
+  EXPECT_EQ(topo.node_count(), 5u);
+  for (const NodeId n : topo.nodes()) {
+    EXPECT_EQ(topo.degree(n), 2u);
+    EXPECT_FALSE(topo.link_peer(n, port_of(Direction::kNorth)).has_value());
+    EXPECT_FALSE(topo.link_peer(n, port_of(Direction::kSouth)).has_value());
+  }
+  const auto wrap = topo.link_peer({4, 0}, port_of(Direction::kEast));
+  ASSERT_TRUE(wrap.has_value());
+  EXPECT_EQ(wrap->node, (NodeId{0, 0}));
+  expect_link_symmetry(topo);
+}
+
+TEST(RingTopology, RejectsDegenerateRings) {
+  EXPECT_THROW(RingTopology(0), mango::ModelError);
+  EXPECT_THROW(RingTopology(1), mango::ModelError);
+}
+
+TEST(GraphSpec, ParsesEdgeLists) {
+  const GraphSpec g = GraphSpec::parse("0-1,1-2,2-3,3-0");
+  EXPECT_EQ(g.node_count, 4u);
+  ASSERT_EQ(g.edges.size(), 4u);
+  EXPECT_EQ(g.edges[0], (std::pair<std::uint16_t, std::uint16_t>{0, 1}));
+  EXPECT_THROW(GraphSpec::parse(""), mango::ModelError);
+  EXPECT_THROW(GraphSpec::parse("0-"), mango::ModelError);
+  EXPECT_THROW(GraphSpec::parse("0-x"), mango::ModelError);
+  EXPECT_THROW(GraphSpec::parse("01"), mango::ModelError);
+  // 16-bit labels: index 65535 would wrap node_count to 0, and huge
+  // numbers must raise ModelError, not std::out_of_range.
+  EXPECT_THROW(GraphSpec::parse("0-65535"), mango::ModelError);
+  EXPECT_THROW(GraphSpec::parse("0-99999999999999999999"),
+               mango::ModelError);
+}
+
+TEST(GraphTopology, PortsAssignedInEdgeOrderAndSymmetric) {
+  GraphTopology topo(GraphSpec::parse("0-1,0-2,1-2"));
+  EXPECT_EQ(topo.node_count(), 3u);
+  EXPECT_EQ(topo.degree({0, 0}), 2u);
+  EXPECT_EQ(topo.degree({1, 0}), 2u);
+  EXPECT_EQ(topo.degree({2, 0}), 2u);
+  // Edge 0-1 got port 0 on both sides; 0-2 got port 1 at node 0.
+  const auto first = topo.link_peer({0, 0}, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->node, (NodeId{1, 0}));
+  expect_link_symmetry(topo);
+}
+
+TEST(GraphTopology, RejectsBadGraphs) {
+  // Degree 5 at node 0.
+  GraphSpec star;
+  star.node_count = 6;
+  for (std::uint16_t i = 1; i < 6; ++i) star.edges.emplace_back(0, i);
+  EXPECT_THROW(GraphTopology{star}, mango::ModelError);
+  // Self-loop.
+  GraphSpec loop;
+  loop.node_count = 2;
+  loop.edges = {{0, 0}};
+  EXPECT_THROW(GraphTopology{loop}, mango::ModelError);
+  // Disconnected.
+  GraphSpec split;
+  split.node_count = 4;
+  split.edges = {{0, 1}, {2, 3}};
+  EXPECT_THROW(GraphTopology{split}, mango::ModelError);
+  // Out-of-range endpoint.
+  GraphSpec range;
+  range.node_count = 2;
+  range.edges = {{0, 5}};
+  EXPECT_THROW(GraphTopology{range}, mango::ModelError);
+}
+
+TEST(GraphTopology, BuiltInIrregularFamilyIsValidAtManySizes) {
+  for (const std::uint16_t n : {2, 3, 5, 8, 16, 33}) {
+    const GraphSpec spec = GraphSpec::irregular(n);
+    EXPECT_EQ(spec.node_count, n);
+    GraphTopology topo(spec);  // degree/connectivity checked inside
+    EXPECT_EQ(topo.node_count(), n);
+    std::set<std::size_t> seen;
+    for (std::size_t i = 0; i < topo.node_count(); ++i) {
+      EXPECT_TRUE(seen.insert(topo.index(topo.node_at(i))).second);
+    }
+    expect_link_symmetry(topo);
+  }
+}
+
+TEST(TopologySpec, LabelsAndFactory) {
+  EXPECT_EQ(TopologySpec::mesh(4, 4).label(), "mesh-4x4");
+  EXPECT_EQ(TopologySpec::torus(2, 8).label(), "torus-2x8");
+  EXPECT_EQ(TopologySpec::ring(16).label(), "ring-16");
+  EXPECT_EQ(TopologySpec::irregular(GraphSpec::irregular(9)).label(),
+            "graph-9");
+  for (const TopologyKind k : all_topology_kinds()) {
+    const auto back = topology_kind_from_string(to_string(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(topology_kind_from_string("hypercube").has_value());
+  const auto topo = make_topology(TopologySpec::torus(3, 3));
+  EXPECT_EQ(topo->kind(), TopologyKind::kTorus);
+  EXPECT_EQ(topo->node_count(), 9u);
+}
+
+TEST(Topology, WalkFollowsLinksAndReportsArrivalPort) {
+  TorusTopology topo(3, 3);
+  // East off the wrap edge: (2,0) -> (0,0), arriving on the West port.
+  const auto end =
+      topo.walk({1, 0}, {Direction::kEast, Direction::kEast});
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(end->node, (NodeId{0, 0}));
+  EXPECT_EQ(end->arrival_port, port_of(Direction::kWest));
+  EXPECT_TRUE(topo.route_reaches({1, 0}, {0, 0},
+                                 {Direction::kEast, Direction::kEast}));
+  // A ring has no North links: the walk fails instead of wrapping.
+  RingTopology ring(4);
+  EXPECT_FALSE(ring.walk({0, 0}, {Direction::kNorth}).has_value());
+  EXPECT_FALSE(ring.route_reaches({0, 0}, {1, 0}, {Direction::kNorth}));
 }
 
 }  // namespace

@@ -30,9 +30,16 @@ void usage(std::FILE* out) {
       "  --list-presets        print preset names and sizes, then exit\n"
       "\n"
       "grid flags (combine freely; each takes a comma-separated list):\n"
-      "  --mesh WxH[,WxH...]   mesh sizes (default 4x4)\n"
+      "  --topology T[,T...]   mesh torus ring graph, or 'all'. torus and\n"
+      "                        ring enable the second BE VC (dateline\n"
+      "                        deadlock avoidance). ring/graph use\n"
+      "                        width*height nodes of the --mesh size;\n"
+      "                        graph is the built-in irregular fabric\n"
+      "  --mesh WxH[,WxH...]   fabric sizes (default 4x4)\n"
       "  --pattern P[,P...]    uniform transpose bit-complement tornado\n"
-      "                        hotspot bursty, or 'all'\n"
+      "                        hotspot bursty, or 'all' (transpose and\n"
+      "                        tornado are undefined on some fabrics and\n"
+      "                        fail loudly there)\n"
       "  --interarrival PS     mean BE interarrival per node, picoseconds\n"
       "  --gs K[,K...]         none ring random-pairs all-to-hotspot\n"
       "  --seeds N             seeds 1..N (or --seed S for a single one)\n"
@@ -154,12 +161,42 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-presets") {
       for (const std::string& name : exp::preset_names()) {
         const auto g = exp::find_preset(name);
-        std::printf("%-16s %3zu scenarios\n", name.c_str(),
-                    g->expand().size());
+        std::string topos;
+        const auto kinds = g->topologies.empty()
+                               ? std::vector<noc::TopologyKind>{
+                                     g->base.topology}
+                               : g->topologies;
+        for (const noc::TopologyKind k : kinds) {
+          if (!topos.empty()) topos += ",";
+          topos += noc::to_string(k);
+        }
+        std::printf("%-16s %3zu scenarios  topologies=%s\n", name.c_str(),
+                    g->expand().size(), topos.c_str());
       }
       return 0;
     } else if (arg == "--preset") {
       preset = next_arg(i, "--preset");
+    } else if (arg == "--topology") {
+      std::vector<noc::TopologyKind> kinds;
+      for (const std::string& t : split_csv(next_arg(i, "--topology"))) {
+        if (t == "all") {
+          kinds = noc::all_topology_kinds();
+          break;
+        }
+        const auto parsed = noc::topology_kind_from_string(t);
+        if (!parsed.has_value()) die("unknown topology '" + t + "'");
+        kinds.push_back(*parsed);
+      }
+      grid.topologies = kinds;
+      for (const noc::TopologyKind k : kinds) {
+        // Wrap fabrics route with dateline VC classes; arm the second
+        // BE VC the scheme needs (documented in --help).
+        if (k == noc::TopologyKind::kTorus ||
+            k == noc::TopologyKind::kRing) {
+          grid.base.router.be_vcs = 2;
+        }
+      }
+      have_grid_flags = true;
     } else if (arg == "--mesh") {
       for (const std::string& m : split_csv(next_arg(i, "--mesh"))) {
         std::uint16_t w = 0, h = 0;
