@@ -36,6 +36,7 @@ Point run_load(sim::Time interarrival_ps) {
   auto sources = start_uniform_be(net, interarrival_ps, /*payload=*/4,
                                   /*seed=*/31337);
   const sim::Time window = 50_us;
+  hub.set_horizon(window);
   simulator.run_until(window);
   std::uint64_t generated = 0;
   for (auto& s : sources) {
@@ -44,9 +45,9 @@ Point run_load(sim::Time interarrival_ps) {
   }
   sim::Histogram all;
   std::uint64_t delivered = 0;
-  for (auto& [tag, s] : hub.flows()) {
-    delivered += s.packets;
-    for (double x : s.latency_ns.samples()) all.add(x);
+  for (auto& [tag, s] : hub.flows_by_tag()) {
+    delivered += s->packets;
+    for (double x : s->latency_ns.samples()) all.add(x);
   }
   Point p{};
   p.offered_pkts_per_us = static_cast<double>(generated) / sim::to_us(window);
@@ -96,6 +97,7 @@ double hol_probe_p99(unsigned be_vcs) {
   };
   simulator.after(1000, send_probe);
 
+  hub.set_horizon(50_us);
   simulator.run_until(50_us);
   bulk_src.stop();
   return hub.flow(2).latency_ns.p99();

@@ -57,6 +57,7 @@ Point run(sim::Time be_interarrival_ps) {
                           /*seed=*/77);
   }
 
+  hub.set_horizon(60_us);
   simulator.run_until(60_us);
   gs.stop();
   for (auto& s : be) s->stop();
@@ -68,10 +69,10 @@ Point run(sim::Time be_interarrival_ps) {
   p.gs_jitter = g.latency_ns.max() - g.latency_ns.quantile(0.0);
   p.gs_seq_errors = g.seq_errors;
   sim::Histogram be_all;
-  for (auto& [tag, s] : hub.flows()) {
+  for (auto& [tag, s] : hub.flows_by_tag()) {
     if (tag < kBeTagBase) continue;
-    p.be_packets += s.packets;
-    for (double sample : s.latency_ns.samples()) be_all.add(sample);
+    p.be_packets += s->packets;
+    for (double sample : s->latency_ns.samples()) be_all.add(sample);
   }
   p.be_p50 = be_all.p50();
   p.be_p99 = be_all.p99();

@@ -59,16 +59,17 @@ void run_phase(const char* name, sim::Time be_interarrival_ps) {
                           /*seed=*/2026);
   }
 
+  hub.set_horizon(40_us);
   simulator.run_until(40_us);
   for (auto& src : be) src->stop();
 
   FlowStats& v = hub.flow(kDisplayTag);
   std::uint64_t be_packets = 0;
   double be_p99 = 0.0;
-  for (auto& [tag, s] : hub.flows()) {
+  for (auto& [tag, s] : hub.flows_by_tag()) {
     if (tag >= kBeTagBase) {
-      be_packets += s.packets;
-      be_p99 = std::max(be_p99, s.latency_ns.p99());
+      be_packets += s->packets;
+      be_p99 = std::max(be_p99, s->latency_ns.p99());
     }
   }
   std::printf(

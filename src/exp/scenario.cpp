@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <tuple>
 
 #include "model/timing.hpp"
 #include "noc/network/connection_manager.hpp"
@@ -21,8 +22,8 @@ namespace {
 std::vector<const noc::FlowStats*> flows_in_range(
     const noc::MeasurementHub& hub, std::uint32_t base, std::uint32_t count) {
   std::vector<const noc::FlowStats*> out;
-  for (const auto& [tag, s] : hub.flows()) {
-    if (tag >= base && tag < base + count) out.push_back(&s);
+  for (const auto& [tag, s] : hub.flows_by_tag()) {
+    if (tag >= base && tag < base + count) out.push_back(s);
   }
   return out;
 }
@@ -71,8 +72,7 @@ ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
       ++st.guarantee_violations;
       continue;
     }
-    const auto& flows = hub.flows();
-    const noc::FlowStats& f = flows.at(ep.tag);
+    const noc::FlowStats& f = *hub.find_flow(ep.tag);
     st.gs_flits_delivered += f.flits;
     st.gs_seq_errors += f.seq_errors;
     sim::Accumulator acc;
@@ -115,6 +115,22 @@ std::uint64_t sum_held(
 
 }  // namespace
 
+bool operator==(const ScenarioStats& a, const ScenarioStats& b) {
+  const auto tie = [](const ScenarioStats& s) {
+    return std::tie(s.events, s.be_packets_generated, s.be_packets_delivered,
+                    s.be_injections_held, s.be_throughput_pkts_per_ns,
+                    s.be_latency_p50_ns, s.be_latency_p95_ns,
+                    s.be_latency_p99_ns, s.be_latency_max_ns,
+                    s.gs_connections, s.gs_flits_generated,
+                    s.gs_flits_delivered, s.gs_throughput_flits_per_ns,
+                    s.gs_latency_p50_ns, s.gs_latency_p99_ns,
+                    s.gs_latency_max_ns, s.gs_jitter_max_ns,
+                    s.guarantee_violations, s.gs_seq_errors,
+                    s.total_flits_on_links, s.peak_link_utilization);
+  };
+  return tie(a) == tie(b);
+}
+
 noc::TopologySpec ScenarioSpec::topology_spec() const {
   const std::uint32_t nodes32 =
       static_cast<std::uint32_t>(width) * height;
@@ -151,6 +167,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     net_cfg.router = spec.router;
     noc::Network net(ctx, net_cfg);
     noc::MeasurementHub hub;
+    hub.set_horizon(spec.duration_ps);
     noc::attach_hub(net, hub);
 
     noc::ConnectionManager mgr(net, net.node_at(0));

@@ -86,6 +86,14 @@ struct ScenarioStats {
   // Network-wide link summary (NetworkReport).
   std::uint64_t total_flits_on_links = 0;
   double peak_link_utilization = 0.0;
+
+  /// Exact equality — scenario runs are deterministic per spec, so two
+  /// runs of the same spec must compare equal (sweep --repeat uses this
+  /// to turn a nondeterministic rerun into a reported error).
+  friend bool operator==(const ScenarioStats& a, const ScenarioStats& b);
+  friend bool operator!=(const ScenarioStats& a, const ScenarioStats& b) {
+    return !(a == b);
+  }
 };
 
 struct ScenarioResult {

@@ -27,6 +27,7 @@ namespace mango::exp {
 struct SweepReport {
   std::vector<ScenarioResult> results;  ///< spec order, not finish order
   unsigned jobs = 1;
+  unsigned repeat = 1;  ///< runs per scenario (wall_ms keeps the best)
   double wall_ms = 0.0;
 
   std::size_t failed() const;
@@ -54,8 +55,14 @@ class SweepRunner {
                                         const ScenarioResult&)>;
 
   /// Runs every spec; `jobs` worker threads (0 = hardware concurrency).
+  /// `repeat` >= 1 runs each scenario that many times, keeping the
+  /// simulation stats of the first run (they are deterministic per spec
+  /// — a mismatch on a rerun is reported as a scenario error) and the
+  /// best wall time, so events-per-second figures are reproducible from
+  /// one command instead of hand-timed best-of-N.
   static SweepReport run(const std::vector<ScenarioSpec>& specs,
-                         unsigned jobs, ProgressFn on_done = {});
+                         unsigned jobs, ProgressFn on_done = {},
+                         unsigned repeat = 1);
 };
 
 }  // namespace mango::exp

@@ -32,15 +32,26 @@ std::uint32_t build_be_header(const BeRoute& route) {
 BePacket make_be_packet(const BeRoute& route,
                         const std::vector<std::uint32_t>& payload,
                         std::uint32_t tag) {
+  return make_be_packet({}, build_be_header(route), payload.data(),
+                        payload.size(), tag);
+}
+
+BePacket make_be_packet(std::vector<Flit>&& storage, std::uint32_t header_word,
+                        const std::uint32_t* payload,
+                        std::size_t payload_words, std::uint32_t tag) {
   BePacket pkt;
-  pkt.flits.reserve(payload.size() + 2);
+  pkt.flits = std::move(storage);
+  pkt.flits.clear();
+  // Known final size: header + payload (or one filler), reserved up
+  // front so assembly never reallocates mid-build.
+  pkt.flits.reserve(payload_words + (payload_words == 0 ? 2 : 1));
 
   Flit header;
-  header.data = build_be_header(route);
+  header.data = header_word;
   header.tag = tag;
   pkt.flits.push_back(header);
 
-  if (payload.empty()) {
+  if (payload_words == 0) {
     Flit filler;
     filler.tag = tag;
     filler.eop = true;
@@ -48,12 +59,12 @@ BePacket make_be_packet(const BeRoute& route,
     pkt.flits.push_back(filler);
     return pkt;
   }
-  for (std::size_t i = 0; i < payload.size(); ++i) {
+  for (std::size_t i = 0; i < payload_words; ++i) {
     Flit f;
     f.data = payload[i];
     f.tag = tag;
     f.seq = i + 1;
-    f.eop = (i + 1 == payload.size());
+    f.eop = (i + 1 == payload_words);
     pkt.flits.push_back(f);
   }
   return pkt;

@@ -77,4 +77,14 @@ BePacket make_be_packet(const BeRoute& route,
                         const std::vector<std::uint32_t>& payload,
                         std::uint32_t tag = 0);
 
+/// Pool-aware assembly for the injection hot path: `storage` (typically
+/// a sim::VectorPool<Flit>::acquire() body) becomes the packet's flit
+/// vector, reserved to the exact flit count, and the 32-bit header is
+/// supplied precomputed (Network::be_header / RouteTable) instead of
+/// being rebuilt from a BeRoute. Flit content is identical to
+/// make_be_packet's.
+BePacket make_be_packet(std::vector<Flit>&& storage, std::uint32_t header,
+                        const std::uint32_t* payload,
+                        std::size_t payload_words, std::uint32_t tag = 0);
+
 }  // namespace mango::noc

@@ -35,6 +35,10 @@ Link::Link(Endpoint a, Endpoint b, unsigned pipeline_stages,
                  "bundled-data link skew exceeds the timing margin — use "
                  "1-of-4 delay-insensitive signaling");
   }
+  MANGO_ASSERT(a_.router->config().coalesce_handshakes ==
+                   b_.router->config().coalesce_handshakes,
+               "link endpoints disagree on handshake coalescing");
+  coalesce_ = a_.router->config().coalesce_handshakes;
   a_.router->attach_link(a_.port, this);
   b_.router->attach_link(b_.port, this);
 }
@@ -75,6 +79,44 @@ sim::Time Link::reverse_latency() const {
 void Link::send_flit(const Router* from, LinkFlit lf) {
   const Endpoint& peer = peer_of(from);
   ++flits_carried_;
+  if (!coalesce_) {
+    sim_.after(forward_latency(), [peer, lf] {
+      peer.router->receive_link_flit(peer.port, lf);
+    });
+    return;
+  }
+  // Coalesced GS transfer: the peer's split map is static, so the
+  // destination is resolved now and the split/switch/unshare stage delay
+  // folds into this single event's timestamp — same arrival instant as
+  // the receive-then-traverse event pair it replaces. The folded link
+  // arrival is declared with its analytic time so event totals stay
+  // bit-identical even when run_until() cuts a chain mid-flight.
+  //
+  // BE transfers deliberately keep the two-event chain: push_input runs
+  // the BE router's arbitration synchronously at dispatch, so its
+  // same-timestamp order against other BE events is observable — folding
+  // would move its insertion point and flip tie-breaks. GS deliveries
+  // only schedule delayed effects (buffer advance, req_fwd), which makes
+  // the fold order-exact.
+  const sim::Time fwd = forward_latency();
+  const SwitchingModule::PlannedHop hop =
+      peer.router->switching().plan(peer.port, lf.steer);
+  if (hop.to_be) {
+    sim_.after(fwd, [peer, lf] {
+      peer.router->receive_link_flit(peer.port, lf);
+    });
+  } else {
+    sim_.note_folded_hop_at(sim_.now() + fwd);
+    sim_.after(fwd + hop.stage_delay,
+               [r = peer.router, target = hop.target, f = lf.flit]() mutable {
+                 r->deliver_gs_coalesced(target, std::move(f));
+               });
+  }
+}
+
+void Link::send_be_flit(const Router* from, LinkFlit lf) {
+  const Endpoint& peer = peer_of(from);
+  ++flits_carried_;
   sim_.after(forward_latency(), [peer, lf] {
     peer.router->receive_link_flit(peer.port, lf);
   });
@@ -82,8 +124,19 @@ void Link::send_flit(const Router* from, LinkFlit lf) {
 
 void Link::send_reverse(const Router* from, VcIdx wire) {
   const Endpoint& peer = peer_of(from);
-  sim_.after(reverse_latency(), [peer, wire] {
-    peer.router->receive_reverse(peer.port, wire);
+  if (!coalesce_) {
+    sim_.after(reverse_latency(), [peer, wire] {
+      peer.router->receive_reverse(peer.port, wire);
+    });
+    return;
+  }
+  // Fold the flow box's re-arm delay (0 for credit boxes) into the wire
+  // event: one scheduled event from unlock toggle to box-ready.
+  const sim::Time rearm = peer.router->reverse_fold_delay();
+  const sim::Time rev = reverse_latency();
+  if (rearm > 0) sim_.note_folded_hop_at(sim_.now() + rev);
+  sim_.after(rev + rearm, [peer, wire] {
+    peer.router->complete_reverse_coalesced(peer.port, wire);
   });
 }
 

@@ -48,6 +48,12 @@ class Link {
   /// wire delay at the peer's input port).
   void send_flit(const Router* from, LinkFlit lf);
 
+  /// BE fast path: the caller (BeOutputStage) knows the steer decodes to
+  /// the peer's BE router, so the per-flit switching decode is skipped.
+  /// BE transfers always use the two-event chain (see send_flit's
+  /// comment on why the BE fold is forbidden).
+  void send_be_flit(const Router* from, LinkFlit lf);
+
   /// Reverse GS signal (unlock toggle / credit) from `from` back to the
   /// peer's flow box on wire `wire`.
   void send_reverse(const Router* from, VcIdx wire);
@@ -55,6 +61,13 @@ class Link {
   /// BE credit return from `from` back to the peer's BE output stage,
   /// for BE VC lane `vc`.
   void send_be_credit(const Router* from, BeVcIdx vc);
+
+  /// Peer endpoint of `from` (cached send plans resolve this once).
+  const Endpoint& peer_endpoint(const Router* from) const {
+    return peer_of(from);
+  }
+  /// Accounts a flit sent through a cached (router-side) transfer plan.
+  void count_flit() { ++flits_carried_; }
 
   unsigned pipeline_stages() const { return stages_; }
   LinkSignaling signaling() const { return signaling_; }
@@ -85,6 +98,7 @@ class Link {
   unsigned stages_;
   LinkSignaling signaling_;
   sim::Time skew_;
+  bool coalesce_ = true;  ///< from RouterConfig::coalesce_handshakes
   std::uint64_t flits_carried_ = 0;
 };
 

@@ -9,6 +9,8 @@ NetworkAdapter::NetworkAdapter(Router& router, std::string name)
       router_(router),
       name_(std::move(name)),
       delays_(router.delays()),
+      flit_pool_(router.ctx().pools().vectors<Flit>()),
+      coalesce_(router.config().coalesce_handshakes),
       num_ifaces_(router.config().local_gs_ifaces),
       be_lanes_(router.config().be_vcs) {
   MANGO_ASSERT(num_ifaces_ <= gs_src_.size(), "too many local GS interfaces");
@@ -17,21 +19,47 @@ NetworkAdapter::NetworkAdapter(Router& router, std::string name)
   }
   router_.set_local_reverse_handler(
       [this](LocalIfaceIdx i) { on_local_reverse(i); });
+  router_.set_local_reverse_complete_handler(
+      [this](LocalIfaceIdx i) { complete_local_reverse(i); });
   router_.set_local_out_notify([this](LocalIfaceIdx i) { on_local_head(i); });
   router_.set_local_be_credit_handler([this](BeVcIdx vc) {
     ++be_lanes_.at(vc).credits;
     drain_be();
   });
-  router_.set_local_be_delivery([this](Flit&& f) {
-    // Packets on different BE VCs may interleave: reassemble per VC.
-    BeLane& lane = be_lanes_.at(be_vc_of(f));
-    lane.assembling.push_back(f);
-    if (!f.eop) return;
-    ++be_packets_received_;
-    BePacket pkt;
-    pkt.flits.swap(lane.assembling);
-    if (be_handler_) be_handler_(std::move(pkt));
-  });
+  wire_be_delivery();
+}
+
+void NetworkAdapter::wire_be_delivery() {
+  // Passive (timed) BE handlers let the router hand flits over
+  // synchronously with the delivery instant attached; reactive handlers
+  // keep the evented hand-over. Reassembly itself is passive either way.
+  router_.set_local_be_delivery(
+      [this](Flit&& f) { accept_be_flit(std::move(f), sim_.now()); });
+  if (be_timed_handler_) {
+    router_.set_local_be_delivery_timed([this](Flit&& f, sim::Time at) {
+      accept_be_flit(std::move(f), at);
+    });
+  } else {
+    router_.set_local_be_delivery_timed(nullptr);
+  }
+}
+
+void NetworkAdapter::accept_be_flit(Flit&& f, sim::Time at) {
+  // Packets on different BE VCs may interleave: reassemble per VC.
+  BeLane& lane = be_lanes_.at(be_vc_of(f));
+  lane.assembling.push_back(f);
+  if (!f.eop) return;
+  ++be_packets_received_;
+  BePacket pkt;
+  pkt.flits.swap(lane.assembling);
+  // Fresh reassembly storage from the pool — the swapped-out body left
+  // with the packet (and comes back via release once it is consumed).
+  lane.assembling = flit_pool_.acquire();
+  if (be_timed_handler_) {
+    be_timed_handler_(std::move(pkt), at);
+  } else if (be_handler_) {
+    be_handler_(std::move(pkt));
+  }
 }
 
 void NetworkAdapter::configure_gs_source(LocalIfaceIdx iface,
@@ -42,6 +70,15 @@ void NetworkAdapter::configure_gs_source(LocalIfaceIdx iface,
                "GS source iface already bound on " + name_);
   src.configured = true;
   src.steer = first_hop;
+  if (coalesce_) {
+    // Resolve the (static) switching decision once: injected flits go
+    // straight to their VC buffer in one wire + stage event.
+    const SwitchingModule::PlannedHop hop =
+        router_.switching().plan(kLocalPort, first_hop);
+    MANGO_ASSERT(!hop.to_be, "GS source steered at the BE router");
+    src.inject_target = &router_.vc_buffer(hop.target);
+    src.inject_delay = delays_.na_link_fwd + hop.stage_delay;
+  }
   const VcScheme scheme =
       router_.config().arbiter == ArbiterKind::kUnregulated
           ? VcScheme::kCreditBased
@@ -105,10 +142,18 @@ void NetworkAdapter::drain_gs(LocalIfaceIdx iface) {
   src.flow->on_admit();
   src.stage_busy = true;
   ++src.sent;
-  sim_.after(delays_.na_link_fwd,
-             [this, iface, lf = LinkFlit{src.steer, f}] {
-               router_.inject_local_gs(iface, lf);
-             });
+  if (coalesce_) {
+    sim_.note_folded_hop_at(sim_.now() + delays_.na_link_fwd);
+    sim_.after(src.inject_delay,
+               [this, target = src.inject_target, f]() mutable {
+                 router_.deliver_gs_coalesced(target, std::move(f));
+               });
+  } else {
+    sim_.after(delays_.na_link_fwd,
+               [this, iface, lf = LinkFlit{src.steer, f}] {
+                 router_.inject_local_gs(iface, lf);
+               });
+  }
   // The local interface handshake stage recovers after one cycle.
   sim_.after(delays_.arb_cycle, [this, iface] {
     gs_src_[iface].stage_busy = false;
@@ -123,7 +168,32 @@ void NetworkAdapter::on_local_reverse(LocalIfaceIdx iface) {
   src.flow->on_reverse_signal();
 }
 
+void NetworkAdapter::complete_local_reverse(LocalIfaceIdx iface) {
+  GsSource& src = gs_src_.at(iface);
+  MANGO_ASSERT(src.configured && src.flow != nullptr,
+               "reverse signal for unconfigured GS source on " + name_);
+  src.flow->complete_reverse();
+}
+
 void NetworkAdapter::on_local_head(LocalIfaceIdx iface) {
+  if (coalesce_ && sink_service_ == 0 && gs_timed_handler_ &&
+      router_.vc_scheme() == VcScheme::kShareBased) {
+    // Zero-service sink feeding a *passive* handler on a share-based
+    // buffer: the service event would fire at this same instant and the
+    // pop has no same-time side effects (share-based buffers signal on
+    // the advance, not the pop), so consume the head synchronously and
+    // hand the flit over stamped with the instant the evented handler
+    // would run. Both skipped events are declared to the fold ledger
+    // for event-count parity. Evented (reactive) handlers keep the full
+    // chain below — the pop's insertion point is part of their exact
+    // firing-order contract.
+    Flit f = router_.local_out_pop(iface);
+    sim_.note_folded_hop_at(sim_.now());
+    const sim::Time at = sim_.now() + delays_.na_link_fwd;
+    sim_.note_folded_hop_at(at);
+    gs_timed_handler_(iface, std::move(f), at);
+    return;
+  }
   if (sink_busy_.at(iface)) return;
   sink_busy_[iface] = true;
   sim_.after(sink_service_, [this, iface] {
@@ -131,7 +201,11 @@ void NetworkAdapter::on_local_head(LocalIfaceIdx iface) {
     if (!router_.local_out_has_head(iface)) return;
     Flit f = router_.local_out_pop(iface);
     sim_.after(delays_.na_link_fwd, [this, iface, f]() mutable {
-      if (gs_handler_) gs_handler_(iface, std::move(f));
+      if (gs_timed_handler_) {
+        gs_timed_handler_(iface, std::move(f), sim_.now());
+      } else if (gs_handler_) {
+        gs_handler_(iface, std::move(f));
+      }
     });
     // The buffer refill (unsharebox advance) re-notifies us.
   });
@@ -148,6 +222,9 @@ void NetworkAdapter::send_be_packet(BePacket pkt, BeVcIdx vc) {
     lane.queue.push_back(f);
   }
   ++be_packets_sent_;
+  // The packet body has been copied into the lane ring; retire the
+  // storage so the next injection reuses it.
+  flit_pool_.release(std::move(pkt.flits));
   drain_be();
 }
 

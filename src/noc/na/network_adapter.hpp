@@ -20,11 +20,11 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "noc/common/config.hpp"
 #include "noc/common/flit.hpp"
@@ -32,15 +32,30 @@
 #include "noc/common/packet.hpp"
 #include "noc/router/router.hpp"
 #include "noc/router/sharebox.hpp"
+#include "sim/callback.hpp"
+#include "sim/pool.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
 
 class NetworkAdapter {
  public:
-  using GsHandler = std::function<void(LocalIfaceIdx, Flit&&)>;
-  using BeHandler = std::function<void(BePacket&&)>;
-  using GsSupplier = std::function<std::optional<Flit>()>;
+  /// Inline-capture handlers: these fire once per delivered flit/packet,
+  /// and the measurement-hub captures ([&net, &hub, &pool]) fit inline.
+  using GsHandler = sim::InlineFunction<void(LocalIfaceIdx, Flit&&), 5>;
+  using BeHandler = sim::InlineFunction<void(BePacket&&), 5>;
+  using GsSupplier = sim::InlineFunction<std::optional<Flit>(), 5>;
+  /// Passive (measurement-style) handlers: invoked synchronously at the
+  /// pop with the delivery instant `at` (= the time the evented handler
+  /// would run) as an argument, so the final NA wire hop needs no event
+  /// of its own. Only for handlers that do not feed back into the
+  /// simulation — a reactive consumer (e.g. OCP) must use the evented
+  /// set_gs_handler/set_be_handler, which preserve exact firing order.
+  using GsTimedHandler =
+      sim::InlineFunction<void(LocalIfaceIdx, Flit&&, sim::Time at), 5>;
+  using BeTimedHandler =
+      sim::InlineFunction<void(BePacket&&, sim::Time at), 5>;
 
   /// Attaches to `router`'s local port and runs in the router's
   /// SimContext.
@@ -61,7 +76,16 @@ class NetworkAdapter {
   std::uint64_t gs_flits_sent(LocalIfaceIdx iface) const;
 
   // --- GS delivery side ---
-  void set_gs_handler(GsHandler h) { gs_handler_ = std::move(h); }
+  /// Installing either handler style replaces the other (last one wins).
+  void set_gs_handler(GsHandler h) {
+    gs_handler_ = std::move(h);
+    gs_timed_handler_ = nullptr;
+  }
+  /// Passive variant (see GsTimedHandler).
+  void set_gs_handler_timed(GsTimedHandler h) {
+    gs_timed_handler_ = std::move(h);
+    gs_handler_ = nullptr;
+  }
   /// Consumption service time per delivered flit (default 0: the core
   /// keeps up with the link).
   void set_gs_sink_service(sim::Time per_flit) { sink_service_ = per_flit; }
@@ -70,7 +94,18 @@ class NetworkAdapter {
   /// Sends a packet on BE virtual channel `vc` (< RouterConfig::be_vcs);
   /// all flits get their bevc bit stamped accordingly.
   void send_be_packet(BePacket pkt, BeVcIdx vc = 0);
-  void set_be_handler(BeHandler h) { be_handler_ = std::move(h); }
+  /// Installing either handler style replaces the other (last one wins).
+  void set_be_handler(BeHandler h) {
+    be_handler_ = std::move(h);
+    be_timed_handler_ = nullptr;
+    wire_be_delivery();
+  }
+  /// Passive variant (see BeTimedHandler).
+  void set_be_handler_timed(BeTimedHandler h) {
+    be_timed_handler_ = std::move(h);
+    be_handler_ = nullptr;
+    wire_be_delivery();
+  }
   std::size_t be_queue_flits() const;
   std::uint64_t be_packets_sent() const { return be_packets_sent_; }
   std::uint64_t be_packets_received() const { return be_packets_received_; }
@@ -82,8 +117,12 @@ class NetworkAdapter {
   struct GsSource {
     bool configured = false;
     SteerBits steer;
+    /// Coalesced-injection plan resolved at configure time: the VC
+    /// buffer the first hop lands in and the wire + stage delay.
+    VcBuffer* inject_target = nullptr;
+    sim::Time inject_delay = 0;
     std::unique_ptr<VcFlowControl> flow;
-    std::deque<Flit> queue;
+    sim::FifoRing<Flit> queue;
     GsSupplier supplier;
     bool stage_busy = false;  ///< local interface handshake in progress
     std::uint64_t sent = 0;
@@ -91,25 +130,36 @@ class NetworkAdapter {
 
   void drain_gs(LocalIfaceIdx iface);
   void on_local_reverse(LocalIfaceIdx iface);
+  void complete_local_reverse(LocalIfaceIdx iface);
   void on_local_head(LocalIfaceIdx iface);
   void drain_be();
+  /// (Re)installs the router-side BE delivery hook to match the handler
+  /// style (evented vs passive-timed).
+  void wire_be_delivery();
+  void accept_be_flit(Flit&& f, sim::Time at);
 
   sim::Simulator& sim_;
   Router& router_;
   std::string name_;
   const StageDelays& delays_;
+  /// Per-context flit-vector pool: retired packet bodies are recycled
+  /// here (send side) and reassembly storage is drawn from it (receive
+  /// side), so steady-state BE traffic never touches the heap.
+  sim::VectorPool<Flit>& flit_pool_;
+  const bool coalesce_;  ///< RouterConfig::coalesce_handshakes
 
   std::array<GsSource, 8> gs_src_{};  // sized for max local ifaces
   unsigned num_ifaces_;
 
   GsHandler gs_handler_;
+  GsTimedHandler gs_timed_handler_;
   sim::Time sink_service_ = 0;
   std::array<bool, 8> sink_busy_{};
 
   /// Per-BE-VC injection lane (queue + credits for the router's per-VC
   /// input buffer) and per-VC packet reassembly on the receive side.
   struct BeLane {
-    std::deque<Flit> queue;
+    sim::FifoRing<Flit> queue;
     unsigned credits = 0;
     std::vector<Flit> assembling;
   };
@@ -117,6 +167,7 @@ class NetworkAdapter {
   unsigned be_rr_ = 0;
   bool be_stage_busy_ = false;
   BeHandler be_handler_;
+  BeTimedHandler be_timed_handler_;
   std::uint64_t be_packets_sent_ = 0;
   std::uint64_t be_packets_received_ = 0;
 };

@@ -54,12 +54,12 @@ std::vector<ConnectionManager::PlannedHop> ConnectionManager::plan(
     NodeId src, NodeId dst, LocalIfaceIdx& src_iface_out) {
   MANGO_ASSERT(src != dst,
                "a connection links two *different* local ports (Section 3)");
-  // The GS path is the same one the BE source route takes: the installed
-  // routing algorithm over the topology's port adjacency. `arrival[k]`
-  // is the port hop k's router receives the connection on (k >= 1) —
-  // read off the link wiring, which on irregular graphs is not simply
-  // opposite(move).
-  const std::vector<Direction> moves = net_.routing().route(src, dst);
+  // The GS path is the same one the BE source route takes: the
+  // materialized route table over the topology's port adjacency.
+  // `arrival[k]` is the port hop k's router receives the connection on
+  // (k >= 1) — read off the link wiring, which on irregular graphs is
+  // not simply opposite(move).
+  const std::vector<Direction> moves = net_.route_moves(src, dst);
   const std::size_t n = moves.size();
 
   src_iface_out = allocate_local_source(src);

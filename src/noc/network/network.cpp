@@ -18,11 +18,20 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
           " needs " + std::to_string(routing_->required_be_vcs()) +
           " BE VCs (dateline classes) but the router config has " +
           std::to_string(cfg_.router.be_vcs));
+  // Materialize the route tables once: the per-packet hot path reads
+  // these, never the virtual interface.
+  table_ = std::make_unique<RouteTable>(*topo_, *routing_);
   // Deadlock freedom is a construction invariant, not an assumption:
   // reject any (topology, routing, VC config) whose BE channel
-  // dependency graph is cyclic.
+  // dependency graph is cyclic. The check runs against the materialized
+  // tables — validating exactly the routes the hot path will execute —
+  // and falls back to the virtual interface on fabrics too large to
+  // materialize.
   const DeadlockCheck check =
-      check_deadlock_freedom(*topo_, *routing_, cfg_.router.be_vcs);
+      table_->dense()
+          ? check_deadlock_freedom(*topo_, *table_, routing_->vc_class_map(),
+                                   cfg_.router.be_vcs)
+          : check_deadlock_freedom(*topo_, *routing_, cfg_.router.be_vcs);
   MANGO_ASSERT(check.acyclic,
                std::string(routing_->name()) + " routing on " +
                    topo_->label() +
@@ -93,6 +102,14 @@ BeRoute Network::be_route(NodeId src, NodeId dst, LocalIface iface) const {
                "route endpoints outside the topology");
   BeRoute r;
   r.iface = iface;
+  if (table_->dense()) {
+    const std::size_t si = topo_->index(src);
+    const std::size_t di = topo_->index(dst);
+    const RouteTable::MovesView mv = table_->moves(si, di);
+    r.moves.assign(mv.begin(), mv.end());
+    r.delivery = direction_of(table_->delivery_port(si, di));
+    return r;
+  }
   r.moves = src == dst ? routing_->self_route(src) : routing_->route(src, dst);
   const auto end = topo_->walk(src, r.moves);
   MANGO_ASSERT(end.has_value() && end->node == dst,
@@ -100,6 +117,18 @@ BeRoute Network::be_route(NodeId src, NodeId dst, LocalIface iface) const {
                    to_string(dst));
   r.delivery = direction_of(end->arrival_port);
   return r;
+}
+
+std::uint32_t Network::be_header(NodeId src, NodeId dst,
+                                 LocalIface iface) const {
+  if (table_->dense()) {
+    return table_->be_header(topo_->index(src), topo_->index(dst), iface);
+  }
+  return build_be_header(be_route(src, dst, iface));
+}
+
+std::vector<Direction> Network::route_moves(NodeId src, NodeId dst) const {
+  return be_route(src, dst).moves;
 }
 
 }  // namespace mango::noc

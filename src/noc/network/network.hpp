@@ -57,6 +57,10 @@ class Network {
 
   const Topology& topology() const { return *topo_; }
   const RoutingAlgorithm& routing() const { return *routing_; }
+  /// Materialized route tables (dense() may be false on very large
+  /// fabrics — the header/route accessors below then fall back to the
+  /// virtual routing interface transparently).
+  const RouteTable& route_table() const { return *table_; }
   const NetworkConfig& config() const { return cfg_; }
   sim::SimContext& ctx() { return ctx_; }
   sim::Simulator& simulator() { return ctx_.sim(); }
@@ -78,6 +82,17 @@ class Network {
   BeRoute be_route(NodeId src, NodeId dst,
                    LocalIface iface = LocalIface::kNetworkAdapter) const;
 
+  /// Fully encoded 32-bit BE header for src -> dst (the per-packet hot
+  /// path: a table lookup, no allocation, no virtual dispatch). Same
+  /// semantics as build_be_header(be_route(src, dst, iface)), including
+  /// the ModelError on routes over the 15-code budget.
+  std::uint32_t be_header(NodeId src, NodeId dst,
+                          LocalIface iface = LocalIface::kNetworkAdapter) const;
+
+  /// Move sequence of the src -> dst route (src == dst: the self-route
+  /// cycle). Setup-path convenience over the materialized table.
+  std::vector<Direction> route_moves(NodeId src, NodeId dst) const;
+
   /// All links (diagnostics).
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
@@ -86,6 +101,7 @@ class Network {
   NetworkConfig cfg_;
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<RoutingAlgorithm> routing_;
+  std::unique_ptr<RouteTable> table_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<NetworkAdapter>> nas_;

@@ -377,6 +377,109 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo) {
   model_fail("unknown topology kind");
 }
 
+// --- materialized route tables -----------------------------------------------
+
+RouteTable::RouteTable(const Topology& topo, const RoutingAlgorithm& routing)
+    : n_(topo.node_count()), routing_(&routing) {
+  if (n_ > kDenseNodeLimit) return;  // fall back to the virtual interface
+  dense_ = true;
+  const std::size_t pairs = n_ * n_;
+  offsets_.assign(pairs + 1, 0);
+  delivery_and_next_.assign(pairs, PortPair{});
+  header_base_.assign(pairs, 0);
+  header_shift_.assign(pairs, kNoHeader);
+  self_unavailable_.assign(n_, false);
+  // Mean route length grows with sqrt(n); a loose upper-bound reserve
+  // avoids repeated regrowth during the n^2 build.
+  moves_.reserve(pairs * 2 + n_ * 4);
+
+  for (std::size_t s = 0; s < n_; ++s) {
+    const NodeId src = topo.node_at(s);
+    for (std::size_t d = 0; d < n_; ++d) {
+      const std::size_t p = pair(s, d);
+      offsets_[p] = static_cast<std::uint32_t>(moves_.size());
+      if (s == d) {
+        // Self-routes exist only on fabrics with a u-turn-free cycle;
+        // record the miss and re-raise the routing error on first use
+        // (construction stays lazy, exactly like the virtual path).
+        try {
+          materialize_pair(p, routing.self_route(src), topo, src);
+        } catch (const ModelError&) {
+          self_unavailable_[s] = true;
+        }
+        continue;
+      }
+      materialize_pair(p, routing.route(src, topo.node_at(d)), topo, src);
+    }
+  }
+  offsets_[pairs] = static_cast<std::uint32_t>(moves_.size());
+}
+
+void RouteTable::materialize_pair(std::size_t pair_idx,
+                                  const std::vector<Direction>& mv,
+                                  const Topology& topo, NodeId src) {
+  MANGO_ASSERT(!mv.empty(), "routing produced an empty route");
+  for (const Direction d : mv) moves_.push_back(d);
+  const auto end = topo.walk(src, mv);
+  MANGO_ASSERT(end.has_value(), "route walks an unwired port");
+  delivery_and_next_[pair_idx] =
+      PortPair{end->arrival_port, port_of(mv.front())};
+  // Fold the header now when the route fits the 15-code budget; the
+  // interface bits stay zero and are ORed in per lookup.
+  const std::size_t codes = mv.size() + 1;
+  if (codes <= kMaxHeaderCodes) {
+    std::uint32_t header = 0;
+    for (const Direction d : mv) {
+      header = (header << 2) | (static_cast<std::uint32_t>(d) & 0x3u);
+    }
+    header = (header << 2) |
+             (static_cast<std::uint32_t>(end->arrival_port) & 0x3u);
+    header <<= 2;  // interface bits, zeroed
+    const unsigned used_bits = 2 * static_cast<unsigned>(codes + 1);
+    header <<= (32 - used_bits);
+    header_base_[pair_idx] = header;
+    header_shift_[pair_idx] = static_cast<std::uint8_t>(32 - used_bits);
+  }
+}
+
+RouteTable::MovesView RouteTable::moves(std::size_t src_idx,
+                                        std::size_t dst_idx) const {
+  MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
+  MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
+  if (src_idx == dst_idx && self_unavailable_[src_idx]) {
+    routing_->self_route(routing_->topology().node_at(src_idx));  // throws
+  }
+  const std::size_t p = pair(src_idx, dst_idx);
+  return MovesView{moves_.data() + offsets_[p], offsets_[p + 1] - offsets_[p]};
+}
+
+PortIdx RouteTable::delivery_port(std::size_t src_idx,
+                                  std::size_t dst_idx) const {
+  MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
+  MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
+  return delivery_and_next_[pair(src_idx, dst_idx)].delivery;
+}
+
+std::uint32_t RouteTable::be_header(std::size_t src_idx, std::size_t dst_idx,
+                                    LocalIface iface) const {
+  MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
+  MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
+  const std::size_t p = pair(src_idx, dst_idx);
+  const std::uint8_t shift = header_shift_[p];
+  if (shift == kNoHeader) {
+    // Over budget (or a self-route miss): rebuild through the legacy
+    // path so the ModelError is byte-identical to build_be_header's.
+    const MovesView mv = moves(src_idx, dst_idx);
+    BeRoute r;
+    r.moves.assign(mv.begin(), mv.end());
+    r.delivery = direction_of(delivery_port(src_idx, dst_idx));
+    r.iface = iface;
+    return build_be_header(r);
+  }
+  return header_base_[p] |
+         (static_cast<std::uint32_t>(iface) << shift);
+}
+
 // --- deadlock validator ------------------------------------------------------
 
 namespace {
@@ -388,6 +491,101 @@ std::string channel_name(const Topology& topo, std::uint32_t chan) {
   return to_string(topo.node_at(node)) + "." +
          port_name(static_cast<PortIdx>(port)) + "/vc" + std::to_string(vc);
 }
+
+/// Accumulates the channel-dependency graph of walked routes and runs
+/// the cycle check — shared by the virtual-interface and materialized-
+/// table entry points so both validate the identical walk semantics.
+class CdgBuilder {
+ public:
+  CdgBuilder(const Topology& topo, const BeVcClassMap& map, bool classes)
+      : topo_(topo),
+        map_(map),
+        classes_(classes),
+        deps_(topo.node_count() * kNumDirections * kMaxBeVcs) {}
+
+  void add_route(NodeId src, NodeId dst, const Direction* mv,
+                 std::size_t len) {
+    NodeId cur = src;
+    PortIdx in = kLocalPort;
+    unsigned vc = 0;
+    std::optional<std::uint32_t> prev;
+    for (std::size_t k = 0; k < len; ++k) {
+      const Direction d = mv[k];
+      const std::size_t ci = topo_.index(cur);
+      MANGO_ASSERT(!is_network_port(in) || in != port_of(d),
+                   "route " + to_string(src) + "->" + to_string(dst) +
+                       " u-turns at " + to_string(cur) +
+                       " (reads as the local-delivery code)");
+      if (classes_) {
+        vc = be_vc_class_step(in, d, vc, map_.dateline[ci][port_of(d)]);
+      }
+      const auto chan = static_cast<std::uint32_t>(
+          (ci * kNumDirections + port_of(d)) * kMaxBeVcs + vc);
+      if (prev.has_value() && *prev != chan) {
+        auto& out = deps_[*prev];
+        if (std::find(out.begin(), out.end(), chan) == out.end()) {
+          out.push_back(chan);
+        }
+      }
+      prev = chan;
+      const auto peer = topo_.link_peer(cur, port_of(d));
+      MANGO_ASSERT(peer.has_value(),
+                   "route " + to_string(src) + "->" + to_string(dst) +
+                       " uses the unwired port " + port_name(port_of(d)) +
+                       " at " + to_string(cur));
+      cur = peer->node;
+      in = peer->port;
+    }
+    MANGO_ASSERT(cur == dst, "route " + to_string(src) + "->" +
+                                 to_string(dst) + " ends at " +
+                                 to_string(cur));
+  }
+
+  /// Iterative 3-colour DFS; a back edge is a dependency cycle.
+  DeadlockCheck finish() const {
+    const std::size_t chans = deps_.size();
+    enum : std::uint8_t { kWhite, kGrey, kBlack };
+    std::vector<std::uint8_t> color(chans, kWhite);
+    std::vector<std::uint32_t> stack;
+    std::vector<std::size_t> edge_pos(chans, 0);
+    for (std::uint32_t root = 0; root < chans; ++root) {
+      if (color[root] != kWhite || deps_[root].empty()) continue;
+      stack.push_back(root);
+      color[root] = kGrey;
+      while (!stack.empty()) {
+        const std::uint32_t u = stack.back();
+        if (edge_pos[u] < deps_[u].size()) {
+          const std::uint32_t v = deps_[u][edge_pos[u]++];
+          if (color[v] == kGrey) {
+            // Report the cycle: the grey stack from v back to u.
+            DeadlockCheck out;
+            out.acyclic = false;
+            const auto it = std::find(stack.begin(), stack.end(), v);
+            for (auto s = it; s != stack.end(); ++s) {
+              out.cycle += channel_name(topo_, *s) + " -> ";
+            }
+            out.cycle += channel_name(topo_, v);
+            return out;
+          }
+          if (color[v] == kWhite) {
+            color[v] = kGrey;
+            stack.push_back(v);
+          }
+        } else {
+          color[u] = kBlack;
+          stack.pop_back();
+        }
+      }
+    }
+    return DeadlockCheck{};
+  }
+
+ private:
+  const Topology& topo_;
+  const BeVcClassMap& map_;
+  bool classes_;
+  std::vector<std::vector<std::uint32_t>> deps_;
+};
 
 }  // namespace
 
@@ -401,8 +599,7 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
   // would do, so a torus forced onto one VC is correctly reported as
   // cyclic.
   const bool classes = map.enabled && be_vcs >= 2;
-  const std::size_t chans = n * kNumDirections * kMaxBeVcs;
-  std::vector<std::vector<std::uint32_t>> deps(chans);
+  CdgBuilder builder(topo, map, classes);
 
   // Exhaustive pair coverage up to 512 nodes; beyond that, a
   // deterministic stratified subset (every k-th node as src and as dst)
@@ -417,78 +614,30 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
       const NodeId src = topo.node_at(si);
       const NodeId dst = topo.node_at(di);
       const std::vector<Direction> moves = routing.route(src, dst);
-      NodeId cur = src;
-      PortIdx in = kLocalPort;
-      unsigned vc = 0;
-      std::optional<std::uint32_t> prev;
-      for (const Direction d : moves) {
-        const std::size_t ci = topo.index(cur);
-        MANGO_ASSERT(!is_network_port(in) || in != port_of(d),
-                     "route " + to_string(src) + "->" + to_string(dst) +
-                         " u-turns at " + to_string(cur) +
-                         " (reads as the local-delivery code)");
-        if (classes) {
-          vc = be_vc_class_step(in, d, vc,
-                                map.dateline[ci][port_of(d)]);
-        }
-        const auto chan = static_cast<std::uint32_t>(
-            (ci * kNumDirections + port_of(d)) * kMaxBeVcs + vc);
-        if (prev.has_value() && *prev != chan) {
-          auto& out = deps[*prev];
-          if (std::find(out.begin(), out.end(), chan) == out.end()) {
-            out.push_back(chan);
-          }
-        }
-        prev = chan;
-        const auto peer = topo.link_peer(cur, port_of(d));
-        MANGO_ASSERT(peer.has_value(),
-                     "route " + to_string(src) + "->" + to_string(dst) +
-                         " uses the unwired port " + port_name(port_of(d)) +
-                         " at " + to_string(cur));
-        cur = peer->node;
-        in = peer->port;
-      }
-      MANGO_ASSERT(cur == dst, "route " + to_string(src) + "->" +
-                                   to_string(dst) + " ends at " +
-                                   to_string(cur));
+      builder.add_route(src, dst, moves.data(), moves.size());
     }
   }
+  return builder.finish();
+}
 
-  // Iterative 3-colour DFS; a back edge is a dependency cycle.
-  enum : std::uint8_t { kWhite, kGrey, kBlack };
-  std::vector<std::uint8_t> color(chans, kWhite);
-  std::vector<std::uint32_t> stack;
-  std::vector<std::size_t> edge_pos(chans, 0);
-  for (std::uint32_t root = 0; root < chans; ++root) {
-    if (color[root] != kWhite || deps[root].empty()) continue;
-    stack.push_back(root);
-    color[root] = kGrey;
-    while (!stack.empty()) {
-      const std::uint32_t u = stack.back();
-      if (edge_pos[u] < deps[u].size()) {
-        const std::uint32_t v = deps[u][edge_pos[u]++];
-        if (color[v] == kGrey) {
-          // Report the cycle: the grey stack from v back to u.
-          DeadlockCheck out;
-          out.acyclic = false;
-          const auto it = std::find(stack.begin(), stack.end(), v);
-          for (auto s = it; s != stack.end(); ++s) {
-            out.cycle += channel_name(topo, *s) + " -> ";
-          }
-          out.cycle += channel_name(topo, v);
-          return out;
-        }
-        if (color[v] == kWhite) {
-          color[v] = kGrey;
-          stack.push_back(v);
-        }
-      } else {
-        color[u] = kBlack;
-        stack.pop_back();
-      }
+DeadlockCheck check_deadlock_freedom(const Topology& topo,
+                                     const RouteTable& table,
+                                     const BeVcClassMap& vc_map,
+                                     unsigned be_vcs) {
+  MANGO_ASSERT(table.dense(),
+               "table-based deadlock check needs a materialized table");
+  const std::size_t n = table.node_count();
+  const bool classes = vc_map.enabled && be_vcs >= 2;
+  CdgBuilder builder(topo, vc_map, classes);
+  for (std::size_t si = 0; si < n; ++si) {
+    for (std::size_t di = 0; di < n; ++di) {
+      if (si == di) continue;  // self-routes carry no inter-packet deps
+      const RouteTable::MovesView mv = table.moves(si, di);
+      builder.add_route(topo.node_at(si), topo.node_at(di), mv.data,
+                        mv.count);
     }
   }
-  return DeadlockCheck{};
+  return builder.finish();
 }
 
 }  // namespace mango::noc

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "noc/common/ids.hpp"
+#include "noc/common/packet.hpp"
 #include "noc/common/route.hpp"
 #include "noc/network/topology.hpp"
 
@@ -169,6 +170,89 @@ class UpDownRouting : public RoutingAlgorithm {
 /// The canonical routing for a topology (what Network installs).
 std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo);
 
+/// Materialized routes of a RoutingAlgorithm over a topology.
+///
+/// The virtual route() interface is the table *builder*: at network
+/// construction every (src, dst) route is computed once and flattened
+/// into dense storage — per-pair move sequences, the delivery port read
+/// off the link wiring, the per-node next-port table, and the fully
+/// encoded 32-bit BE header (per local interface) — so the per-packet
+/// hot path is a table lookup with zero allocation and no virtual
+/// dispatch. Self-routes (src == dst, the out-and-back cycle reaching a
+/// node's own local port) are materialized per node; fabrics without a
+/// u-turn-free cycle record the miss and re-raise the routing error on
+/// first use, preserving lazy construction semantics.
+///
+/// Beyond kDenseNodeLimit nodes the n^2 storage is not materialized
+/// (dense() == false) and callers fall back to the virtual interface.
+class RouteTable {
+ public:
+  static constexpr std::size_t kDenseNodeLimit = 1024;
+  /// Sentinel shift: route exceeds the 15-code BE header budget.
+  static constexpr std::uint8_t kNoHeader = 0xFF;
+
+  RouteTable(const Topology& topo, const RoutingAlgorithm& routing);
+
+  bool dense() const { return dense_; }
+  std::size_t node_count() const { return n_; }
+
+  /// Non-owning view of a flattened move sequence.
+  struct MovesView {
+    const Direction* data = nullptr;
+    std::uint32_t count = 0;
+    const Direction* begin() const { return data; }
+    const Direction* end() const { return data + count; }
+    std::uint32_t size() const { return count; }
+  };
+
+  /// Moves of src -> dst; src == dst yields the self-route cycle
+  /// (ModelError when the fabric has none through src).
+  MovesView moves(std::size_t src_idx, std::size_t dst_idx) const;
+  /// Port the final hop arrives on at the destination (the code that
+  /// reads as "back the way it came" there).
+  PortIdx delivery_port(std::size_t src_idx, std::size_t dst_idx) const;
+  /// First out-port from `node_idx` toward `dst_idx` (per-node next-port
+  /// lookup; node_idx == dst_idx gives the self-route's first move).
+  PortIdx next_port(std::size_t node_idx, std::size_t dst_idx) const {
+    return delivery_and_next_[pair(node_idx, dst_idx)].next;
+  }
+  unsigned hops(std::size_t src_idx, std::size_t dst_idx) const {
+    return moves(src_idx, dst_idx).count;
+  }
+
+  /// Precomputed BE header of the src -> dst route with `iface` folded
+  /// into the interface-select bits. ModelError (identical to
+  /// build_be_header's) when the route exceeds the 15-code budget.
+  std::uint32_t be_header(std::size_t src_idx, std::size_t dst_idx,
+                          LocalIface iface) const;
+
+ private:
+  std::size_t pair(std::size_t s, std::size_t d) const { return s * n_ + d; }
+  void materialize_pair(std::size_t pair_idx,
+                        const std::vector<Direction>& mv,
+                        const Topology& topo, NodeId src);
+
+  struct PortPair {
+    PortIdx delivery = 0;
+    PortIdx next = 0;
+  };
+
+  std::size_t n_ = 0;
+  bool dense_ = false;
+  /// Flattened move storage; pair (s, d) occupies
+  /// moves_[offsets_[pair]..offsets_[pair + 1]).
+  std::vector<Direction> moves_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<PortPair> delivery_and_next_;
+  /// Header with zeroed interface bits, plus the shift to fold them in
+  /// (kNoHeader: over budget — rebuilt on demand to raise the error).
+  std::vector<std::uint32_t> header_base_;
+  std::vector<std::uint8_t> header_shift_;
+  /// Self-route misses (no u-turn-free cycle): re-raise lazily.
+  std::vector<bool> self_unavailable_;
+  const RoutingAlgorithm* routing_ = nullptr;  ///< for lazy error re-raise
+};
+
 /// Result of the channel-dependency-graph acyclicity check.
 struct DeadlockCheck {
   bool acyclic = true;
@@ -185,6 +269,14 @@ struct DeadlockCheck {
 /// router configuration lacks.
 DeadlockCheck check_deadlock_freedom(const Topology& topo,
                                      const RoutingAlgorithm& routing,
+                                     unsigned be_vcs);
+
+/// Same check, run against the materialized route tables instead of the
+/// virtual interface: what Network validates is exactly what the hot
+/// path will execute. Covers every (src, dst) pair the table holds.
+DeadlockCheck check_deadlock_freedom(const Topology& topo,
+                                     const RouteTable& table,
+                                     const BeVcClassMap& vc_map,
                                      unsigned be_vcs);
 
 }  // namespace mango::noc

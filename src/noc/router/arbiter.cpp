@@ -14,13 +14,13 @@ LinkArbiter::LinkArbiter(sim::Simulator& sim, const RouterConfig& cfg,
       arb_cycle_(delays.arb_cycle),
       name_(std::move(name)),
       vcs_(cfg.vcs_per_port),
-      gs_req_(vcs_, false),
       gs_grants_(vcs_, 0) {}
 
 void LinkArbiter::set_request_gs(VcIdx vc, bool requesting) {
   MANGO_ASSERT(vc < vcs_, "request for nonexistent VC on " + name_);
-  if (gs_req_[vc] == requesting) return;
-  gs_req_[vc] = requesting;
+  const std::uint32_t bit = 1u << vc;
+  if (((gs_mask_ & bit) != 0) == requesting) return;
+  gs_mask_ ^= bit;
   if (requesting) try_grant();
 }
 
@@ -31,31 +31,30 @@ void LinkArbiter::set_request_be(bool requesting) {
 }
 
 int LinkArbiter::pick() const {
-  const bool any_gs =
-      std::any_of(gs_req_.begin(), gs_req_.end(), [](bool b) { return b; });
   switch (kind_) {
     case ArbiterKind::kFairShare: {
       // Round-robin ring; with kEqualShare BE occupies one extra slot.
+      // The scan is a rotate + count-trailing-zeros over the request
+      // bits — identical winner to the per-slot loop it replaces.
       const unsigned slots =
           be_policy_ == BePolicy::kEqualShare ? vcs_ + 1 : vcs_;
-      for (unsigned i = 0; i < slots; ++i) {
-        const unsigned s = (rr_next_ + i) % slots;
-        if (s < vcs_) {
-          if (gs_req_[s]) return static_cast<int>(s);
-        } else if (be_req_) {
-          return static_cast<int>(vcs_);
-        }
+      std::uint32_t m = gs_mask_;
+      if (be_policy_ == BePolicy::kEqualShare && be_req_) m |= 1u << vcs_;
+      if (m != 0) {
+        const unsigned r = rr_next_;
+        const std::uint32_t rot = (m >> r) | (m << (slots - r));
+        const unsigned s =
+            (r + static_cast<unsigned>(__builtin_ctz(rot))) % slots;
+        return static_cast<int>(s);
       }
-      if (be_policy_ == BePolicy::kIdleShares && !any_gs && be_req_) {
+      if (be_policy_ == BePolicy::kIdleShares && be_req_) {
         return static_cast<int>(vcs_);
       }
       return -1;
     }
     case ArbiterKind::kStaticPriority:
     case ArbiterKind::kUnregulated: {
-      for (unsigned v = 0; v < vcs_; ++v) {
-        if (gs_req_[v]) return static_cast<int>(v);
-      }
+      if (gs_mask_ != 0) return __builtin_ctz(gs_mask_);
       // BE is the lowest priority under either BE policy.
       if (be_req_) return static_cast<int>(vcs_);
       return -1;

@@ -25,20 +25,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "noc/common/config.hpp"
 #include "noc/common/ids.hpp"
+#include "sim/assert.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
 
 class LinkArbiter {
  public:
-  using GrantGs = std::function<void(VcIdx)>;
-  using GrantBe = std::function<void()>;
+  /// Inline-capture grant sinks: one indirect call per granted flit.
+  using GrantGs = sim::InlineFunction<void(VcIdx)>;
+  using GrantBe = sim::InlineFunction<void()>;
 
   LinkArbiter(sim::Simulator& sim, const RouterConfig& cfg,
               const StageDelays& delays, std::string name);
@@ -52,7 +54,10 @@ class LinkArbiter {
   void set_request_gs(VcIdx vc, bool requesting);
   void set_request_be(bool requesting);
 
-  bool request_gs(VcIdx vc) const { return gs_req_.at(vc); }
+  bool request_gs(VcIdx vc) const {
+    MANGO_ASSERT(vc < vcs_, "request query for nonexistent VC on " + name_);
+    return ((gs_mask_ >> vc) & 1u) != 0;
+  }
   bool request_be() const { return be_req_; }
 
   /// Grant counters (fairness measurements).
@@ -73,7 +78,9 @@ class LinkArbiter {
   sim::Time arb_cycle_;
   std::string name_;
   unsigned vcs_;
-  std::vector<bool> gs_req_;
+  /// Raised GS request lines, one bit per VC (V <= 8): the grant scan is
+  /// a rotate + count-trailing-zeros instead of a per-slot loop.
+  std::uint32_t gs_mask_ = 0;
   bool be_req_ = false;
   bool busy_ = false;
   unsigned rr_next_ = 0;  ///< fair-share: next ring position (0..V = BE slot)

@@ -52,9 +52,14 @@ void BeRouter::set_output(unsigned out, OutputHooks hooks) {
   outputs_[out] = std::move(hooks);
 }
 
-void BeRouter::set_credit_return(PortIdx in, std::function<void(BeVcIdx)> cb) {
+void BeRouter::set_credit_return(PortIdx in,
+                                 sim::InlineFunction<void(BeVcIdx)> cb) {
+  // The callback is shared by this port's per-VC buffers; move it into a
+  // shared slot the per-VC notifies reference.
+  credit_cbs_[in] = std::move(cb);
   for (BeVcIdx vc = 0; vc < be_vcs_; ++vc) {
-    inputs_.at(in)[vc].set_on_credit_return([cb, vc] { cb(vc); });
+    inputs_.at(in)[vc].set_on_credit_return(
+        [this, in, vc] { credit_cbs_[in](vc); });
   }
 }
 
@@ -96,6 +101,23 @@ unsigned BeRouter::decode_target(PortIdx in, std::uint32_t header) const {
   return code;  // a network output port
 }
 
+void BeRouter::register_req(PortIdx in, BeVcIdx vc, unsigned out) {
+  InputState& st = in_state_[in][vc];
+  if (st.reg_out == out) return;
+  clear_req(in, vc);
+  st.reg_out = static_cast<std::uint8_t>(out);
+  out_state_[out].req_mask |=
+      static_cast<std::uint16_t>(1u << (in * be_vcs_ + vc));
+}
+
+void BeRouter::clear_req(PortIdx in, BeVcIdx vc) {
+  InputState& st = in_state_[in][vc];
+  if (st.reg_out == kNoReg) return;
+  out_state_[st.reg_out].req_mask &=
+      static_cast<std::uint16_t>(~(1u << (in * be_vcs_ + vc)));
+  st.reg_out = kNoReg;
+}
+
 void BeRouter::on_input_head(PortIdx in, BeVcIdx vc) {
   InputState& st = in_state_[in][vc];
   if (!st.target.has_value()) {
@@ -103,6 +125,7 @@ void BeRouter::on_input_head(PortIdx in, BeVcIdx vc) {
                  "BE input " + port_name(in) + " lost its packet target");
     st.target = decode_target(in, inputs_[in][vc].head().data);
   }
+  register_req(in, vc, *st.target);
   try_route(*st.target);
 }
 
@@ -115,18 +138,23 @@ void BeRouter::try_route(unsigned out) {
 
   // Fair (round-robin) arbitration over (input port, BE VC) pairs. A VC
   // lane locked by a packet admits only that packet's input; the other
-  // lane remains free — packets on different BE VCs interleave.
+  // lane remains free — packets on different BE VCs interleave. The scan
+  // walks only the inputs registered in the request mask (head flit
+  // present and bound for this output) — same winner as the full slot
+  // loop, without touching idle inputs.
   const unsigned slots = kNumPorts * be_vcs_;
   PortIdx in = kNumPorts;
   BeVcIdx vc = 0;
   BeVcIdx ovc = 0;  ///< outgoing VC class of the selected flit
-  for (unsigned i = 0; i < slots; ++i) {
-    const unsigned s = (ost.rr_next + i) % slots;
+  const unsigned r = ost.rr_next;
+  std::uint32_t mask = ost.req_mask;
+  mask = ((mask >> r) | (mask << (slots - r))) & ((1u << slots) - 1);
+  while (mask != 0) {
+    const unsigned i = static_cast<unsigned>(__builtin_ctz(mask));
+    mask &= mask - 1;
+    const unsigned s = (r + i) % slots;
     const PortIdx cand_in = static_cast<PortIdx>(s / be_vcs_);
     const BeVcIdx cand_vc = static_cast<BeVcIdx>(s % be_vcs_);
-    const InputState& cst = in_state_[cand_in][cand_vc];
-    if (!inputs_[cand_in][cand_vc].has_head()) continue;
-    if (!cst.target.has_value() || *cst.target != out) continue;
     // The downstream lane is the *outgoing* VC class (the dateline rule
     // may promote the flit); locking and readiness follow that lane.
     const BeVcIdx cand_ovc = out_vc_class(cand_in, out, cand_vc);
@@ -152,6 +180,7 @@ void BeRouter::try_route(unsigned out) {
 
   InputState& ist = in_state_[in][vc];
   Flit f = inputs_[in][vc].pop();
+  if (!inputs_[in][vc].has_head()) clear_req(in, vc);
   if (ist.awaiting_header) {
     // Consume this hop's code(s): one rotation when forwarding, two when
     // delivering locally (direction code + interface-select bits).
@@ -172,6 +201,7 @@ void BeRouter::try_route(unsigned out) {
     ++packets_routed_;
     ist.awaiting_header = true;
     ist.target.reset();
+    clear_req(in, vc);
     ost.locked[ovc].reset();
     // The next packet's header may already sit at the input head; its
     // head callback fired while our stale target was still set, so

@@ -22,7 +22,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
@@ -34,6 +33,7 @@
 #include "noc/common/packet.hpp"
 #include "sim/callback.hpp"
 #include "sim/context.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -64,7 +64,7 @@ class BeInputBuffer {
  private:
   unsigned capacity_;
   std::string name_;
-  std::deque<Flit> fifo_;
+  sim::FifoRing<Flit> fifo_;
   Notify on_credit_return_;
   Notify on_head_;
   std::uint64_t flits_through_ = 0;
@@ -78,9 +78,10 @@ class BeRouter {
   static constexpr unsigned kNumOutputs = 6;
 
   struct OutputHooks {
-    /// May accept one more flit of this BE VC now.
-    std::function<bool(BeVcIdx)> ready;
-    std::function<void(Flit&&)> push;  ///< hand over one flit
+    /// May accept one more flit of this BE VC now. Inline captures: the
+    /// hooks fire once per routed BE flit.
+    sim::InlineFunction<bool(BeVcIdx)> ready;
+    sim::InlineFunction<void(Flit&&)> push;  ///< hand over one flit
   };
 
   BeRouter(sim::SimContext& ctx, const RouterConfig& cfg,
@@ -90,7 +91,7 @@ class BeRouter {
   void set_output(unsigned out, OutputHooks hooks);
 
   /// Installs the upstream credit-return callback of an input port.
-  void set_credit_return(PortIdx in, std::function<void(BeVcIdx)> cb);
+  void set_credit_return(PortIdx in, sim::InlineFunction<void(BeVcIdx)> cb);
 
   /// Activates the dateline VC-class rule for wrap topologies
   /// (torus/ring): a flit entering a dimension travels on BE VC 0 and is
@@ -118,9 +119,15 @@ class BeRouter {
   std::uint64_t flits_to(unsigned out) const { return out_flits_.at(out); }
 
  private:
+  static constexpr std::uint8_t kNoReg = 0xFF;
+
   struct InputState {
     std::optional<unsigned> target;  ///< decoded output of current packet
     bool awaiting_header = true;
+    /// Output whose request mask currently holds this input's bit
+    /// (kNoReg when none): the arbitration scan only visits inputs that
+    /// actually have a head flit bound for the output.
+    std::uint8_t reg_out = kNoReg;
   };
   struct OutputState {
     /// Wormhole grant holder per *outgoing* BE VC lane: the (input
@@ -132,10 +139,14 @@ class BeRouter {
         locked{};
     bool busy = false;   ///< mid routing cycle
     unsigned rr_next = 0;  ///< fair arbitration over (port, vc) pairs
+    /// One bit per (input port, VC) slot with a head flit bound here.
+    std::uint16_t req_mask = 0;
   };
 
   void on_input_head(PortIdx in, BeVcIdx vc);
   void try_route(unsigned out);
+  void register_req(PortIdx in, BeVcIdx vc, unsigned out);
+  void clear_req(PortIdx in, BeVcIdx vc);
   /// Decodes the routing target of a header arriving on `in`.
   unsigned decode_target(PortIdx in, std::uint32_t header) const;
   /// Outgoing BE VC class of a flit on input VC `cur` forwarded from
@@ -149,6 +160,7 @@ class BeRouter {
   bool vc_classes_enabled_ = false;
   std::array<bool, kNumDirections> dateline_{};
   std::array<std::vector<BeInputBuffer>, kNumPorts> inputs_;
+  std::array<sim::InlineFunction<void(BeVcIdx)>, kNumPorts> credit_cbs_;
   std::array<std::array<InputState, kMaxBeVcs>, kNumPorts> in_state_{};
   std::array<OutputHooks, kNumOutputs> outputs_{};
   std::array<OutputState, kNumOutputs> out_state_{};

@@ -29,6 +29,7 @@ void ConnectionTable::set_forward(VcBufferId buf, SteerBits steer) {
   MANGO_ASSERT(!slot.has_value(),
                "forward entry already programmed for " + to_string(buf));
   slot = steer;
+  ++generation_;
 }
 
 bool ConnectionTable::has_forward(VcBufferId buf) const {
@@ -47,6 +48,7 @@ void ConnectionTable::set_reverse(VcBufferId buf, ReverseEntry entry) {
   MANGO_ASSERT(!slot.has_value(),
                "reverse entry already programmed for " + to_string(buf));
   slot = entry;
+  ++generation_;
 }
 
 bool ConnectionTable::has_reverse(VcBufferId buf) const {
@@ -62,6 +64,7 @@ ReverseEntry ConnectionTable::reverse(VcBufferId buf) const {
 void ConnectionTable::clear(VcBufferId buf) {
   fwd_[index(buf)].reset();
   rev_[index(buf)].reset();
+  ++generation_;
 }
 
 bool ConnectionTable::reserved(VcBufferId buf) const {

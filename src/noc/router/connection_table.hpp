@@ -58,6 +58,11 @@ class ConnectionTable {
   /// Number of valid forward entries (diagnostics).
   unsigned forward_entries() const;
 
+  /// Bumped on every programming change; cached per-connection send
+  /// plans (Router) revalidate against it instead of re-reading the
+  /// table per flit.
+  std::uint32_t generation() const { return generation_; }
+
   /// Storage bits of the table at this configuration (area model input):
   /// per network VC buffer: valid + 5 steer bits, valid + 6 reverse bits.
   unsigned storage_bits() const;
@@ -67,6 +72,7 @@ class ConnectionTable {
 
   unsigned vcs_per_port_;
   unsigned local_ifaces_;
+  std::uint32_t generation_ = 0;
   std::vector<std::optional<SteerBits>> fwd_;
   std::vector<std::optional<ReverseEntry>> rev_;
 };

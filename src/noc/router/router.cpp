@@ -39,7 +39,7 @@ void BeOutputStage::on_grant() {
     ++flits_sent_;
     Link* link = owner_->link(port_);
     MANGO_ASSERT(link != nullptr, "BE flit granted onto an unattached port");
-    link->send_flit(owner_, LinkFlit{SteerBits{peer_split_code_, 0}, f});
+    link->send_be_flit(owner_, LinkFlit{SteerBits{peer_split_code_, 0}, f});
     update_request();
     // A freed slot may unblock the BE router.
     owner_->be_router().notify_output_ready(static_cast<unsigned>(port_));
@@ -78,9 +78,10 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
       prog_(table_),
       be_(ctx, cfg, delays_, name_) {
   const unsigned v = cfg_.vcs_per_port;
-  const VcScheme scheme = cfg_.arbiter == ArbiterKind::kUnregulated
-                              ? VcScheme::kCreditBased
-                              : VcScheme::kShareBased;
+  scheme_ = cfg_.arbiter == ArbiterKind::kUnregulated
+                ? VcScheme::kCreditBased
+                : VcScheme::kShareBased;
+  const VcScheme scheme = scheme_;
 
   // Network VC buffers and their flow boxes.
   bufs_.reserve(kNumDirections * v + cfg_.local_gs_ifaces);
@@ -136,6 +137,15 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
                  "no NA reverse handler on " + name_);
     local_reverse_(iface);
   });
+  if (cfg_.coalesce_handshakes) {
+    vc_control_.set_local_complete(
+        [this](LocalIfaceIdx iface) {
+          MANGO_ASSERT(static_cast<bool>(local_reverse_complete_),
+                       "no NA reverse-complete handler on " + name_);
+          local_reverse_complete_(iface);
+        },
+        reverse_fold_delay());
+  }
 
   // BE router outputs: 4 network stages + local NA + programming.
   for (PortIdx p = 0; p < kNumDirections; ++p) {
@@ -148,6 +158,15 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
                  BeRouter::OutputHooks{
                      [](BeVcIdx) { return true; },  // NA rx is unbounded
                      [this](Flit&& f) {
+                       if (cfg_.coalesce_handshakes &&
+                           local_be_delivery_timed_) {
+                         // Passive NA consumer: fold the wire hop.
+                         const sim::Time at =
+                             sim_.now() + delays_.na_link_fwd;
+                         sim_.note_folded_hop_at(at);
+                         local_be_delivery_timed_(std::move(f), at);
+                         return;
+                       }
                        MANGO_ASSERT(static_cast<bool>(local_be_delivery_),
                                     "no NA BE delivery sink on " + name_);
                        sim_.after(delays_.na_link_fwd,
@@ -161,6 +180,11 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
                      [](BeVcIdx) { return true; },
                      [this](Flit&& f) { prog_.accept_flit(std::move(f)); },
                  });
+
+  buf_raw_.reserve(bufs_.size());
+  for (const auto& b : bufs_) buf_raw_.push_back(b.get());
+  flow_raw_.reserve(flow_.size());
+  for (const auto& f2 : flow_) flow_raw_.push_back(f2.get());
 
   // BE input credit returns.
   for (PortIdx p = 0; p < kNumDirections; ++p) {
@@ -215,7 +239,7 @@ void Router::receive_reverse(PortIdx out_port, VcIdx vc) {
 }
 
 void Router::receive_be_credit(PortIdx out_port, BeVcIdx vc) {
-  be_out_.at(out_port).on_credit_return(vc);
+  be_out_[out_port].on_credit_return(vc);
 }
 
 void Router::inject_local_gs(LocalIfaceIdx iface, LinkFlit lf) {
@@ -236,9 +260,8 @@ void Router::inject_local_be(Flit f) {
 }
 
 bool Router::gs_eligible(PortIdx port, VcIdx vc) const {
-  const auto& buf = *bufs_.at(static_cast<std::size_t>(port) * cfg_.vcs_per_port + vc);
-  const auto& fb = *flow_.at(static_cast<std::size_t>(port) * cfg_.vcs_per_port + vc);
-  return buf.has_head() && fb.can_admit();
+  const std::size_t i = static_cast<std::size_t>(port) * cfg_.vcs_per_port + vc;
+  return buf_raw_[i]->has_head() && flow_raw_[i]->can_admit();
 }
 
 void Router::update_gs_request(PortIdx port, VcIdx vc) {
@@ -253,11 +276,49 @@ void Router::update_gs_request(PortIdx port, VcIdx vc) {
   });
 }
 
+const Router::GsSendPlan& Router::send_plan(PortIdx port, VcIdx vc) {
+  if (send_plans_.empty()) {
+    send_plans_.resize(static_cast<std::size_t>(kNumDirections) *
+                       cfg_.vcs_per_port);
+  }
+  GsSendPlan& plan =
+      send_plans_[static_cast<std::size_t>(port) * cfg_.vcs_per_port + vc];
+  if (plan.valid && plan.generation == table_.generation()) return plan;
+  const SteerBits steer = table_.forward({port, vc});  // throws if unset
+  Link* l = links_[port];
+  MANGO_ASSERT(l != nullptr, "GS flit granted onto unattached port " +
+                                 port_name(port) + " on " + name_);
+  const Link::Endpoint& peer = l->peer_endpoint(this);
+  const SwitchingModule::PlannedHop hop =
+      peer.router->switching().plan(peer.port, steer);
+  MANGO_ASSERT(!hop.to_be, "GS connection steered at the BE router");
+  plan.link = l;
+  plan.peer = peer.router;
+  plan.target = &peer.router->vc_buffer(hop.target);
+  plan.fwd = l->forward_latency();
+  plan.total_delay = plan.fwd + hop.stage_delay;
+  plan.generation = table_.generation();
+  plan.valid = true;
+  return plan;
+}
+
 void Router::on_gs_grant(PortIdx port, VcIdx vc) {
   VcFlowControl& fb = flow_control(port, vc);
   MANGO_ASSERT(fb.can_admit(), "grant to a VC whose flow box cannot admit");
   fb.on_admit();
   Flit f = vc_buffer({port, vc}).pop();
+  if (cfg_.coalesce_handshakes) {
+    const GsSendPlan& plan = send_plan(port, vc);
+    plan.link->count_flit();
+    ++link_flits_sent_;
+    sim_.note_folded_hop_at(sim_.now() + plan.fwd);
+    sim_.after(plan.total_delay,
+               [r = plan.peer, target = plan.target, f]() mutable {
+                 r->deliver_gs_coalesced(target, std::move(f));
+               });
+    update_gs_request(port, vc);
+    return;
+  }
   const SteerBits steer = table_.forward({port, vc});  // throws if unset
   Link* l = links_.at(port);
   MANGO_ASSERT(l != nullptr, "GS flit granted onto unattached port " +

@@ -16,7 +16,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -34,6 +33,7 @@
 #include "noc/router/vc_buffer.hpp"
 #include "noc/router/vc_control.hpp"
 #include "sim/context.hpp"
+#include "sim/ring.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -66,7 +66,7 @@ class BeOutputStage {
 
  private:
   struct Lane {
-    std::deque<Flit> fifo;
+    sim::FifoRing<Flit> fifo;
     unsigned credits = 0;
   };
 
@@ -117,31 +117,91 @@ class Router {
   /// BE credit return for the BE output stage on out_port.
   void receive_be_credit(PortIdx out_port, BeVcIdx vc);
 
+  // --- coalesced data-plane entry points ---
+  // The sender resolved the switching decision and charged the stage
+  // delay into the event timestamp; these land the flit (or complete the
+  // reverse handshake) directly and account the folded hop.
+  void deliver_gs_coalesced(VcBufferId target, Flit&& f) {
+    switching_.note_routed();
+    vc_buffer(target).accept_unshare(std::move(f));
+  }
+  /// Pointer-resolved variant for cached transfer plans: the sender
+  /// looked the buffer up once at plan-build time.
+  void deliver_gs_coalesced(VcBuffer* target, Flit&& f) {
+    switching_.note_routed();
+    target->accept_unshare(std::move(f));
+  }
+  void complete_reverse_coalesced(PortIdx out_port, VcIdx vc) {
+    flow_control(out_port, vc).complete_reverse();
+  }
+
+  /// Re-arm delay the coalesced reverse path folds into the wire event
+  /// (sharebox re-arm for share-based VC control, 0 for credit-based).
+  sim::Time reverse_fold_delay() const {
+    return scheme_ == VcScheme::kShareBased ? delays_.sharebox_unlock : 0;
+  }
+  VcScheme vc_scheme() const { return scheme_; }
+
+  /// Resolved transfer of one granted GS flit: everything send_flit
+  /// would recompute per flit (peer endpoint, switching decode, summed
+  /// delays), cached per (port, vc) and revalidated against the
+  /// connection table's generation — steering is static while a
+  /// connection is open.
+  struct GsSendPlan {
+    std::uint32_t generation = 0;
+    bool valid = false;
+    Link* link = nullptr;
+    Router* peer = nullptr;
+    VcBuffer* target = nullptr;  ///< resolved in the peer router
+    sim::Time fwd = 0;          ///< link forward latency (the folded hop)
+    sim::Time total_delay = 0;  ///< fwd + peer switch stage
+  };
+
+  /// Inline-capture local-side hooks ([this]-sized NA captures); each
+  /// fires once or twice per flit on the local hot paths.
+  using LocalHook = sim::InlineFunction<void(LocalIfaceIdx)>;
+  using BeCreditHook = sim::InlineFunction<void(BeVcIdx)>;
+  using BeDeliveryHook = sim::InlineFunction<void(Flit&&)>;
+  /// Passive BE delivery: called synchronously with the delivery
+  /// instant; the NA wire hop is folded into the timestamp.
+  using BeTimedDeliveryHook =
+      sim::InlineFunction<void(Flit&&, sim::Time at), 4>;
+
   // --- local (NA) side: GS injection ---
   /// NA pushes a steered flit into the switching module via a local GS
   /// input interface. The NA charges the local wire delay and obeys its
   /// flow box; `iface` is recorded for diagnostics only.
   void inject_local_gs(LocalIfaceIdx iface, LinkFlit lf);
   /// First-hop reverse signals (to the NA's flow boxes).
-  void set_local_reverse_handler(std::function<void(LocalIfaceIdx)> h) {
+  void set_local_reverse_handler(LocalHook h) {
     local_reverse_ = std::move(h);
+  }
+  /// Coalesced first-hop reverse completion (wire + re-arm charged into
+  /// the event; the NA completes its flow box directly).
+  void set_local_reverse_complete_handler(LocalHook h) {
+    local_reverse_complete_ = std::move(h);
   }
 
   // --- local (NA) side: GS delivery ---
   bool local_out_has_head(LocalIfaceIdx iface) const;
   Flit local_out_pop(LocalIfaceIdx iface);
   /// Fired when a local output interface has a head flit for the NA.
-  void set_local_out_notify(std::function<void(LocalIfaceIdx)> h) {
+  void set_local_out_notify(LocalHook h) {
     local_out_notify_ = std::move(h);
   }
 
   // --- local (NA) side: BE ---
   void inject_local_be(Flit f);  ///< NA tracks the credits (per BE VC)
-  void set_local_be_credit_handler(std::function<void(BeVcIdx)> h) {
+  void set_local_be_credit_handler(BeCreditHook h) {
     local_be_credit_ = std::move(h);
   }
-  void set_local_be_delivery(std::function<void(Flit&&)> h) {
+  void set_local_be_delivery(BeDeliveryHook h) {
     local_be_delivery_ = std::move(h);
+  }
+  /// Passive variant (installed by the NA when its BE handler is
+  /// measurement-style); takes precedence under coalescing.
+  void set_local_be_delivery_timed(BeTimedDeliveryHook h) {
+    local_be_delivery_timed_ = std::move(h);
   }
 
   // --- component access ---
@@ -168,11 +228,13 @@ class Router {
   bool gs_eligible(PortIdx port, VcIdx vc) const;
   void update_gs_request(PortIdx port, VcIdx vc);
   void on_gs_grant(PortIdx port, VcIdx vc);
+  const GsSendPlan& send_plan(PortIdx port, VcIdx vc);
 
   sim::SimContext& ctx_;
   sim::Simulator& sim_;  ///< = ctx_.sim(); cached for the hot paths
   RouterConfig cfg_;
   StageDelays delays_;
+  VcScheme scheme_ = VcScheme::kShareBased;
   NodeId node_;
   std::string name_;
 
@@ -186,14 +248,21 @@ class Router {
   std::vector<std::unique_ptr<VcBuffer>> bufs_;
   // Flow boxes for the network VC buffers only (local delivery has none).
   std::vector<std::unique_ptr<VcFlowControl>> flow_;
+  // Raw views of the above for the per-flit eligibility checks.
+  std::vector<VcBuffer*> buf_raw_;
+  std::vector<VcFlowControl*> flow_raw_;
   std::array<std::unique_ptr<LinkArbiter>, kNumDirections> arbiters_;
   std::array<BeOutputStage, kNumDirections> be_out_;
   std::array<Link*, kNumDirections> links_{};
+  /// Cached per-(port, vc) GS transfer plans (coalesced path).
+  std::vector<GsSendPlan> send_plans_;
 
-  std::function<void(LocalIfaceIdx)> local_reverse_;
-  std::function<void(LocalIfaceIdx)> local_out_notify_;
-  std::function<void(BeVcIdx)> local_be_credit_;
-  std::function<void(Flit&&)> local_be_delivery_;
+  LocalHook local_reverse_;
+  LocalHook local_reverse_complete_;
+  LocalHook local_out_notify_;
+  BeCreditHook local_be_credit_;
+  BeDeliveryHook local_be_delivery_;
+  BeTimedDeliveryHook local_be_delivery_timed_;
 
   std::uint64_t link_flits_sent_ = 0;
 };

@@ -18,6 +18,17 @@ void Sharebox::on_reverse_signal() {
   });
 }
 
+void Sharebox::complete_reverse() {
+  // The re-arm delay was charged into the caller's event timestamp; the
+  // box was necessarily locked for the whole wire + re-arm interval
+  // (nothing else clears the lock), so the state transition is the same
+  // one on_reverse_signal's scheduled re-arm would make now.
+  MANGO_ASSERT(locked_, "unlock toggle on an unlocked sharebox");
+  count_reverse();
+  locked_ = false;
+  notify_ready();
+}
+
 void CreditBox::on_admit() {
   MANGO_ASSERT(credits_ > 0, "flit admitted without a credit");
   --credits_;

@@ -43,6 +43,12 @@ class VcFlowControl {
   /// arrives from downstream.
   virtual void on_reverse_signal() = 0;
 
+  /// Coalesced-path variant: the caller already charged the completion
+  /// delay (sharebox re-arm) into the event's timestamp, so the box
+  /// transitions to ready immediately. Equivalent to on_reverse_signal()
+  /// followed by its internally scheduled re-arm at this instant.
+  virtual void complete_reverse() = 0;
+
   /// Installs a callback fired when can_admit() turns true again.
   void set_on_ready(Notify n) { on_ready_ = std::move(n); }
 
@@ -70,6 +76,7 @@ class Sharebox final : public VcFlowControl {
   bool can_admit() const override { return !locked_; }
   void on_admit() override;
   void on_reverse_signal() override;
+  void complete_reverse() override;
 
   bool locked() const { return locked_; }
 
@@ -88,6 +95,7 @@ class CreditBox final : public VcFlowControl {
   bool can_admit() const override { return credits_ > 0; }
   void on_admit() override;
   void on_reverse_signal() override;
+  void complete_reverse() override { on_reverse_signal(); }
 
   unsigned credits() const { return credits_; }
 

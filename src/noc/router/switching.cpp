@@ -78,6 +78,35 @@ void SwitchingModule::route(PortIdx in_port, LinkFlit lf) {
              " with an unmapped split code " + std::to_string(lf.steer.split));
 }
 
+SwitchingModule::PlannedHop SwitchingModule::plan(PortIdx in_port,
+                                                  SteerBits steer) const {
+  MANGO_ASSERT(in_port < kNumPorts, "plan(): bad input port");
+  const Dest dest = map_[in_port][steer.split];
+  switch (dest.kind) {
+    case Dest::Kind::kGs: {
+      const unsigned vc = dest.half * kVcsPerHalf + steer.vc;
+      const unsigned limit =
+          dest.out == kLocalPort ? local_ifaces_ : vcs_per_port_;
+      MANGO_ASSERT(vc < limit, "steering bits select a nonexistent VC buffer");
+      PlannedHop p;
+      p.target = VcBufferId{dest.out, static_cast<VcIdx>(vc)};
+      p.stage_delay =
+          delays_.split_fwd + delays_.switch_fwd + delays_.unshare_fwd;
+      return p;
+    }
+    case Dest::Kind::kBe: {
+      PlannedHop p;
+      p.to_be = true;
+      p.stage_delay = delays_.split_fwd;
+      return p;
+    }
+    case Dest::Kind::kInvalid:
+      break;
+  }
+  model_fail("flit entered " + port_name(in_port) +
+             " with an unmapped split code " + std::to_string(steer.split));
+}
+
 SteerBits SwitchingModule::encode_gs(PortIdx in_port, VcBufferId dest) const {
   MANGO_ASSERT(in_port < kNumPorts, "encode_gs(): bad input port");
   const auto half = static_cast<std::uint8_t>(dest.vc / kVcsPerHalf);

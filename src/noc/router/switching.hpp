@@ -54,6 +54,21 @@ class SwitchingModule {
   /// consumed here; the delivered flit no longer carries them.
   void route(PortIdx in_port, LinkFlit lf);
 
+  /// Send-time decode for the coalesced transfer path: the split map is
+  /// static, so the upstream hop can resolve the destination when it
+  /// schedules the link event and fold the stage delay into the arrival
+  /// timestamp. Performs exactly route()'s validity checks.
+  struct PlannedHop {
+    bool to_be = false;
+    VcBufferId target{};        ///< GS destination (valid when !to_be)
+    sim::Time stage_delay = 0;  ///< split (+ switch + unshare for GS)
+  };
+  PlannedHop plan(PortIdx in_port, SteerBits steer) const;
+
+  /// Counts a flit delivered through a coalesced transfer event (the
+  /// stage traversal happened analytically).
+  void note_routed() { ++flits_routed_; }
+
   /// Computes the steering bits a previous hop must append so that a flit
   /// entering on `in_port` lands in VC buffer `dest`. ModelError if the
   /// destination is unreachable from that input (e.g. a U-turn).

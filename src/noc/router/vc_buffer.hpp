@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "noc/common/config.hpp"
 #include "noc/common/flit.hpp"
@@ -47,7 +46,7 @@ class VcBuffer {
   void accept_unshare(Flit f);
 
   /// True if a head flit is available in the buffer slot.
-  bool has_head() const { return slot_.has_value(); }
+  bool has_head() const { return slot_full_; }
 
   /// Head flit (requires has_head()).
   const Flit& head() const;
@@ -58,7 +57,7 @@ class VcBuffer {
   VcBufferId id() const { return id_; }
 
   /// True if the unsharebox currently holds a flit.
-  bool unshare_occupied() const { return unshare_.has_value(); }
+  bool unshare_occupied() const { return unshare_full_; }
 
   /// Total flits that passed through (activity counter).
   std::uint64_t flits_through() const { return flits_through_; }
@@ -73,8 +72,13 @@ class VcBuffer {
   const StageDelays& delays_;
   VcScheme scheme_;
   VcBufferId id_;
-  std::optional<Flit> unshare_;
-  std::optional<Flit> slot_;
+  // Plain flit + occupancy flag (not std::optional): the advance/pop
+  // path copies flits several times per hop and the flag keeps those
+  // copies branch-free.
+  Flit unshare_{};
+  Flit slot_{};
+  bool unshare_full_ = false;
+  bool slot_full_ = false;
   bool advancing_ = false;
   Notify on_head_;
   Notify on_reverse_;

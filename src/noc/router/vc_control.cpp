@@ -8,6 +8,18 @@ void VcControlModule::signal(VcBufferId buf) {
   const ReverseEntry entry = table_.reverse(buf);  // throws if unprogrammed
   ++signals_;
   if (entry.in_port == kLocalPort) {
+    if (local_complete_) {
+      // Coalesced: local wire + flow box re-arm in one event; the box
+      // completes directly at the analytically computed ready instant.
+      if (local_fold_ > 0) {
+        sim_.note_folded_hop_at(sim_.now() + delays_.na_link_fwd);
+      }
+      sim_.after(delays_.na_link_fwd + local_fold_,
+                 [this, iface = static_cast<LocalIfaceIdx>(entry.wire)] {
+                   local_complete_(iface);
+                 });
+      return;
+    }
     MANGO_ASSERT(static_cast<bool>(local_out_), "no local reverse sink wired");
     // The NA sits next to the router; charge the (shorter) local wire.
     // The receiving flow box adds its own re-arm delay.

@@ -39,6 +39,14 @@ class VcControlModule {
   void set_network_out(NetworkOut out) { network_out_ = std::move(out); }
   void set_local_out(LocalOut out) { local_out_ = std::move(out); }
 
+  /// Arms the coalesced local reverse path: the wire event charges
+  /// `fold_delay` (the NA flow box's re-arm) on top of the local wire
+  /// and `out` completes the box directly — one event instead of two.
+  void set_local_complete(LocalOut out, sim::Time fold_delay) {
+    local_complete_ = std::move(out);
+    local_fold_ = fold_delay;
+  }
+
   /// Dispatches the reverse signal of VC buffer `buf` through the switch.
   /// ModelError if the buffer has no programmed reverse entry (a flit
   /// reached a buffer whose control channel was never set up).
@@ -53,6 +61,8 @@ class VcControlModule {
   const StageDelays& delays_;
   NetworkOut network_out_;
   LocalOut local_out_;
+  LocalOut local_complete_;
+  sim::Time local_fold_ = 0;
   std::uint64_t signals_ = 0;
 };
 

@@ -63,7 +63,11 @@ void GsStreamSource::tick() {
 
 BeTraceSource::BeTraceSource(Network& net, NodeId src, std::uint32_t tag,
                              std::vector<TraceEntry> trace)
-    : net_(net), src_(src), tag_(tag), trace_(std::move(trace)) {
+    : net_(net),
+      src_(src),
+      tag_(tag),
+      trace_(std::move(trace)),
+      flit_pool_(net.ctx().pools().vectors<Flit>()) {
   MANGO_ASSERT(net_.topology().contains(src_), "trace source out of bounds");
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     MANGO_ASSERT(trace_[i].dst != src_, "trace destination equals source");
@@ -83,11 +87,13 @@ void BeTraceSource::start() {
 
 void BeTraceSource::inject(std::size_t idx) {
   const TraceEntry& e = trace_[idx];
-  std::vector<std::uint32_t> payload(std::max(1u, e.payload_words));
-  for (std::size_t w = 0; w < payload.size(); ++w) {
-    payload[w] = static_cast<std::uint32_t>(idx + w);
+  payload_buf_.assign(std::max(1u, e.payload_words), 0);
+  for (std::size_t w = 0; w < payload_buf_.size(); ++w) {
+    payload_buf_[w] = static_cast<std::uint32_t>(idx + w);
   }
-  BePacket pkt = make_be_packet(net_.be_route(src_, e.dst), payload, tag_);
+  BePacket pkt =
+      make_be_packet(flit_pool_.acquire(), net_.be_header(src_, e.dst),
+                     payload_buf_.data(), payload_buf_.size(), tag_);
   const sim::Time now = net_.simulator().now();
   for (Flit& f : pkt.flits) f.injected_at = now;
   net_.na(src_).send_be_packet(std::move(pkt), e.vc);
@@ -106,7 +112,8 @@ BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
       opt_(opt),
       rng_(opt.seed),
       generated_stat_(
-          &net.ctx().stats().counter("traffic.be_packets_generated")) {
+          &net.ctx().stats().counter("traffic.be_packets_generated")),
+      flit_pool_(net.ctx().pools().vectors<Flit>()) {
   MANGO_ASSERT(net_.topology().contains(src_), "BE source out of bounds");
   if (opt_.fixed_dst.has_value()) {
     MANGO_ASSERT(*opt_.fixed_dst != src_, "BE destination equals source");
@@ -165,11 +172,13 @@ void BeTrafficSource::inject() {
     return;
   }
   const NodeId dst = pick_dst();
-  std::vector<std::uint32_t> payload(opt_.payload_words);
-  for (auto& w : payload) {
+  payload_buf_.resize(opt_.payload_words);
+  for (auto& w : payload_buf_) {
     w = static_cast<std::uint32_t>(rng_.next_u64());
   }
-  BePacket pkt = make_be_packet(net_.be_route(src_, dst), payload, tag_);
+  BePacket pkt =
+      make_be_packet(flit_pool_.acquire(), net_.be_header(src_, dst),
+                     payload_buf_.data(), payload_buf_.size(), tag_);
   const sim::Time now = net_.simulator().now();
   for (Flit& f : pkt.flits) f.injected_at = now;
   na.send_be_packet(std::move(pkt));

@@ -15,6 +15,7 @@
 #include "noc/common/packet.hpp"
 #include "noc/na/network_adapter.hpp"
 #include "noc/network/network.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -92,6 +93,8 @@ class BeTraceSource {
   NodeId src_;
   std::uint32_t tag_;
   std::vector<TraceEntry> trace_;
+  sim::VectorPool<Flit>& flit_pool_;  ///< per-context packet storage pool
+  std::vector<std::uint32_t> payload_buf_;  ///< reused per injection
   std::uint64_t injected_ = 0;
 };
 
@@ -148,6 +151,8 @@ class BeTrafficSource {
   sim::Rng rng_;
   /// "traffic.be_packets_generated" in the context stats registry.
   std::uint64_t* generated_stat_;
+  sim::VectorPool<Flit>& flit_pool_;  ///< per-context packet storage pool
+  std::vector<std::uint32_t> payload_buf_;  ///< reused per injection
   std::uint64_t generated_ = 0;
   std::uint64_t held_ = 0;
   bool on_phase_ = true;        ///< current on/off modulation phase

@@ -1,9 +1,47 @@
 #include "noc/traffic/sink.hpp"
 
+#include <algorithm>
+
 namespace mango::noc {
 
+FlowStats& MeasurementHub::slot(std::uint32_t tag) {
+  if (cached_ != nullptr && cached_tag_ == tag) return *cached_;
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), tag,
+      [](const auto& e, std::uint32_t t) { return e.first < t; });
+  FlowStats* s;
+  if (it != index_.end() && it->first == tag) {
+    s = it->second;
+  } else {
+    // First sight of this tag: assign a slot. Happens once per flow at
+    // traffic setup, never in the steady-state record path.
+    slots_.emplace_back();
+    s = &slots_.back();
+    index_.insert(it, {tag, s});
+  }
+  cached_tag_ = tag;
+  cached_ = s;
+  return *s;
+}
+
+const FlowStats* MeasurementHub::find_flow(std::uint32_t tag) const {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), tag,
+      [](const auto& e, std::uint32_t t) { return e.first < t; });
+  return it != index_.end() && it->first == tag ? it->second : nullptr;
+}
+
+std::vector<std::pair<std::uint32_t, const FlowStats*>>
+MeasurementHub::flows_by_tag() const {
+  std::vector<std::pair<std::uint32_t, const FlowStats*>> out;
+  out.reserve(index_.size());
+  for (const auto& [tag, s] : index_) out.emplace_back(tag, s);
+  return out;
+}
+
 void MeasurementHub::record_gs_flit(sim::Time now, const Flit& f) {
-  FlowStats& s = flows_[f.tag];
+  if (now > horizon_) return;
+  FlowStats& s = slot(f.tag);
   ++s.flits;
   s.latency_ns.add(sim::to_ns(now - f.injected_at));
   s.throughput.record(now);
@@ -12,9 +50,9 @@ void MeasurementHub::record_gs_flit(sim::Time now, const Flit& f) {
 }
 
 void MeasurementHub::record_be_packet(sim::Time now, const BePacket& pkt) {
-  if (pkt.empty()) return;
+  if (pkt.empty() || now > horizon_) return;
   const Flit& header = pkt.flits.front();
-  FlowStats& s = flows_[header.tag];
+  FlowStats& s = slot(header.tag);
   ++s.packets;
   s.flits += pkt.size();
   s.latency_ns.add(sim::to_ns(now - header.injected_at));
@@ -23,7 +61,7 @@ void MeasurementHub::record_be_packet(sim::Time now, const BePacket& pkt) {
 
 std::uint64_t MeasurementHub::total_flits() const {
   std::uint64_t n = 0;
-  for (const auto& [tag, s] : flows_) n += s.flits;
+  for (const auto& [tag, s] : index_) n += s->flits;
   return n;
 }
 

@@ -1,9 +1,18 @@
 // Measurement sinks: per-flow latency/throughput/ordering statistics.
+//
+// The hub sits on the delivery hot path (one record_* call per delivered
+// GS flit / BE packet), so flow stats live in dense, index-addressed
+// storage: each tag is assigned a small flow id on first sight (in
+// practice at traffic setup, before the measured window), records go
+// through a sorted flat index with a last-flow cache (delivered flits
+// arrive in per-flow runs, so the common case is a pointer chase, not a
+// tree walk), and iteration stays in ascending tag order so reports are
+// byte-stable.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
+#include <deque>
+#include <vector>
 
 #include "noc/common/flit.hpp"
 #include "noc/common/packet.hpp"
@@ -32,23 +41,45 @@ struct FlowStats {
 /// Collects flow statistics; install its record_* hooks as NA handlers.
 class MeasurementHub {
  public:
+  /// Samples at delivery instants beyond `h` are ignored. Passive
+  /// (timed) NA handlers hand flits over before their delivery instant;
+  /// bounding the hub by the experiment horizon keeps "delivered within
+  /// the horizon" semantics exact under run_until().
+  void set_horizon(sim::Time h) { horizon_ = h; }
+
   /// Records a delivered GS flit (latency = now - injected_at).
   void record_gs_flit(sim::Time now, const Flit& f);
 
   /// Records a delivered BE packet (latency measured on the header).
   void record_be_packet(sim::Time now, const BePacket& pkt);
 
-  FlowStats& flow(std::uint32_t tag) { return flows_[tag]; }
-  std::map<std::uint32_t, FlowStats>& flows() { return flows_; }
-  const std::map<std::uint32_t, FlowStats>& flows() const { return flows_; }
-  bool has_flow(std::uint32_t tag) const {
-    return flows_.find(tag) != flows_.end();
+  /// Stats slot of `tag`, assigned on first access. References stay
+  /// valid for the hub's lifetime (slots never move).
+  FlowStats& flow(std::uint32_t tag) { return slot(tag); }
+  const FlowStats* find_flow(std::uint32_t tag) const;
+  bool has_flow(std::uint32_t tag) const { return find_flow(tag) != nullptr; }
+
+  std::size_t flow_count() const { return index_.size(); }
+
+  /// Flows in ascending tag order (deterministic report iteration).
+  std::vector<std::pair<std::uint32_t, const FlowStats*>> flows_by_tag() const;
+  std::vector<std::pair<std::uint32_t, FlowStats*>> flows_by_tag() {
+    return index_;
   }
 
   std::uint64_t total_flits() const;
 
  private:
-  std::map<std::uint32_t, FlowStats> flows_;
+  FlowStats& slot(std::uint32_t tag);
+
+  /// Sorted (tag -> slot) index; binary-searched on a cache miss.
+  std::vector<std::pair<std::uint32_t, FlowStats*>> index_;
+  /// Stable storage: a deque never relocates existing elements.
+  std::deque<FlowStats> slots_;
+  /// Last flow touched — delivered traffic arrives in per-flow runs.
+  std::uint32_t cached_tag_ = 0;
+  FlowStats* cached_ = nullptr;
+  sim::Time horizon_ = sim::kTimeNever;
 };
 
 }  // namespace mango::noc

@@ -7,13 +7,19 @@
 namespace mango::noc {
 
 void attach_hub(Network& net, MeasurementHub& hub) {
+  sim::VectorPool<Flit>& pool = net.ctx().pools().vectors<Flit>();
   for (std::size_t i = 0; i < net.node_count(); ++i) {
     NetworkAdapter& na = net.na(net.node_at(i));
-    na.set_gs_handler([&net, &hub](LocalIfaceIdx, Flit&& f) {
-      hub.record_gs_flit(net.simulator().now(), f);
+    // Measurement is passive: the timed handlers receive the delivery
+    // instant as an argument, letting the NA fold the final wire hop
+    // instead of scheduling one event per delivered flit/packet.
+    na.set_gs_handler_timed([&hub](LocalIfaceIdx, Flit&& f, sim::Time at) {
+      hub.record_gs_flit(at, f);
     });
-    na.set_be_handler([&net, &hub](BePacket&& pkt) {
-      hub.record_be_packet(net.simulator().now(), pkt);
+    na.set_be_handler_timed([&hub, &pool](BePacket&& pkt, sim::Time at) {
+      hub.record_be_packet(at, pkt);
+      // Measurement consumed the packet: recycle its flit storage.
+      pool.release(std::move(pkt.flits));
     });
   }
 }

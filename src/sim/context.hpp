@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "sim/logging.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -45,6 +46,10 @@ class SimContext {
 
   Logger& log() { return log_; }
 
+  /// Per-context object pools (packet/flit storage recycling). Resolve
+  /// the typed pool once at wiring time: ctx.pools().vectors<Flit>().
+  PoolRegistry& pools() { return pools_; }
+
   std::uint64_t seed() const { return seed_; }
 
   // --- kernel conveniences (the common calls, without .sim()) ---
@@ -58,6 +63,7 @@ class SimContext {
   Rng rng_;
   StatsRegistry stats_;
   Logger log_;
+  PoolRegistry pools_;
 };
 
 }  // namespace mango::sim

@@ -180,11 +180,13 @@ bool Simulator::step() {
   EventNode* n = pop_earliest();
   now_ = n->time;
   ++dispatched_;
-  // Move the callback out and recycle the node *before* dispatch so the
-  // callback may freely schedule (and thus allocate) new events.
-  Callback cb = std::move(n->cb);
+  // Invoke straight from the node — the node is unlinked, so callbacks
+  // may freely schedule new events (those draw fresh nodes); it is
+  // recycled after the call returns. If the callback throws (model
+  // errors in failure-injection tests), the node is simply orphaned
+  // until slab teardown — never double-used.
+  n->cb();
   free_node(n);
-  cb();
   return true;
 }
 

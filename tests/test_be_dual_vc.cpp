@@ -124,7 +124,7 @@ TEST_F(DualVcFixture, UniformTrafficOnBothVcsDeliversEverything) {
   }
   sim.run();
   std::uint64_t delivered = 0;
-  for (const auto& [tag, s] : hub.flows()) delivered += s.packets;
+  for (const auto& [tag, s] : hub.flows_by_tag()) delivered += s->packets;
   EXPECT_EQ(delivered, sent);
 }
 

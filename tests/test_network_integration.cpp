@@ -110,8 +110,8 @@ TEST_F(MeshFixture, GsAndBeCoexistOnTheSameLinks) {
   EXPECT_EQ(hub.flow(1).seq_errors, 0u);
   // BE traffic also flowed.
   std::uint64_t be_packets = 0;
-  for (const auto& [tag, s] : hub.flows()) {
-    if (tag >= kBeTagBase) be_packets += s.packets;
+  for (const auto& [tag, s] : hub.flows_by_tag()) {
+    if (tag >= kBeTagBase) be_packets += s->packets;
   }
   EXPECT_GT(be_packets, 20u);
 }

@@ -58,9 +58,9 @@ TEST(TopologyNetwork, BeAllPairsDeliveredOnEveryFabric) {
     }
     ctx.sim().run();
     std::uint64_t delivered = 0;
-    for (const auto& [t, f] : hub.flows()) {
-      delivered += f.packets;
-      EXPECT_EQ(f.seq_errors, 0u) << net.topology().label();
+    for (const auto& [t, f] : hub.flows_by_tag()) {
+      delivered += f->packets;
+      EXPECT_EQ(f->seq_errors, 0u) << net.topology().label();
     }
     EXPECT_EQ(delivered, static_cast<std::uint64_t>(n) * (n - 1))
         << net.topology().label();
@@ -90,7 +90,7 @@ TEST(TopologyNetwork, GsStreamsAcrossWrapAndGraphPaths) {
                                    net.node_at(far), /*tag=*/7);
     ctx.run_until(1_us);
     ASSERT_TRUE(hub.has_flow(7)) << net.topology().label();
-    const FlowStats& f = hub.flows().at(7);
+    const FlowStats& f = hub.flow(7);
     EXPECT_GT(f.flits, 100u) << net.topology().label();
     EXPECT_EQ(f.seq_errors, 0u) << net.topology().label();
   }
@@ -142,9 +142,9 @@ TEST(TopologyNetwork, DatelineCrossingsKeepPacketsCoherent) {
                                         /*payload=*/4, /*seed=*/3);
   ctx.run_until(2_us);
   std::uint64_t delivered = 0;
-  for (const auto& [t, f] : hub.flows()) {
-    delivered += f.packets;
-    EXPECT_EQ(f.seq_errors, 0u);
+  for (const auto& [t, f] : hub.flows_by_tag()) {
+    delivered += f->packets;
+    EXPECT_EQ(f->seq_errors, 0u);
   }
   EXPECT_GT(delivered, 100u);
 }

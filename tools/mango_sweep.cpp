@@ -53,6 +53,11 @@ void usage(std::FILE* out) {
       "\n"
       "run options:\n"
       "  --jobs N              worker threads (default: hardware cores)\n"
+      "  --repeat N            run each scenario N times; stats come from\n"
+      "                        run 1 (and must match every rerun), wall\n"
+      "                        time keeps the best — the JSON report's\n"
+      "                        events_per_sec column is then a\n"
+      "                        reproducible best-of-N figure\n"
       "  --out FILE            write the JSON report to FILE\n"
       "  --stable              omit wall-clock fields from the JSON so\n"
       "                        reports of identical sweeps are byte-equal\n"
@@ -138,6 +143,7 @@ int main(int argc, char** argv) {
   std::string preset;
   std::string out_file;
   unsigned jobs = 0;  // hardware concurrency
+  unsigned repeat = 1;
   bool stable = false;
   bool quiet = false;
   bool have_grid_flags = false;
@@ -280,6 +286,12 @@ int main(int argc, char** argv) {
         die("bad --jobs");
       }
       jobs = static_cast<unsigned>(n);
+    } else if (arg == "--repeat") {
+      std::uint64_t n = 0;
+      if (!parse_u64(next_arg(i, "--repeat"), &n) || n == 0 || n > 100) {
+        die("bad --repeat (want 1..100)");
+      }
+      repeat = static_cast<unsigned>(n);
     } else if (arg == "--out") {
       out_file = next_arg(i, "--out");
     } else if (arg == "--stable") {
@@ -321,7 +333,7 @@ int main(int argc, char** argv) {
   }
 
   const exp::SweepReport report =
-      exp::SweepRunner::run(specs, jobs, progress);
+      exp::SweepRunner::run(specs, jobs, progress, repeat);
 
   if (!quiet) {
     std::printf("\n");
