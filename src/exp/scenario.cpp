@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "model/timing.hpp"
+#include "noc/network/connection_broker.hpp"
 #include "noc/network/connection_manager.hpp"
 #include "sim/assert.hpp"
 #include "noc/network/network.hpp"
@@ -30,7 +31,9 @@ std::vector<const noc::FlowStats*> flows_in_range(
 
 ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
                             noc::Network& net, const noc::MeasurementHub& hub,
-                            const std::vector<noc::GsSetEndpoint>& gs_eps) {
+                            const std::vector<noc::GsSetEndpoint>& gs_eps,
+                            const noc::ConnectionBroker* broker,
+                            const noc::ChurnWorkload* churn) {
   ScenarioStats st;
   st.events = ctx.sim().events_dispatched();
   const double duration_ns = sim::to_ns(spec.duration_ps);
@@ -98,6 +101,39 @@ ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
   st.gs_latency_p99_ns = gs_lat.p99();
   st.gs_latency_max_ns = gs_lat.max();
 
+  // --- connection churn (broker lifecycle + delivery contract) ---
+  if (broker != nullptr) {
+    const noc::ConnectionLifecycleReport lc =
+        noc::ConnectionLifecycleReport::from(*broker);
+    st.churn_requested = lc.requested;
+    st.churn_admitted = lc.admitted;
+    st.churn_queued = lc.queued;
+    st.churn_rejected = lc.rejected;
+    st.churn_ready = lc.ready;
+    st.churn_closed = lc.closed;
+    st.churn_retries = lc.retries;
+    st.churn_blocking_probability = lc.blocking_probability;
+    st.churn_setup_p50_ns = lc.setup_p50_ns;
+    st.churn_setup_p99_ns = lc.setup_p99_ns;
+    st.churn_setup_max_ns = lc.setup_max_ns;
+    st.churn_teardown_p50_ns = lc.teardown_p50_ns;
+    st.churn_teardown_p99_ns = lc.teardown_p99_ns;
+  }
+  if (churn != nullptr) {
+    const noc::ChurnWorkload::Totals t = churn->finalize(spec.duration_ps);
+    st.churn_flits_generated = t.flits_generated;
+    st.churn_flits_delivered = t.flits_delivered;
+    // Churn streams share the "traffic.gs_flits_generated" counter with
+    // the static GS set; keep the gs_* columns about the static set only
+    // (churn traffic has its own columns) so their generated/delivered
+    // ratio doesn't report phantom loss.
+    MANGO_ASSERT(st.gs_flits_generated >= t.flits_generated,
+                 "churn generated more GS flits than the global counter");
+    st.gs_flits_generated -= t.flits_generated;
+    st.gs_seq_errors += t.seq_errors;
+    st.guarantee_violations += t.violations;
+  }
+
   // --- link summary ---
   const noc::NetworkReport rep =
       noc::NetworkReport::collect(net, spec.duration_ps);
@@ -128,7 +164,16 @@ bool operator==(const ScenarioStats& a, const ScenarioStats& b) {
                     s.guarantee_violations, s.gs_seq_errors,
                     s.total_flits_on_links, s.peak_link_utilization);
   };
-  return tie(a) == tie(b);
+  const auto tie_churn = [](const ScenarioStats& s) {
+    return std::tie(s.churn_requested, s.churn_admitted, s.churn_queued,
+                    s.churn_rejected, s.churn_ready, s.churn_closed,
+                    s.churn_retries, s.churn_blocking_probability,
+                    s.churn_setup_p50_ns, s.churn_setup_p99_ns,
+                    s.churn_setup_max_ns, s.churn_teardown_p50_ns,
+                    s.churn_teardown_p99_ns, s.churn_flits_generated,
+                    s.churn_flits_delivered);
+  };
+  return tie(a) == tie(b) && tie_churn(a) == tie_churn(b);
 }
 
 noc::TopologySpec ScenarioSpec::topology_spec() const {
@@ -180,8 +225,26 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
         net, spec.pattern, spec.pattern_opt, spec.be_interarrival_ps,
         spec.payload_words, spec.seed);
 
+    // Runtime connection churn: broker constructed after the static GS
+    // set so its admission ledger is seeded with those reservations.
+    std::unique_ptr<noc::ConnectionBroker> broker;
+    std::unique_ptr<noc::ChurnWorkload> churn;
+    if (spec.churn_interarrival_ps > 0) {
+      noc::BrokerConfig bc;
+      bc.max_queue = spec.churn_queue;
+      broker = std::make_unique<noc::ConnectionBroker>(net, mgr, bc);
+      noc::ChurnOptions copt;
+      copt.mean_open_interarrival_ps = spec.churn_interarrival_ps;
+      copt.mean_hold_ps = spec.churn_hold_ps;
+      copt.gs_period_ps = spec.churn_gs_period_ps;
+      copt.seed = spec.seed;
+      churn = std::make_unique<noc::ChurnWorkload>(net, *broker, hub, copt);
+      churn->start();
+    }
+
     ctx.run_until(spec.duration_ps);
-    result.stats = collect_stats(spec, ctx, net, hub, gs_eps);
+    result.stats =
+        collect_stats(spec, ctx, net, hub, gs_eps, broker.get(), churn.get());
     result.stats.be_injections_held = sum_held(be_sources);
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -210,31 +273,38 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
                         : interarrivals_ps;
   const auto gs_v = gs_sets.empty() ? std::vector<noc::GsSetKind>{base.gs_set}
                                     : gs_sets;
+  const auto churn_v = churn_interarrivals_ps.empty()
+                           ? std::vector<sim::Time>{base.churn_interarrival_ps}
+                           : churn_interarrivals_ps;
   const auto seeds_v =
       seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
 
   std::vector<ScenarioSpec> specs;
   specs.reserve(topologies_v.size() * meshes_v.size() * patterns_v.size() *
-                ia_v.size() * gs_v.size() * seeds_v.size());
+                ia_v.size() * gs_v.size() * churn_v.size() * seeds_v.size());
   for (const noc::TopologyKind t : topologies_v) {
     for (const auto& [w, h] : meshes_v) {
       for (const noc::BePattern p : patterns_v) {
         for (const sim::Time ia : ia_v) {
           for (const noc::GsSetKind g : gs_v) {
-            for (const std::uint64_t s : seeds_v) {
-              ScenarioSpec spec = base;
-              spec.topology = t;
-              spec.width = w;
-              spec.height = h;
-              spec.pattern = p;
-              spec.be_interarrival_ps = ia;
-              spec.gs_set = g;
-              spec.seed = s;
-              spec.name = std::string(noc::to_string(p)) + "-" +
-                          spec.topology_spec().label() + "-ia" +
-                          std::to_string(ia) + "-gs:" + noc::to_string(g) +
-                          "-s" + std::to_string(s);
-              specs.push_back(std::move(spec));
+            for (const sim::Time ch : churn_v) {
+              for (const std::uint64_t s : seeds_v) {
+                ScenarioSpec spec = base;
+                spec.topology = t;
+                spec.width = w;
+                spec.height = h;
+                spec.pattern = p;
+                spec.be_interarrival_ps = ia;
+                spec.gs_set = g;
+                spec.churn_interarrival_ps = ch;
+                spec.seed = s;
+                spec.name = std::string(noc::to_string(p)) + "-" +
+                            spec.topology_spec().label() + "-ia" +
+                            std::to_string(ia) + "-gs:" + noc::to_string(g) +
+                            (ch > 0 ? "-ch" + std::to_string(ch) : "") + "-s" +
+                            std::to_string(s);
+                specs.push_back(std::move(spec));
+              }
             }
           }
         }
@@ -311,6 +381,35 @@ SweepGrid make_topologies_4x4() {
   return g;
 }
 
+SweepGrid make_gs_churn_4x4() {
+  // Dynamic connection lifecycle on one 16-node fabric of every kind:
+  // Poisson opens through the ConnectionBroker (BE-packet programming
+  // over the live network), exponential holding, drain-confirmed
+  // closes, all under uniform BE background load. The churn stream
+  // period (16 ns) sits above the worst-case fair-share service time so
+  // admitted connections must deliver every generated flit — any loss
+  // or reordering is a guarantee violation (exit code 2).
+  SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 3000000;
+  // Background BE the *ring* can still carry: uniform traffic on a
+  // 16-ring is bisection-limited near ia 20000; past that the BE
+  // network saturates and programming packets (ordinary BE traffic)
+  // stall behind it, so no lifecycle ever completes there.
+  g.base.be_interarrival_ps = 48000;
+  g.base.router.be_vcs = 2;  // dateline classes for the wrap fabrics
+  g.base.gs_set = noc::GsSetKind::kNone;
+  g.base.churn_hold_ps = 250000;
+  g.base.churn_gs_period_ps = 16000;
+  g.base.churn_queue = 8;
+  g.topologies = {noc::TopologyKind::kMesh, noc::TopologyKind::kTorus,
+                  noc::TopologyKind::kRing, noc::TopologyKind::kGraph};
+  g.patterns = {noc::BePattern::kUniform};
+  g.churn_interarrivals_ps = {25000};
+  g.seeds = {1, 2};
+  return g;
+}
+
 SweepGrid make_bench_grid() {
   SweepGrid g;
   g.base.width = g.base.height = 4;
@@ -324,8 +423,9 @@ SweepGrid make_bench_grid() {
 }  // namespace
 
 std::vector<std::string> preset_names() {
-  return {"ci-smoke",      "patterns-4x4", "rate-sweep-4x4",
-          "gs-stress-4x4", "topologies-4x4", "bench-grid"};
+  return {"ci-smoke",      "patterns-4x4",   "rate-sweep-4x4",
+          "gs-stress-4x4", "topologies-4x4", "gs-churn-4x4",
+          "bench-grid"};
 }
 
 std::optional<SweepGrid> find_preset(const std::string& name) {
@@ -334,6 +434,7 @@ std::optional<SweepGrid> find_preset(const std::string& name) {
   if (name == "rate-sweep-4x4") return make_rate_sweep_4x4();
   if (name == "gs-stress-4x4") return make_gs_stress_4x4();
   if (name == "topologies-4x4") return make_topologies_4x4();
+  if (name == "gs-churn-4x4") return make_gs_churn_4x4();
   if (name == "bench-grid") return make_bench_grid();
   return std::nullopt;
 }

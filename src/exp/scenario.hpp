@@ -43,6 +43,15 @@ struct ScenarioSpec {
   noc::GsSetOptions gs_opt;
   sim::Time gs_period_ps = 4000;  ///< flit period per connection; 0 = saturate
 
+  // Runtime connection churn through the ConnectionBroker (the MANGO
+  // open/close lifecycle, programmed with BE packets): Poisson open
+  // requests with random pairs, exponential holding, one CBR stream per
+  // admitted connection. 0 = disabled.
+  sim::Time churn_interarrival_ps = 0;   ///< mean gap between open requests
+  sim::Time churn_hold_ps = 300000;      ///< mean stream holding time
+  sim::Time churn_gs_period_ps = 16000;  ///< CBR period of churn streams
+  unsigned churn_queue = 8;              ///< broker queue depth (0 = reject)
+
   sim::Time duration_ps = 2000000;  ///< simulated horizon (2 us default)
   std::uint64_t seed = 1;
 
@@ -80,8 +89,28 @@ struct ScenarioStats {
   /// GS connections whose delivered rate fell below the fair-share
   /// guarantee (min(offered, guarantee), 10% tolerance) or that saw
   /// sequence errors — the paper's per-connection service contract.
+  /// Churn connections that lost flits or saw sequence errors count
+  /// here too.
   std::uint64_t guarantee_violations = 0;
   std::uint64_t gs_seq_errors = 0;
+
+  // Connection-churn lifecycle (ConnectionBroker) — all zero when the
+  // scenario has churn disabled.
+  std::uint64_t churn_requested = 0;
+  std::uint64_t churn_admitted = 0;
+  std::uint64_t churn_queued = 0;
+  std::uint64_t churn_rejected = 0;
+  std::uint64_t churn_ready = 0;
+  std::uint64_t churn_closed = 0;
+  std::uint64_t churn_retries = 0;
+  double churn_blocking_probability = 0.0;
+  double churn_setup_p50_ns = 0.0;
+  double churn_setup_p99_ns = 0.0;
+  double churn_setup_max_ns = 0.0;
+  double churn_teardown_p50_ns = 0.0;
+  double churn_teardown_p99_ns = 0.0;
+  std::uint64_t churn_flits_generated = 0;
+  std::uint64_t churn_flits_delivered = 0;
 
   // Network-wide link summary (NetworkReport).
   std::uint64_t total_flits_on_links = 0;
@@ -112,7 +141,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 /// Cartesian scenario grid. Empty dimension vectors fall back to the
 /// base spec's value; expansion order (and thus scenario naming and
 /// report order) is topologies > meshes > patterns > interarrivals >
-/// gs_sets > seeds.
+/// gs_sets > churn_interarrivals > seeds.
 struct SweepGrid {
   ScenarioSpec base;
   std::vector<noc::TopologyKind> topologies;
@@ -120,6 +149,8 @@ struct SweepGrid {
   std::vector<noc::BePattern> patterns;
   std::vector<sim::Time> interarrivals_ps;
   std::vector<noc::GsSetKind> gs_sets;
+  /// Churn axis: mean open interarrival per scenario (0 = no churn).
+  std::vector<sim::Time> churn_interarrivals_ps;
   std::vector<std::uint64_t> seeds;
 
   std::vector<ScenarioSpec> expand() const;

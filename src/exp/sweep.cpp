@@ -48,6 +48,10 @@ void write_spec(noc::JsonWriter& w, const ScenarioSpec& s) {
   w.kv("payload_words", s.payload_words);
   w.kv("gs_set", noc::to_string(s.gs_set));
   w.kv("gs_period_ps", s.gs_period_ps);
+  w.kv("churn_interarrival_ps", s.churn_interarrival_ps);
+  w.kv("churn_hold_ps", s.churn_hold_ps);
+  w.kv("churn_gs_period_ps", s.churn_gs_period_ps);
+  w.kv("churn_queue", s.churn_queue);
   w.kv("duration_ps", s.duration_ps);
   w.kv("seed", s.seed);
   w.end_object();
@@ -74,6 +78,21 @@ void write_stats(noc::JsonWriter& w, const ScenarioStats& st) {
   w.kv("gs_jitter_max_ns", st.gs_jitter_max_ns);
   w.kv("guarantee_violations", st.guarantee_violations);
   w.kv("gs_seq_errors", st.gs_seq_errors);
+  w.kv("churn_requested", st.churn_requested);
+  w.kv("churn_admitted", st.churn_admitted);
+  w.kv("churn_queued", st.churn_queued);
+  w.kv("churn_rejected", st.churn_rejected);
+  w.kv("churn_ready", st.churn_ready);
+  w.kv("churn_closed", st.churn_closed);
+  w.kv("churn_retries", st.churn_retries);
+  w.kv("churn_blocking_probability", st.churn_blocking_probability);
+  w.kv("churn_setup_p50_ns", st.churn_setup_p50_ns);
+  w.kv("churn_setup_p99_ns", st.churn_setup_p99_ns);
+  w.kv("churn_setup_max_ns", st.churn_setup_max_ns);
+  w.kv("churn_teardown_p50_ns", st.churn_teardown_p50_ns);
+  w.kv("churn_teardown_p99_ns", st.churn_teardown_p99_ns);
+  w.kv("churn_flits_generated", st.churn_flits_generated);
+  w.kv("churn_flits_delivered", st.churn_flits_delivered);
   w.kv("total_flits_on_links", st.total_flits_on_links);
   w.kv("peak_link_utilization", st.peak_link_utilization);
   w.end_object();
@@ -83,6 +102,7 @@ void write_stats(noc::JsonWriter& w, const ScenarioStats& st) {
 
 void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
   w.begin_object();
+  w.kv("schema_version", noc::kReportSchemaVersion);
   w.kv("scenarios", static_cast<std::uint64_t>(results.size()));
   w.kv("failed", static_cast<std::uint64_t>(failed()));
   w.kv("guarantee_violations", total_violations());

@@ -5,6 +5,39 @@
 
 namespace mango::noc {
 
+std::vector<PathLink> route_links(const Network& net, NodeId src, NodeId dst) {
+  MANGO_ASSERT(src != dst, "route_links needs two different nodes");
+  const Topology& topo = net.topology();
+  MANGO_ASSERT(topo.contains(src) && topo.contains(dst),
+               "route endpoint out of bounds");
+  const std::vector<Direction> moves = net.route_moves(src, dst);
+  std::vector<PathLink> links;
+  links.reserve(moves.size());
+  NodeId cur = src;
+  for (const Direction move : moves) {
+    const PortIdx out = port_of(move);
+    const auto peer = topo.link_peer(cur, out);
+    MANGO_ASSERT(peer.has_value(), "route uses an unwired port");
+    links.push_back(PathLink{topo.index(cur), out, topo.index(peer->node),
+                             peer->port});
+    cur = peer->node;
+  }
+  MANGO_ASSERT(cur == dst, "route did not reach the destination");
+  return links;
+}
+
+const char* to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kRequested: return "requested";
+    case ConnState::kProgramming: return "programming";
+    case ConnState::kReady: return "ready";
+    case ConnState::kDraining: return "draining";
+    case ConnState::kClearing: return "clearing";
+    case ConnState::kClosed: return "closed";
+  }
+  return "?";
+}
+
 ConnectionManager::ConnectionManager(Network& net, NodeId host)
     : net_(net), host_(host) {
   MANGO_ASSERT(net_.topology().contains(host_), "host node out of bounds");
@@ -16,6 +49,18 @@ ConnectionManager::ConnectionManager(Network& net, NodeId host)
           on_programmed(n, tag, words);
         });
   }
+}
+
+unsigned ConnectionManager::used_vcs(std::size_t node_idx, PortIdx port) const {
+  const unsigned cap = port == kLocalPort ? net_.config().router.local_gs_ifaces
+                                          : net_.config().router.vcs_per_port;
+  unsigned used = 0;
+  for (VcIdx vc = 0; vc < cap; ++vc) {
+    if (buffer_owner_.find(BufKey{node_idx, port, vc}) != buffer_owner_.end()) {
+      ++used;
+    }
+  }
+  return used;
 }
 
 VcIdx ConnectionManager::allocate_vc(NodeId node, PortIdx port) {
@@ -50,17 +95,47 @@ LocalIfaceIdx ConnectionManager::allocate_local_sink(NodeId node) {
   model_fail("no free local output interface at " + to_string(node));
 }
 
+bool ConnectionManager::can_open(NodeId src, NodeId dst) const {
+  if (src == dst || !net_.topology().contains(src) ||
+      !net_.topology().contains(dst)) {
+    return false;
+  }
+  std::vector<PathLink> links;
+  try {
+    links = route_links(net_, src, dst);
+  } catch (const ModelError&) {
+    return false;  // unroutable pair
+  }
+  // Local GS source interface at src.
+  {
+    const auto it = src_ifaces_used_.find(net_.topology().index(src));
+    unsigned used = 0;
+    if (it != src_ifaces_used_.end()) {
+      for (const bool b : it->second) used += b ? 1u : 0u;
+    }
+    if (used >= net_.config().router.local_gs_ifaces) return false;
+  }
+  // One VC per traversed link port, plus a local output interface at
+  // the destination.
+  for (const PathLink& link : links) {
+    if (used_vcs(link.node_idx, link.out_port) >=
+        net_.config().router.vcs_per_port) {
+      return false;
+    }
+  }
+  return used_vcs(net_.topology().index(dst), kLocalPort) <
+         net_.config().router.local_gs_ifaces;
+}
+
 std::vector<ConnectionManager::PlannedHop> ConnectionManager::plan(
     NodeId src, NodeId dst, LocalIfaceIdx& src_iface_out) {
   MANGO_ASSERT(src != dst,
                "a connection links two *different* local ports (Section 3)");
-  // The GS path is the same one the BE source route takes: the
-  // materialized route table over the topology's port adjacency.
-  // `arrival[k]` is the port hop k's router receives the connection on
-  // (k >= 1) — read off the link wiring, which on irregular graphs is
-  // not simply opposite(move).
-  const std::vector<Direction> moves = net_.route_moves(src, dst);
-  const std::size_t n = moves.size();
+  // The GS path is the same one the BE source route takes: the shared
+  // route_links() walk over the topology's port adjacency. `arrival[k]`
+  // is the port hop k's router receives the connection on (k >= 1).
+  const std::vector<PathLink> links = route_links(net_, src, dst);
+  const std::size_t n = links.size();
 
   src_iface_out = allocate_local_source(src);
 
@@ -68,17 +143,13 @@ std::vector<ConnectionManager::PlannedHop> ConnectionManager::plan(
   std::vector<PlannedHop> hops;
   std::vector<PortIdx> arrival(n + 1, kLocalPort);
   hops.reserve(n + 1);
-  NodeId cur = src;
   for (std::size_t k = 0; k < n; ++k) {
-    const PortIdx out = port_of(moves[k]);
-    hops.push_back(PlannedHop{cur, VcBufferId{out, allocate_vc(cur, out)},
-                              std::nullopt, ReverseEntry{}});
-    const auto peer = net_.topology().link_peer(cur, out);
-    MANGO_ASSERT(peer.has_value(), "route uses an unwired port");
-    cur = peer->node;
-    arrival[k + 1] = peer->port;
+    const NodeId node = net_.topology().node_at(links[k].node_idx);
+    hops.push_back(PlannedHop{
+        node, VcBufferId{links[k].out_port, allocate_vc(node, links[k].out_port)},
+        std::nullopt, ReverseEntry{}});
+    arrival[k + 1] = links[k].arrival_port;
   }
-  MANGO_ASSERT(cur == dst, "route did not reach the destination");
   hops.push_back(PlannedHop{dst, VcBufferId{kLocalPort, allocate_local_sink(dst)},
                             std::nullopt, ReverseEntry{}});
 
@@ -98,15 +169,17 @@ std::vector<ConnectionManager::PlannedHop> ConnectionManager::plan(
   return hops;
 }
 
-Connection& ConnectionManager::commit(NodeId src, NodeId dst,
-                                      LocalIfaceIdx src_iface,
-                                      std::vector<PlannedHop> hops) {
+ConnectionManager::Record& ConnectionManager::commit(
+    NodeId src, NodeId dst, LocalIfaceIdx src_iface,
+    std::vector<PlannedHop> hops) {
   const ConnectionId id = next_id_++;
   Connection conn;
   conn.id = id;
   conn.src = src;
   conn.dst = dst;
   conn.src_iface = src_iface;
+  conn.state = ConnState::kRequested;
+  conn.requested_at = net_.simulator().now();
   for (const PlannedHop& h : hops) {
     conn.hops.emplace_back(h.node, h.buffer);
     buffer_owner_[BufKey{net_.topology().index(h.node), h.buffer.port,
@@ -120,7 +193,9 @@ Connection& ConnectionManager::commit(NodeId src, NodeId dst,
       net_.router(src).switching().encode_gs(kLocalPort, hops[0].buffer);
   net_.na(src).configure_gs_source(src_iface, first_hop);
 
-  auto [it, inserted] = connections_.emplace(id, std::move(conn));
+  Record rec;
+  rec.conn = std::move(conn);
+  auto [it, inserted] = records_.emplace(id, std::move(rec));
   MANGO_ASSERT(inserted, "duplicate connection id");
   return it->second;
 }
@@ -133,21 +208,21 @@ const Connection& ConnectionManager::open_direct(NodeId src, NodeId dst) {
     if (h.forward.has_value()) table.set_forward(h.buffer, *h.forward);
     table.set_reverse(h.buffer, h.reverse);
   }
-  Connection& conn = commit(src, dst, src_iface, std::move(hops));
-  conn.ready = true;
-  conn.ready_at = net_.simulator().now();
-  return conn;
+  Record& rec = commit(src, dst, src_iface, std::move(hops));
+  // Direct mode traverses Programming in zero time.
+  rec.conn.state = ConnState::kReady;
+  rec.conn.ready_at = net_.simulator().now();
+  return rec.conn;
 }
 
 const Connection& ConnectionManager::open_via_packets(NodeId src, NodeId dst,
                                                       ReadyCallback on_ready) {
   LocalIfaceIdx src_iface = 0;
   std::vector<PlannedHop> hops = plan(src, dst, src_iface);
-  Connection& conn = commit(src, dst, src_iface, hops);
-
-  pending_packets_[conn.id] =
-      PendingOp{static_cast<unsigned>(hops.size()), /*closing=*/false};
-  if (on_ready) ready_cbs_[conn.id] = std::move(on_ready);
+  Record& rec = commit(src, dst, src_iface, hops);
+  rec.conn.state = ConnState::kProgramming;
+  rec.prog_remaining = static_cast<unsigned>(hops.size());
+  rec.on_ready = std::move(on_ready);
 
   NetworkAdapter& host_na = net_.na(host_);
   const sim::Time now = net_.simulator().now();
@@ -157,83 +232,140 @@ const Connection& ConnectionManager::open_via_packets(NodeId src, NodeId dst,
       words.push_back(encode_prog_forward(h.buffer, *h.forward));
     }
     words.push_back(encode_prog_reverse(h.buffer, h.reverse));
+    if (h.node == host_) {
+      program_host_locally(std::move(words), rec.conn.id);
+      continue;
+    }
     BePacket pkt = make_be_packet(
         net_.be_route(host_, h.node, LocalIface::kProgramming), words,
-        conn.id);
+        rec.conn.id);
     for (Flit& f : pkt.flits) f.injected_at = now;
     host_na.send_be_packet(std::move(pkt));
   }
-  return conn;
+  return rec.conn;
+}
+
+void ConnectionManager::program_host_locally(std::vector<std::uint32_t> words,
+                                             std::uint32_t tag) {
+  // One NA wire hop plus one BE-router cycle per word (header included),
+  // mirroring what the packet path would cost without the transit hops.
+  const StageDelays& d = stage_delays(net_.config().router.corner);
+  const sim::Time done =
+      d.na_link_fwd + d.be_route_cycle * (words.size() + 1);
+  net_.simulator().after(done, [this, words = std::move(words), tag] {
+    ProgrammingInterface& prog = net_.router(host_).programming();
+    Flit header;  // consumed by the interface, carries the tag
+    header.tag = tag;
+    prog.accept_flit(std::move(header));
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      Flit f;
+      f.data = words[i];
+      f.tag = tag;
+      f.eop = i + 1 == words.size();
+      prog.accept_flit(std::move(f));
+    }
+  });
 }
 
 void ConnectionManager::on_programmed(NodeId /*node*/, std::uint32_t tag,
                                       unsigned /*words*/) {
-  auto it = pending_packets_.find(tag);
-  if (it == pending_packets_.end()) return;  // not one of ours
-  MANGO_ASSERT(it->second.remaining > 0, "programming completion underflow");
-  if (--it->second.remaining > 0) return;
-  const bool closing = it->second.closing;
-  pending_packets_.erase(it);
-  auto conn_it = connections_.find(tag);
-  MANGO_ASSERT(conn_it != connections_.end(),
-               "programming completed for unknown connection");
-  if (closing) {
-    release_resources(conn_it->second);
-    connections_.erase(conn_it);
-    auto cb_it = closed_cbs_.find(tag);
-    if (cb_it != closed_cbs_.end()) {
-      auto cb = std::move(cb_it->second);
-      closed_cbs_.erase(cb_it);
-      cb();
+  auto it = records_.find(tag);
+  if (it == records_.end()) return;  // not one of ours
+  Record& rec = it->second;
+  if (rec.conn.state != ConnState::kProgramming &&
+      rec.conn.state != ConnState::kClearing) {
+    return;  // stray packet tagged like a live connection: not our op
+  }
+  MANGO_ASSERT(rec.prog_remaining > 0, "programming completion underflow");
+  if (--rec.prog_remaining > 0) return;
+  if (rec.conn.state == ConnState::kProgramming) {
+    rec.conn.state = ConnState::kReady;
+    rec.conn.ready_at = net_.simulator().now();
+    if (rec.on_ready) {
+      ReadyCallback cb = std::move(rec.on_ready);
+      rec.on_ready = nullptr;
+      cb(rec.conn);
     }
     return;
   }
-  conn_it->second.ready = true;
-  conn_it->second.ready_at = net_.simulator().now();
-  auto cb_it = ready_cbs_.find(tag);
-  if (cb_it != ready_cbs_.end()) {
-    ReadyCallback cb = std::move(cb_it->second);
-    ready_cbs_.erase(cb_it);
-    cb(conn_it->second);
-  }
+  // Clearing completed: release everything and retire the record.
+  release_resources(rec.conn);
+  ClosedCallback cb = std::move(rec.on_closed);
+  records_.erase(it);
+  if (cb) cb();
 }
 
-void ConnectionManager::release_resources(const Connection& conn) {
+void ConnectionManager::release_resources(Connection& conn) {
+  if (conn.state == ConnState::kClosed) return;  // idempotent
   for (const auto& [node, buffer] : conn.hops) {
     buffer_owner_.erase(
         BufKey{net_.topology().index(node), buffer.port, buffer.vc});
   }
   net_.na(conn.src).release_gs_source(conn.src_iface);
   src_ifaces_used_[net_.topology().index(conn.src)][conn.src_iface] = false;
+  conn.state = ConnState::kClosed;
+}
+
+ConnectionManager::Record& ConnectionManager::require_closable(
+    ConnectionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    model_fail("closing unknown connection " + std::to_string(id) +
+               " (never opened, or already closed — double close)");
+  }
+  Record& rec = it->second;
+  switch (rec.conn.state) {
+    case ConnState::kRequested:
+    case ConnState::kProgramming:
+      model_fail("cannot close connection " + std::to_string(id) +
+                 " before it is ready (state " + to_string(rec.conn.state) +
+                 ": setup still in flight)");
+    case ConnState::kClearing:
+      model_fail("double close of connection " + std::to_string(id) +
+                 " (teardown already in flight)");
+    case ConnState::kClosed:
+      model_fail("double close of connection " + std::to_string(id));
+    case ConnState::kReady:
+    case ConnState::kDraining:
+      break;
+  }
+  return rec;
+}
+
+void ConnectionManager::mark_draining(ConnectionId id) {
+  auto it = records_.find(id);
+  MANGO_ASSERT(it != records_.end(), "draining unknown connection");
+  Connection& conn = it->second.conn;
+  if (conn.state != ConnState::kReady) {
+    model_fail("cannot drain connection " + std::to_string(id) + " in state " +
+               to_string(conn.state));
+  }
+  conn.state = ConnState::kDraining;
 }
 
 void ConnectionManager::close_direct(ConnectionId id) {
-  auto it = connections_.find(id);
-  MANGO_ASSERT(it != connections_.end(), "closing unknown connection");
-  MANGO_ASSERT(pending_packets_.find(id) == pending_packets_.end(),
-               "connection has a setup/teardown in flight");
-  const Connection& conn = it->second;
-  for (const auto& [node, buffer] : conn.hops) {
+  Record& rec = require_closable(id);
+  for (const auto& [node, buffer] : rec.conn.hops) {
     net_.router(node).table().clear(buffer);
   }
-  release_resources(conn);
-  connections_.erase(it);
+  release_resources(rec.conn);
+  records_.erase(id);
 }
 
 void ConnectionManager::close_via_packets(ConnectionId id,
-                                          std::function<void()> on_closed) {
-  auto it = connections_.find(id);
-  MANGO_ASSERT(it != connections_.end(), "closing unknown connection");
-  MANGO_ASSERT(pending_packets_.find(id) == pending_packets_.end(),
-               "connection has a setup/teardown in flight");
-  const Connection& conn = it->second;
-  pending_packets_[id] =
-      PendingOp{static_cast<unsigned>(conn.hops.size()), /*closing=*/true};
-  if (on_closed) closed_cbs_[id] = std::move(on_closed);
+                                          ClosedCallback on_closed) {
+  Record& rec = require_closable(id);
+  rec.conn.state = ConnState::kClearing;
+  rec.prog_remaining = static_cast<unsigned>(rec.conn.hops.size());
+  rec.on_closed = std::move(on_closed);
 
   NetworkAdapter& host_na = net_.na(host_);
   const sim::Time now = net_.simulator().now();
-  for (const auto& [node, buffer] : conn.hops) {
+  for (const auto& [node, buffer] : rec.conn.hops) {
+    if (node == host_) {
+      program_host_locally({encode_prog_clear(buffer)}, id);
+      continue;
+    }
     BePacket pkt = make_be_packet(
         net_.be_route(host_, node, LocalIface::kProgramming),
         {encode_prog_clear(buffer)}, id);
@@ -243,8 +375,13 @@ void ConnectionManager::close_via_packets(ConnectionId id,
 }
 
 const Connection* ConnectionManager::get(ConnectionId id) const {
-  auto it = connections_.find(id);
-  return it == connections_.end() ? nullptr : &it->second;
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second.conn;
+}
+
+void ConnectionManager::for_each_connection(
+    const std::function<void(const Connection&)>& fn) const {
+  for (const auto& [id, rec] : records_) fn(rec.conn);
 }
 
 }  // namespace mango::noc

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cmath>
 
+#include "noc/network/connection_broker.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -131,6 +132,30 @@ void JsonWriter::value(bool v) {
   out_->append(v ? "true" : "false");
 }
 
+ConnectionLifecycleReport ConnectionLifecycleReport::from(
+    const ConnectionBroker& broker) {
+  const ConnectionBroker::Stats& st = broker.stats();
+  ConnectionLifecycleReport r;
+  r.present = true;
+  r.requested = st.requested;
+  r.admitted = st.admitted;
+  r.queued = st.queued;
+  r.rejected = st.rejected;
+  r.ready = st.ready;
+  r.closed = st.closed;
+  r.retries = st.retries;
+  r.blocking_probability = st.blocking_probability();
+  // Histogram quantiles sort lazily; copy so a const broker stays const.
+  sim::Histogram setup = st.setup_latency_ns;
+  sim::Histogram teardown = st.teardown_latency_ns;
+  r.setup_p50_ns = setup.p50();
+  r.setup_p99_ns = setup.p99();
+  r.setup_max_ns = setup.max();
+  r.teardown_p50_ns = teardown.p50();
+  r.teardown_p99_ns = teardown.p99();
+  return r;
+}
+
 NetworkReport NetworkReport::collect(Network& net, sim::Time window_ps) {
   MANGO_ASSERT(window_ps > 0, "report window must be positive");
   NetworkReport report;
@@ -179,8 +204,13 @@ void NetworkReport::print(std::FILE* out) const {
                peak_link_utilization * 100.0);
 }
 
+void NetworkReport::attach_lifecycle(const ConnectionBroker& broker) {
+  lifecycle = ConnectionLifecycleReport::from(broker);
+}
+
 void NetworkReport::write_json(JsonWriter& w) const {
   w.begin_object();
+  w.kv("schema_version", kReportSchemaVersion);
   w.kv("topology", topology);
   w.key("routers");
   w.begin_array();
@@ -207,6 +237,24 @@ void NetworkReport::write_json(JsonWriter& w) const {
   w.end_array();
   w.kv("total_flits_on_links", total_flits_on_links);
   w.kv("peak_link_utilization", peak_link_utilization);
+  if (lifecycle.present) {
+    w.key("connection_lifecycle");
+    w.begin_object();
+    w.kv("requested", lifecycle.requested);
+    w.kv("admitted", lifecycle.admitted);
+    w.kv("queued", lifecycle.queued);
+    w.kv("rejected", lifecycle.rejected);
+    w.kv("ready", lifecycle.ready);
+    w.kv("closed", lifecycle.closed);
+    w.kv("retries", lifecycle.retries);
+    w.kv("blocking_probability", lifecycle.blocking_probability);
+    w.kv("setup_p50_ns", lifecycle.setup_p50_ns);
+    w.kv("setup_p99_ns", lifecycle.setup_p99_ns);
+    w.kv("setup_max_ns", lifecycle.setup_max_ns);
+    w.kv("teardown_p50_ns", lifecycle.teardown_p50_ns);
+    w.kv("teardown_p99_ns", lifecycle.teardown_p99_ns);
+    w.end_object();
+  }
   w.end_object();
 }
 

@@ -13,6 +13,18 @@
 
 namespace mango::noc {
 
+class ConnectionBroker;
+
+/// Version stamp of every JSON document this layer emits (NetworkReport
+/// and the exp/ sweep report share it). History:
+///   1 — implicit: documents without a "schema_version" member (PR 2-4)
+///   2 — schema_version stamped; connection-lifecycle fields (broker
+///       setup/teardown latency percentiles, blocking probability) and
+///       the scenario churn_* stats columns
+/// Bump on any field addition/removal so downstream tooling can detect
+/// what it is parsing.
+inline constexpr std::uint64_t kReportSchemaVersion = 2;
+
 /// Minimal streaming JSON writer. Emits deterministic, byte-stable
 /// output: doubles are rendered with %.17g (shortest exact round-trip
 /// is not needed — identical bits always yield identical text), and the
@@ -73,16 +85,43 @@ struct RouterReport {
   std::uint64_t vc_control_signals = 0;
 };
 
+/// Connection-lifecycle summary from a ConnectionBroker: admission
+/// counts, blocking probability and setup/teardown latency percentiles.
+struct ConnectionLifecycleReport {
+  bool present = false;  ///< a broker was attached to this report
+  std::uint64_t requested = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t ready = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t retries = 0;
+  double blocking_probability = 0.0;
+  double setup_p50_ns = 0.0;
+  double setup_p99_ns = 0.0;
+  double setup_max_ns = 0.0;
+  double teardown_p50_ns = 0.0;
+  double teardown_p99_ns = 0.0;
+
+  static ConnectionLifecycleReport from(const ConnectionBroker& broker);
+};
+
 struct NetworkReport {
   std::string topology;  ///< fabric label, e.g. "mesh-4x4" or "ring-16"
   std::vector<RouterReport> routers;
   std::vector<LinkReport> links;
   std::uint64_t total_flits_on_links = 0;
   double peak_link_utilization = 0.0;
+  /// Filled by attach_lifecycle when the scenario ran a broker.
+  ConnectionLifecycleReport lifecycle;
 
   /// Collects counters from every router and link; `window_ps` is the
   /// observation window used to normalize utilizations.
   static NetworkReport collect(Network& net, sim::Time window_ps);
+
+  /// Folds a broker's lifecycle statistics into the report (the
+  /// "connection_lifecycle" JSON object).
+  void attach_lifecycle(const ConnectionBroker& broker);
 
   /// Renders a compact table to `out`.
   void print(std::FILE* out = stdout) const;

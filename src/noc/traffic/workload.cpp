@@ -322,4 +322,132 @@ std::vector<std::unique_ptr<GsStreamSource>> start_gs_set(
   return sources;
 }
 
+// --- connection churn ------------------------------------------------------
+
+ChurnWorkload::ChurnWorkload(Network& net, ConnectionBroker& broker,
+                             MeasurementHub& hub, ChurnOptions opt)
+    : net_(net),
+      broker_(broker),
+      hub_(hub),
+      opt_(opt),
+      rng_(opt.seed ^ 0xC3A5C85C97CB3127ull),
+      sim_(net.simulator()) {
+  MANGO_ASSERT(opt_.mean_open_interarrival_ps > 0,
+               "churn needs a positive open interarrival");
+  MANGO_ASSERT(opt_.mean_hold_ps > 0, "churn needs a positive holding time");
+  MANGO_ASSERT(opt_.gs_period_ps > 0,
+               "churn streams must be CBR (period > 0): a saturating "
+               "stream never drains for teardown");
+  MANGO_ASSERT(net_.node_count() > 1, "churn needs at least two nodes");
+}
+
+void ChurnWorkload::start(sim::Time at) {
+  sim_.at(std::max(at, sim_.now()), [this] { schedule_next_open(); });
+}
+
+void ChurnWorkload::schedule_next_open() {
+  if (opt_.max_opens != 0 && slots_.size() >= opt_.max_opens) return;
+  const auto gap = std::max<sim::Time>(
+      1, static_cast<sim::Time>(rng_.next_exponential(
+             static_cast<double>(opt_.mean_open_interarrival_ps))));
+  sim_.after(gap, [this] {
+    open_one();
+    schedule_next_open();
+  });
+}
+
+void ChurnWorkload::open_one() {
+  const std::size_t n = net_.node_count();
+  const NodeId src = net_.node_at(rng_.next_below(n));
+  NodeId dst = src;
+  while (dst == src) dst = net_.node_at(rng_.next_below(n));
+
+  const std::size_t k = slots_.size();
+  slots_.emplace_back();
+  // The reject callback can fire synchronously inside request_open; the
+  // slot is pushed first so both callbacks resolve it by index.
+  const RequestId req = broker_.request_open(
+      src, dst,
+      [this, k](RequestId, const Connection& c) { on_ready(k, c); },
+      [this, k](RequestId) { slots_[k].state = SlotState::kRejected; });
+  slots_[k].req = req;
+}
+
+void ChurnWorkload::on_ready(std::size_t k, const Connection& c) {
+  Slot& s = slots_[k];
+  s.state = SlotState::kStreaming;
+  s.tag = kChurnTagBase + static_cast<std::uint32_t>(k);
+  GsStreamSource::Options go;
+  go.period_ps = opt_.gs_period_ps;
+  s.source = std::make_unique<GsStreamSource>(net_.na(c.src), c.src_iface,
+                                              s.tag, go);
+  s.source->start(sim_.now());
+  const auto hold = std::max<sim::Time>(
+      1, static_cast<sim::Time>(
+             rng_.next_exponential(static_cast<double>(opt_.mean_hold_ps))));
+  sim_.after(hold, [this, k] { stop_stream(k); });
+}
+
+void ChurnWorkload::stop_stream(std::size_t k) {
+  Slot& s = slots_[k];
+  s.source->stop();
+  s.state = SlotState::kDrainWait;
+  s.drain_started_at = sim_.now();
+  poll_drained(k);
+}
+
+std::uint64_t ChurnWorkload::delivered(const Slot& s) const {
+  const FlowStats* f = hub_.find_flow(s.tag);
+  return f == nullptr ? 0 : f->flits;
+}
+
+void ChurnWorkload::poll_drained(std::size_t k) {
+  Slot& s = slots_[k];
+  if (delivered(s) != s.source->generated()) {
+    sim_.after(opt_.drain_poll_ps, [this, k] { poll_drained(k); });
+    return;
+  }
+  // Everything this connection generated has been delivered: the whole
+  // path (NA queue included) is empty, so the clear packets cannot race
+  // live flits.
+  s.generated_at_close = s.source->generated();
+  s.delivered_at_close = delivered(s);
+  s.state = SlotState::kCloseRequested;
+  ++closes_requested_;
+  broker_.request_close(
+      s.req, [this, k](RequestId) { slots_[k].state = SlotState::kClosed; });
+}
+
+ChurnWorkload::Totals ChurnWorkload::finalize(sim::Time horizon) const {
+  Totals t;
+  t.opens_requested = slots_.size();
+  t.closes_requested = closes_requested_;
+  for (const Slot& s : slots_) {
+    if (s.state == SlotState::kRejected || s.source == nullptr) continue;
+    ++t.streams_started;
+    if (s.state == SlotState::kClosed) ++t.closes_completed;
+    const std::uint64_t got = delivered(s);
+    t.flits_generated += s.source->generated();
+    t.flits_delivered += got;
+    const FlowStats* f = hub_.find_flow(s.tag);
+    const std::uint64_t seq = f == nullptr ? 0 : f->seq_errors;
+    t.seq_errors += seq;
+    bool violated = seq > 0;
+    // A stream stopped long before the horizon whose flits never all
+    // arrived lost them somewhere (drain-wait connections at the very
+    // edge of the horizon get grace — they are still legally in flight).
+    if (s.state == SlotState::kDrainWait && got < s.source->generated() &&
+        horizon > s.drain_started_at &&
+        horizon - s.drain_started_at > opt_.drain_grace_ps) {
+      violated = true;
+    }
+    if (s.state == SlotState::kClosed &&
+        s.delivered_at_close != s.generated_at_close) {
+      violated = true;
+    }
+    if (violated) ++t.violations;
+  }
+  return t;
+}
+
 }  // namespace mango::noc

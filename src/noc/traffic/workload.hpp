@@ -8,6 +8,9 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+
+#include "noc/network/connection_broker.hpp"
 #include "noc/network/connection_manager.hpp"
 #include "noc/network/network.hpp"
 #include "noc/traffic/generator.hpp"
@@ -140,5 +143,103 @@ std::vector<GsSetEndpoint> open_gs_set(Network& net, ConnectionManager& mgr,
 std::vector<std::unique_ptr<GsStreamSource>> start_gs_set(
     Network& net, const std::vector<GsSetEndpoint>& endpoints,
     const GsStreamSource::Options& opt, sim::Time start_at = 0);
+
+// ---------------------------------------------------------------------------
+// Connection churn (runtime GS lifecycle through the ConnectionBroker)
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kChurnTagBase = 0x48000000;
+
+struct ChurnOptions {
+  /// Poisson open-request process (mean gap between requests, > 0).
+  sim::Time mean_open_interarrival_ps = 20000;
+  /// Exponential holding time: how long a connection streams once Ready.
+  sim::Time mean_hold_ps = 300000;
+  /// CBR flit period of the per-connection GS stream. Must be >= the
+  /// worst-case per-VC service time (fair-share guarantee period) so the
+  /// NA source queue stays empty and the post-stop drain terminates.
+  sim::Time gs_period_ps = 16000;
+  /// Drain poll cadence: after stopping a stream the workload waits
+  /// until delivered == generated before requesting the close.
+  sim::Time drain_poll_ps = 1000;
+  /// A connection still short of delivered == generated this long after
+  /// its stream stopped has lost flits — counted as a violation. Must
+  /// comfortably exceed the worst-case in-flight drain (a few hops of
+  /// worst-case fair-share latency, ~100 ns on a 4x4 fabric).
+  sim::Time drain_grace_ps = 500000;
+  std::uint64_t seed = 1;
+  std::uint64_t max_opens = 0;  ///< 0 = unlimited (horizon-bounded)
+};
+
+/// Drives dynamic GS connection lifecycles: Poisson open requests with
+/// uniformly random (src != dst) pairs through the ConnectionBroker,
+/// one CBR GsStreamSource per admitted connection bound to its lifetime
+/// (started at Ready, stopped after the holding time), drain-confirmed
+/// packet-mode closes. All randomness comes from one seeded private Rng
+/// and all scheduling from the owning SimContext, so churn scenarios are
+/// bit-identical per seed.
+class ChurnWorkload {
+ public:
+  struct Totals {
+    std::uint64_t opens_requested = 0;
+    std::uint64_t streams_started = 0;
+    std::uint64_t closes_requested = 0;
+    std::uint64_t closes_completed = 0;
+    std::uint64_t flits_generated = 0;
+    std::uint64_t flits_delivered = 0;
+    std::uint64_t seq_errors = 0;
+    /// Admitted connections that broke the delivery contract: sequence
+    /// errors, or flits still undelivered long after their stream
+    /// stopped (lost in a teardown race).
+    std::uint64_t violations = 0;
+  };
+
+  ChurnWorkload(Network& net, ConnectionBroker& broker, MeasurementHub& hub,
+                ChurnOptions opt);
+
+  /// Starts the open-request process (first request one exponential gap
+  /// after `at`). The workload must outlive the simulation run.
+  void start(sim::Time at = 0);
+
+  /// Evaluates the per-connection delivery contract against the hub at
+  /// the experiment horizon. Deterministic per seed.
+  Totals finalize(sim::Time horizon) const;
+
+ private:
+  enum class SlotState : std::uint8_t {
+    kPending,         ///< open requested, not Ready yet (or queued)
+    kRejected,        ///< broker rejected the open
+    kStreaming,       ///< stream running
+    kDrainWait,       ///< stream stopped, waiting for delivered == generated
+    kCloseRequested,  ///< broker teardown in flight
+    kClosed,          ///< teardown completed
+  };
+
+  struct Slot {
+    RequestId req = 0;
+    std::uint32_t tag = 0;
+    SlotState state = SlotState::kPending;
+    std::unique_ptr<GsStreamSource> source;
+    sim::Time drain_started_at = 0;
+    std::uint64_t generated_at_close = 0;
+    std::uint64_t delivered_at_close = 0;
+  };
+
+  void schedule_next_open();
+  void open_one();
+  void on_ready(std::size_t k, const Connection& c);
+  void stop_stream(std::size_t k);
+  void poll_drained(std::size_t k);
+  std::uint64_t delivered(const Slot& s) const;
+
+  Network& net_;
+  ConnectionBroker& broker_;
+  MeasurementHub& hub_;
+  ChurnOptions opt_;
+  sim::Rng rng_;
+  sim::Simulator& sim_;
+  std::deque<Slot> slots_;  ///< one per open request; stable references
+  std::uint64_t closes_requested_ = 0;
+};
 
 }  // namespace mango::noc

@@ -19,6 +19,7 @@ struct MgrFixture : ::testing::Test {
 
 TEST_F(MgrFixture, DirectSetupReservesOneBufferPerRouter) {
   const Connection& c = mgr.open_direct({0, 0}, {2, 1});
+  EXPECT_EQ(c.state, ConnState::kReady);
   // XY route: E, E, N -> routers (0,0), (1,0), (2,0), (2,1).
   ASSERT_EQ(c.hops.size(), 4u);
   EXPECT_EQ(c.hops[0].first, (NodeId{0, 0}));
@@ -30,7 +31,7 @@ TEST_F(MgrFixture, DirectSetupReservesOneBufferPerRouter) {
   EXPECT_EQ(c.hops[1].second.port, port_of(Direction::kEast));
   EXPECT_EQ(c.hops[2].second.port, port_of(Direction::kNorth));
   EXPECT_EQ(c.hops[3].second.port, kLocalPort);
-  EXPECT_TRUE(c.ready);
+  EXPECT_TRUE(c.ready());
 }
 
 TEST_F(MgrFixture, TablesAreProgrammedConsistently) {
@@ -88,10 +89,12 @@ TEST_F(MgrFixture, PacketSetupProgramsEveryRouter) {
   const Connection& c = mgr.open_via_packets(
       {1, 0}, {2, 2}, [&](const Connection& conn) {
         ready = true;
-        EXPECT_TRUE(conn.ready);
+        EXPECT_TRUE(conn.ready());
+        EXPECT_EQ(conn.state, ConnState::kReady);
       });
   const ConnectionId id = c.id;
-  EXPECT_FALSE(c.ready);  // programming packets still in flight
+  EXPECT_FALSE(c.ready());  // programming packets still in flight
+  EXPECT_EQ(c.state, ConnState::kProgramming);
   sim.run();
   ASSERT_TRUE(ready);
   const Connection* conn = mgr.get(id);
@@ -104,13 +107,17 @@ TEST_F(MgrFixture, PacketSetupProgramsEveryRouter) {
   }
 }
 
-TEST_F(MgrFixture, PacketSetupOfHostOwnRouterUsesSquareLoop) {
-  // Source = host: programming the host's own router requires the 4-hop
-  // square-loop BE route (see DESIGN.md).
+TEST_F(MgrFixture, PacketSetupOfHostOwnRouterUsesLocalPort) {
+  // Source = host: the host's own router is programmed through the
+  // local programming port (no network crossing, but nonzero time — see
+  // connection_manager.hpp), so setup completes without a self-route.
   bool ready = false;
-  mgr.open_via_packets({0, 0}, {0, 2}, [&](const Connection&) { ready = true; });
+  const Connection& c = mgr.open_via_packets(
+      {0, 0}, {0, 2}, [&](const Connection&) { ready = true; });
+  EXPECT_FALSE(c.ready());  // local programming still takes simulated time
   sim.run();
   EXPECT_TRUE(ready);
+  EXPECT_GT(mgr.get(c.id)->ready_at, 0u);
 }
 
 TEST_F(MgrFixture, PacketSetupConnectionCarriesTraffic) {
@@ -158,12 +165,100 @@ TEST_F(MgrFixture, PacketTeardownClearsAndFreesResources) {
   EXPECT_NO_THROW(mgr.open_direct({2, 0}, {0, 1}));
 }
 
-TEST_F(MgrFixture, TeardownWhileSetupInFlightIsRejected) {
+TEST_F(MgrFixture, CloseBeforeReadyIsACheckedError) {
+  // Closing while programming packets are still in flight is a checked
+  // ModelError on both close paths, not an unguarded table corruption.
   const Connection& c = mgr.open_via_packets({1, 0}, {2, 2});
+  ASSERT_EQ(c.state, ConnState::kProgramming);
   EXPECT_THROW(mgr.close_via_packets(c.id), mango::ModelError);
   EXPECT_THROW(mgr.close_direct(c.id), mango::ModelError);
   sim.run();  // let setup finish
   EXPECT_NO_THROW(mgr.close_direct(c.id));
+}
+
+TEST_F(MgrFixture, DoubleCloseIsACheckedError) {
+  // Direct double close: the second close finds no record.
+  const ConnectionId a = mgr.open_direct({0, 0}, {2, 2}).id;
+  mgr.close_direct(a);
+  EXPECT_THROW(mgr.close_direct(a), mango::ModelError);
+
+  // Packet-mode double close: a second close while the first teardown's
+  // clear packets are in flight (state Clearing) is checked too.
+  const Connection& c = mgr.open_via_packets({1, 0}, {2, 2});
+  const ConnectionId id = c.id;
+  sim.run();
+  mgr.close_via_packets(id);
+  EXPECT_EQ(mgr.get(id)->state, ConnState::kClearing);
+  EXPECT_THROW(mgr.close_via_packets(id), mango::ModelError);
+  EXPECT_THROW(mgr.close_direct(id), mango::ModelError);
+  sim.run();  // teardown completes
+  EXPECT_EQ(mgr.get(id), nullptr);
+  EXPECT_THROW(mgr.close_via_packets(id), mango::ModelError);
+}
+
+TEST_F(MgrFixture, DrainingIsPartOfTheStateMachine) {
+  const Connection& c = mgr.open_via_packets({1, 0}, {2, 2});
+  const ConnectionId id = c.id;
+  // Draining a connection that is not Ready is checked.
+  EXPECT_THROW(mgr.mark_draining(id), mango::ModelError);
+  sim.run();
+  mgr.mark_draining(id);
+  EXPECT_EQ(mgr.get(id)->state, ConnState::kDraining);
+  EXPECT_TRUE(mgr.get(id)->ready());  // still programmed and usable
+  // Double drain is checked; a Draining connection can be closed.
+  EXPECT_THROW(mgr.mark_draining(id), mango::ModelError);
+  bool closed = false;
+  mgr.close_via_packets(id, [&] { closed = true; });
+  sim.run();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(mgr.get(id), nullptr);
+}
+
+struct ReleaseProbe : ConnectionManager {
+  using ConnectionManager::ConnectionManager;
+  void release_twice(Network& net, Connection& conn) {
+    // Mimic the tail of the close path: tables cleared, then release.
+    for (const auto& [node, buffer] : conn.hops) {
+      net.router(node).table().clear(buffer);
+    }
+    release_resources(conn);
+    release_resources(conn);  // must be a no-op
+  }
+};
+
+TEST(MgrRelease, ReleaseResourcesIsIdempotent) {
+  sim::SimContext ctx;
+  MeshConfig mesh{3, 3, RouterConfig{}, 1};
+  Network net(ctx, mesh);
+  ReleaseProbe mgr(net, NodeId{0, 0});
+  Connection conn = mgr.open_direct({0, 0}, {2, 2});  // copy the record
+  // Double release must not underflow the ledgers or double-free the
+  // NA source interface (release_gs_source would throw on an unbound
+  // interface if the second call were not a no-op).
+  EXPECT_NO_THROW(mgr.release_twice(net, conn));
+  EXPECT_EQ(conn.state, ConnState::kClosed);
+  // Accounting is exactly "everything free": the full source-interface
+  // budget of (0,0) opens again.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NO_THROW(mgr.open_direct({0, 0}, {2, 2}));
+  }
+  EXPECT_THROW(mgr.open_direct({0, 0}, {2, 2}), mango::ModelError);
+}
+
+TEST_F(MgrFixture, CanOpenIsAPureAdmissionQuery) {
+  EXPECT_TRUE(mgr.can_open({0, 0}, {2, 0}));
+  EXPECT_FALSE(mgr.can_open({1, 1}, {1, 1}));  // self pair: never
+  // The query reserves nothing: asking many times changes no state.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(mgr.can_open({0, 0}, {2, 0}));
+  // Exhaust (0,0)'s four source interfaces; can_open flips to false
+  // exactly when open_direct would throw.
+  for (int i = 0; i < 4; ++i) mgr.open_direct({0, 0}, {2, 0});
+  EXPECT_FALSE(mgr.can_open({0, 0}, {2, 0}));
+  EXPECT_THROW(mgr.open_direct({0, 0}, {2, 0}), mango::ModelError);
+  // Other sources are unaffected ((2,0)'s four local sinks are spoken
+  // for, so aim at a different destination).
+  EXPECT_TRUE(mgr.can_open({1, 0}, {2, 1}));
+  EXPECT_FALSE(mgr.can_open({1, 0}, {2, 0}));  // dst sinks exhausted
 }
 
 TEST(MgrHostCheck, HostMustBeInBounds) {

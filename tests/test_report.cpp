@@ -111,5 +111,27 @@ TEST(NetworkReportTest, JsonCarriesIdentifiedLinksAndTotals) {
   EXPECT_EQ(out, out2);
 }
 
+TEST(NetworkReportTest, JsonStampsSchemaVersion) {
+  // Downstream tooling keys on this: v2 introduced the stamp itself and
+  // the connection-lifecycle / churn fields. Bump kReportSchemaVersion
+  // (and this test) whenever the document shape changes again.
+  static_assert(kReportSchemaVersion == 2,
+                "schema bumped: update the assertions below and the "
+                "version history in report.hpp");
+  sim::SimContext ctx;
+  MeshConfig mesh{2, 1, RouterConfig{}, 1};
+  Network net(ctx, mesh);
+  ctx.run_until(1_us);
+  const NetworkReport r = NetworkReport::collect(net, 1_us);
+  std::string out;
+  JsonWriter w(&out);
+  r.write_json(w);
+  ASSERT_NE(out.find("\"schema_version\": 2"), std::string::npos);
+  // It is the first member, ahead of everything else.
+  EXPECT_LT(out.find("\"schema_version\""), out.find("\"topology\""));
+  // Without a broker attached there is no lifecycle block.
+  EXPECT_EQ(out.find("\"connection_lifecycle\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mango::noc

@@ -32,7 +32,7 @@ struct GsPathFixture : ::testing::Test {
 
 TEST_F(GsPathFixture, SingleFlitEndToEndWithExactLatency) {
   const Connection& conn = mgr.open_direct({0, 0}, {1, 0});
-  EXPECT_TRUE(conn.ready);
+  EXPECT_TRUE(conn.ready());
   EXPECT_EQ(conn.link_hops(), 1u);
 
   Flit f;

@@ -110,7 +110,7 @@ TEST(TopologyNetwork, GsSetupViaPacketsOnTorus) {
   mgr.open_via_packets({0, 0}, {2, 2},
                        [&ready](const Connection& c) {
                          ready = true;
-                         EXPECT_TRUE(c.ready);
+                         EXPECT_TRUE(c.ready());
                        });
   ctx.run_until(2_us);
   EXPECT_TRUE(ready);

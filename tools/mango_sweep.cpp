@@ -42,10 +42,17 @@ void usage(std::FILE* out) {
       "                        fail loudly there)\n"
       "  --interarrival PS     mean BE interarrival per node, picoseconds\n"
       "  --gs K[,K...]         none ring random-pairs all-to-hotspot\n"
+      "  --churn PS[,PS...]    mean gap between runtime connection-open\n"
+      "                        requests (ConnectionBroker admission +\n"
+      "                        BE-packet programming); 0 = no churn\n"
       "  --seeds N             seeds 1..N (or --seed S for a single one)\n"
       "\n"
       "scenario options:\n"
       "  --gs-period PS        GS flit period per connection (0 = saturate)\n"
+      "  --churn-hold PS       mean holding time of churn connections\n"
+      "  --churn-queue N       broker queue depth (0 = reject when busy)\n"
+      "  --churn-gs-period PS  CBR period of churn streams (>= worst-case\n"
+      "                        per-VC service time, so closes can drain)\n"
       "  --duration-ns N       simulated horizon per scenario\n"
       "  --payload W           BE payload words per packet\n"
       "  --arbiter A           fair-share (default), static-priority, or\n"
@@ -134,6 +141,20 @@ void print_summary(const exp::SweepReport& report) {
       static_cast<unsigned long long>(report.total_violations()),
       static_cast<unsigned long long>(report.total_events()), report.wall_ms,
       report.jobs, report.scenarios_per_hour());
+  std::uint64_t creq = 0, crej = 0, cclosed = 0;
+  for (const exp::ScenarioResult& r : report.results) {
+    creq += r.stats.churn_requested;
+    crej += r.stats.churn_rejected;
+    cclosed += r.stats.churn_closed;
+  }
+  if (creq > 0) {
+    std::printf("churn: %llu open requests, %llu rejected (blocking %.3f), "
+                "%llu closes completed\n",
+                static_cast<unsigned long long>(creq),
+                static_cast<unsigned long long>(crej),
+                static_cast<double>(crej) / static_cast<double>(creq),
+                static_cast<unsigned long long>(cclosed));
+  }
 }
 
 }  // namespace
@@ -153,6 +174,9 @@ int main(int argc, char** argv) {
   bool set_gs_period = false;
   bool set_payload = false;
   bool set_arbiter = false;
+  bool set_churn_hold = false;
+  bool set_churn_queue = false;
+  bool set_churn_gs_period = false;
 
   const auto next_arg = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) die(std::string(flag) + " needs an argument");
@@ -235,6 +259,34 @@ int main(int argc, char** argv) {
         grid.gs_sets.push_back(*parsed);
       }
       have_grid_flags = true;
+    } else if (arg == "--churn") {
+      for (const std::string& v : split_csv(next_arg(i, "--churn"))) {
+        std::uint64_t ps = 0;
+        if (!parse_u64(v, &ps)) die("bad churn interarrival '" + v + "'");
+        grid.churn_interarrivals_ps.push_back(ps);
+      }
+      have_grid_flags = true;
+    } else if (arg == "--churn-hold") {
+      std::uint64_t ps = 0;
+      if (!parse_u64(next_arg(i, "--churn-hold"), &ps) || ps == 0) {
+        die("bad --churn-hold");
+      }
+      grid.base.churn_hold_ps = ps;
+      set_churn_hold = true;
+    } else if (arg == "--churn-queue") {
+      std::uint64_t n = 0;
+      if (!parse_u64(next_arg(i, "--churn-queue"), &n) || n > 100000) {
+        die("bad --churn-queue");
+      }
+      grid.base.churn_queue = static_cast<unsigned>(n);
+      set_churn_queue = true;
+    } else if (arg == "--churn-gs-period") {
+      std::uint64_t ps = 0;
+      if (!parse_u64(next_arg(i, "--churn-gs-period"), &ps) || ps == 0) {
+        die("bad --churn-gs-period");
+      }
+      grid.base.churn_gs_period_ps = ps;
+      set_churn_gs_period = true;
     } else if (arg == "--seeds") {
       std::uint64_t n = 0;
       if (!parse_u64(next_arg(i, "--seeds"), &n) || n == 0 || n > 4096) {
@@ -315,6 +367,11 @@ int main(int argc, char** argv) {
     if (set_gs_period) grid.base.gs_period_ps = base.gs_period_ps;
     if (set_payload) grid.base.payload_words = base.payload_words;
     if (set_arbiter) grid.base.router.arbiter = base.router.arbiter;
+    if (set_churn_hold) grid.base.churn_hold_ps = base.churn_hold_ps;
+    if (set_churn_queue) grid.base.churn_queue = base.churn_queue;
+    if (set_churn_gs_period) {
+      grid.base.churn_gs_period_ps = base.churn_gs_period_ps;
+    }
   }
 
   const std::vector<exp::ScenarioSpec> specs = grid.expand();
