@@ -1,0 +1,77 @@
+// Parallel kernel scaling: the scale-8x8 mesh scenario (64 nodes,
+// uniform BE + GS ring — the largest grid the 15-code source-route
+// header admits) run end to end at 1, 2 and 4 worker shards. Items
+// processed are dispatched simulation events, so the benchmark's
+// items_per_second column is the events/s figure BENCH_topology.json
+// tracks and CI's perf-smoke floor-gates (>= 1.6x at 2 shards, >= 2.5x
+// at 4 on a machine with the cores to back it).
+//
+// Stats are byte-identical across shard counts — the scaling run
+// doubles as a determinism check and aborts if any shard count
+// disagrees with the single-kernel reference.
+#include <benchmark/benchmark.h>
+
+#include "exp/scenario.hpp"
+
+using namespace mango;
+
+namespace {
+
+exp::ScenarioSpec scale_spec(noc::TopologyKind kind, unsigned shards) {
+  exp::ScenarioSpec spec;
+  spec.name = "bench-parallel-8x8";
+  spec.topology = kind;
+  spec.width = 8;
+  spec.height = 8;
+  spec.pattern = noc::BePattern::kUniform;
+  spec.be_interarrival_ps = 8000;
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 8000;
+  spec.router.be_vcs = 2;
+  spec.duration_ps = 500000;
+  spec.shards = shards;
+  return spec;
+}
+
+void run_scaling(benchmark::State& state, noc::TopologyKind kind,
+                 exp::ScenarioStats& reference, bool& have_reference) {
+  const auto shards = static_cast<unsigned>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const exp::ScenarioResult r = run_scenario(scale_spec(kind, shards));
+    if (!r.ok()) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+    if (shards == 1 && !have_reference) {
+      reference = r.stats;
+      have_reference = true;
+    } else if (have_reference && r.stats != reference) {
+      state.SkipWithError("stats differ from the single-kernel reference");
+      return;
+    }
+    events += r.stats.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_Scale8x8MeshShards(benchmark::State& state) {
+  static exp::ScenarioStats reference;  // filled by the shards=1 run
+  static bool have_reference = false;
+  run_scaling(state, noc::TopologyKind::kMesh, reference, have_reference);
+}
+void BM_Scale8x8TorusShards(benchmark::State& state) {
+  static exp::ScenarioStats reference;
+  static bool have_reference = false;
+  run_scaling(state, noc::TopologyKind::kTorus, reference, have_reference);
+}
+// Register shards=1 first so every later shard count is checked against
+// the single-kernel reference stats.
+BENCHMARK(BM_Scale8x8MeshShards)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Scale8x8TorusShards)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

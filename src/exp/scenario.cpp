@@ -18,35 +18,38 @@ namespace mango::exp {
 
 namespace {
 
-/// Appends every flow with a tag in [base, base+count) to `merged` in
-/// tag order (deterministic) and returns the matched flows.
-std::vector<const noc::FlowStats*> flows_in_range(
-    const noc::MeasurementHub& hub, std::uint32_t base, std::uint32_t count) {
-  std::vector<const noc::FlowStats*> out;
-  for (const auto& [tag, s] : hub.flows_by_tag()) {
-    if (tag >= base && tag < base + count) out.push_back(s);
+/// Sums a shard-context counter over every shard (generators bump the
+/// registry of the shard their NA lives in).
+std::uint64_t sum_counter(noc::Network& net, const std::string& name) {
+  std::uint64_t n = 0;
+  for (unsigned s = 0; s < net.shard_count(); ++s) {
+    n += net.shard_ctx(s).stats().counter_value(name);
   }
-  return out;
+  return n;
 }
 
-ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
-                            noc::Network& net, const noc::MeasurementHub& hub,
+ScenarioStats collect_stats(const ScenarioSpec& spec, noc::Network& net,
+                            const noc::HubSet& hub,
                             const std::vector<noc::GsSetEndpoint>& gs_eps,
                             const noc::ConnectionBroker* broker,
                             const noc::ChurnWorkload* churn) {
   ScenarioStats st;
-  st.events = ctx.sim().events_dispatched();
+  st.events = net.events_dispatched();
   const double duration_ns = sim::to_ns(spec.duration_ps);
 
   // --- BE aggregate ---
-  st.be_packets_generated =
-      ctx.stats().counter_value("traffic.be_packets_generated");
+  st.be_packets_generated = sum_counter(net, "traffic.be_packets_generated");
   sim::Histogram be_lat;
-  for (const noc::FlowStats* f : flows_in_range(
-           hub, noc::kBeTagBase,
-           static_cast<std::uint32_t>(net.node_count()))) {
-    st.be_packets_delivered += f->packets;
-    for (const double s : f->latency_ns.samples()) be_lat.add(s);
+  std::vector<double> samples;
+  const auto be_base = noc::kBeTagBase;
+  const auto be_end =
+      noc::kBeTagBase + static_cast<std::uint32_t>(net.node_count());
+  for (const std::uint32_t tag : hub.tags()) {
+    if (tag < be_base || tag >= be_end) continue;
+    st.be_packets_delivered += hub.flow_packets(tag);
+    samples.clear();
+    hub.append_latency_samples(tag, samples);
+    for (const double s : samples) be_lat.add(s);
   }
   if (duration_ns > 0) {
     st.be_throughput_pkts_per_ns =
@@ -59,8 +62,7 @@ ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
 
   // --- GS aggregate + guarantee check ---
   st.gs_connections = gs_eps.size();
-  st.gs_flits_generated =
-      ctx.stats().counter_value("traffic.gs_flits_generated");
+  st.gs_flits_generated = sum_counter(net, "traffic.gs_flits_generated");
   const double guarantee = model::fair_share_guarantee_flits_per_ns(
       spec.router.corner, spec.router.vcs_per_port,
       net.config().link_pipeline_stages);
@@ -75,11 +77,17 @@ ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
       ++st.guarantee_violations;
       continue;
     }
-    const noc::FlowStats& f = *hub.find_flow(ep.tag);
-    st.gs_flits_delivered += f.flits;
-    st.gs_seq_errors += f.seq_errors;
+    // A GS flow delivers entirely at its destination NA, so exactly one
+    // shard hub contributes — sample order (and thus the jitter
+    // accumulator) is the single-kernel delivery order.
+    const std::uint64_t flits = hub.flow_flits(ep.tag);
+    const std::uint64_t seq_errors = hub.flow_seq_errors(ep.tag);
+    st.gs_flits_delivered += flits;
+    st.gs_seq_errors += seq_errors;
+    samples.clear();
+    hub.append_latency_samples(ep.tag, samples);
     sim::Accumulator acc;
-    for (const double s : f.latency_ns.samples()) {
+    for (const double s : samples) {
       gs_lat.add(s);
       acc.add(s);
     }
@@ -90,8 +98,8 @@ ScenarioStats collect_stats(const ScenarioSpec& spec, sim::SimContext& ctx,
     const double expected_count = expected_rate * duration_ns;
     const bool shortfall =
         expected_count >= 16.0 &&
-        static_cast<double>(f.flits) < 0.9 * expected_count;
-    if (shortfall || f.seq_errors > 0) ++st.guarantee_violations;
+        static_cast<double>(flits) < 0.9 * expected_count;
+    if (shortfall || seq_errors > 0) ++st.guarantee_violations;
   }
   if (duration_ns > 0) {
     st.gs_throughput_flits_per_ns =
@@ -210,8 +218,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     noc::NetworkConfig net_cfg;
     net_cfg.topology = spec.topology_spec();
     net_cfg.router = spec.router;
+    net_cfg.shards = spec.shards;
     noc::Network net(ctx, net_cfg);
-    noc::MeasurementHub hub;
+    noc::HubSet hub(net.shard_count());
     hub.set_horizon(spec.duration_ps);
     noc::attach_hub(net, hub);
 
@@ -242,9 +251,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       churn->start();
     }
 
-    ctx.run_until(spec.duration_ps);
+    net.run_until(spec.duration_ps);
     result.stats =
-        collect_stats(spec, ctx, net, hub, gs_eps, broker.get(), churn.get());
+        collect_stats(spec, net, hub, gs_eps, broker.get(), churn.get());
     result.stats.be_injections_held = sum_held(be_sources);
   } catch (const std::exception& e) {
     result.error = e.what();
@@ -410,6 +419,29 @@ SweepGrid make_gs_churn_4x4() {
   return g;
 }
 
+SweepGrid make_scale_8x8() {
+  // The sharding workhorse: 64-node grid fabrics (mesh + torus) under
+  // uniform and hotspot BE load. Large enough that a contiguous row-
+  // stripe partition gives each shard real work per window, and the grid
+  // CI uses for the shards-1-vs-N byte-equality comparison at scale.
+  // 8x8 is the largest grid whose worst-case BE route (14 hops corner to
+  // corner on the mesh) still fits the paper's 15-code source-route
+  // header — bigger uniform-BE fabrics are rejected by build_be_header.
+  // be_vcs = 2 arms the torus dateline classes (and keeps the router
+  // config uniform across the two fabrics).
+  SweepGrid g;
+  g.base.width = g.base.height = 8;
+  g.base.duration_ps = 1000000;
+  g.base.be_interarrival_ps = 8000;
+  g.base.gs_set = noc::GsSetKind::kRing;
+  g.base.gs_period_ps = 8000;
+  g.base.router.be_vcs = 2;
+  g.topologies = {noc::TopologyKind::kMesh, noc::TopologyKind::kTorus};
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kHotspot};
+  g.seeds = {1};
+  return g;
+}
+
 SweepGrid make_bench_grid() {
   SweepGrid g;
   g.base.width = g.base.height = 4;
@@ -425,11 +457,12 @@ SweepGrid make_bench_grid() {
 std::vector<std::string> preset_names() {
   return {"ci-smoke",      "patterns-4x4",   "rate-sweep-4x4",
           "gs-stress-4x4", "topologies-4x4", "gs-churn-4x4",
-          "bench-grid"};
+          "scale-8x8",     "bench-grid"};
 }
 
 std::optional<SweepGrid> find_preset(const std::string& name) {
   if (name == "ci-smoke") return make_ci_smoke();
+  if (name == "scale-8x8") return make_scale_8x8();
   if (name == "patterns-4x4") return make_patterns_4x4();
   if (name == "rate-sweep-4x4") return make_rate_sweep_4x4();
   if (name == "gs-stress-4x4") return make_gs_stress_4x4();

@@ -55,6 +55,13 @@ struct ScenarioSpec {
   sim::Time duration_ps = 2000000;  ///< simulated horizon (2 us default)
   std::uint64_t seed = 1;
 
+  /// Worker shards the fabric is partitioned across (NetworkConfig::
+  /// shards; clamped to the node count). Stats are byte-identical for
+  /// every value — sharding is an execution strategy, not a model
+  /// parameter — so it is deliberately excluded from the scenario name
+  /// and the report's spec section.
+  unsigned shards = 1;
+
   /// The TopologySpec this scenario's network is built from.
   noc::TopologySpec topology_spec() const;
 };

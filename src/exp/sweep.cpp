@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 
@@ -110,6 +111,7 @@ void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
   if (include_timing) {
     w.kv("jobs", jobs);
     w.kv("repeat", repeat);
+    w.kv("shards", shards);
     w.kv("wall_ms", wall_ms);
     w.kv("scenarios_per_hour", scenarios_per_hour());
   }
@@ -156,6 +158,17 @@ std::string SweepReport::full_json() const {
   return out;
 }
 
+unsigned effective_shards(unsigned jobs, unsigned shards,
+                          unsigned hardware_threads) {
+  if (jobs == 0) jobs = 1;
+  if (shards == 0) shards = 1;
+  if (hardware_threads == 0) hardware_threads = 1;
+  if (static_cast<std::uint64_t>(jobs) * shards <= hardware_threads) {
+    return shards;
+  }
+  return std::max(1u, hardware_threads / jobs);
+}
+
 SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
                              unsigned jobs, ProgressFn on_done,
                              unsigned repeat) {
@@ -171,16 +184,36 @@ SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
   report.jobs = jobs;
   report.repeat = repeat;
 
+  // Core budget: clamp each scenario's shard count so jobs x shards
+  // never oversubscribes the machine. Deterministic (pure function of
+  // jobs/shards/hardware) and stats-neutral, so the only observable
+  // effect is wall time; warn once so the degradation is not silent.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ScenarioSpec> run_specs(specs);
+  bool clamped = false;
+  for (ScenarioSpec& s : run_specs) {
+    const unsigned eff = effective_shards(jobs, s.shards, hw);
+    if (eff != std::max(1u, s.shards)) clamped = true;
+    s.shards = eff;
+    report.shards = std::max(report.shards, eff);
+  }
+  if (clamped) {
+    std::fprintf(stderr,
+                 "sweep: clamping shards to %u hardware threads / %u jobs "
+                 "(deterministic; stats unchanged)\n",
+                 hw, jobs);
+  }
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex progress_mu;
   const auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= specs.size()) return;
-      ScenarioResult best = run_scenario(specs[i]);
+      if (i >= run_specs.size()) return;
+      ScenarioResult best = run_scenario(run_specs[i]);
       for (unsigned r = 1; r < repeat && best.ok(); ++r) {
-        ScenarioResult rerun = run_scenario(specs[i]);
+        ScenarioResult rerun = run_scenario(run_specs[i]);
         // Determinism is part of the contract; surface any breach, and
         // never let an aborted rerun's wall time win the best-of-N.
         if (!rerun.ok()) {

@@ -28,6 +28,11 @@ struct SweepReport {
   std::vector<ScenarioResult> results;  ///< spec order, not finish order
   unsigned jobs = 1;
   unsigned repeat = 1;  ///< runs per scenario (wall_ms keeps the best)
+  /// Largest effective per-scenario shard count this sweep ran with
+  /// (after the jobs x shards oversubscription clamp). Timing-section
+  /// only: shards never change simulation stats, so stats_json() stays
+  /// byte-identical across shard counts.
+  unsigned shards = 1;
   double wall_ms = 0.0;
 
   std::size_t failed() const;
@@ -47,6 +52,21 @@ struct SweepReport {
 
   void write_json(noc::JsonWriter& w, bool include_timing) const;
 };
+
+/// Deterministic core budget between sweep workers and network shards:
+/// the shard count a scenario actually runs with when `jobs` sweep
+/// workers each want `shards` kernel threads on `hardware_threads`
+/// cores. Pure function of its arguments (no machine state), so the
+/// degradation schedule is reproducible and unit-testable:
+///
+///   jobs x shards <= hardware  ->  shards (no oversubscription)
+///   otherwise                  ->  max(1, hardware / jobs)
+///
+/// Shards never affect simulation stats, so clamping changes wall time
+/// only — reports stay byte-identical. hardware_threads == 0 (unknown)
+/// is treated as 1.
+unsigned effective_shards(unsigned jobs, unsigned shards,
+                          unsigned hardware_threads);
 
 class SweepRunner {
  public:

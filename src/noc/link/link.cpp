@@ -1,30 +1,25 @@
 #include "noc/link/link.hpp"
 
+#include "noc/network/boundary.hpp"
 #include "noc/router/router.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
 
-namespace {
-
-sim::Simulator& link_sim(const Link::Endpoint& a, const Link::Endpoint& b) {
-  MANGO_ASSERT(a.router != nullptr && b.router != nullptr,
-               "link endpoints must be routers");
-  MANGO_ASSERT(&a.router->ctx() == &b.router->ctx(),
-               "link endpoints live in different simulation contexts");
-  return a.router->ctx().sim();
-}
-
-}  // namespace
-
 Link::Link(Endpoint a, Endpoint b, unsigned pipeline_stages,
            LinkSignaling signaling, sim::Time skew_ps)
-    : sim_(link_sim(a, b)),
-      a_(a),
+    : a_(a),
       b_(b),
       stages_(pipeline_stages),
       signaling_(signaling),
       skew_(skew_ps) {
+  MANGO_ASSERT(a_.router != nullptr && b_.router != nullptr,
+               "link endpoints must be routers");
+  // Endpoints in different SimContexts are a shard boundary: allowed,
+  // but every send must go through set_boundary() channels (asserted in
+  // the send paths).
+  sims_[0] = &a_.router->ctx().sim();
+  sims_[1] = &b_.router->ctx().sim();
   MANGO_ASSERT(a_.router != b_.router, "self-links are not supported");
   MANGO_ASSERT(stages_ >= 1, "a link has at least one wire segment");
   if (signaling_ == LinkSignaling::kBundledData) {
@@ -55,6 +50,24 @@ const Link::Endpoint& Link::self_of(const Router* from) const {
   return b_;
 }
 
+unsigned Link::dir_of(const Router* from) const {
+  if (from == a_.router) return 0;
+  MANGO_ASSERT(from == b_.router, "send from a router not on this link");
+  return 1;
+}
+
+void Link::push_boundary(unsigned dir, BoundaryKind kind, VcIdx wire,
+                         LinkFlit lf, sim::Time latency) {
+  sim::Simulator& self = *sims_[dir];
+  BoundaryRecord rec;
+  rec.arrival = self.now() + latency;
+  rec.birth = self.now();
+  rec.kind = kind;
+  rec.wire = wire;
+  rec.lf = lf;
+  boundary_[dir]->queue.push(rec);
+}
+
 sim::Time Link::forward_latency() const {
   const StageDelays& d = a_.router->delays();
   sim::Time per_stage = d.link_fwd;
@@ -77,8 +90,18 @@ sim::Time Link::reverse_latency() const {
 }
 
 void Link::send_flit(const Router* from, LinkFlit lf) {
-  const Endpoint& peer = peer_of(from);
-  ++flits_carried_;
+  const unsigned dir = dir_of(from);
+  const Endpoint& peer = dir == 0 ? b_ : a_;
+  ++flits_carried_[dir];
+  if (boundary_[dir] != nullptr) {
+    // Cross-shard: hand off for barrier admission; the destination runs
+    // the plain uncoalesced receive (no peer state is read here).
+    push_boundary(dir, BoundaryKind::kFlit, 0, lf, forward_latency());
+    return;
+  }
+  MANGO_ASSERT(sims_[0] == sims_[1],
+               "cross-context link used without boundary channels");
+  sim::Simulator& sim_ = *sims_[dir];
   if (!coalesce_) {
     sim_.after(forward_latency(), [peer, lf] {
       peer.router->receive_link_flit(peer.port, lf);
@@ -115,15 +138,27 @@ void Link::send_flit(const Router* from, LinkFlit lf) {
 }
 
 void Link::send_be_flit(const Router* from, LinkFlit lf) {
-  const Endpoint& peer = peer_of(from);
-  ++flits_carried_;
-  sim_.after(forward_latency(), [peer, lf] {
+  const unsigned dir = dir_of(from);
+  const Endpoint& peer = dir == 0 ? b_ : a_;
+  ++flits_carried_[dir];
+  if (boundary_[dir] != nullptr) {
+    push_boundary(dir, BoundaryKind::kFlit, 0, lf, forward_latency());
+    return;
+  }
+  sims_[dir]->after(forward_latency(), [peer, lf] {
     peer.router->receive_link_flit(peer.port, lf);
   });
 }
 
 void Link::send_reverse(const Router* from, VcIdx wire) {
-  const Endpoint& peer = peer_of(from);
+  const unsigned dir = dir_of(from);
+  const Endpoint& peer = dir == 0 ? b_ : a_;
+  if (boundary_[dir] != nullptr) {
+    push_boundary(dir, BoundaryKind::kReverse, wire, LinkFlit{},
+                  reverse_latency());
+    return;
+  }
+  sim::Simulator& sim_ = *sims_[dir];
   if (!coalesce_) {
     sim_.after(reverse_latency(), [peer, wire] {
       peer.router->receive_reverse(peer.port, wire);
@@ -140,10 +175,20 @@ void Link::send_reverse(const Router* from, VcIdx wire) {
   });
 }
 
-void Link::send_be_credit(const Router* from, BeVcIdx vc) {
-  const Endpoint& peer = peer_of(from);
+sim::Time Link::be_credit_latency() const {
   const StageDelays& d = a_.router->delays();
-  sim_.after(static_cast<sim::Time>(stages_) * d.be_credit_back, [peer, vc] {
+  return static_cast<sim::Time>(stages_) * d.be_credit_back;
+}
+
+void Link::send_be_credit(const Router* from, BeVcIdx vc) {
+  const unsigned dir = dir_of(from);
+  const Endpoint& peer = dir == 0 ? b_ : a_;
+  if (boundary_[dir] != nullptr) {
+    push_boundary(dir, BoundaryKind::kBeCredit, vc, LinkFlit{},
+                  be_credit_latency());
+    return;
+  }
+  sims_[dir]->after(be_credit_latency(), [peer, vc] {
     peer.router->receive_be_credit(peer.port, vc);
   });
 }

@@ -21,6 +21,8 @@
 namespace mango::noc {
 
 class Router;
+struct BoundaryChannel;
+enum class BoundaryKind : std::uint8_t;
 
 class Link {
  public:
@@ -38,8 +40,11 @@ class Link {
   /// tolerated and simply adds to the forward latency, together with the
   /// completion-detection overhead.
   ///
-  /// The link runs in the SimContext of its endpoint routers (which must
-  /// agree — one kernel drives one network).
+  /// The link runs in the SimContext of its endpoint routers. The
+  /// endpoints normally share one context; endpoints in different
+  /// contexts (a sharded Network's boundary links) are allowed only if
+  /// set_boundary() attaches a handoff channel per direction before the
+  /// first send.
   Link(Endpoint a, Endpoint b, unsigned pipeline_stages = 1,
        LinkSignaling signaling = LinkSignaling::kBundledData,
        sim::Time skew_ps = 0);
@@ -66,13 +71,34 @@ class Link {
   const Endpoint& peer_endpoint(const Router* from) const {
     return peer_of(from);
   }
-  /// Accounts a flit sent through a cached (router-side) transfer plan.
-  void count_flit() { ++flits_carried_; }
+  /// Per-direction sent-flit counter for cached (router-side) transfer
+  /// plans. Direction-split so the two endpoint shards never share a
+  /// counter cache line contentiously.
+  std::uint64_t* flit_counter(const Router* from) {
+    return &flits_carried_[dir_of(from)];
+  }
+
+  /// Marks this link as a shard boundary: sends from a_ go to `ab`,
+  /// sends from b_ to `ba`. Must be called before any traffic when the
+  /// endpoints live in different SimContexts.
+  void set_boundary(BoundaryChannel* ab, BoundaryChannel* ba) {
+    boundary_[0] = ab;
+    boundary_[1] = ba;
+  }
+  /// True when sends from `from` cross a shard boundary.
+  bool is_boundary(const Router* from) const {
+    return boundary_[dir_of(from)] != nullptr;
+  }
 
   unsigned pipeline_stages() const { return stages_; }
   LinkSignaling signaling() const { return signaling_; }
   sim::Time skew() const { return skew_; }
-  std::uint64_t flits_carried() const { return flits_carried_; }
+  std::uint64_t flits_carried() const {
+    return flits_carried_[0] + flits_carried_[1];
+  }
+
+  /// BE credit-wire latency (stages * credit-wire delay).
+  sim::Time be_credit_latency() const;
 
   /// First endpoint as constructed (diagnostics/reports identify a link
   /// by this side).
@@ -91,15 +117,19 @@ class Link {
  private:
   const Endpoint& peer_of(const Router* from) const;
   const Endpoint& self_of(const Router* from) const;
+  unsigned dir_of(const Router* from) const;
+  void push_boundary(unsigned dir, BoundaryKind kind, VcIdx wire, LinkFlit lf,
+                     sim::Time latency);
 
-  sim::Simulator& sim_;
+  sim::Simulator* sims_[2];  ///< per endpoint (equal for intra-shard links)
   Endpoint a_;
   Endpoint b_;
   unsigned stages_;
   LinkSignaling signaling_;
   sim::Time skew_;
   bool coalesce_ = true;  ///< from RouterConfig::coalesce_handshakes
-  std::uint64_t flits_carried_ = 0;
+  BoundaryChannel* boundary_[2] = {nullptr, nullptr};  ///< a->b, b->a
+  std::uint64_t flits_carried_[2] = {0, 0};            ///< a->b, b->a
 };
 
 }  // namespace mango::noc

@@ -1,0 +1,57 @@
+// Cross-shard link boundary: the handoff records and SPSC channels.
+//
+// A link whose endpoint routers live in different shards cannot schedule
+// the receive event directly into the peer's kernel (that kernel runs on
+// another thread). Instead, the sending side pushes a BoundaryRecord —
+// carrying the model-level arrival time AND the sender's scheduling time
+// (birth) — into the per-direction SPSC channel; the shard engine drains
+// every channel at window barriers and admits the records into the
+// destination kernel sorted by (arrival, birth, channel order key, FIFO
+// order). The order key is the link's position in the Network's link
+// list times two plus the direction, which is a pure function of the
+// topology — never of the partition or of wall-clock arrival — so the
+// merged dispatch order is identical for every shard count.
+//
+// Boundary transfers always use the uncoalesced two-event handshake
+// chains: the coalesced fast path resolves the peer's switching plan at
+// send time, which would read another shard's state mid-window. The
+// fold ledger (PR 4) guarantees the two chains have bit-identical event
+// totals and stats, so this costs determinism nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/common/flit.hpp"
+#include "noc/common/ids.hpp"
+#include "sim/spsc.hpp"
+#include "sim/time.hpp"
+
+namespace mango::noc {
+
+class Router;
+
+enum class BoundaryKind : std::uint8_t {
+  kFlit,      ///< forward data (GS or BE) -> Router::receive_link_flit
+  kReverse,   ///< unlock/credit toggle    -> Router::receive_reverse
+  kBeCredit,  ///< BE credit return        -> Router::receive_be_credit
+};
+
+struct BoundaryRecord {
+  sim::Time arrival = 0;  ///< model arrival instant at the destination
+  sim::Time birth = 0;    ///< sender's now() when the transfer left
+  BoundaryKind kind = BoundaryKind::kFlit;
+  VcIdx wire = 0;  ///< reverse wire / BE credit lane (kind != kFlit)
+  LinkFlit lf;     ///< payload (kind == kFlit)
+};
+
+/// One direction of one cross-shard link. Produced by the sending
+/// shard's worker during windows, drained by the engine at barriers.
+struct BoundaryChannel {
+  Router* dst = nullptr;
+  PortIdx dst_port = 0;
+  unsigned dst_shard = 0;
+  std::uint32_t order_key = 0;  ///< link index * 2 + direction
+  sim::SpscQueue<BoundaryRecord> queue;
+};
+
+}  // namespace mango::noc

@@ -41,12 +41,21 @@ const char* to_string(ConnState s) {
 ConnectionManager::ConnectionManager(Network& net, NodeId host)
     : net_(net), host_(host) {
   MANGO_ASSERT(net_.topology().contains(host_), "host node out of bounds");
-  // Track programming completion on every router.
+  // Track programming completion on every router. The observer fires
+  // inside the firing router's shard kernel; the bookkeeping it triggers
+  // reads manager state and may schedule packets from the host node, so
+  // it is deferred onto the control plane — one fixed, shard-count-
+  // independent deferral after the programming flit lands. At one shard
+  // the post is a plain kernel event; at N the engine runs it with every
+  // shard parked on its key, in the same deterministic order.
   for (std::size_t i = 0; i < net_.node_count(); ++i) {
     const NodeId n = net_.node_at(i);
-    net_.router(n).programming().set_observer(
-        [this, n](std::uint32_t tag, unsigned words) {
-          on_programmed(n, tag, words);
+    Router& r = net_.router(n);
+    sim::Simulator& shard_sim = r.ctx().sim();
+    r.programming().set_observer(
+        [this, n, &shard_sim](std::uint32_t tag, unsigned words) {
+          net_.control().post_deferred(
+              shard_sim, [this, n, tag, words] { on_programmed(n, tag, words); });
         });
   }
 }

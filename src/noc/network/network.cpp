@@ -1,8 +1,22 @@
 #include "noc/network/network.hpp"
 
+#include <algorithm>
+
 #include "sim/assert.hpp"
 
 namespace mango::noc {
+
+namespace {
+
+/// Minimum latency of any wire of one link: forward data, reverse
+/// unlock, BE credit. The smallest of these over a link set is the
+/// conservative synchronization slack that set provides.
+sim::Time link_min_latency(const Link& l) {
+  return std::min({l.forward_latency(), l.reverse_latency(),
+                   l.be_credit_latency()});
+}
+
+}  // namespace
 
 Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
     : ctx_(ctx),
@@ -37,12 +51,25 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
                    topo_->label() +
                    " is not deadlock-free; dependency cycle: " + check.cycle);
 
+  // Shard partition: contiguous node-index ranges (clamped to the node
+  // count). Every shard above 0 gets its own SimContext, seeded like
+  // shard 0's so derived streams are reproducible; no component draws
+  // from a context RNG at run time, so identical seeding is safe.
+  shard_of_ = partition_shards(topo_->node_count(),
+                               cfg_.shards == 0 ? 1 : cfg_.shards);
+  const unsigned n_shards = shard_of_.empty() ? 1 : shard_of_.back() + 1;
+  shard_ctxs_.push_back(&ctx_);
+  for (unsigned s = 1; s < n_shards; ++s) {
+    extra_ctxs_.push_back(std::make_unique<sim::SimContext>(ctx_.seed()));
+    shard_ctxs_.push_back(extra_ctxs_.back().get());
+  }
+
   routers_.reserve(topo_->node_count());
   nas_.reserve(topo_->node_count());
   for (std::size_t i = 0; i < topo_->node_count(); ++i) {
     const NodeId n = topo_->node_at(i);
     routers_.push_back(std::make_unique<Router>(
-        ctx_, cfg_.router, n, "R" + to_string(n)));
+        *shard_ctxs_[shard_of_[i]], cfg_.router, n, "R" + to_string(n)));
     nas_.push_back(std::make_unique<NetworkAdapter>(
         *routers_.back(), "NA" + to_string(n)));
   }
@@ -51,7 +78,11 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
   // instantiated from its lexicographically smaller (node index, port)
   // endpoint so parallel links (e.g. both directions of a 2-wide torus
   // ring) are each created exactly once. Port order East, North, South,
-  // West keeps mesh link creation in the historical order.
+  // West keeps mesh link creation in the historical order. Links whose
+  // endpoints land in different shards get a pair of boundary handoff
+  // channels keyed by the link's position here — a pure function of the
+  // topology, which is what makes the barrier merge order partition-
+  // independent.
   for (std::size_t i = 0; i < topo_->node_count(); ++i) {
     const NodeId n = topo_->node_at(i);
     for (const Direction d : {Direction::kEast, Direction::kNorth,
@@ -68,10 +99,54 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
           Link::Endpoint{&router(peer->node), peer->port},
           cfg_.link_pipeline_stages, cfg_.link_signaling,
           cfg_.link_skew_ps));
+      if (shard_of_[i] != shard_of_[peer_idx]) {
+        Link& l = *links_.back();
+        const auto link_idx = static_cast<std::uint32_t>(links_.size() - 1);
+        auto ab = std::make_unique<BoundaryChannel>();
+        ab->dst = &router(peer->node);
+        ab->dst_port = peer->port;
+        ab->dst_shard = shard_of_[peer_idx];
+        ab->order_key = link_idx * 2;
+        auto ba = std::make_unique<BoundaryChannel>();
+        ba->dst = &router(n);
+        ba->dst_port = port_of(d);
+        ba->dst_shard = shard_of_[i];
+        ba->order_key = link_idx * 2 + 1;
+        l.set_boundary(ab.get(), ba.get());
+        channels_.push_back(std::move(ab));
+        channels_.push_back(std::move(ba));
+      }
     }
   }
   ctx_.stats().counter("network.routers") += topo_->node_count();
   ctx_.stats().counter("network.links") += links_.size();
+
+  // Control-plane timing: the deferral (and the engine's window width)
+  // is the minimum latency of any wire of ANY link — not just the
+  // boundary set — so it does not depend on the partition and deferred
+  // control actions land at the same instant for every --shards value.
+  min_link_latency_ = sim::kTimeNever;
+  for (const auto& l : links_) {
+    min_link_latency_ = std::min(min_link_latency_, link_min_latency(*l));
+  }
+  if (links_.empty()) min_link_latency_ = 0;
+  control_.set_deferral(min_link_latency_);
+  if (n_shards == 1) {
+    control_.bind_kernel(ctx_.sim());
+  } else {
+    std::vector<sim::Simulator*> sims;
+    sims.reserve(shard_ctxs_.size());
+    for (sim::SimContext* c : shard_ctxs_) sims.push_back(&c->sim());
+    control_.bind_engine(sims);
+    // The window width doubles as the control deferral bound: a post
+    // made mid-window at u lands at u + deferral >= window end, so the
+    // engine always sees it in time to park the shards on its key.
+    std::vector<sim::Time> slack;
+    slack.push_back(min_link_latency_);
+    engine_ = std::make_unique<sim::ShardEngine>(
+        std::move(sims), sim::conservative_lookahead(slack), control_,
+        [this] { drain_boundaries(); });
+  }
 
   // BE downstream configuration: credits = the peer's BE input depth and
   // the split code that reaches the peer's BE router via the port the
@@ -93,6 +168,64 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
   if (vc_map.enabled) {
     for (std::size_t i = 0; i < topo_->node_count(); ++i) {
       routers_[i]->be_router().set_vc_classes(vc_map.dateline[i]);
+    }
+  }
+}
+
+std::uint64_t Network::run_until(sim::Time t_end) {
+  if (engine_ == nullptr) return ctx_.run_until(t_end);
+  return engine_->run_until(t_end);
+}
+
+std::uint64_t Network::events_dispatched() const {
+  std::uint64_t n = 0;
+  for (const sim::SimContext* c : shard_ctxs_) n += c->sim().events_dispatched();
+  return n + control_.executed();
+}
+
+void Network::drain_boundaries() {
+  admit_buf_.clear();
+  for (auto& chp : channels_) {
+    BoundaryChannel& ch = *chp;
+    ch.queue.drain([&](BoundaryRecord r) {
+      admit_buf_.push_back(PendingAdmit{r, &ch});
+    });
+  }
+  if (admit_buf_.empty()) return;
+  // (arrival, birth, channel order key) with stable_sort: records of one
+  // channel keep their FIFO order, records of different channels tie-
+  // break on the topology-derived key — never on wall-clock arrival.
+  std::stable_sort(admit_buf_.begin(), admit_buf_.end(),
+                   [](const PendingAdmit& x, const PendingAdmit& y) {
+                     if (x.rec.arrival != y.rec.arrival) {
+                       return x.rec.arrival < y.rec.arrival;
+                     }
+                     if (x.rec.birth != y.rec.birth) {
+                       return x.rec.birth < y.rec.birth;
+                     }
+                     return x.ch->order_key < y.ch->order_key;
+                   });
+  for (PendingAdmit& a : admit_buf_) {
+    sim::Simulator& dst = shard_ctxs_[a.ch->dst_shard]->sim();
+    Router* r = a.ch->dst;
+    const PortIdx port = a.ch->dst_port;
+    switch (a.rec.kind) {
+      case BoundaryKind::kFlit:
+        dst.admit(a.rec.arrival, a.rec.birth, [r, port, lf = a.rec.lf] {
+          r->receive_link_flit(port, lf);
+        });
+        break;
+      case BoundaryKind::kReverse:
+        dst.admit(a.rec.arrival, a.rec.birth, [r, port, w = a.rec.wire] {
+          r->receive_reverse(port, w);
+        });
+        break;
+      case BoundaryKind::kBeCredit:
+        dst.admit(a.rec.arrival, a.rec.birth,
+                  [r, port, v = static_cast<BeVcIdx>(a.rec.wire)] {
+                    r->receive_be_credit(port, v);
+                  });
+        break;
     }
   }
 }

@@ -13,10 +13,12 @@
 #include "noc/common/packet.hpp"
 #include "noc/link/link.hpp"
 #include "noc/na/network_adapter.hpp"
+#include "noc/network/boundary.hpp"
 #include "noc/network/routing.hpp"
 #include "noc/network/topology.hpp"
 #include "noc/router/router.hpp"
 #include "sim/context.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
@@ -27,6 +29,12 @@ struct NetworkConfig {
   unsigned link_pipeline_stages = 1;
   LinkSignaling link_signaling = LinkSignaling::kBundledData;
   sim::Time link_skew_ps = 0;  ///< worst wire skew per link stage
+  /// Worker shards the fabric is partitioned across (clamped to the
+  /// node count). 1 = today's single-kernel run; N >= 2 runs one event
+  /// kernel per contiguous node-index range under the conservative
+  /// shard engine. Stats are byte-identical for every value (see
+  /// DESIGN.md section 8).
+  unsigned shards = 1;
 };
 
 /// Mesh shorthand kept for the (many) mesh-only experiments: the same
@@ -62,8 +70,42 @@ class Network {
   /// virtual routing interface transparently).
   const RouteTable& route_table() const { return *table_; }
   const NetworkConfig& config() const { return cfg_; }
+  /// Shard 0's context (the control shard: node index 0, the connection
+  /// manager's host, always lives here). Single-shard networks have
+  /// exactly one context and this is it.
   sim::SimContext& ctx() { return ctx_; }
   sim::Simulator& simulator() { return ctx_.sim(); }
+
+  // --- sharding ---
+  /// Effective shard count (config value clamped to the node count).
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shard_ctxs_.size());
+  }
+  /// Context owning shard `s` (s == 0 is ctx()).
+  sim::SimContext& shard_ctx(unsigned s) { return *shard_ctxs_.at(s); }
+  /// Shard owning node index `idx`.
+  unsigned shard_of(std::size_t idx) const { return shard_of_.at(idx); }
+  /// Deterministic control-action scheduler (programming observers,
+  /// churn timers). Kernel-backed at one shard, engine-backed otherwise.
+  sim::ControlPlane& control() { return control_; }
+  /// Conservative window width / control deferral: the minimum latency
+  /// of any wire of any link. Shard-count independent by construction.
+  sim::Time min_link_latency() const { return min_link_latency_; }
+  /// Windows the shard engine has run (0 on single-shard networks).
+  std::uint64_t windows_run() const {
+    return engine_ ? engine_->windows_run() : 0;
+  }
+
+  /// Advances the whole fabric to `t_end` with single-kernel run_until
+  /// semantics (events at exactly t_end dispatch). On one shard this is
+  /// ctx().run_until(); on N it drives the conservative engine. Returns
+  /// events dispatched during the call.
+  std::uint64_t run_until(sim::Time t_end);
+
+  /// Events dispatched across every shard kernel plus engine-executed
+  /// control actions — the sharding-invariant total run_scenario
+  /// reports.
+  std::uint64_t events_dispatched() const;
 
   Router& router(NodeId n) { return *routers_.at(topo_->index(n)); }
   const Router& router(NodeId n) const {
@@ -97,14 +139,33 @@ class Network {
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
  private:
+  /// Barrier hook: drains every boundary channel and admits the records
+  /// into their destination kernels in (arrival, birth, channel, FIFO)
+  /// order. Runs on the engine thread with all workers parked.
+  void drain_boundaries();
+
   sim::SimContext& ctx_;
   NetworkConfig cfg_;
   std::unique_ptr<Topology> topo_;
   std::unique_ptr<RoutingAlgorithm> routing_;
   std::unique_ptr<RouteTable> table_;
+  std::vector<std::unique_ptr<sim::SimContext>> extra_ctxs_;  ///< shards 1..N-1
+  std::vector<sim::SimContext*> shard_ctxs_;  ///< [0] == &ctx_
+  std::vector<unsigned> shard_of_;            ///< node index -> shard
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<NetworkAdapter>> nas_;
+  std::vector<std::unique_ptr<BoundaryChannel>> channels_;
+  struct PendingAdmit {
+    BoundaryRecord rec;
+    BoundaryChannel* ch = nullptr;
+  };
+  std::vector<PendingAdmit> admit_buf_;  ///< drain scratch (engine thread)
+  sim::Time min_link_latency_ = 0;
+  sim::ControlPlane control_;
+  /// Must be the last member: its destructor joins the worker threads
+  /// before any shard state they touch is torn down.
+  std::unique_ptr<sim::ShardEngine> engine_;
 };
 
 }  // namespace mango::noc

@@ -359,6 +359,26 @@ std::optional<PortPeer> GraphTopology::link_peer(NodeId n, PortIdx p) const {
   return PortPeer{{peer->first, 0}, peer->second};
 }
 
+std::vector<unsigned> partition_shards(std::size_t node_count,
+                                       unsigned shards) {
+  MANGO_ASSERT(node_count > 0, "cannot partition an empty topology");
+  if (shards == 0) {
+    model_fail("a sharded run needs at least one shard");
+  }
+  const auto n = static_cast<unsigned>(
+      shards > node_count ? node_count : static_cast<std::size_t>(shards));
+  const std::size_t base = node_count / n;
+  const std::size_t extra = node_count % n;
+  std::vector<unsigned> owner(node_count);
+  std::size_t idx = 0;
+  for (unsigned s = 0; s < n; ++s) {
+    const std::size_t span = base + (s < extra ? 1 : 0);
+    for (std::size_t k = 0; k < span; ++k) owner[idx++] = s;
+  }
+  MANGO_ASSERT(idx == node_count, "partition did not cover every node");
+  return owner;
+}
+
 // --- factory -----------------------------------------------------------------
 
 std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {

@@ -41,6 +41,17 @@ const char* to_string(TopologyKind k);
 std::optional<TopologyKind> topology_kind_from_string(const std::string& s);
 std::vector<TopologyKind> all_topology_kinds();
 
+/// Contiguous balanced shard partition over node indices: shard s owns
+/// one index range, the first (node_count % shards) shards own one node
+/// more. Node indices are row-major on grid fabrics, so ranges become
+/// row stripes on mesh/torus (boundary links = the row cuts plus, on a
+/// torus, the wrap column) and arcs on a ring. Node index 0 — the
+/// connection manager's host — always lands in shard 0. `shards` is
+/// clamped to node_count; zero shards is a model error. Returns the
+/// shard id of every node index.
+std::vector<unsigned> partition_shards(std::size_t node_count,
+                                       unsigned shards);
+
 /// An arbitrary undirected adjacency: `edges` between node indices
 /// 0..node_count-1. Each node carries at most four edges (one per router
 /// port); ports are assigned in edge order (first free port at each

@@ -295,6 +295,7 @@ const Router::GsSendPlan& Router::send_plan(PortIdx port, VcIdx vc) {
   plan.link = l;
   plan.peer = peer.router;
   plan.target = &peer.router->vc_buffer(hop.target);
+  plan.flit_counter = l->flit_counter(this);
   plan.fwd = l->forward_latency();
   plan.total_delay = plan.fwd + hop.stage_delay;
   plan.generation = table_.generation();
@@ -308,8 +309,19 @@ void Router::on_gs_grant(PortIdx port, VcIdx vc) {
   fb.on_admit();
   Flit f = vc_buffer({port, vc}).pop();
   if (cfg_.coalesce_handshakes) {
+    Link* bl = links_[port];
+    if (bl != nullptr && bl->is_boundary(this)) {
+      // Cross-shard port: the coalesced plan would resolve the peer's
+      // switching state from another shard mid-window. Fall back to the
+      // uncoalesced send; the link pushes a boundary handoff record.
+      const SteerBits steer = table_.forward({port, vc});
+      ++link_flits_sent_;
+      bl->send_flit(this, LinkFlit{steer, f});
+      update_gs_request(port, vc);
+      return;
+    }
     const GsSendPlan& plan = send_plan(port, vc);
-    plan.link->count_flit();
+    ++*plan.flit_counter;
     ++link_flits_sent_;
     sim_.note_folded_hop_at(sim_.now() + plan.fwd);
     sim_.after(plan.total_delay,

@@ -153,6 +153,7 @@ class Router {
     Link* link = nullptr;
     Router* peer = nullptr;
     VcBuffer* target = nullptr;  ///< resolved in the peer router
+    std::uint64_t* flit_counter = nullptr;  ///< link's per-direction count
     sim::Time fwd = 0;          ///< link forward latency (the folded hop)
     sim::Time total_delay = 0;  ///< fwd + peer switch stage
   };

@@ -67,7 +67,8 @@ BeTraceSource::BeTraceSource(Network& net, NodeId src, std::uint32_t tag,
       src_(src),
       tag_(tag),
       trace_(std::move(trace)),
-      flit_pool_(net.ctx().pools().vectors<Flit>()) {
+      sim_(net.na(src).router().ctx().sim()),
+      flit_pool_(net.na(src).router().ctx().pools().vectors<Flit>()) {
   MANGO_ASSERT(net_.topology().contains(src_), "trace source out of bounds");
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     MANGO_ASSERT(trace_[i].dst != src_, "trace destination equals source");
@@ -80,8 +81,7 @@ BeTraceSource::BeTraceSource(Network& net, NodeId src, std::uint32_t tag,
 
 void BeTraceSource::start() {
   if (!trace_.empty()) {
-    net_.simulator().at(std::max(trace_.front().at, net_.simulator().now()),
-                        [this] { inject(0); });
+    sim_.at(std::max(trace_.front().at, sim_.now()), [this] { inject(0); });
   }
 }
 
@@ -94,13 +94,13 @@ void BeTraceSource::inject(std::size_t idx) {
   BePacket pkt =
       make_be_packet(flit_pool_.acquire(), net_.be_header(src_, e.dst),
                      payload_buf_.data(), payload_buf_.size(), tag_);
-  const sim::Time now = net_.simulator().now();
+  const sim::Time now = sim_.now();
   for (Flit& f : pkt.flits) f.injected_at = now;
   net_.na(src_).send_be_packet(std::move(pkt), e.vc);
   ++injected_;
   if (idx + 1 < trace_.size()) {
     const sim::Time next = std::max(trace_[idx + 1].at, now);
-    net_.simulator().at(next, [this, idx] { inject(idx + 1); });
+    sim_.at(next, [this, idx] { inject(idx + 1); });
   }
 }
 
@@ -111,9 +111,10 @@ BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
       tag_(tag),
       opt_(opt),
       rng_(opt.seed),
-      generated_stat_(
-          &net.ctx().stats().counter("traffic.be_packets_generated")),
-      flit_pool_(net.ctx().pools().vectors<Flit>()) {
+      sim_(net.na(src).router().ctx().sim()),
+      generated_stat_(&net.na(src).router().ctx().stats().counter(
+          "traffic.be_packets_generated")),
+      flit_pool_(net.na(src).router().ctx().pools().vectors<Flit>()) {
   MANGO_ASSERT(net_.topology().contains(src_), "BE source out of bounds");
   if (opt_.fixed_dst.has_value()) {
     MANGO_ASSERT(*opt_.fixed_dst != src_, "BE destination equals source");
@@ -121,7 +122,7 @@ BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
 }
 
 void BeTrafficSource::start(sim::Time at) {
-  net_.simulator().at(std::max(at, net_.simulator().now()), [this] {
+  sim_.at(std::max(at, sim_.now()), [this] {
     if (modulated()) schedule_phase_toggle();
     schedule_next();
   });
@@ -132,8 +133,8 @@ void BeTrafficSource::schedule_phase_toggle() {
       on_phase_ ? opt_.burst_on_mean_ps : opt_.burst_off_mean_ps);
   const auto len =
       std::max<sim::Time>(1, static_cast<sim::Time>(rng_.next_exponential(mean)));
-  phase_end_ = net_.simulator().now() + len;
-  net_.simulator().after(len, [this] {
+  phase_end_ = sim_.now() + len;
+  sim_.after(len, [this] {
     if (stopped_) return;
     on_phase_ = !on_phase_;
     schedule_phase_toggle();
@@ -161,14 +162,14 @@ void BeTrafficSource::inject() {
   if (modulated() && !on_phase_) {
     // Defer to the ON edge. The toggle event at phase_end_ was scheduled
     // before this one, so it dispatches first and flips the phase.
-    net_.simulator().at(phase_end_, [this] { inject(); });
+    sim_.at(phase_end_, [this] { inject(); });
     return;
   }
   NetworkAdapter& na = net_.na(src_);
   if (na.be_queue_flits() > opt_.na_queue_limit) {
     // Backpressured: count and retry shortly without generating.
     ++held_;
-    net_.simulator().after(1000, [this] { inject(); });
+    sim_.after(1000, [this] { inject(); });
     return;
   }
   const NodeId dst = pick_dst();
@@ -179,7 +180,7 @@ void BeTrafficSource::inject() {
   BePacket pkt =
       make_be_packet(flit_pool_.acquire(), net_.be_header(src_, dst),
                      payload_buf_.data(), payload_buf_.size(), tag_);
-  const sim::Time now = net_.simulator().now();
+  const sim::Time now = sim_.now();
   for (Flit& f : pkt.flits) f.injected_at = now;
   na.send_be_packet(std::move(pkt));
   ++generated_;
@@ -194,7 +195,7 @@ void BeTrafficSource::schedule_next() {
     gap = static_cast<sim::Time>(rng_.next_exponential(
         static_cast<double>(opt_.mean_interarrival_ps)));
   }
-  net_.simulator().after(gap, [this] { inject(); });
+  sim_.after(gap, [this] { inject(); });
 }
 
 }  // namespace mango::noc

@@ -93,7 +93,10 @@ class BeTraceSource {
   NodeId src_;
   std::uint32_t tag_;
   std::vector<TraceEntry> trace_;
-  sim::VectorPool<Flit>& flit_pool_;  ///< per-context packet storage pool
+  /// The source NA's shard kernel: injections must run where the NA
+  /// lives, not on shard 0.
+  sim::Simulator& sim_;
+  sim::VectorPool<Flit>& flit_pool_;  ///< the NA's shard's storage pool
   std::vector<std::uint32_t> payload_buf_;  ///< reused per injection
   std::uint64_t injected_ = 0;
 };
@@ -149,9 +152,12 @@ class BeTrafficSource {
   std::uint32_t tag_;
   Options opt_;
   sim::Rng rng_;
-  /// "traffic.be_packets_generated" in the context stats registry.
+  /// The source NA's shard kernel (see BeTraceSource::sim_).
+  sim::Simulator& sim_;
+  /// "traffic.be_packets_generated" in the NA's shard's stats registry
+  /// (the experiment layer sums the counter across shards).
   std::uint64_t* generated_stat_;
-  sim::VectorPool<Flit>& flit_pool_;  ///< per-context packet storage pool
+  sim::VectorPool<Flit>& flit_pool_;  ///< the NA's shard's storage pool
   std::vector<std::uint32_t> payload_buf_;  ///< reused per injection
   std::uint64_t generated_ = 0;
   std::uint64_t held_ = 0;

@@ -65,4 +65,67 @@ std::uint64_t MeasurementHub::total_flits() const {
   return n;
 }
 
+// --- HubSet ----------------------------------------------------------------
+
+HubSet::HubSet(unsigned shards) : hubs_(shards == 0 ? 1 : shards) {}
+
+MeasurementHub& HubSet::shard(unsigned s) { return hubs_.at(s); }
+
+const MeasurementHub& HubSet::shard(unsigned s) const { return hubs_.at(s); }
+
+void HubSet::set_horizon(sim::Time h) {
+  for (MeasurementHub& hub : hubs_) hub.set_horizon(h);
+}
+
+bool HubSet::has_flow(std::uint32_t tag) const {
+  for (const MeasurementHub& hub : hubs_) {
+    if (hub.has_flow(tag)) return true;
+  }
+  return false;
+}
+
+std::uint64_t HubSet::flow_flits(std::uint32_t tag) const {
+  std::uint64_t n = 0;
+  for (const MeasurementHub& hub : hubs_) {
+    if (const FlowStats* f = hub.find_flow(tag)) n += f->flits;
+  }
+  return n;
+}
+
+std::uint64_t HubSet::flow_packets(std::uint32_t tag) const {
+  std::uint64_t n = 0;
+  for (const MeasurementHub& hub : hubs_) {
+    if (const FlowStats* f = hub.find_flow(tag)) n += f->packets;
+  }
+  return n;
+}
+
+std::uint64_t HubSet::flow_seq_errors(std::uint32_t tag) const {
+  std::uint64_t n = 0;
+  for (const MeasurementHub& hub : hubs_) {
+    if (const FlowStats* f = hub.find_flow(tag)) n += f->seq_errors;
+  }
+  return n;
+}
+
+void HubSet::append_latency_samples(std::uint32_t tag,
+                                    std::vector<double>& out) const {
+  for (const MeasurementHub& hub : hubs_) {
+    if (const FlowStats* f = hub.find_flow(tag)) {
+      const std::vector<double>& s = f->latency_ns.samples();
+      out.insert(out.end(), s.begin(), s.end());
+    }
+  }
+}
+
+std::vector<std::uint32_t> HubSet::tags() const {
+  std::vector<std::uint32_t> out;
+  for (const MeasurementHub& hub : hubs_) {
+    for (const auto& [tag, s] : hub.flows_by_tag()) out.push_back(tag);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace mango::noc

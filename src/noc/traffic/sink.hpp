@@ -38,6 +38,47 @@ struct FlowStats {
   }
 };
 
+class MeasurementHub;
+
+/// One MeasurementHub per shard. The record path runs inside the
+/// delivering NA's shard kernel, so each hub is only ever touched by one
+/// thread; readers merge by tag after (or between) windows. A GS flow is
+/// delivered entirely at one NA and therefore lives in exactly one hub
+/// (its seq tracking and sample order stay intact); a BE flow (keyed by
+/// its *source* tag) delivers at many NAs and may spread across hubs —
+/// every merged read below is a sum or a sample concatenation whose
+/// consumers compute sort-based quantiles, so the results are
+/// shard-count invariant.
+class HubSet {
+ public:
+  explicit HubSet(unsigned shards = 1);
+
+  unsigned size() const { return static_cast<unsigned>(hubs_.size()); }
+  MeasurementHub& shard(unsigned s);
+  const MeasurementHub& shard(unsigned s) const;
+
+  /// Applies the horizon to every hub (see MeasurementHub::set_horizon).
+  void set_horizon(sim::Time h);
+
+  // --- merged reads ---
+  bool has_flow(std::uint32_t tag) const;
+  std::uint64_t flow_flits(std::uint32_t tag) const;
+  std::uint64_t flow_packets(std::uint32_t tag) const;
+  std::uint64_t flow_seq_errors(std::uint32_t tag) const;
+  /// Appends every latency sample of `tag` (shard order — immaterial to
+  /// the sort-based quantile consumers; a GS flow has one contributing
+  /// hub, so its delivery order is preserved exactly).
+  void append_latency_samples(std::uint32_t tag,
+                              std::vector<double>& out) const;
+  /// Ascending, deduplicated tags across all hubs.
+  std::vector<std::uint32_t> tags() const;
+
+ private:
+  /// Hubs hold interior pointers (index_ -> slots_); a deque constructed
+  /// once never moves or copies them.
+  std::deque<MeasurementHub> hubs_;
+};
+
 /// Collects flow statistics; install its record_* hooks as NA handlers.
 class MeasurementHub {
  public:

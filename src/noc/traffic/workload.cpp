@@ -6,21 +6,42 @@
 
 namespace mango::noc {
 
+namespace {
+
+void attach_hub_to_na(NetworkAdapter& na, MeasurementHub& hub) {
+  // Measurement is passive: the timed handlers receive the delivery
+  // instant as an argument, letting the NA fold the final wire hop
+  // instead of scheduling one event per delivered flit/packet. The
+  // recycle pool is the NA's own shard's (the handler runs there).
+  sim::VectorPool<Flit>& pool = na.router().ctx().pools().vectors<Flit>();
+  na.set_gs_handler_timed([&hub](LocalIfaceIdx, Flit&& f, sim::Time at) {
+    hub.record_gs_flit(at, f);
+  });
+  na.set_be_handler_timed([&hub, &pool](BePacket&& pkt, sim::Time at) {
+    hub.record_be_packet(at, pkt);
+    // Measurement consumed the packet: recycle its flit storage.
+    pool.release(std::move(pkt.flits));
+  });
+}
+
+}  // namespace
+
 void attach_hub(Network& net, MeasurementHub& hub) {
-  sim::VectorPool<Flit>& pool = net.ctx().pools().vectors<Flit>();
+  MANGO_ASSERT(net.shard_count() == 1,
+               "attach_hub(MeasurementHub) on a sharded network — a single "
+               "hub cannot be shared across shard kernels; use the HubSet "
+               "overload");
   for (std::size_t i = 0; i < net.node_count(); ++i) {
-    NetworkAdapter& na = net.na(net.node_at(i));
-    // Measurement is passive: the timed handlers receive the delivery
-    // instant as an argument, letting the NA fold the final wire hop
-    // instead of scheduling one event per delivered flit/packet.
-    na.set_gs_handler_timed([&hub](LocalIfaceIdx, Flit&& f, sim::Time at) {
-      hub.record_gs_flit(at, f);
-    });
-    na.set_be_handler_timed([&hub, &pool](BePacket&& pkt, sim::Time at) {
-      hub.record_be_packet(at, pkt);
-      // Measurement consumed the packet: recycle its flit storage.
-      pool.release(std::move(pkt.flits));
-    });
+    attach_hub_to_na(net.na(net.node_at(i)), hub);
+  }
+}
+
+void attach_hub(Network& net, HubSet& hubs) {
+  MANGO_ASSERT(hubs.size() == net.shard_count(),
+               "HubSet size " + std::to_string(hubs.size()) +
+                   " != shard count " + std::to_string(net.shard_count()));
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    attach_hub_to_na(net.na(net.node_at(i)), hubs.shard(net.shard_of(i)));
   }
 }
 
@@ -325,13 +346,14 @@ std::vector<std::unique_ptr<GsStreamSource>> start_gs_set(
 // --- connection churn ------------------------------------------------------
 
 ChurnWorkload::ChurnWorkload(Network& net, ConnectionBroker& broker,
-                             MeasurementHub& hub, ChurnOptions opt)
+                             HubSet& hub, ChurnOptions opt)
     : net_(net),
       broker_(broker),
       hub_(hub),
       opt_(opt),
       rng_(opt.seed ^ 0xC3A5C85C97CB3127ull),
-      sim_(net.simulator()) {
+      sim_(net.simulator()),
+      ctrl_(net.control()) {
   MANGO_ASSERT(opt_.mean_open_interarrival_ps > 0,
                "churn needs a positive open interarrival");
   MANGO_ASSERT(opt_.mean_hold_ps > 0, "churn needs a positive holding time");
@@ -342,7 +364,8 @@ ChurnWorkload::ChurnWorkload(Network& net, ConnectionBroker& broker,
 }
 
 void ChurnWorkload::start(sim::Time at) {
-  sim_.at(std::max(at, sim_.now()), [this] { schedule_next_open(); });
+  ctrl_.post_at(sim_, std::max(at, sim_.now()),
+                [this] { schedule_next_open(); });
 }
 
 void ChurnWorkload::schedule_next_open() {
@@ -350,7 +373,7 @@ void ChurnWorkload::schedule_next_open() {
   const auto gap = std::max<sim::Time>(
       1, static_cast<sim::Time>(rng_.next_exponential(
              static_cast<double>(opt_.mean_open_interarrival_ps))));
-  sim_.after(gap, [this] {
+  ctrl_.post_at(sim_, sim_.now() + gap, [this] {
     open_one();
     schedule_next_open();
   });
@@ -385,7 +408,7 @@ void ChurnWorkload::on_ready(std::size_t k, const Connection& c) {
   const auto hold = std::max<sim::Time>(
       1, static_cast<sim::Time>(
              rng_.next_exponential(static_cast<double>(opt_.mean_hold_ps))));
-  sim_.after(hold, [this, k] { stop_stream(k); });
+  ctrl_.post_at(sim_, sim_.now() + hold, [this, k] { stop_stream(k); });
 }
 
 void ChurnWorkload::stop_stream(std::size_t k) {
@@ -397,14 +420,14 @@ void ChurnWorkload::stop_stream(std::size_t k) {
 }
 
 std::uint64_t ChurnWorkload::delivered(const Slot& s) const {
-  const FlowStats* f = hub_.find_flow(s.tag);
-  return f == nullptr ? 0 : f->flits;
+  return hub_.flow_flits(s.tag);
 }
 
 void ChurnWorkload::poll_drained(std::size_t k) {
   Slot& s = slots_[k];
   if (delivered(s) != s.source->generated()) {
-    sim_.after(opt_.drain_poll_ps, [this, k] { poll_drained(k); });
+    ctrl_.post_at(sim_, sim_.now() + opt_.drain_poll_ps,
+                  [this, k] { poll_drained(k); });
     return;
   }
   // Everything this connection generated has been delivered: the whole
@@ -429,8 +452,7 @@ ChurnWorkload::Totals ChurnWorkload::finalize(sim::Time horizon) const {
     const std::uint64_t got = delivered(s);
     t.flits_generated += s.source->generated();
     t.flits_delivered += got;
-    const FlowStats* f = hub_.find_flow(s.tag);
-    const std::uint64_t seq = f == nullptr ? 0 : f->seq_errors;
+    const std::uint64_t seq = hub_.flow_seq_errors(s.tag);
     t.seq_errors += seq;
     bool violated = seq > 0;
     // A stream stopped long before the horizon whose flits never all

@@ -19,8 +19,15 @@
 namespace mango::noc {
 
 /// Wires a MeasurementHub to every NA: GS flits and BE packets delivered
-/// anywhere in the network are recorded by flow tag.
+/// anywhere in the network are recorded by flow tag. Single-shard
+/// networks only (one hub cannot be shared across shard kernels) — use
+/// the HubSet overload for sharded networks.
 void attach_hub(Network& net, MeasurementHub& hub);
+
+/// Wires one hub per shard: every NA records into its own shard's hub
+/// (the HubSet must have exactly net.shard_count() hubs). Works at any
+/// shard count; the HubSet's merged reads are shard-count invariant.
+void attach_hub(Network& net, HubSet& hubs);
 
 /// Starts uniform-random BE traffic from every node. `mean_interarrival`
 /// is per node; tags are kBeTagBase + node index.
@@ -176,8 +183,11 @@ struct ChurnOptions {
 /// one CBR GsStreamSource per admitted connection bound to its lifetime
 /// (started at Ready, stopped after the holding time), drain-confirmed
 /// packet-mode closes. All randomness comes from one seeded private Rng
-/// and all scheduling from the owning SimContext, so churn scenarios are
-/// bit-identical per seed.
+/// and all scheduling goes through the network's control plane (plain
+/// kernel events at one shard, engine-merged actions at N — the
+/// workload reads cross-shard state like the destination hub, so its
+/// timers must run with every shard parked), so churn scenarios are
+/// bit-identical per seed at any shard count.
 class ChurnWorkload {
  public:
   struct Totals {
@@ -194,7 +204,7 @@ class ChurnWorkload {
     std::uint64_t violations = 0;
   };
 
-  ChurnWorkload(Network& net, ConnectionBroker& broker, MeasurementHub& hub,
+  ChurnWorkload(Network& net, ConnectionBroker& broker, HubSet& hub,
                 ChurnOptions opt);
 
   /// Starts the open-request process (first request one exponential gap
@@ -234,10 +244,12 @@ class ChurnWorkload {
 
   Network& net_;
   ConnectionBroker& broker_;
-  MeasurementHub& hub_;
+  HubSet& hub_;
   ChurnOptions opt_;
   sim::Rng rng_;
+  /// Shard 0's kernel: the clock/birth source for control-plane posts.
   sim::Simulator& sim_;
+  sim::ControlPlane& ctrl_;
   std::deque<Slot> slots_;  ///< one per open request; stable references
   std::uint64_t closes_requested_ = 0;
 };

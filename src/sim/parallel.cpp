@@ -1,0 +1,227 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace mango::sim {
+
+Time conservative_lookahead(const std::vector<Time>& boundary_latencies) {
+  if (boundary_latencies.empty()) {
+    model_fail(
+        "sharded run has no cross-shard links to derive a lookahead from "
+        "(degenerate partition)");
+  }
+  Time w = kTimeNever;
+  for (const Time t : boundary_latencies) w = std::min(w, t);
+  if (w == 0) {
+    model_fail(
+        "zero lookahead: a cross-shard link with no latency gives the "
+        "conservative engine no synchronization slack — repartition so "
+        "every boundary link has positive latency");
+  }
+  return w;
+}
+
+void ControlPlane::bind_kernel(Simulator& sim) {
+  kernel_ = &sim;
+  shards_.clear();
+  per_shard_.clear();
+}
+
+void ControlPlane::bind_engine(std::vector<Simulator*> shard_sims) {
+  MANGO_ASSERT(shard_sims.size() >= 2, "engine mode needs at least 2 shards");
+  kernel_ = nullptr;
+  shards_ = std::move(shard_sims);
+  per_shard_.clear();
+  per_shard_.resize(shards_.size());
+}
+
+std::uint32_t ControlPlane::shard_index(const Simulator& s) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i] == &s) return static_cast<std::uint32_t>(i);
+  }
+  model_fail("control post from a kernel that is not a bound shard");
+}
+
+void ControlPlane::post_at(Simulator& from, Time t, Fn fn) {
+  MANGO_ASSERT(static_cast<bool>(fn), "empty control action");
+  MANGO_ASSERT(t >= from.now(), "control post in the past");
+  if (kernel_ != nullptr) {
+    MANGO_ASSERT(&from == kernel_, "control post from a foreign kernel");
+    kernel_->at(t, [fn = std::move(fn)] { fn(); });
+    return;
+  }
+  const std::uint32_t s = shard_index(from);
+  PerShard& b = per_shard_[s];
+  b.out.push_back(Pending{t, from.now(), s, b.seq++, std::move(fn)});
+}
+
+void ControlPlane::collect() {
+  bool added = false;
+  for (PerShard& b : per_shard_) {
+    if (b.out.empty()) continue;
+    for (Pending& p : b.out) queue_.push_back(std::move(p));
+    b.out.clear();
+    added = true;
+  }
+  if (!added) return;
+  // Compact the consumed prefix, then re-sort. Control events are rare
+  // (connection lifecycle, not data plane), so simplicity wins.
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+  queue_head_ = 0;
+  std::sort(queue_.begin(), queue_.end(), key_before);
+}
+
+bool ControlPlane::peek(Key& out) const {
+  if (queue_head_ >= queue_.size()) return false;
+  out.time = queue_[queue_head_].time;
+  out.birth = queue_[queue_head_].birth;
+  return true;
+}
+
+void ControlPlane::run_due(Time t, Time birth) {
+  for (;;) {
+    if (queue_head_ >= queue_.size()) break;
+    Pending& p = queue_[queue_head_];
+    if (p.time != t || p.birth != birth) break;
+    Fn fn = std::move(p.fn);
+    ++queue_head_;
+    fn();
+    ++executed_;
+    collect();  // the action may have posted follow-ups
+  }
+}
+
+ShardEngine::ShardEngine(std::vector<Simulator*> shards, Time lookahead,
+                         ControlPlane& ctrl, std::function<void()> drain)
+    : shards_(std::move(shards)),
+      lookahead_(lookahead),
+      ctrl_(ctrl),
+      drain_(std::move(drain)) {
+  MANGO_ASSERT(shards_.size() >= 2, "shard engine needs at least 2 shards");
+  MANGO_ASSERT(lookahead_ > 0, "shard engine needs a positive lookahead");
+  worker_error_.resize(shards_.size());
+  threads_.reserve(shards_.size() - 1);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  publish(Phase::kExit, 0, 0);
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardEngine::run_shard(std::size_t idx) {
+  Simulator& s = *shards_[idx];
+  std::uint64_t n = 0;
+  switch (phase_) {
+    case Phase::kWindow: n = s.run_window(phase_time_); break;
+    case Phase::kTie: n = s.run_until_tie(phase_time_, phase_birth_); break;
+    case Phase::kFinal: n = s.run_until(phase_time_); break;
+    case Phase::kIdle:
+    case Phase::kExit: break;
+  }
+  (void)n;
+}
+
+void ShardEngine::worker_main(std::size_t idx) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_cmd_.wait(lk, [&] { return generation_ != seen; });
+      seen = generation_;
+      if (phase_ == Phase::kExit) return;
+    }
+    try {
+      run_shard(idx);
+    } catch (...) {
+      worker_error_[idx] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++done_;
+      if (done_ == threads_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardEngine::rethrow_worker_failure() {
+  // Deterministic choice: the lowest-index failing shard wins.
+  for (std::exception_ptr& e : worker_error_) {
+    if (e) {
+      std::exception_ptr take = e;
+      e = nullptr;
+      std::rethrow_exception(take);
+    }
+  }
+}
+
+void ShardEngine::publish(Phase p, Time t, Time birth) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    phase_ = p;
+    phase_time_ = t;
+    phase_birth_ = birth;
+    done_ = 0;
+    ++generation_;
+  }
+  cv_cmd_.notify_all();
+  if (p == Phase::kExit) return;
+  // Shard 0 runs on the engine thread: one fewer context switch per
+  // window, and the control shard's cache stays warm for run_due().
+  try {
+    run_shard(0);
+  } catch (...) {
+    worker_error_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return done_ == threads_.size(); });
+  }
+  rethrow_worker_failure();
+}
+
+std::uint64_t ShardEngine::run_until(Time t_end) {
+  MANGO_ASSERT(t_end >= cursor_, "engine cannot run backwards");
+  std::uint64_t before = 0;
+  for (Simulator* s : shards_) before += s->events_dispatched();
+  const std::uint64_t ctrl_before = ctrl_.executed();
+
+  for (;;) {
+    ctrl_.collect();
+    ControlPlane::Key k;
+    const bool has_ctrl = ctrl_.peek(k) && k.time <= t_end;
+    if (cursor_ >= t_end && !has_ctrl) break;
+    const Time window_end = std::min(cursor_ + lookahead_, t_end);
+    if (has_ctrl && k.time <= window_end) {
+      // Park every shard exactly at the control key, then run the
+      // action on the engine thread while the fabric is quiescent.
+      publish(Phase::kTie, k.time, k.birth);
+      drain_();
+      ctrl_.run_due(k.time, k.birth);
+      cursor_ = k.time;
+      continue;
+    }
+    publish(Phase::kWindow, window_end, 0);
+    ++windows_;
+    drain_();
+    cursor_ = window_end;
+  }
+  // Horizon edge: events at exactly t_end cannot influence another shard
+  // at t_end (every boundary latency >= lookahead > 0), so each shard
+  // finishes them independently with single-kernel semantics.
+  publish(Phase::kFinal, t_end, 0);
+  drain_();  // records for t > t_end: admitted, never dispatched — same
+             // as the single-kernel run leaving them pending.
+  cursor_ = t_end;
+
+  std::uint64_t after = 0;
+  for (Simulator* s : shards_) after += s->events_dispatched();
+  return (after - before) + (ctrl_.executed() - ctrl_before);
+}
+
+}  // namespace mango::sim

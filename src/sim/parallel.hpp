@@ -1,0 +1,177 @@
+// Conservative parallel shard engine (null-message-free, barrier style).
+//
+// A sharded simulation runs one Simulator kernel per shard, advanced in
+// lockstep windows of width W = the minimum latency of any cross-shard
+// link (the lookahead, in the sense of Chandy/Misra/Bryant conservative
+// PDES; darsim drives hornet's parallel mode the same way). Within a
+// window no shard can affect another before the window's end, so the
+// shards run concurrently; at the barrier, boundary events are drained
+// from SPSC queues and admitted into their destination kernels — sorted
+// by (time, birth, channel, fifo-order), never by wall-clock arrival —
+// so the merged dispatch order is a pure function of the model and a
+// run with N shards reproduces the single-kernel run bit for bit.
+//
+// Two pieces live here:
+//
+//  * ControlPlane — a deterministic scheduler for *control* actions
+//    (connection programming callbacks, churn timers) that must read or
+//    mutate state across shards. At N=1 it degenerates to the kernel
+//    itself (posts become plain events, so the single-kernel run is
+//    untouched); at N>=2 the engine parks every shard on the exact
+//    (time, birth) key of the next control event and runs the action on
+//    the engine thread while the fabric is quiescent.
+//
+//  * ShardEngine — the window/barrier loop and worker threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mango::sim {
+
+/// Conservative lookahead: the minimum of the given cross-boundary
+/// latencies. A zero (or absent) lookahead means the partition has no
+/// synchronization slack and the sharded engine cannot make progress —
+/// rejected as a model error rather than silently degrading.
+Time conservative_lookahead(const std::vector<Time>& boundary_latencies);
+
+class ControlPlane {
+ public:
+  using Fn = std::function<void()>;
+
+  /// N == 1: every post becomes a plain kernel event on `sim`.
+  void bind_kernel(Simulator& sim);
+  /// N >= 2: per-shard post buffers merged by the engine. `shard_sims`
+  /// maps shard index -> kernel; posts are keyed by the posting kernel.
+  void bind_engine(std::vector<Simulator*> shard_sims);
+
+  /// Fixed deferral applied by post_deferred(). Shard-count independent
+  /// (derived from the *global* minimum link latency), so a deferred
+  /// notification lands at the same instant for any --shards N.
+  void set_deferral(Time d) { deferral_ = d; }
+  Time deferral() const { return deferral_; }
+
+  /// Schedules `fn` at absolute time `t` with birth = from.now(). In
+  /// kernel mode this is exactly sim.at(); in engine mode the action is
+  /// queued under the deterministic key (t, birth, shard, post-seq) and
+  /// executed with every shard parked at that key.
+  void post_at(Simulator& from, Time t, Fn fn);
+
+  /// Schedules `fn` at from.now() + deferral(). Cross-shard callbacks
+  /// (e.g. programming-complete observers) MUST use this: the deferral
+  /// is at least the lookahead, so no shard has advanced past the
+  /// target instant when the action runs.
+  void post_deferred(Simulator& from, Fn fn) {
+    post_at(from, from.now() + deferral_, std::move(fn));
+  }
+
+  // --- engine side (valid in engine mode, callers hold all workers
+  // parked) ---
+  struct Key {
+    Time time = kTimeNever;
+    Time birth = 0;
+  };
+  /// Moves per-shard post buffers into the merged queue.
+  void collect();
+  /// Earliest queued key, or false when the queue is empty.
+  bool peek(Key& out) const;
+  /// Executes every queued action with exactly key (t, birth), in
+  /// (shard, post-seq) order, re-collecting after each action.
+  void run_due(Time t, Time birth);
+  /// Actions executed in engine mode (counted into the merged event
+  /// total so stats match the N=1 run, where posts are kernel events).
+  std::uint64_t executed() const { return executed_; }
+
+  bool engine_mode() const { return kernel_ == nullptr; }
+
+ private:
+  struct Pending {
+    Time time = 0;
+    Time birth = 0;
+    std::uint32_t shard = 0;
+    std::uint64_t seq = 0;
+    Fn fn;
+  };
+  struct PerShard {
+    std::vector<Pending> out;
+    std::uint64_t seq = 0;
+  };
+  static bool key_before(const Pending& a, const Pending& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.birth != b.birth) return a.birth < b.birth;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  }
+  std::uint32_t shard_index(const Simulator& s) const;
+
+  Simulator* kernel_ = nullptr;
+  std::vector<Simulator*> shards_;
+  std::vector<PerShard> per_shard_;
+  std::vector<Pending> queue_;  // sorted ascending by key_before
+  std::size_t queue_head_ = 0;
+  Time deferral_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+class ShardEngine {
+ public:
+  /// `drain` runs on the engine thread at every barrier, with all
+  /// workers parked: it must move boundary records into the destination
+  /// kernels (Network supplies it). `lookahead` must be positive (use
+  /// conservative_lookahead()).
+  ShardEngine(std::vector<Simulator*> shards, Time lookahead,
+              ControlPlane& ctrl, std::function<void()> drain);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Advances every shard to t_end with single-kernel run_until()
+  /// semantics: every event with time <= t_end dispatches, in the merged
+  /// deterministic order. Returns events dispatched across all shards
+  /// during this call (control-plane actions included).
+  std::uint64_t run_until(Time t_end);
+
+  Time lookahead() const { return lookahead_; }
+  std::uint64_t windows_run() const { return windows_; }
+
+ private:
+  enum class Phase : std::uint8_t { kIdle, kWindow, kTie, kFinal, kExit };
+
+  void publish(Phase p, Time t, Time birth);
+  void run_shard(std::size_t idx);
+  void worker_main(std::size_t idx);
+  void rethrow_worker_failure();
+
+  std::vector<Simulator*> shards_;
+  Time lookahead_;
+  ControlPlane& ctrl_;
+  std::function<void()> drain_;
+  Time cursor_ = 0;
+  std::uint64_t windows_ = 0;
+
+  // Phase barrier: the engine publishes (phase, time, birth) under the
+  // mutex and bumps the generation; each worker runs its shard for that
+  // phase and bumps done_. Workers 1..N-1 are std::threads; shard 0 runs
+  // on the engine thread itself.
+  std::mutex mu_;
+  std::condition_variable cv_cmd_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t done_ = 0;
+  Phase phase_ = Phase::kIdle;
+  Time phase_time_ = 0;
+  Time phase_birth_ = 0;
+  std::vector<std::exception_ptr> worker_error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mango::sim

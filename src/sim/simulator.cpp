@@ -37,6 +37,19 @@ void Simulator::at(Time t, Callback cb) {
   MANGO_ASSERT(static_cast<bool>(cb), "cannot schedule an empty callback");
   EventNode* n = alloc_node();
   n->time = t;
+  n->birth = now_;
+  n->seq = next_seq_++;
+  n->cb = std::move(cb);
+  insert(n);
+}
+
+void Simulator::admit(Time t, Time birth, Callback cb) {
+  MANGO_ASSERT(t >= now_, "cannot admit an event in the past");
+  MANGO_ASSERT(birth <= t, "admitted birth must not exceed the event time");
+  MANGO_ASSERT(static_cast<bool>(cb), "cannot admit an empty callback");
+  EventNode* n = alloc_node();
+  n->time = t;
+  n->birth = birth;
   n->seq = next_seq_++;
   n->cb = std::move(cb);
   insert(n);
@@ -82,7 +95,8 @@ void Simulator::insert_wheel(EventNode* n) {
   }
   // Fast path: sequence numbers grow monotonically and most events are
   // scheduled time-forward, so the overwhelmingly common case appends.
-  if (earlier(b.tail->time, b.tail->seq, n->time, n->seq)) {
+  if (earlier(b.tail->time, b.tail->birth, b.tail->seq, n->time, n->birth,
+              n->seq)) {
     n->next = nullptr;
     b.tail->next = n;
     b.tail = n;
@@ -90,14 +104,16 @@ void Simulator::insert_wheel(EventNode* n) {
   }
   // Out-of-order within the bucket (a shorter delay scheduled after a
   // longer one landing in the same granule): sorted insert.
-  if (earlier(n->time, n->seq, b.head->time, b.head->seq)) {
+  if (earlier(n->time, n->birth, n->seq, b.head->time, b.head->birth,
+              b.head->seq)) {
     n->next = b.head;
     b.head = n;
     return;
   }
   EventNode* prev = b.head;
   while (prev->next != nullptr &&
-         earlier(prev->next->time, prev->next->seq, n->time, n->seq)) {
+         earlier(prev->next->time, prev->next->birth, prev->next->seq,
+                 n->time, n->birth, n->seq)) {
     prev = prev->next;
   }
   n->next = prev->next;
@@ -173,6 +189,55 @@ Time Simulator::next_event_time() {
     best = overflow_.front()->time;
   }
   return best;
+}
+
+Simulator::EventKey Simulator::next_event_key() {
+  if (pending_ == 0) return EventKey{};
+  const EventNode* best = nullptr;
+  if (wheel_count_ > 0) {
+    // Same cursor fast-forward as next_event_time(); the head of the
+    // first non-empty bucket is the wheel minimum (buckets are sorted
+    // and one granule each, so time order dominates across buckets).
+    while (wheel_[cur_granule_ & kWheelMask].head == nullptr) ++cur_granule_;
+    best = wheel_[cur_granule_ & kWheelMask].head;
+  }
+  if (!overflow_.empty() &&
+      (best == nullptr ||
+       earlier(overflow_.front()->time, overflow_.front()->birth,
+               overflow_.front()->seq, best->time, best->birth, best->seq))) {
+    best = overflow_.front();
+  }
+  return EventKey{best->time, best->birth};
+}
+
+std::uint64_t Simulator::run_window(Time end) {
+  std::uint64_t n = 0;
+  while (pending_ != 0 && next_event_time() < end) {
+    step();
+    ++n;
+  }
+  if (now_ < end) {
+    now_ = end;
+    // Same cursor discipline as run_until(): everything still pending is
+    // at `end` or later, so the jump cannot pass a non-empty bucket.
+    if (cur_granule_ < granule_of(now_)) cur_granule_ = granule_of(now_);
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_until_tie(Time t, Time birth_bound) {
+  std::uint64_t n = 0;
+  while (pending_ != 0) {
+    const EventKey k = next_event_key();
+    if (k.time > t || (k.time == t && k.birth >= birth_bound)) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) {
+    now_ = t;
+    if (cur_granule_ < granule_of(now_)) cur_granule_ = granule_of(now_);
+  }
+  return n;
 }
 
 bool Simulator::step() {

@@ -23,9 +23,16 @@
 // event nodes are recycled through a free list carved from slabs — the
 // steady-state event loop performs no allocation at all.
 //
-// Dispatch order is exactly (time, insertion seq), bit-identical to the
-// straightforward priority-queue kernel (sim/legacy_kernel.hpp keeps that
-// implementation for differential tests and benchmarks).
+// Dispatch order is (time, birth, insertion seq), where `birth` is the
+// kernel clock at scheduling time. For events scheduled organically via
+// at()/after() the birth of a later seq is never smaller at equal time
+// (now() is nondecreasing), so the order is bit-identical to the classic
+// (time, insertion seq) kernel (sim/legacy_kernel.hpp keeps that
+// implementation for differential tests and benchmarks). The explicit
+// birth component exists for the sharded engine (sim/parallel.hpp):
+// boundary events handed across shards are admitted with the *sender's*
+// scheduling time as their birth, so a merged multi-kernel run dispatches
+// them exactly where the single-kernel run would have.
 #pragma once
 
 #include <algorithm>
@@ -72,6 +79,7 @@ class Simulator {
     MANGO_ASSERT(t >= now_, "cannot schedule an event in the past");
     EventNode* n = alloc_node();
     n->time = t;
+    n->birth = now_;
     n->seq = next_seq_++;
     n->cb = std::forward<F>(f);
     insert(n);
@@ -88,6 +96,33 @@ class Simulator {
   void after(Time delay, F&& f) {
     at(now_ + delay, std::forward<F>(f));
   }
+
+  /// Admits an event with an explicit birth timestamp. Used by the shard
+  /// engine to merge boundary events from other kernels: the event keeps
+  /// the *sender's* scheduling time as its tie-break key, so it sorts
+  /// against local events exactly as it would have in one shared kernel.
+  /// Requires t >= now() and birth <= t.
+  void admit(Time t, Time birth, Callback cb);
+
+  /// Earliest pending (time, birth) key; (kTimeNever, 0) when idle.
+  struct EventKey {
+    Time time = kTimeNever;
+    Time birth = 0;
+  };
+  EventKey next_event_key();
+
+  /// Conservative-window run: dispatches every event strictly earlier
+  /// than `end`, then parks now() at `end`. Events at exactly `end` stay
+  /// pending so that boundary events admitted *at* a window edge can
+  /// still be merged ahead of (or between) them by (time, birth, seq).
+  /// Returns the number of events dispatched.
+  std::uint64_t run_window(Time end);
+
+  /// Dispatches every event with key (time, birth) lexicographically
+  /// before (t, birth_bound), then parks now() at `t`. Used by the shard
+  /// engine to align every shard on an exact control-event key before
+  /// executing a control action. Returns events dispatched.
+  std::uint64_t run_until_tie(Time t, Time birth_bound);
 
   /// Dispatches the single next event. Returns false if none is pending.
   bool step();
@@ -138,6 +173,7 @@ class Simulator {
  private:
   struct EventNode {
     Time time = 0;
+    Time birth = 0;         // now() at scheduling time (tie-break level 2)
     std::uint64_t seq = 0;  // FIFO tie-break for simultaneous events
     EventNode* next = nullptr;
     Callback cb;
@@ -150,7 +186,7 @@ class Simulator {
   /// `b`.
   struct HeapLater {
     bool operator()(const EventNode* a, const EventNode* b) const {
-      return earlier(b->time, b->seq, a->time, a->seq);
+      return earlier(b->time, b->birth, b->seq, a->time, a->birth, a->seq);
     }
   };
 
@@ -162,10 +198,12 @@ class Simulator {
 
   static constexpr std::uint64_t granule_of(Time t) { return t >> kBucketShift; }
 
-  /// True when (ta, sa) dispatches strictly before (tb, sb).
-  static constexpr bool earlier(Time ta, std::uint64_t sa, Time tb,
-                                std::uint64_t sb) {
-    return ta != tb ? ta < tb : sa < sb;
+  /// True when (ta, ba, sa) dispatches strictly before (tb, bb, sb).
+  static constexpr bool earlier(Time ta, Time ba, std::uint64_t sa, Time tb,
+                                Time bb, std::uint64_t sb) {
+    if (ta != tb) return ta < tb;
+    if (ba != bb) return ba < bb;
+    return sa < sb;
   }
 
   EventNode* alloc_node();

@@ -1,0 +1,290 @@
+// Sharded conservative kernel: the (time, birth, seq) merge order, the
+// window/lookahead contract, SPSC boundary handoff, the topology
+// partition, the sweep core budget — and the invariant everything above
+// exists to uphold: a scenario's stats are bit-identical for every
+// --shards value, on all four fabrics, with and without connection
+// churn.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "noc/network/network.hpp"
+#include "sim/assert.hpp"
+#include "sim/context.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/spsc.hpp"
+
+namespace mango {
+namespace {
+
+// --- kernel ordering ---------------------------------------------------
+
+// Dispatch order is (time, birth, seq): an event admitted from another
+// shard with an earlier birth overtakes a same-time local event even
+// though it was inserted later.
+TEST(ParallelKernel, AdmittedEventSortsByBirthAgainstLocals) {
+  sim::Simulator s;
+  std::vector<int> order;
+  // Local event scheduled at t=50 for t=100: birth 50.
+  s.at(50, [&] { s.at(100, [&] { order.push_back(1); }); });
+  EXPECT_EQ(s.run_until(60), 1u);
+  // Boundary event for the same instant, born at 10 on the sender.
+  s.admit(100, 10, [&] { order.push_back(2); });
+  // And one born later than the local event.
+  s.admit(100, 70, [&] { order.push_back(3); });
+  s.run_until(100);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 3);
+}
+
+// Equal (time, birth) falls back to insertion order — the organic case,
+// identical to the classic (time, seq) kernel.
+TEST(ParallelKernel, EqualBirthPreservesInsertionOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.at(100, [&] { order.push_back(1); });
+  s.at(100, [&] { order.push_back(2); });
+  s.admit(100, 0, [&] { order.push_back(3); });
+  s.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+// --- window contract ---------------------------------------------------
+
+// run_window(end) is half-open: events strictly before `end` dispatch,
+// events exactly at `end` stay pending, and the clock parks at `end` so
+// the barrier can admit boundary events *at* the edge.
+TEST(ParallelKernel, RunWindowIsHalfOpen) {
+  sim::Simulator s;
+  int before = 0, edge = 0;
+  s.at(99, [&] { ++before; });
+  s.at(100, [&] { ++edge; });
+  EXPECT_EQ(s.run_window(100), 1u);
+  EXPECT_EQ(before, 1);
+  EXPECT_EQ(edge, 0);
+  EXPECT_EQ(s.now(), 100u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+// The satellite case the half-open window exists for: a boundary flit
+// whose arrival lands exactly on a window edge is admitted at the
+// barrier and still merges *ahead* of the edge-time local event when
+// its sender-side birth is earlier.
+TEST(ParallelKernel, BoundaryFlitExactlyOnWindowEdgeMergesByBirth) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.at(40, [&] { s.at(100, [&] { order.push_back(1); }); });  // birth 40
+  s.run_window(100);  // park at the edge; the t=100 event is pending
+  s.admit(100, 20, [&] { order.push_back(2); });  // born earlier remotely
+  s.run_window(200);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+// run_until_tie aligns a shard on an exact (time, birth) key: events
+// strictly before the key dispatch, the event *at* the key does not.
+TEST(ParallelKernel, RunUntilTieStopsAtTheExactKey) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.admit(100, 10, [&] { order.push_back(1); });
+  s.admit(100, 50, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run_until_tie(100, 50), 1u);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(s.now(), 100u);
+  s.run();
+  EXPECT_EQ(order.size(), 2u);
+}
+
+// --- lookahead ---------------------------------------------------------
+
+TEST(ParallelKernel, ZeroLookaheadIsACheckedError) {
+  EXPECT_THROW(sim::conservative_lookahead({}), ModelError);
+  EXPECT_THROW(sim::conservative_lookahead({500, 0, 800}), ModelError);
+  EXPECT_EQ(sim::conservative_lookahead({500, 400, 800}), 400u);
+}
+
+// --- SPSC boundary queue ----------------------------------------------
+
+TEST(ParallelKernel, SpscQueuePreservesPushOrderThroughSpill) {
+  sim::SpscQueue<int> q(8);  // tiny ring: force the spill path
+  for (int i = 0; i < 50; ++i) q.push(i);
+  EXPECT_GT(q.spilled_high_water(), 0u);
+  std::vector<int> got;
+  q.drain([&](int v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+  // Drained queues start clean: the ring path is used again.
+  q.push(99);
+  int v = 0;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 99);
+}
+
+// --- topology partition ------------------------------------------------
+
+TEST(ParallelKernel, PartitionIsContiguousBalancedAndAnchored) {
+  const auto part = noc::partition_shards(10, 4);
+  ASSERT_EQ(part.size(), 10u);
+  EXPECT_EQ(part[0], 0u);  // node 0 (the control host) lives in shard 0
+  // Contiguous and nondecreasing.
+  for (std::size_t i = 1; i < part.size(); ++i) {
+    EXPECT_GE(part[i], part[i - 1]);
+    EXPECT_LE(part[i] - part[i - 1], 1u);
+  }
+  // Balanced: 10 nodes over 4 shards = sizes {3, 3, 2, 2}.
+  std::vector<unsigned> sizes(4, 0);
+  for (const unsigned s : part) ++sizes.at(s);
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(sizes[3], 2u);
+  // Shard count clamps to the node count.
+  const auto tiny = noc::partition_shards(2, 8);
+  EXPECT_EQ(tiny[0], 0u);
+  EXPECT_EQ(tiny[1], 1u);
+}
+
+// --- sweep core budget -------------------------------------------------
+
+TEST(ParallelKernel, EffectiveShardsBudgetsCoresDeterministically) {
+  EXPECT_EQ(exp::effective_shards(1, 4, 8), 4u);   // fits: untouched
+  EXPECT_EQ(exp::effective_shards(2, 4, 8), 4u);   // exactly fits
+  EXPECT_EQ(exp::effective_shards(4, 4, 8), 2u);   // clamp to hw / jobs
+  EXPECT_EQ(exp::effective_shards(8, 4, 8), 1u);
+  EXPECT_EQ(exp::effective_shards(16, 4, 8), 1u);  // never below 1
+  EXPECT_EQ(exp::effective_shards(1, 1, 1), 1u);
+  EXPECT_EQ(exp::effective_shards(0, 0, 0), 1u);   // degenerate inputs
+}
+
+// --- sharded network plumbing -----------------------------------------
+
+TEST(ParallelKernel, ShardedNetworkPartitionsAndRunsWindows) {
+  sim::SimContext ctx;
+  noc::NetworkConfig cfg;
+  cfg.topology = noc::TopologySpec::mesh(4, 4);
+  cfg.shards = 2;
+  noc::Network net(ctx, cfg);
+  EXPECT_EQ(net.shard_count(), 2u);
+  EXPECT_EQ(net.shard_of(0), 0u);
+  EXPECT_EQ(net.shard_of(15), 1u);
+  EXPECT_GT(net.min_link_latency(), 0u);
+  EXPECT_EQ(net.control().deferral(), net.min_link_latency());
+  EXPECT_TRUE(net.control().engine_mode());
+  net.run_until(100000);
+  EXPECT_GT(net.windows_run(), 0u);
+}
+
+TEST(ParallelKernel, SingleShardNetworkKeepsTheKernelPath) {
+  sim::SimContext ctx;
+  noc::NetworkConfig cfg;
+  cfg.topology = noc::TopologySpec::mesh(2, 2);
+  cfg.shards = 1;
+  noc::Network net(ctx, cfg);
+  EXPECT_EQ(net.shard_count(), 1u);
+  EXPECT_FALSE(net.control().engine_mode());
+  EXPECT_EQ(net.windows_run(), 0u);
+}
+
+// --- whole-scenario bit-equality --------------------------------------
+
+exp::ScenarioSpec fabric_spec(noc::TopologyKind kind, std::uint64_t seed) {
+  exp::ScenarioSpec spec;
+  spec.topology = kind;
+  spec.width = spec.height = 4;
+  spec.router.be_vcs = 2;  // dateline classes for the wrap fabrics
+  spec.pattern = noc::BePattern::kUniform;
+  spec.be_interarrival_ps = 10000;
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 8000;
+  spec.duration_ps = 500000;
+  spec.seed = seed;
+  spec.name = std::string("shards-") + noc::to_string(kind);
+  return spec;
+}
+
+// The tentpole invariant: every stat of a scenario — BE and GS latency
+// quantiles, jitter, event totals, link counters — is bit-identical for
+// --shards 1, 2 and 4, on every fabric kind, across seeds. Cross-shard
+// events merge in (time, birth, channel, FIFO) order, never wall-clock
+// order, so the partition must be unobservable in the numbers.
+TEST(ParallelScenario, Shards124AreBitIdenticalOnAllFabrics) {
+  for (const noc::TopologyKind kind : noc::all_topology_kinds()) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      exp::ScenarioSpec spec = fabric_spec(kind, seed);
+      const exp::ScenarioResult one = run_scenario(spec);
+      ASSERT_TRUE(one.ok()) << spec.name << ": " << one.error;
+      EXPECT_GT(one.stats.be_packets_delivered, 0u) << spec.name;
+      EXPECT_GT(one.stats.gs_flits_delivered, 0u) << spec.name;
+      for (const unsigned shards : {2u, 4u}) {
+        spec.shards = shards;
+        const exp::ScenarioResult n = run_scenario(spec);
+        ASSERT_TRUE(n.ok())
+            << spec.name << " shards=" << shards << ": " << n.error;
+        EXPECT_EQ(n.stats, one.stats)
+            << spec.name << " seed=" << seed << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// Sharding x runtime connection churn: broker admission, BE-packet
+// programming, drain-confirmed closes — the control plane defers every
+// cross-shard notification by the same shard-count-independent amount,
+// so the full lifecycle reproduces bit for bit.
+TEST(ParallelScenario, ChurnIsBitIdenticalAcrossShards) {
+  const auto grid = exp::find_preset("gs-churn-4x4");
+  ASSERT_TRUE(grid.has_value());
+  for (exp::ScenarioSpec spec : grid->expand()) {
+    if (spec.topology != noc::TopologyKind::kMesh &&
+        spec.topology != noc::TopologyKind::kGraph) {
+      continue;  // two fabrics keep the runtime bounded
+    }
+    spec.duration_ps = 1500000;
+    const exp::ScenarioResult one = run_scenario(spec);
+    ASSERT_TRUE(one.ok()) << spec.name << ": " << one.error;
+    EXPECT_GT(one.stats.churn_requested, 0u) << spec.name;
+    for (const unsigned shards : {2u, 4u}) {
+      spec.shards = shards;
+      const exp::ScenarioResult n = run_scenario(spec);
+      ASSERT_TRUE(n.ok())
+          << spec.name << " shards=" << shards << ": " << n.error;
+      EXPECT_EQ(n.stats, one.stats) << spec.name << " shards=" << shards;
+    }
+  }
+}
+
+// The report layer keeps sharding out of the deterministic section:
+// stats_json() of a sharded sweep is byte-equal to the single-kernel
+// one (this is what CI's shards-1-vs-N cmp checks at scale).
+TEST(ParallelScenario, SweepStatsJsonIsByteEqualAcrossShards) {
+  exp::SweepGrid g;
+  g.base.width = g.base.height = 4;
+  g.base.duration_ps = 300000;
+  g.base.gs_set = noc::GsSetKind::kRing;
+  g.base.gs_period_ps = 8000;
+  std::vector<exp::ScenarioSpec> one = g.expand();
+  std::vector<exp::ScenarioSpec> four = g.expand();
+  for (exp::ScenarioSpec& s : four) s.shards = 4;
+  const std::string a = exp::SweepRunner::run(one, 1).stats_json();
+  const std::string b = exp::SweepRunner::run(four, 1).stats_json();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The effective shard count is reported, but only with timing.
+  const auto rep = exp::SweepRunner::run(four, 1);
+  EXPECT_NE(rep.full_json().find("\"shards\""), std::string::npos);
+  EXPECT_EQ(rep.stats_json().find("\"shards\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mango

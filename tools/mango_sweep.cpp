@@ -60,6 +60,13 @@ void usage(std::FILE* out) {
       "\n"
       "run options:\n"
       "  --jobs N              worker threads (default: hardware cores)\n"
+      "  --shards N            kernel shards per scenario: the fabric is\n"
+      "                        partitioned across N threads advancing in\n"
+      "                        conservative lookahead windows. Stats are\n"
+      "                        byte-identical for every N; wall time is\n"
+      "                        not. Clamped (with a warning) so that\n"
+      "                        jobs x shards never exceeds the hardware\n"
+      "                        thread count\n"
       "  --repeat N            run each scenario N times; stats come from\n"
       "                        run 1 (and must match every rerun), wall\n"
       "                        time keeps the best — the JSON report's\n"
@@ -177,6 +184,7 @@ int main(int argc, char** argv) {
   bool set_churn_hold = false;
   bool set_churn_queue = false;
   bool set_churn_gs_period = false;
+  bool set_shards = false;
 
   const auto next_arg = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) die(std::string(flag) + " needs an argument");
@@ -338,6 +346,13 @@ int main(int argc, char** argv) {
         die("bad --jobs");
       }
       jobs = static_cast<unsigned>(n);
+    } else if (arg == "--shards") {
+      std::uint64_t n = 0;
+      if (!parse_u64(next_arg(i, "--shards"), &n) || n == 0 || n > 64) {
+        die("bad --shards (want 1..64)");
+      }
+      grid.base.shards = static_cast<unsigned>(n);
+      set_shards = true;
     } else if (arg == "--repeat") {
       std::uint64_t n = 0;
       if (!parse_u64(next_arg(i, "--repeat"), &n) || n == 0 || n > 100) {
@@ -372,6 +387,7 @@ int main(int argc, char** argv) {
     if (set_churn_gs_period) {
       grid.base.churn_gs_period_ps = base.churn_gs_period_ps;
     }
+    if (set_shards) grid.base.shards = base.shards;
   }
 
   const std::vector<exp::ScenarioSpec> specs = grid.expand();
