@@ -72,7 +72,7 @@ void BM_BeInjectionToSink(benchmark::State& state) {
           ++delivered;
           pool.release(std::move(pkt.flits));
         });
-    const std::uint32_t header = net.be_header({0, 0}, {1, 1});
+    const BeHeader header = net.be_header({0, 0}, {1, 1});
     const std::uint32_t payload[4] = {1, 2, 3, 4};
     const auto n = static_cast<std::uint64_t>(state.range(0));
     state.ResumeTiming();
@@ -107,7 +107,7 @@ void BM_BeHeaderLookup(benchmark::State& state) {
                      static_cast<std::uint16_t>(3 - ((i >> 2) & 3))};
     i = static_cast<std::uint16_t>((i + 1) & 15);
     if (src == dst) continue;
-    acc ^= net.be_header(src, dst);
+    acc ^= net.be_header(src, dst).word;
   }
   benchmark::DoNotOptimize(acc);
 }

@@ -1,0 +1,147 @@
+// Thousand-node fabric scaling: events/s and resident memory per node
+// across the 64 / 256 / 1024 / 4096-endpoint ladder BENCH_scale.json
+// tracks. The first three rungs are plain meshes (8x8, 16x16, 32x32);
+// the 4096-endpoint rung is the concentrated mesh 32x32c4 — 4 cores per
+// router, the hornet-style multi-ingress configuration — so the
+// endpoint count quadruples without quadrupling the wire graph.
+//
+// Each fabric also runs at 1, 2 and 4 kernel shards. Stats are
+// byte-identical across shard counts; the shards>1 rows double as a
+// determinism check against the single-kernel reference and abort on
+// any mismatch.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "exp/scenario.hpp"
+#include "noc/network/network.hpp"
+#include "sim/context.hpp"
+
+using namespace mango;
+
+namespace {
+
+exp::ScenarioSpec ladder_spec(unsigned width, unsigned concentration,
+                              unsigned shards) {
+  exp::ScenarioSpec spec;
+  spec.name = "bench-scale";
+  spec.topology = concentration > 1 ? noc::TopologyKind::kCMesh
+                                    : noc::TopologyKind::kMesh;
+  spec.width = static_cast<std::uint16_t>(width);
+  spec.height = static_cast<std::uint16_t>(width);
+  spec.concentration = static_cast<std::uint16_t>(concentration);
+  spec.pattern = noc::BePattern::kUniform;
+  // Per-endpoint injection rate: keep the per-core rate constant on the
+  // concentrated rung so per-router offered load stays comparable.
+  spec.be_interarrival_ps = concentration > 1 ? 32000 : 8000;
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 8000;
+  spec.router.be_vcs = 2;
+  spec.duration_ps = 200000;
+  spec.shards = shards;
+  return spec;
+}
+
+/// Live heap bytes (glibc mallinfo2; 0 elsewhere). Deltas across a
+/// construction measure the structure's footprint exactly, immune to
+/// the allocator recycling previously-freed pages (an RSS delta reads
+/// zero the moment a prior fabric's freed memory covers the new one).
+std::size_t live_heap_bytes() {
+#if defined(__GLIBC__)
+  return static_cast<std::size_t>(mallinfo2().uordblks);
+#else
+  return 0;
+#endif
+}
+
+/// One reference-stats slot per fabric rung (shards=1 fills it; later
+/// shard counts must reproduce it bit-exactly).
+struct ReferenceSlot {
+  exp::ScenarioStats stats;
+  bool filled = false;
+};
+
+void run_ladder(benchmark::State& state, unsigned width,
+                unsigned concentration, ReferenceSlot& reference) {
+  const auto shards = static_cast<unsigned>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const exp::ScenarioResult r =
+        run_scenario(ladder_spec(width, concentration, shards));
+    if (!r.ok()) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+    if (shards == 1 && !reference.filled) {
+      reference.stats = r.stats;
+      reference.filled = true;
+    } else if (reference.filled && r.stats != reference.stats) {
+      state.SkipWithError("stats differ from the single-kernel reference");
+      return;
+    }
+    events += r.stats.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_ScaleMesh8x8(benchmark::State& state) {
+  static ReferenceSlot ref;
+  run_ladder(state, 8, 1, ref);
+}
+void BM_ScaleMesh16x16(benchmark::State& state) {
+  static ReferenceSlot ref;
+  run_ladder(state, 16, 1, ref);
+}
+void BM_ScaleMesh32x32(benchmark::State& state) {
+  static ReferenceSlot ref;
+  run_ladder(state, 32, 1, ref);
+}
+void BM_ScaleCMesh32x32c4(benchmark::State& state) {
+  static ReferenceSlot ref;
+  run_ladder(state, 32, 4, ref);
+}
+
+// Register shards=1 first so later shard counts check against the
+// single-kernel reference stats.
+BENCHMARK(BM_ScaleMesh8x8)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ScaleMesh16x16)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ScaleMesh32x32)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ScaleCMesh32x32c4)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Memory footprint per node: live-heap delta across Network
+// construction (routers, NAs, links, the dense route table and the
+// CDG-validated routing) divided by the node count. One construction
+// per iteration; the MB_per_node counter is what BENCH_scale.json
+// records.
+void BM_ScaleMemoryPerNode(benchmark::State& state) {
+  const auto width = static_cast<std::uint16_t>(state.range(0));
+  double mb_per_node = 0.0;
+  for (auto _ : state) {
+    noc::NetworkConfig cfg;
+    cfg.topology = noc::TopologySpec::mesh(width, width);
+    cfg.router.be_vcs = 2;
+    const std::size_t before = live_heap_bytes();
+    sim::SimContext ctx;
+    auto net = std::make_unique<noc::Network>(ctx, cfg);
+    const std::size_t after = live_heap_bytes();
+    benchmark::DoNotOptimize(net);
+    const double nodes = static_cast<double>(net->node_count());
+    mb_per_node = static_cast<double>(after - before) / (1024.0 * 1024.0) /
+                  nodes;
+  }
+  state.counters["MB_per_node"] = mb_per_node;
+}
+BENCHMARK(BM_ScaleMemoryPerNode)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -42,8 +42,11 @@ ScenarioStats collect_stats(const ScenarioSpec& spec, noc::Network& net,
   sim::Histogram be_lat;
   std::vector<double> samples;
   const auto be_base = noc::kBeTagBase;
+  // One flow per core: concentrated meshes run spec().concentration BE
+  // sources per router (flow = node * k + core).
   const auto be_end =
-      noc::kBeTagBase + static_cast<std::uint32_t>(net.node_count());
+      noc::kBeTagBase +
+      static_cast<std::uint32_t>(net.topology().spec().core_count());
   for (const std::uint32_t tag : hub.tags()) {
     if (tag < be_base || tag >= be_end) continue;
     st.be_packets_delivered += hub.flow_packets(tag);
@@ -192,6 +195,9 @@ noc::TopologySpec ScenarioSpec::topology_spec() const {
       return noc::TopologySpec::mesh(width, height);
     case noc::TopologyKind::kTorus:
       return noc::TopologySpec::torus(width, height);
+    case noc::TopologyKind::kCMesh:
+      return noc::TopologySpec::cmesh(width, height,
+                                      concentration == 0 ? 1 : concentration);
     case noc::TopologyKind::kRing:
     case noc::TopologyKind::kGraph: {
       // Node labels are 16-bit: reject instead of silently truncating
@@ -426,7 +432,8 @@ SweepGrid make_scale_8x8() {
   // CI uses for the shards-1-vs-N byte-equality comparison at scale.
   // 8x8 is the largest grid whose worst-case BE route (14 hops corner to
   // corner on the mesh) still fits the paper's 15-code source-route
-  // header — bigger uniform-BE fabrics are rejected by build_be_header.
+  // header, so every packet here ships the packed word — the scale-1k
+  // preset is where the table-routed (THDR) scheme takes over.
   // be_vcs = 2 arms the torus dateline classes (and keeps the router
   // config uniform across the two fabrics).
   SweepGrid g;
@@ -437,6 +444,48 @@ SweepGrid make_scale_8x8() {
   g.base.gs_period_ps = 8000;
   g.base.router.be_vcs = 2;
   g.topologies = {noc::TopologyKind::kMesh, noc::TopologyKind::kTorus};
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kHotspot};
+  g.seeds = {1};
+  return g;
+}
+
+SweepGrid make_scale_1k() {
+  // The thousand-node ladder: 64 / 256 / 1024-node meshes and tori under
+  // uniform and hotspot-fan-in BE with a full GS ring. Every fabric past
+  // 8x8 has corner-to-corner routes over the paper's 15-code header
+  // budget, so these rows exercise the table-routed (THDR) scheme end to
+  // end — route-table materialization, per-hop table lookups, dateline
+  // VCs on the tori — while the GS ring asserts the service guarantee
+  // holds at every scale (violations exit non-zero). CI's scale-smoke
+  // job runs the 8x8/16x16 rows with a shards 1-vs-4 byte-equality
+  // comparison; the 32x32 rows are the local/nightly thousand-node
+  // proof. Short horizon: a 32x32 uniform row still moves ~50 packets
+  // per node across a 21-hop mean distance.
+  SweepGrid g;
+  g.base.duration_ps = 400000;
+  g.base.be_interarrival_ps = 8000;
+  g.base.gs_set = noc::GsSetKind::kRing;
+  g.base.gs_period_ps = 8000;
+  g.base.router.be_vcs = 2;
+  g.topologies = {noc::TopologyKind::kMesh, noc::TopologyKind::kTorus};
+  g.meshes = {{8, 8}, {16, 16}, {32, 32}};
+  g.patterns = {noc::BePattern::kUniform, noc::BePattern::kHotspot};
+  g.seeds = {1};
+  return g;
+}
+
+SweepGrid make_cmesh_1k() {
+  // Concentration rung of the scaling ladder: 4 cores per router puts
+  // 1024 cores on a 16x16 router grid (a quarter of the routers the flat
+  // 32x32 fabric needs, at 4x the per-router injection load).
+  SweepGrid g;
+  g.base.concentration = 4;
+  g.base.duration_ps = 400000;
+  g.base.be_interarrival_ps = 16000;  // per core; 4 cores share each router
+  g.base.gs_set = noc::GsSetKind::kRing;
+  g.base.gs_period_ps = 8000;
+  g.topologies = {noc::TopologyKind::kCMesh};
+  g.meshes = {{8, 8}, {16, 16}};
   g.patterns = {noc::BePattern::kUniform, noc::BePattern::kHotspot};
   g.seeds = {1};
   return g;
@@ -457,12 +506,15 @@ SweepGrid make_bench_grid() {
 std::vector<std::string> preset_names() {
   return {"ci-smoke",      "patterns-4x4",   "rate-sweep-4x4",
           "gs-stress-4x4", "topologies-4x4", "gs-churn-4x4",
-          "scale-8x8",     "bench-grid"};
+          "scale-8x8",     "scale-1k",       "cmesh-1k",
+          "bench-grid"};
 }
 
 std::optional<SweepGrid> find_preset(const std::string& name) {
   if (name == "ci-smoke") return make_ci_smoke();
   if (name == "scale-8x8") return make_scale_8x8();
+  if (name == "scale-1k") return make_scale_1k();
+  if (name == "cmesh-1k") return make_cmesh_1k();
   if (name == "patterns-4x4") return make_patterns_4x4();
   if (name == "rate-sweep-4x4") return make_rate_sweep_4x4();
   if (name == "gs-stress-4x4") return make_gs_stress_4x4();

@@ -30,6 +30,9 @@ struct ScenarioSpec {
   noc::TopologyKind topology = noc::TopologyKind::kMesh;
   std::uint16_t width = 4;
   std::uint16_t height = 4;
+  /// Cores per router (kCMesh only; ignored — and left at 1 — on every
+  /// other kind, so existing scenario names and reports are untouched).
+  std::uint16_t concentration = 1;
   noc::RouterConfig router;
 
   // Best-effort traffic, one source per node (see start_pattern_be).

@@ -187,7 +187,8 @@ SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
   // Core budget: clamp each scenario's shard count so jobs x shards
   // never oversubscribes the machine. Deterministic (pure function of
   // jobs/shards/hardware) and stats-neutral, so the only observable
-  // effect is wall time; warn once so the degradation is not silent.
+  // effect is wall time; warn once per runner — not once per sweep —
+  // so a runner driving many sweeps doesn't spam the degradation note.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::vector<ScenarioSpec> run_specs(specs);
   bool clamped = false;
@@ -197,7 +198,8 @@ SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
     s.shards = eff;
     report.shards = std::max(report.shards, eff);
   }
-  if (clamped) {
+  if (clamped && !shard_clamp_warned_) {
+    shard_clamp_warned_ = true;
     std::fprintf(stderr,
                  "sweep: clamping shards to %u hardware threads / %u jobs "
                  "(deterministic; stats unchanged)\n",

@@ -80,9 +80,16 @@ class SweepRunner {
   /// — a mismatch on a rerun is reported as a scenario error) and the
   /// best wall time, so events-per-second figures are reproducible from
   /// one command instead of hand-timed best-of-N.
-  static SweepReport run(const std::vector<ScenarioSpec>& specs,
-                         unsigned jobs, ProgressFn on_done = {},
-                         unsigned repeat = 1);
+  SweepReport run(const std::vector<ScenarioSpec>& specs, unsigned jobs,
+                  ProgressFn on_done = {}, unsigned repeat = 1);
+
+  /// Whether this runner has already warned about the shard clamp. The
+  /// flag is per-runner — a runner driving many sweeps (test binaries,
+  /// the CLI's repeat paths) warns once, not once per sweep.
+  bool shard_clamp_warned() const { return shard_clamp_warned_; }
+
+ private:
+  bool shard_clamp_warned_ = false;
 };
 
 }  // namespace mango::exp

@@ -1,11 +1,15 @@
 // Flit formats (flowcontrol units).
 //
-// Inside the network a flit is 34 bits: 32 data bits plus two control
-// bits — EOP (marks the last flit of a BE packet) and the spare BE-VC
-// select bit the paper reserves for future adaptive BE routing. On a
-// link, 5 steering bits are prepended (Section 4.2): 3 "split" bits that
-// the split module consumes to pick one of the half-switches (or the BE
-// router) and 2 bits the half-switch consumes to pick 1 of 4 VC buffers.
+// Inside the network a flit is 35 bits: 32 data bits plus three control
+// bits — EOP (marks the last flit of a BE packet), the spare BE-VC
+// select bit the paper reserves for future adaptive BE routing, and a
+// header-extension bit (THDR) that marks a BE header flit as carrying a
+// table-routed destination index instead of the paper's packed 15-code
+// source route (the scalable header scheme for routes longer than 14
+// hops — DESIGN.md "scale architecture"). On a link, 5 steering bits are
+// prepended (Section 4.2): 3 "split" bits that the split module consumes
+// to pick one of the half-switches (or the BE router) and 2 bits the
+// half-switch consumes to pick 1 of 4 VC buffers.
 //
 // The struct additionally carries simulation-side instrumentation
 // (injection timestamp, flow tag, sequence number). These fields are not
@@ -21,17 +25,18 @@
 namespace mango::noc {
 
 inline constexpr unsigned kFlitDataBits = 32;
-inline constexpr unsigned kFlitWireBits = kFlitDataBits + 2;  // +eop +bevc
+inline constexpr unsigned kFlitWireBits = kFlitDataBits + 3;  // +eop +bevc +thdr
 inline constexpr unsigned kSteerSplitBits = 3;
 inline constexpr unsigned kSteerVcBits = 2;
 inline constexpr unsigned kSteerBits = kSteerSplitBits + kSteerVcBits;
-inline constexpr unsigned kLinkFlitBits = kSteerBits + kFlitWireBits;  // 39
+inline constexpr unsigned kLinkFlitBits = kSteerBits + kFlitWireBits;  // 40
 
-/// A 34-bit network flit plus simulation instrumentation.
+/// A 35-bit network flit plus simulation instrumentation.
 struct Flit {
   std::uint32_t data = 0;
   bool eop = false;   ///< last flit of a BE packet
   bool bevc = false;  ///< spare BE VC select bit (reserved, Section 5)
+  bool thdr = false;  ///< header flit carries a table-routed header word
 
   // --- instrumentation only (not on the wire) ---
   std::uint32_t tag = 0;       ///< flow/connection id for measurement
@@ -62,14 +67,15 @@ struct LinkFlit {
   Flit flit;
 };
 
-/// Packs the wire image of a link flit into the low 39 bits of a word:
-/// [split(3) | vc(2) | data(32) | eop(1) | bevc(1)], MSB first.
+/// Packs the wire image of a link flit into the low 40 bits of a word:
+/// [split(3) | vc(2) | data(32) | thdr(1) | eop(1) | bevc(1)], MSB first.
 constexpr std::uint64_t encode_link_flit(const LinkFlit& lf) {
   MANGO_ASSERT(lf.steer.split < (1u << kSteerSplitBits), "split code overflow");
   MANGO_ASSERT(lf.steer.vc < (1u << kSteerVcBits), "steer vc overflow");
   std::uint64_t w = lf.steer.split;
   w = (w << kSteerVcBits) | lf.steer.vc;
   w = (w << kFlitDataBits) | lf.flit.data;
+  w = (w << 1) | (lf.flit.thdr ? 1u : 0u);
   w = (w << 1) | (lf.flit.eop ? 1u : 0u);
   w = (w << 1) | (lf.flit.bevc ? 1u : 0u);
   return w;
@@ -82,6 +88,8 @@ constexpr LinkFlit decode_link_flit(std::uint64_t w) {
   lf.flit.bevc = (w & 1u) != 0;
   w >>= 1;
   lf.flit.eop = (w & 1u) != 0;
+  w >>= 1;
+  lf.flit.thdr = (w & 1u) != 0;
   w >>= 1;
   lf.flit.data = static_cast<std::uint32_t>(w & 0xFFFFFFFFull);
   w >>= kFlitDataBits;

@@ -32,11 +32,24 @@ std::uint32_t build_be_header(const BeRoute& route) {
 BePacket make_be_packet(const BeRoute& route,
                         const std::vector<std::uint32_t>& payload,
                         std::uint32_t tag) {
-  return make_be_packet({}, build_be_header(route), payload.data(),
-                        payload.size(), tag);
+  return make_be_packet({}, BeHeader{build_be_header(route), false},
+                        payload.data(), payload.size(), tag);
 }
 
-BePacket make_be_packet(std::vector<Flit>&& storage, std::uint32_t header_word,
+BePacket make_be_packet(BeHeader header,
+                        const std::vector<std::uint32_t>& payload,
+                        std::uint32_t tag) {
+  return make_be_packet({}, header, payload.data(), payload.size(), tag);
+}
+
+BePacket make_be_packet(std::vector<Flit>&& storage, std::uint32_t header,
+                        const std::uint32_t* payload,
+                        std::size_t payload_words, std::uint32_t tag) {
+  return make_be_packet(std::move(storage), BeHeader{header, false}, payload,
+                        payload_words, tag);
+}
+
+BePacket make_be_packet(std::vector<Flit>&& storage, BeHeader be_header,
                         const std::uint32_t* payload,
                         std::size_t payload_words, std::uint32_t tag) {
   BePacket pkt;
@@ -47,7 +60,8 @@ BePacket make_be_packet(std::vector<Flit>&& storage, std::uint32_t header_word,
   pkt.flits.reserve(payload_words + (payload_words == 0 ? 2 : 1));
 
   Flit header;
-  header.data = header_word;
+  header.data = be_header.word;
+  header.thdr = be_header.table;
   header.tag = tag;
   pkt.flits.push_back(header);
 

@@ -245,8 +245,11 @@ const Connection& ConnectionManager::open_via_packets(NodeId src, NodeId dst,
       program_host_locally(std::move(words), rec.conn.id);
       continue;
     }
+    // Header via be_header(): distant hops on large fabrics take the
+    // table-routed scheme, so programming reaches past the 14-hop
+    // source-route ceiling.
     BePacket pkt = make_be_packet(
-        net_.be_route(host_, h.node, LocalIface::kProgramming), words,
+        net_.be_header(host_, h.node, LocalIface::kProgramming), words,
         rec.conn.id);
     for (Flit& f : pkt.flits) f.injected_at = now;
     host_na.send_be_packet(std::move(pkt));
@@ -376,7 +379,7 @@ void ConnectionManager::close_via_packets(ConnectionId id,
       continue;
     }
     BePacket pkt = make_be_packet(
-        net_.be_route(host_, node, LocalIface::kProgramming),
+        net_.be_header(host_, node, LocalIface::kProgramming),
         {encode_prog_clear(buffer)}, id);
     for (Flit& f : pkt.flits) f.injected_at = now;
     host_na.send_be_packet(std::move(pkt));

@@ -170,6 +170,16 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
       routers_[i]->be_router().set_vc_classes(vc_map.dateline[i]);
     }
   }
+
+  // Arm the table-routed header scheme on every BE router: routes over
+  // the paper's 15-code budget ship THDR headers whose next-hop lookups
+  // resolve through the shared RouteTable (small fabrics never emit
+  // them, so their wire traffic is unchanged).
+  if (table_->dense()) {
+    for (std::size_t i = 0; i < topo_->node_count(); ++i) {
+      routers_[i]->be_router().enable_table_routing(table_.get(), i);
+    }
+  }
 }
 
 std::uint64_t Network::run_until(sim::Time t_end) {
@@ -238,8 +248,7 @@ BeRoute Network::be_route(NodeId src, NodeId dst, LocalIface iface) const {
   if (table_->dense()) {
     const std::size_t si = topo_->index(src);
     const std::size_t di = topo_->index(dst);
-    const RouteTable::MovesView mv = table_->moves(si, di);
-    r.moves.assign(mv.begin(), mv.end());
+    table_->append_moves(si, di, r.moves);
     r.delivery = direction_of(table_->delivery_port(si, di));
     return r;
   }
@@ -252,12 +261,13 @@ BeRoute Network::be_route(NodeId src, NodeId dst, LocalIface iface) const {
   return r;
 }
 
-std::uint32_t Network::be_header(NodeId src, NodeId dst,
-                                 LocalIface iface) const {
+BeHeader Network::be_header(NodeId src, NodeId dst, LocalIface iface) const {
   if (table_->dense()) {
     return table_->be_header(topo_->index(src), topo_->index(dst), iface);
   }
-  return build_be_header(be_route(src, dst, iface));
+  // Non-materialized fabrics keep the paper's source-route-only scheme
+  // (and its 15-code ceiling).
+  return BeHeader{build_be_header(be_route(src, dst, iface)), false};
 }
 
 std::vector<Direction> Network::route_moves(NodeId src, NodeId dst) const {

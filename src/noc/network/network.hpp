@@ -124,12 +124,15 @@ class Network {
   BeRoute be_route(NodeId src, NodeId dst,
                    LocalIface iface = LocalIface::kNetworkAdapter) const;
 
-  /// Fully encoded 32-bit BE header for src -> dst (the per-packet hot
-  /// path: a table lookup, no allocation, no virtual dispatch). Same
-  /// semantics as build_be_header(be_route(src, dst, iface)), including
-  /// the ModelError on routes over the 15-code budget.
-  std::uint32_t be_header(NodeId src, NodeId dst,
-                          LocalIface iface = LocalIface::kNetworkAdapter) const;
+  /// Fully encoded BE header for src -> dst (the per-packet hot path: a
+  /// table lookup, no allocation, no virtual dispatch). Routes within
+  /// the paper's 15-code budget get the packed source-route word,
+  /// bit-identical to build_be_header(be_route(src, dst, iface));
+  /// longer routes on materialized fabrics get the table-routed scheme
+  /// (BeHeader::table set). Self-routes stay source-routed and keep the
+  /// ModelError on cycles over the budget.
+  BeHeader be_header(NodeId src, NodeId dst,
+                     LocalIface iface = LocalIface::kNetworkAdapter) const;
 
   /// Move sequence of the src -> dst route (src == dst: the self-route
   /// cycle). Setup-path convenience over the materialized table.

@@ -85,6 +85,17 @@ std::vector<Direction> XyRouting::route(NodeId src, NodeId dst) const {
   return xy_route(src, dst);
 }
 
+NextHop XyRouting::next_hop(NodeId node, NodeId dst, unsigned) const {
+  // One step of xy_route: finish x before y, matching route() exactly.
+  if (node.x != dst.x) {
+    return NextHop{
+        port_of(node.x < dst.x ? Direction::kEast : Direction::kWest), 0};
+  }
+  MANGO_ASSERT(node.y != dst.y, "next_hop at the destination");
+  return NextHop{
+      port_of(node.y < dst.y ? Direction::kNorth : Direction::kSouth), 0};
+}
+
 unsigned XyRouting::hop_distance(NodeId a, NodeId b) const {
   return mango::noc::hop_distance(a, b);  // Manhattan
 }
@@ -108,6 +119,17 @@ void append_dim_moves(std::vector<Direction>& moves, unsigned from,
   }
 }
 
+/// One step of append_dim_moves. Memoryless: moving toward `to` only
+/// shrinks the chosen side of the fwd-vs-back comparison (ties go
+/// forward both before and after the step), so the per-hop choice
+/// reproduces the whole-route choice.
+Direction dim_step(unsigned from, unsigned to, unsigned extent,
+                   Direction fwd_dir, Direction back_dir) {
+  const unsigned fwd = (to + extent - from) % extent;
+  const unsigned back = extent - fwd;
+  return fwd <= back ? fwd_dir : back_dir;
+}
+
 }  // namespace
 
 std::vector<Direction> TorusDorRouting::route(NodeId src, NodeId dst) const {
@@ -120,6 +142,19 @@ std::vector<Direction> TorusDorRouting::route(NodeId src, NodeId dst) const {
   append_dim_moves(moves, src.y, dst.y, torus.height(), Direction::kNorth,
                    Direction::kSouth);
   return moves;
+}
+
+NextHop TorusDorRouting::next_hop(NodeId node, NodeId dst, unsigned) const {
+  const auto& torus = static_cast<const TorusTopology&>(topo_);
+  if (node.x != dst.x) {
+    return NextHop{port_of(dim_step(node.x, dst.x, torus.width(),
+                                    Direction::kEast, Direction::kWest)),
+                   0};
+  }
+  MANGO_ASSERT(node.y != dst.y, "next_hop at the destination");
+  return NextHop{port_of(dim_step(node.y, dst.y, torus.height(),
+                                  Direction::kNorth, Direction::kSouth)),
+                 0};
 }
 
 unsigned TorusDorRouting::hop_distance(NodeId a, NodeId b) const {
@@ -158,6 +193,14 @@ std::vector<Direction> RingRouting::route(NodeId src, NodeId dst) const {
   append_dim_moves(moves, src.x, dst.x, n, Direction::kEast,
                    Direction::kWest);
   return moves;
+}
+
+NextHop RingRouting::next_hop(NodeId node, NodeId dst, unsigned) const {
+  const unsigned n = static_cast<unsigned>(topo_.node_count());
+  MANGO_ASSERT(node.x != dst.x, "next_hop at the destination");
+  return NextHop{port_of(dim_step(node.x, dst.x, n, Direction::kEast,
+                                  Direction::kWest)),
+                 0};
 }
 
 unsigned RingRouting::hop_distance(NodeId a, NodeId b) const {
@@ -234,6 +277,23 @@ std::vector<Direction> ShortestPathRouting::route(NodeId src,
     MANGO_ASSERT(advanced, "distance field has no descent — corrupt table");
   }
   return moves;
+}
+
+NextHop ShortestPathRouting::next_hop(NodeId node, NodeId dst,
+                                      unsigned) const {
+  // One iteration of route()'s greedy descent: the first port (in port
+  // order) whose peer is strictly closer to dst.
+  const auto& field = dist_[topo_.index(dst)];
+  const std::size_t cur_idx = topo_.index(node);
+  MANGO_ASSERT(cur_idx != topo_.index(dst), "next_hop at the destination");
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    const auto peer = topo_.link_peer(node, p);
+    if (!peer.has_value()) continue;
+    if (field[topo_.index(peer->node)] + 1 != field[cur_idx]) continue;
+    return NextHop{p, 0};
+  }
+  MANGO_ASSERT(false, "distance field has no descent — corrupt table");
+  return NextHop{};
 }
 
 unsigned ShortestPathRouting::hop_distance(NodeId a, NodeId b) const {
@@ -351,6 +411,28 @@ std::vector<Direction> UpDownRouting::route(NodeId src, NodeId dst) const {
   return moves;
 }
 
+NextHop UpDownRouting::next_hop(NodeId node, NodeId dst,
+                                unsigned phase) const {
+  // One iteration of route()'s greedy descent over the legal-step state
+  // graph — including the phase evolution (phase 1 after the first down
+  // move), which is exactly the bit the table-routed header carries.
+  const auto& d = dist_[topo_.index(dst)];
+  const std::size_t cur_idx = topo_.index(node);
+  MANGO_ASSERT(cur_idx != topo_.index(dst), "next_hop at the destination");
+  for (PortIdx p = 0; p < kNumDirections; ++p) {
+    const auto peer = topo_.link_peer(node, p);
+    if (!peer.has_value()) continue;
+    const std::size_t pi = topo_.index(peer->node);
+    const bool up_move = is_up(cur_idx, pi);
+    if (phase == 1 && up_move) continue;  // no down->up turns
+    const unsigned next_phase = up_move ? phase : 1;
+    if (d[2 * pi + next_phase] + 1 != d[2 * cur_idx + phase]) continue;
+    return NextHop{p, static_cast<std::uint8_t>(next_phase)};
+  }
+  MANGO_ASSERT(false, "up*/down* table has no descent — corrupt table");
+  return NextHop{};
+}
+
 unsigned UpDownRouting::hop_distance(NodeId a, NodeId b) const {
   return dist_[topo_.index(b)][2 * topo_.index(a)];
 }
@@ -360,6 +442,9 @@ unsigned UpDownRouting::hop_distance(NodeId a, NodeId b) const {
 std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo) {
   switch (topo.kind()) {
     case TopologyKind::kMesh:
+    case TopologyKind::kCMesh:
+      // A concentrated mesh IS-A mesh at the wire level; XY applies
+      // unchanged (concentration only multiplies traffic sources).
       return std::make_unique<XyRouting>(
           static_cast<const MeshTopology&>(topo));
     case TopologyKind::kTorus:
@@ -383,101 +468,247 @@ RouteTable::RouteTable(const Topology& topo, const RoutingAlgorithm& routing)
     : n_(topo.node_count()), routing_(&routing) {
   if (n_ > kDenseNodeLimit) return;  // fall back to the virtual interface
   dense_ = true;
-  const std::size_t pairs = n_ * n_;
-  offsets_.assign(pairs + 1, 0);
-  delivery_and_next_.assign(pairs, PortPair{});
-  header_base_.assign(pairs, 0);
-  header_shift_.assign(pairs, kNoHeader);
+  materialize_self_routes(topo, routing);
+  materialize_pairs(topo, routing);
+}
+
+void RouteTable::materialize_self_routes(const Topology& topo,
+                                         const RoutingAlgorithm& routing) {
+  self_offsets_.assign(n_ + 1, 0);
+  self_delivery_.assign(n_, 0);
+  self_header_.assign(n_, 0);
+  self_shift_.assign(n_, kNoHeader);
   self_unavailable_.assign(n_, false);
-  // Mean route length grows with sqrt(n); a loose upper-bound reserve
-  // avoids repeated regrowth during the n^2 build.
-  moves_.reserve(pairs * 2 + n_ * 4);
-
   for (std::size_t s = 0; s < n_; ++s) {
+    self_offsets_[s] = static_cast<std::uint32_t>(self_moves_.size());
     const NodeId src = topo.node_at(s);
-    for (std::size_t d = 0; d < n_; ++d) {
-      const std::size_t p = pair(s, d);
-      offsets_[p] = static_cast<std::uint32_t>(moves_.size());
-      if (s == d) {
-        // Self-routes exist only on fabrics with a u-turn-free cycle;
-        // record the miss and re-raise the routing error on first use
-        // (construction stays lazy, exactly like the virtual path).
-        try {
-          materialize_pair(p, routing.self_route(src), topo, src);
-        } catch (const ModelError&) {
-          self_unavailable_[s] = true;
-        }
-        continue;
+    std::vector<Direction> mv;
+    // Self-routes exist only on fabrics with a u-turn-free cycle;
+    // record the miss and re-raise the routing error on first use
+    // (construction stays lazy, exactly like the virtual path).
+    try {
+      mv = routing.self_route(src);
+    } catch (const ModelError&) {
+      self_unavailable_[s] = true;
+      continue;
+    }
+    MANGO_ASSERT(!mv.empty(), "routing produced an empty self-route");
+    self_moves_.insert(self_moves_.end(), mv.begin(), mv.end());
+    const auto end = topo.walk(src, mv);
+    MANGO_ASSERT(end.has_value(), "self-route walks an unwired port");
+    self_delivery_[s] = end->arrival_port;
+    // Fold the header now when the cycle fits the 15-code budget; the
+    // interface bits stay zero and are ORed in per lookup. Self-routes
+    // are always source-routed (a table header addressed to the local
+    // router would be delivered without ever leaving it), so an
+    // over-budget cycle keeps the paper's error behaviour.
+    const std::size_t codes = mv.size() + 1;
+    if (codes <= kMaxHeaderCodes) {
+      std::uint32_t header = 0;
+      for (const Direction d : mv) {
+        header = (header << 2) | (static_cast<std::uint32_t>(d) & 0x3u);
       }
-      materialize_pair(p, routing.route(src, topo.node_at(d)), topo, src);
+      header = (header << 2) |
+               (static_cast<std::uint32_t>(end->arrival_port) & 0x3u);
+      header <<= 2;  // interface bits, zeroed
+      const unsigned used_bits = 2 * static_cast<unsigned>(codes + 1);
+      header <<= (32 - used_bits);
+      self_header_[s] = header;
+      self_shift_[s] = static_cast<std::uint8_t>(32 - used_bits);
     }
   }
-  offsets_[pairs] = static_cast<std::uint32_t>(moves_.size());
+  self_offsets_[n_] = static_cast<std::uint32_t>(self_moves_.size());
 }
 
-void RouteTable::materialize_pair(std::size_t pair_idx,
-                                  const std::vector<Direction>& mv,
-                                  const Topology& topo, NodeId src) {
-  MANGO_ASSERT(!mv.empty(), "routing produced an empty route");
-  for (const Direction d : mv) moves_.push_back(d);
-  const auto end = topo.walk(src, mv);
-  MANGO_ASSERT(end.has_value(), "route walks an unwired port");
-  delivery_and_next_[pair_idx] =
-      PortPair{end->arrival_port, port_of(mv.front())};
-  // Fold the header now when the route fits the 15-code budget; the
-  // interface bits stay zero and are ORed in per lookup.
-  const std::size_t codes = mv.size() + 1;
-  if (codes <= kMaxHeaderCodes) {
-    std::uint32_t header = 0;
-    for (const Direction d : mv) {
-      header = (header << 2) | (static_cast<std::uint32_t>(d) & 0x3u);
+void RouteTable::materialize_pairs(const Topology& topo,
+                                   const RoutingAlgorithm& routing) {
+  const std::size_t pairs = n_ * n_;
+  hop_.assign(pairs, 0);
+  meta_.assign(pairs, static_cast<std::uint8_t>(kTableRouted << 4));
+  header_.assign(pairs, 0);
+
+  // Chain-memoized sweep: per destination, every (node, phase) state is
+  // resolved exactly once — walk unresolved states forward until the
+  // chain reaches the destination or a state resolved by an earlier
+  // walk, then unwind, assembling each state's packed header from its
+  // successor's (header(v) = move << 30 | header(next) >> 2, shift
+  // shrinking 2 bits per hop). Total work is O(n^2) next_hop steps,
+  // independent of fabric diameter.
+  const std::size_t states = 2 * n_;
+  std::vector<std::uint8_t> resolved(states);
+  std::vector<std::uint8_t> step_port(states);
+  std::vector<std::uint8_t> step_phase(states);
+  std::vector<std::uint32_t> succ(states);
+  std::vector<std::uint8_t> arrive(states);  // arrival port at the successor
+  std::vector<std::uint32_t> hdr(states);
+  std::vector<std::uint8_t> shiftc(states);  // shift/2; kTableRouted = over
+  std::vector<std::uint8_t> deliv(states);
+  std::vector<std::uint32_t> stack;
+
+  for (std::size_t d = 0; d < n_; ++d) {
+    std::fill(resolved.begin(), resolved.end(), 0);
+    const NodeId dst = topo.node_at(d);
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (v == d) continue;
+      std::uint32_t s = static_cast<std::uint32_t>(2 * v);
+      stack.clear();
+      while (!resolved[s] && s / 2 != d) {
+        const std::size_t node_idx = s / 2;
+        const unsigned phase = s & 1u;
+        const NodeId node = topo.node_at(node_idx);
+        const NextHop nh = routing.next_hop(node, dst, phase);
+        const auto peer = topo.link_peer(node, nh.port);
+        MANGO_ASSERT(peer.has_value(),
+                     "route " + to_string(node) + "->" + to_string(dst) +
+                         " uses the unwired port " + port_name(nh.port) +
+                         " at " + to_string(node));
+        step_port[s] = nh.port;
+        step_phase[s] = nh.phase;
+        arrive[s] = peer->port;
+        succ[s] = static_cast<std::uint32_t>(2 * topo.index(peer->node) +
+                                             nh.phase);
+        stack.push_back(s);
+        MANGO_ASSERT(stack.size() <= states,
+                     "next_hop walk from " + to_string(topo.node_at(v)) +
+                         " never reaches " + to_string(dst) +
+                         " — route() is not the greedy walk of next_hop()");
+        s = succ[s];
+      }
+      for (std::size_t k = stack.size(); k-- > 0;) {
+        const std::uint32_t cur = stack[k];
+        const std::uint32_t nxt = succ[cur];
+        const std::uint32_t move2 = step_port[cur] & 0x3u;
+        if (nxt / 2 == d) {
+          // Final hop: the delivery code is the arrival port at dst;
+          // the packed header is [move, delivery, iface(0)] left-
+          // aligned, bit-identical to build_be_header's layout.
+          deliv[cur] = arrive[cur];
+          hdr[cur] = (move2 << 30) |
+                     ((static_cast<std::uint32_t>(arrive[cur]) & 0x3u) << 28);
+          shiftc[cur] = 13;  // shift 26 (1 move + delivery + iface)
+        } else {
+          deliv[cur] = deliv[nxt];
+          if (shiftc[nxt] == kTableRouted || shiftc[nxt] == 0) {
+            shiftc[cur] = kTableRouted;  // 15th hop: over the code budget
+          } else {
+            shiftc[cur] = static_cast<std::uint8_t>(shiftc[nxt] - 1);
+            hdr[cur] = (move2 << 30) | (hdr[nxt] >> 2);
+          }
+        }
+        resolved[cur] = 1;
+      }
     }
-    header = (header << 2) |
-             (static_cast<std::uint32_t>(end->arrival_port) & 0x3u);
-    header <<= 2;  // interface bits, zeroed
-    const unsigned used_bits = 2 * static_cast<unsigned>(codes + 1);
-    header <<= (32 - used_bits);
-    header_base_[pair_idx] = header;
-    header_shift_[pair_idx] = static_cast<std::uint8_t>(32 - used_bits);
+    // Commit this destination's packed per-pair rows. Phase-1 states a
+    // real packet can occupy were resolved by some walk; the rest keep
+    // a zero nibble (never looked up).
+    for (std::size_t v = 0; v < n_; ++v) {
+      if (v == d) continue;
+      const std::size_t p = pair(v, d);
+      const std::uint32_t s0 = static_cast<std::uint32_t>(2 * v);
+      const std::uint8_t nib0 = static_cast<std::uint8_t>(
+          (step_port[s0] & 0x3u) | ((step_phase[s0] & 1u) << 2));
+      const std::uint8_t nib1 =
+          resolved[s0 + 1]
+              ? static_cast<std::uint8_t>((step_port[s0 + 1] & 0x3u) |
+                                          ((step_phase[s0 + 1] & 1u) << 2))
+              : 0;
+      hop_[p] = static_cast<std::uint8_t>(nib0 | (nib1 << 4));
+      meta_[p] = static_cast<std::uint8_t>((deliv[s0] & 0x3u) |
+                                           (shiftc[s0] << 4));
+      header_[p] = shiftc[s0] == kTableRouted ? 0 : hdr[s0];
+    }
   }
 }
 
-RouteTable::MovesView RouteTable::moves(std::size_t src_idx,
-                                        std::size_t dst_idx) const {
+void RouteTable::append_moves(std::size_t src_idx, std::size_t dst_idx,
+                              std::vector<Direction>& out) const {
   MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
   MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
-  if (src_idx == dst_idx && self_unavailable_[src_idx]) {
-    routing_->self_route(routing_->topology().node_at(src_idx));  // throws
+  if (src_idx == dst_idx) {
+    if (self_unavailable_[src_idx]) {
+      routing_->self_route(routing_->topology().node_at(src_idx));  // throws
+    }
+    out.insert(out.end(), self_moves_.begin() + self_offsets_[src_idx],
+               self_moves_.begin() + self_offsets_[src_idx + 1]);
+    return;
   }
-  const std::size_t p = pair(src_idx, dst_idx);
-  return MovesView{moves_.data() + offsets_[p], offsets_[p + 1] - offsets_[p]};
+  const Topology& topo = routing_->topology();
+  std::size_t cur = src_idx;
+  unsigned phase = 0;
+  std::size_t guard = 2 * n_ + 2;
+  while (cur != dst_idx) {
+    MANGO_ASSERT(guard-- > 0, "route-table chain walk does not terminate");
+    const NextHop nh = next_hop(cur, dst_idx, phase);
+    out.push_back(direction_of(nh.port));
+    const auto peer = topo.link_peer(topo.node_at(cur), nh.port);
+    MANGO_ASSERT(peer.has_value(), "route-table chain walks an unwired port");
+    cur = topo.index(peer->node);
+    phase = nh.phase;
+  }
 }
 
 PortIdx RouteTable::delivery_port(std::size_t src_idx,
                                   std::size_t dst_idx) const {
   MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
   MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
-  return delivery_and_next_[pair(src_idx, dst_idx)].delivery;
+  if (src_idx == dst_idx) {
+    if (self_unavailable_[src_idx]) {
+      routing_->self_route(routing_->topology().node_at(src_idx));  // throws
+    }
+    return static_cast<PortIdx>(self_delivery_[src_idx]);
+  }
+  return static_cast<PortIdx>(meta_[pair(src_idx, dst_idx)] & 0x3u);
 }
 
-std::uint32_t RouteTable::be_header(std::size_t src_idx, std::size_t dst_idx,
-                                    LocalIface iface) const {
+unsigned RouteTable::hops(std::size_t src_idx, std::size_t dst_idx) const {
   MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
   MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
-  const std::size_t p = pair(src_idx, dst_idx);
-  const std::uint8_t shift = header_shift_[p];
-  if (shift == kNoHeader) {
-    // Over budget (or a self-route miss): rebuild through the legacy
-    // path so the ModelError is byte-identical to build_be_header's.
-    const MovesView mv = moves(src_idx, dst_idx);
-    BeRoute r;
-    r.moves.assign(mv.begin(), mv.end());
-    r.delivery = direction_of(delivery_port(src_idx, dst_idx));
-    r.iface = iface;
-    return build_be_header(r);
+  if (src_idx == dst_idx) {
+    if (self_unavailable_[src_idx]) {
+      routing_->self_route(routing_->topology().node_at(src_idx));  // throws
+    }
+    return self_offsets_[src_idx + 1] - self_offsets_[src_idx];
   }
-  return header_base_[p] |
-         (static_cast<std::uint32_t>(iface) << shift);
+  const std::uint8_t code = shift_code(src_idx, dst_idx);
+  if (code != kTableRouted) return 14u - code;  // shift 28 - 2*hops
+  std::vector<Direction> mv;
+  append_moves(src_idx, dst_idx, mv);
+  return static_cast<unsigned>(mv.size());
+}
+
+BeHeader RouteTable::be_header(std::size_t src_idx, std::size_t dst_idx,
+                               LocalIface iface) const {
+  MANGO_ASSERT(dense_, "route table not materialized for this fabric size");
+  MANGO_ASSERT(src_idx < n_ && dst_idx < n_, "route table index out of range");
+  if (src_idx == dst_idx) {
+    if (self_unavailable_[src_idx]) {
+      routing_->self_route(routing_->topology().node_at(src_idx));  // throws
+    }
+    const std::uint8_t shift = self_shift_[src_idx];
+    if (shift == kNoHeader) {
+      // Over budget: rebuild through the legacy path so the ModelError
+      // is byte-identical to build_be_header's.
+      BeRoute r;
+      r.moves.assign(self_moves_.begin() + self_offsets_[src_idx],
+                     self_moves_.begin() + self_offsets_[src_idx + 1]);
+      r.delivery =
+          direction_of(static_cast<PortIdx>(self_delivery_[src_idx]));
+      r.iface = iface;
+      return BeHeader{build_be_header(r), false};  // throws
+    }
+    return BeHeader{self_header_[src_idx] |
+                        (static_cast<std::uint32_t>(iface) << shift),
+                    false};
+  }
+  const std::size_t p = pair(src_idx, dst_idx);
+  const std::uint8_t code = static_cast<std::uint8_t>(meta_[p] >> 4);
+  if (code == kTableRouted) {
+    // The scalable scheme: selected exactly when the route is over the
+    // paper's 15-code budget (> 14 hops).
+    return BeHeader{make_table_header(dst_idx, iface), true};
+  }
+  return BeHeader{
+      header_[p] | (static_cast<std::uint32_t>(iface) << (2u * code)), false};
 }
 
 // --- deadlock validator ------------------------------------------------------
@@ -629,12 +860,18 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
   const std::size_t n = table.node_count();
   const bool classes = vc_map.enabled && be_vcs >= 2;
   CdgBuilder builder(topo, vc_map, classes);
-  for (std::size_t si = 0; si < n; ++si) {
-    for (std::size_t di = 0; di < n; ++di) {
+  // Exhaustive pair coverage up to 1024 nodes; beyond that the same
+  // deterministic stratified sampling as the virtual check bounds the
+  // route walks on 4096-node fabrics.
+  const std::size_t stride = n <= 1024 ? 1 : (n + 1023) / 1024;
+  std::vector<Direction> mv;
+  for (std::size_t si = 0; si < n; si += stride) {
+    for (std::size_t di = 0; di < n; di += stride) {
       if (si == di) continue;  // self-routes carry no inter-packet deps
-      const RouteTable::MovesView mv = table.moves(si, di);
-      builder.add_route(topo.node_at(si), topo.node_at(di), mv.data,
-                        mv.count);
+      mv.clear();
+      table.append_moves(si, di, mv);
+      builder.add_route(topo.node_at(si), topo.node_at(di), mv.data(),
+                        mv.size());
     }
   }
   return builder.finish();

@@ -56,6 +56,16 @@ struct BeVcClassMap {
   }
 };
 
+/// One step of a route as a (node, phase) state transition: the out
+/// port to take and the routing phase after the hop. Phase is the one
+/// bit of route state a header must carry for routings whose next hop
+/// depends on history (up*/down*: 0 = may still climb, 1 = descending
+/// only); memoryless routings keep it 0 throughout.
+struct NextHop {
+  PortIdx port = 0;
+  std::uint8_t phase = 0;
+};
+
 class RoutingAlgorithm {
  public:
   explicit RoutingAlgorithm(const Topology& topo) : topo_(topo) {}
@@ -71,6 +81,19 @@ class RoutingAlgorithm {
   /// and no intermediate hop leaves by its arrival port (a u-turn would
   /// read as the local-delivery code).
   virtual std::vector<Direction> route(NodeId src, NodeId dst) const = 0;
+
+  /// One step of route(node, dst) from `node` in routing phase `phase`
+  /// (node != dst). The contract that makes RouteTable's O(n^2) chain
+  /// construction exact: every route() is the greedy walk of its own
+  /// next_hop over (node, phase) states — route(s, d) = next_hop step at
+  /// s, then route continues as the walk from the successor state. The
+  /// base implementation re-derives the first move of route() (correct
+  /// for any phase-free routing, O(route length)); implementations
+  /// override it with an O(ports) or O(1) step.
+  virtual NextHop next_hop(NodeId node, NodeId dst, unsigned phase) const {
+    (void)phase;
+    return NextHop{port_of(route(node, dst).front()), 0};
+  }
 
   /// Link hops between two nodes under this routing (wrap-aware; the
   /// topology-correct replacement for the mesh-only free hop_distance).
@@ -99,6 +122,7 @@ class XyRouting : public RoutingAlgorithm {
       : RoutingAlgorithm(topo) {}
   const char* name() const override { return "xy"; }
   std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  NextHop next_hop(NodeId node, NodeId dst, unsigned phase) const override;
   unsigned hop_distance(NodeId a, NodeId b) const override;
 };
 
@@ -108,6 +132,7 @@ class TorusDorRouting : public RoutingAlgorithm {
       : RoutingAlgorithm(topo) {}
   const char* name() const override { return "torus-dor"; }
   std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  NextHop next_hop(NodeId node, NodeId dst, unsigned phase) const override;
   unsigned hop_distance(NodeId a, NodeId b) const override;
   BeVcClassMap vc_class_map() const override;
   unsigned required_be_vcs() const override { return 2; }
@@ -118,6 +143,7 @@ class RingRouting : public RoutingAlgorithm {
   explicit RingRouting(const RingTopology& topo) : RoutingAlgorithm(topo) {}
   const char* name() const override { return "ring"; }
   std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  NextHop next_hop(NodeId node, NodeId dst, unsigned phase) const override;
   unsigned hop_distance(NodeId a, NodeId b) const override;
   BeVcClassMap vc_class_map() const override;
   unsigned required_be_vcs() const override { return 2; }
@@ -135,6 +161,7 @@ class ShortestPathRouting : public RoutingAlgorithm {
   explicit ShortestPathRouting(const Topology& topo);
   const char* name() const override { return "shortest-path"; }
   std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  NextHop next_hop(NodeId node, NodeId dst, unsigned phase) const override;
   unsigned hop_distance(NodeId a, NodeId b) const override;
 
  private:
@@ -154,6 +181,7 @@ class UpDownRouting : public RoutingAlgorithm {
   explicit UpDownRouting(const Topology& topo);
   const char* name() const override { return "up-down"; }
   std::vector<Direction> route(NodeId src, NodeId dst) const override;
+  NextHop next_hop(NodeId node, NodeId dst, unsigned phase) const override;
   unsigned hop_distance(NodeId a, NodeId b) const override;
 
  private:
@@ -172,23 +200,40 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo);
 
 /// Materialized routes of a RoutingAlgorithm over a topology.
 ///
-/// The virtual route() interface is the table *builder*: at network
-/// construction every (src, dst) route is computed once and flattened
-/// into dense storage — per-pair move sequences, the delivery port read
-/// off the link wiring, the per-node next-port table, and the fully
-/// encoded 32-bit BE header (per local interface) — so the per-packet
-/// hot path is a table lookup with zero allocation and no virtual
-/// dispatch. Self-routes (src == dst, the out-and-back cycle reaching a
-/// node's own local port) are materialized per node; fabrics without a
-/// u-turn-free cycle record the miss and re-raise the routing error on
-/// first use, preserving lazy construction semantics.
+/// The virtual next_hop() interface is the table *builder*: at network
+/// construction, every destination's routes are resolved in one
+/// chain-memoized sweep over (node, phase) states — each state's next
+/// hop is computed exactly once, and the per-pair packed source-route
+/// header is assembled incrementally from its successor's
+/// (header(v) = move << 30 | header(next) >> 2) — so construction is
+/// O(n^2) total, not O(n^2 * diameter), and storage is a flat 6 bytes
+/// per pair instead of flattened move sequences. The per-packet hot
+/// path stays a table lookup with zero allocation and no virtual
+/// dispatch.
+///
+/// Per (src, dst) pair the table records, under the header-scheme
+/// selection rule (DESIGN.md "scale architecture"):
+///   * routes of <= 14 hops: the fully packed 32-bit source-route
+///     header (bit-identical to build_be_header's) — the paper's scheme
+///     stays the fast path and small fabrics are byte-identical;
+///   * longer routes: the table-routed scheme (THDR header carrying the
+///     destination index; routers call next_hop() per hop).
+///
+/// Self-routes (src == dst, the out-and-back cycle reaching a node's
+/// own local port) are materialized per node as explicit move lists;
+/// fabrics without a u-turn-free cycle record the miss and re-raise the
+/// routing error on first use, preserving lazy construction semantics.
 ///
 /// Beyond kDenseNodeLimit nodes the n^2 storage is not materialized
-/// (dense() == false) and callers fall back to the virtual interface.
+/// (dense() == false) and callers fall back to the virtual interface
+/// (which re-imposes the paper's 14-hop BE ceiling).
 class RouteTable {
  public:
-  static constexpr std::size_t kDenseNodeLimit = 1024;
-  /// Sentinel shift: route exceeds the 15-code BE header budget.
+  static constexpr std::size_t kDenseNodeLimit = 4096;
+  /// Sentinel shift code (meta high nibble): the route exceeds the
+  /// 15-code BE header budget and is table-routed instead.
+  static constexpr std::uint8_t kTableRouted = 0xF;
+  /// Sentinel shift: a self-route over the 15-code header budget.
   static constexpr std::uint8_t kNoHeader = 0xFF;
 
   RouteTable(const Topology& topo, const RoutingAlgorithm& routing);
@@ -196,58 +241,70 @@ class RouteTable {
   bool dense() const { return dense_; }
   std::size_t node_count() const { return n_; }
 
-  /// Non-owning view of a flattened move sequence.
-  struct MovesView {
-    const Direction* data = nullptr;
-    std::uint32_t count = 0;
-    const Direction* begin() const { return data; }
-    const Direction* end() const { return data + count; }
-    std::uint32_t size() const { return count; }
-  };
+  /// O(1) next-hop lookup for the table-routed header scheme: the out
+  /// port from `node_idx` toward `dst_idx` in routing phase `phase`,
+  /// and the phase after the hop (node_idx != dst_idx).
+  NextHop next_hop(std::size_t node_idx, std::size_t dst_idx,
+                   unsigned phase) const {
+    const std::uint8_t nib =
+        static_cast<std::uint8_t>(hop_[pair(node_idx, dst_idx)] >>
+                                  ((phase & 1u) * 4)) & 0xFu;
+    return NextHop{static_cast<PortIdx>(nib & 0x3u),
+                   static_cast<std::uint8_t>((nib >> 2) & 1u)};
+  }
 
-  /// Moves of src -> dst; src == dst yields the self-route cycle
-  /// (ModelError when the fabric has none through src).
-  MovesView moves(std::size_t src_idx, std::size_t dst_idx) const;
+  /// Appends the full move sequence of src -> dst (phase-0 injection);
+  /// src == dst yields the self-route cycle (ModelError when the fabric
+  /// has none through src). O(route length) chain walk.
+  void append_moves(std::size_t src_idx, std::size_t dst_idx,
+                    std::vector<Direction>& out) const;
   /// Port the final hop arrives on at the destination (the code that
   /// reads as "back the way it came" there).
   PortIdx delivery_port(std::size_t src_idx, std::size_t dst_idx) const;
-  /// First out-port from `node_idx` toward `dst_idx` (per-node next-port
-  /// lookup; node_idx == dst_idx gives the self-route's first move).
-  PortIdx next_port(std::size_t node_idx, std::size_t dst_idx) const {
-    return delivery_and_next_[pair(node_idx, dst_idx)].next;
-  }
-  unsigned hops(std::size_t src_idx, std::size_t dst_idx) const {
-    return moves(src_idx, dst_idx).count;
+  /// Link hops of the materialized src -> dst route (src != dst). O(1)
+  /// for header-scheme routes, an O(route length) chain walk beyond.
+  unsigned hops(std::size_t src_idx, std::size_t dst_idx) const;
+  /// True when (src, dst) selected the table-routed header scheme —
+  /// exactly the pairs whose route exceeds 14 hops (src != dst).
+  bool table_routed(std::size_t src_idx, std::size_t dst_idx) const {
+    return shift_code(src_idx, dst_idx) == kTableRouted;
   }
 
   /// Precomputed BE header of the src -> dst route with `iface` folded
-  /// into the interface-select bits. ModelError (identical to
-  /// build_be_header's) when the route exceeds the 15-code budget.
-  std::uint32_t be_header(std::size_t src_idx, std::size_t dst_idx,
-                          LocalIface iface) const;
+  /// in: the packed source-route word for routes within the 15-code
+  /// budget, the table-routed word beyond. Self-routes are always
+  /// source-routed and raise build_be_header's ModelError when the
+  /// fabric's shortest self cycle is over budget.
+  BeHeader be_header(std::size_t src_idx, std::size_t dst_idx,
+                     LocalIface iface) const;
 
  private:
   std::size_t pair(std::size_t s, std::size_t d) const { return s * n_ + d; }
-  void materialize_pair(std::size_t pair_idx,
-                        const std::vector<Direction>& mv,
-                        const Topology& topo, NodeId src);
-
-  struct PortPair {
-    PortIdx delivery = 0;
-    PortIdx next = 0;
-  };
+  std::uint8_t shift_code(std::size_t s, std::size_t d) const {
+    return static_cast<std::uint8_t>(meta_[pair(s, d)] >> 4);
+  }
+  void materialize_self_routes(const Topology& topo,
+                               const RoutingAlgorithm& routing);
+  void materialize_pairs(const Topology& topo,
+                         const RoutingAlgorithm& routing);
 
   std::size_t n_ = 0;
   bool dense_ = false;
-  /// Flattened move storage; pair (s, d) occupies
-  /// moves_[offsets_[pair]..offsets_[pair + 1]).
-  std::vector<Direction> moves_;
-  std::vector<std::uint32_t> offsets_;
-  std::vector<PortPair> delivery_and_next_;
-  /// Header with zeroed interface bits, plus the shift to fold them in
-  /// (kNoHeader: over budget — rebuilt on demand to raise the error).
-  std::vector<std::uint32_t> header_base_;
-  std::vector<std::uint8_t> header_shift_;
+  /// Per-pair next hops, one nibble per phase:
+  /// [phase1: next_phase(1) port(2)][phase0: next_phase(1) port(2)].
+  std::vector<std::uint8_t> hop_;
+  /// Per-pair delivery port (bits 0-1) and header shift / 2 (bits 4-7,
+  /// kTableRouted when the route is over the 15-code budget).
+  std::vector<std::uint8_t> meta_;
+  /// Per-pair packed source-route header with zeroed interface bits
+  /// (valid when the shift code is not kTableRouted).
+  std::vector<std::uint32_t> header_;
+  /// Self-route cycles, flattened per node.
+  std::vector<Direction> self_moves_;
+  std::vector<std::uint32_t> self_offsets_;
+  std::vector<std::uint8_t> self_delivery_;
+  std::vector<std::uint32_t> self_header_;
+  std::vector<std::uint8_t> self_shift_;  ///< kNoHeader: over budget
   /// Self-route misses (no u-turn-free cycle): re-raise lazily.
   std::vector<bool> self_unavailable_;
   const RoutingAlgorithm* routing_ = nullptr;  ///< for lazy error re-raise
@@ -273,7 +330,9 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
 
 /// Same check, run against the materialized route tables instead of the
 /// virtual interface: what Network validates is exactly what the hot
-/// path will execute. Covers every (src, dst) pair the table holds.
+/// path will execute. Exhaustive over every (src, dst) pair up to 1024
+/// nodes, deterministically stratified beyond (mirroring the virtual
+/// check's sampling so 4096-node construction stays bounded).
 DeadlockCheck check_deadlock_freedom(const Topology& topo,
                                      const RouteTable& table,
                                      const BeVcClassMap& vc_map,

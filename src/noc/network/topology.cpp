@@ -14,6 +14,7 @@ const char* to_string(TopologyKind k) {
     case TopologyKind::kTorus: return "torus";
     case TopologyKind::kRing: return "ring";
     case TopologyKind::kGraph: return "graph";
+    case TopologyKind::kCMesh: return "cmesh";
   }
   return "?";
 }
@@ -22,6 +23,9 @@ std::optional<TopologyKind> topology_kind_from_string(const std::string& s) {
   for (const TopologyKind k : all_topology_kinds()) {
     if (s == to_string(k)) return k;
   }
+  // Not a member of the generic iteration set (see the header), but
+  // nameable wherever a kind is parsed.
+  if (s == to_string(TopologyKind::kCMesh)) return TopologyKind::kCMesh;
   return std::nullopt;
 }
 
@@ -87,6 +91,57 @@ GraphSpec GraphSpec::irregular(std::uint16_t nodes) {
   return spec;
 }
 
+GraphSpec GraphSpec::ring_of_meshes(std::uint16_t meshes, std::uint16_t w,
+                                    std::uint16_t h) {
+  MANGO_ASSERT(meshes >= 2, "a ring of meshes needs at least two meshes");
+  MANGO_ASSERT(w >= 2 && h >= 1, "a ring of meshes needs w >= 2 per mesh");
+  const std::size_t per = static_cast<std::size_t>(w) * h;
+  const std::size_t total = per * meshes;
+  MANGO_ASSERT(total <= 65535, "ring of meshes exceeds the 16-bit node label");
+  GraphSpec spec;
+  spec.node_count = static_cast<std::uint16_t>(total);
+  const auto at = [&](std::uint16_t m, std::uint16_t x,
+                      std::uint16_t y) -> std::uint16_t {
+    return static_cast<std::uint16_t>(m * per + y * w + x);
+  };
+  // Internal mesh edges, row-major within each mesh block.
+  for (std::uint16_t m = 0; m < meshes; ++m) {
+    for (std::uint16_t y = 0; y < h; ++y) {
+      for (std::uint16_t x = 0; x < w; ++x) {
+        if (x + 1 < w) spec.edges.emplace_back(at(m, x, y), at(m, x + 1, y));
+        if (y + 1 < h) spec.edges.emplace_back(at(m, x, y), at(m, x, y + 1));
+      }
+    }
+  }
+  // Ring stitches between corner nodes: mesh corners have internal
+  // degree 2, so the extra hop stays within the four-port budget.
+  for (std::uint16_t m = 0; m < meshes; ++m) {
+    spec.edges.emplace_back(
+        at(m, static_cast<std::uint16_t>(w - 1), 0),
+        at(static_cast<std::uint16_t>((m + 1) % meshes), 0, 0));
+  }
+  return spec;
+}
+
+GraphSpec GraphSpec::express_ring(std::uint16_t nodes, std::uint16_t hop) {
+  MANGO_ASSERT(hop >= 2, "express chords of length < 2 duplicate ring links");
+  MANGO_ASSERT(nodes > 2u * hop,
+               "an express ring needs nodes > 2 * hop for the chords to cut "
+               "the diameter");
+  GraphSpec spec;
+  spec.node_count = nodes;
+  for (std::uint16_t i = 0; i < nodes; ++i) {
+    spec.edges.emplace_back(i, static_cast<std::uint16_t>((i + 1) % nodes));
+  }
+  // Chords at every multiple of hop (no wrap chord): ring degree 2 + at
+  // most one chord out and one in = degree 4.
+  for (std::uint32_t i = 0; i + hop < nodes; i += hop) {
+    spec.edges.emplace_back(static_cast<std::uint16_t>(i),
+                            static_cast<std::uint16_t>(i + hop));
+  }
+  return spec;
+}
+
 // --- TopologySpec ------------------------------------------------------------
 
 TopologySpec TopologySpec::mesh(std::uint16_t w, std::uint16_t h) {
@@ -122,6 +177,16 @@ TopologySpec TopologySpec::irregular(GraphSpec g) {
   return s;
 }
 
+TopologySpec TopologySpec::cmesh(std::uint16_t w, std::uint16_t h,
+                                 std::uint16_t cores_per_router) {
+  TopologySpec s;
+  s.kind = TopologyKind::kCMesh;
+  s.width = w;
+  s.height = h;
+  s.concentration = cores_per_router;
+  return s;
+}
+
 std::size_t TopologySpec::node_count() const {
   if (kind == TopologyKind::kGraph) return graph.node_count;
   return static_cast<std::size_t>(width) * height;
@@ -137,6 +202,10 @@ std::string TopologySpec::label() const {
     case TopologyKind::kGraph:
       return std::string(to_string(kind)) + "-" +
              std::to_string(node_count());
+    case TopologyKind::kCMesh:
+      return std::string(to_string(kind)) + "-" + std::to_string(width) +
+             "x" + std::to_string(height) + "c" +
+             std::to_string(concentration);
   }
   return "?";
 }
@@ -203,8 +272,11 @@ NodeId Grid2DTopology::node_at(std::size_t idx) const {
 // --- MeshTopology ------------------------------------------------------------
 
 MeshTopology::MeshTopology(std::uint16_t width, std::uint16_t height)
-    : Grid2DTopology(TopologySpec::mesh(width, height)) {
-  MANGO_ASSERT(width >= 1 && height >= 1, "degenerate mesh");
+    : MeshTopology(TopologySpec::mesh(width, height)) {}
+
+MeshTopology::MeshTopology(TopologySpec spec)
+    : Grid2DTopology(std::move(spec)) {
+  MANGO_ASSERT(width() >= 1 && height() >= 1, "degenerate mesh");
 }
 
 std::optional<NodeId> MeshTopology::neighbor(NodeId n, Direction d) const {
@@ -233,6 +305,16 @@ std::optional<PortPeer> MeshTopology::link_peer(NodeId n, PortIdx p) const {
       break;
   }
   return PortPeer{step(n, d), port_of(opposite(d))};
+}
+
+// --- ConcentratedMeshTopology ------------------------------------------------
+
+ConcentratedMeshTopology::ConcentratedMeshTopology(std::uint16_t width,
+                                                   std::uint16_t height,
+                                                   std::uint16_t concentration)
+    : MeshTopology(TopologySpec::cmesh(width, height, concentration)) {
+  MANGO_ASSERT(concentration >= 1,
+               "a concentrated mesh needs at least one core per router");
 }
 
 // --- TorusTopology -----------------------------------------------------------
@@ -392,6 +474,9 @@ std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {
           static_cast<std::uint16_t>(spec.node_count()));
     case TopologyKind::kGraph:
       return std::make_unique<GraphTopology>(spec.graph);
+    case TopologyKind::kCMesh:
+      return std::make_unique<ConcentratedMeshTopology>(
+          spec.width, spec.height, spec.concentration);
   }
   model_fail("unknown topology kind");
 }

@@ -10,7 +10,18 @@
 //   * TorusTopology — 2D mesh with wrap-around links in both dimensions,
 //   * RingTopology  — a 1D cycle on the East/West ports,
 //   * GraphTopology — an arbitrary adjacency loaded from a GraphSpec
-//                     (degree <= 4, connected; ports auto-assigned).
+//                     (degree <= 4, connected; ports auto-assigned),
+//   * ConcentratedMeshTopology — a mesh whose routers each serve k
+//                     cores. The wire graph is exactly the mesh's; the
+//                     concentration factor lives in the spec and is
+//                     consumed by the traffic layer (k BE sources per
+//                     router), quartering router count at k = 4 for the
+//                     same core count — the standard first rung of the
+//                     scaling ladder before going hierarchical.
+//
+// Hierarchical compositions (express-link rings, rings of meshes) are
+// GraphSpec builders: they flatten to an irregular adjacency and route
+// up*/down*, so a thousand-core fabric needs no new topology class.
 //
 // Route computation lives in the RoutingAlgorithm layer
 // (noc/network/routing.hpp); the Network wires links straight from this
@@ -35,10 +46,14 @@ enum class TopologyKind : std::uint8_t {
   kTorus,
   kRing,
   kGraph,
+  kCMesh,  ///< concentrated mesh: mesh wires + k cores per router
 };
 
 const char* to_string(TopologyKind k);
 std::optional<TopologyKind> topology_kind_from_string(const std::string& s);
+/// The four base fabric families every generic sweep/test iterates.
+/// kCMesh is deliberately absent: its wire graph IS a mesh, so listing
+/// it would double-run every mesh property; opt in via "cmesh".
 std::vector<TopologyKind> all_topology_kinds();
 
 /// Contiguous balanced shard partition over node indices: shard s owns
@@ -70,6 +85,21 @@ struct GraphSpec {
   /// cycles for u-turn-free self-routes. Used by the "graph" topology
   /// axis of the sweep CLI and the topologies-4x4 preset.
   static GraphSpec irregular(std::uint16_t nodes);
+
+  /// Hierarchical composition: `meshes` w x h meshes on a ring. Mesh i
+  /// occupies indices [i*w*h, (i+1)*w*h) row-major; its south-east
+  /// corner (w-1, 0) links to the south-west corner (0, 0) of mesh
+  /// (i+1) % meshes. Corners have mesh degree 2, so the ring hop keeps
+  /// every node within the four-port budget (max degree 3 at the
+  /// stitched corners). Requires meshes >= 2.
+  static GraphSpec ring_of_meshes(std::uint16_t meshes, std::uint16_t w,
+                                  std::uint16_t h);
+
+  /// Express-link ring: an N-node cycle plus chords of length `hop`
+  /// starting at every multiple of `hop` — the classic diameter cut
+  /// (O(N / hop + hop) instead of N / 2) at degree <= 4. Requires
+  /// 2 <= hop and nodes > 2 * hop.
+  static GraphSpec express_ring(std::uint16_t nodes, std::uint16_t hop);
 };
 
 /// Value description of a topology (what NetworkConfig carries and the
@@ -79,15 +109,23 @@ struct TopologySpec {
   std::uint16_t width = 2;   ///< mesh/torus X extent; ring/graph: node count
   std::uint16_t height = 2;  ///< mesh/torus Y extent; 1 for ring/graph
   GraphSpec graph;           ///< kGraph only
+  /// Cores per router (kCMesh only; 1 everywhere else). Routers — and
+  /// node_count() — stay width * height; the traffic layer fans each
+  /// router's local port out k ways.
+  std::uint16_t concentration = 1;
 
   static TopologySpec mesh(std::uint16_t w, std::uint16_t h);
   static TopologySpec torus(std::uint16_t w, std::uint16_t h);
   static TopologySpec ring(std::uint16_t nodes);
   static TopologySpec irregular(GraphSpec g);
+  static TopologySpec cmesh(std::uint16_t w, std::uint16_t h,
+                            std::uint16_t cores_per_router);
 
   std::size_t node_count() const;
+  /// Cores the fabric serves: node_count() * concentration.
+  std::size_t core_count() const { return node_count() * concentration; }
   /// Human-readable tag used in scenario names and JSON reports:
-  /// "mesh-4x4", "torus-4x4", "ring-16", "graph-16".
+  /// "mesh-4x4", "torus-4x4", "ring-16", "graph-16", "cmesh-4x4c4".
   std::string label() const;
 };
 
@@ -182,6 +220,25 @@ class MeshTopology : public Grid2DTopology {
 
   /// Neighbour in direction d, if inside the mesh.
   std::optional<NodeId> neighbor(NodeId n, Direction d) const;
+
+ protected:
+  /// For subclasses carrying a mesh wire graph under another spec kind
+  /// (ConcentratedMeshTopology).
+  explicit MeshTopology(TopologySpec spec);
+};
+
+/// A concentrated mesh: the mesh's wire graph with `concentration` cores
+/// hanging off every router's local port. Routing, links and route
+/// tables see a plain mesh (this IS-A MeshTopology, and XY routing
+/// applies unchanged); the spec's concentration factor tells the
+/// traffic layer to run k BE sources per router. This is how a
+/// 1024-core fabric runs on a 16x16 router grid.
+class ConcentratedMeshTopology : public MeshTopology {
+ public:
+  ConcentratedMeshTopology(std::uint16_t width, std::uint16_t height,
+                           std::uint16_t concentration);
+
+  std::uint16_t concentration() const { return spec().concentration; }
 };
 
 /// A 2D torus: the mesh plus wrap-around links. Every node has all four

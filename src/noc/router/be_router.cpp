@@ -1,6 +1,7 @@
 #include "noc/router/be_router.hpp"
 
 #include "noc/common/route.hpp"
+#include "noc/network/routing.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -78,6 +79,14 @@ void BeRouter::set_vc_classes(const std::array<bool, kNumDirections>& dateline) 
   dateline_ = dateline;
 }
 
+void BeRouter::enable_table_routing(const RouteTable* table,
+                                    std::size_t self_idx) {
+  MANGO_ASSERT(table != nullptr && table->dense(),
+               "table routing needs a materialized RouteTable");
+  route_table_ = table;
+  self_idx_ = static_cast<std::uint32_t>(self_idx);
+}
+
 BeVcIdx BeRouter::out_vc_class(PortIdx in, unsigned out, BeVcIdx cur) const {
   if (!vc_classes_enabled_ || !is_network_port(static_cast<PortIdx>(out))) {
     return cur;  // local delivery, or no dateline scheme on this fabric
@@ -88,12 +97,27 @@ BeVcIdx BeRouter::out_vc_class(PortIdx in, unsigned out, BeVcIdx cur) const {
 
 void BeRouter::notify_output_ready(unsigned out) { try_route(out); }
 
-unsigned BeRouter::decode_target(PortIdx in, std::uint32_t header) const {
-  const std::uint8_t code = header_code(header);
+unsigned BeRouter::decode_target(PortIdx in, const Flit& head) const {
+  if (head.thdr) {
+    // Table-routed header: the word names the destination's dense node
+    // index; the route lives in the shared RouteTable, not the header.
+    MANGO_ASSERT(route_table_ != nullptr,
+                 "table-routed (THDR) header at " + name_ +
+                     " but table routing is not armed on this fabric");
+    const std::size_t dst = table_header_dst(head.data);
+    if (dst == self_idx_) {
+      return table_header_iface(head.data) == LocalIface::kProgramming
+                 ? kOutProgramming
+                 : kOutLocalNa;
+    }
+    return route_table_->next_hop(self_idx_, dst, table_header_phase(head.data))
+        .port;
+  }
+  const std::uint8_t code = header_code(head.data);
   if (is_network_port(in) && code == in) {
     // "Choosing a direction back to where it came from, the packet is
     // routed to the local port." The next two bits select the interface.
-    const std::uint8_t iface = header_code(rotate_header(header));
+    const std::uint8_t iface = header_code(rotate_header(head.data));
     return iface == static_cast<std::uint8_t>(LocalIface::kProgramming)
                ? kOutProgramming
                : kOutLocalNa;
@@ -123,7 +147,7 @@ void BeRouter::on_input_head(PortIdx in, BeVcIdx vc) {
   if (!st.target.has_value()) {
     MANGO_ASSERT(st.awaiting_header,
                  "BE input " + port_name(in) + " lost its packet target");
-    st.target = decode_target(in, inputs_[in][vc].head().data);
+    st.target = decode_target(in, inputs_[in][vc].head());
   }
   register_req(in, vc, *st.target);
   try_route(*st.target);
@@ -182,11 +206,23 @@ void BeRouter::try_route(unsigned out) {
   Flit f = inputs_[in][vc].pop();
   if (!inputs_[in][vc].has_head()) clear_req(in, vc);
   if (ist.awaiting_header) {
-    // Consume this hop's code(s): one rotation when forwarding, two when
-    // delivering locally (direction code + interface-select bits).
-    f.data = rotate_header(f.data);
-    if (out == kOutLocalNa || out == kOutProgramming) {
+    if (f.thdr) {
+      // Table scheme: the header word is not consumed — only the
+      // routing-phase bit evolves (the table-mode analogue of the
+      // per-hop rotation); delivery needs no interface rotation since
+      // the iface field sits at fixed bit positions.
+      if (out != kOutLocalNa && out != kOutProgramming) {
+        const NextHop nh = route_table_->next_hop(
+            self_idx_, table_header_dst(f.data), table_header_phase(f.data));
+        f.data = with_table_header_phase(f.data, nh.phase);
+      }
+    } else {
+      // Consume this hop's code(s): one rotation when forwarding, two
+      // when delivering locally (direction code + interface-select bits).
       f.data = rotate_header(f.data);
+      if (out == kOutLocalNa || out == kOutProgramming) {
+        f.data = rotate_header(f.data);
+      }
     }
     ist.awaiting_header = false;
   }

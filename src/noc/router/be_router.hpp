@@ -9,6 +9,12 @@
 // among contending inputs and holds the grant until EOP, keeping packet
 // coherency (wormhole). Input buffers use credit-based VC control.
 //
+// Headers flagged THDR (the reconstruction's scalable scheme for routes
+// beyond the paper's 15-code budget, packet.hpp) carry the destination's
+// dense node index instead of move codes; the out port comes from an
+// O(1) lookup in the shared RouteTable armed by enable_table_routing(),
+// and only the routing-phase bit evolves per hop.
+//
 // The paper reserves one flit control bit "to indicate one of two BE
 // VCs"; with RouterConfig::be_vcs = 2 this implementation activates it:
 // every input port gets one buffer per BE VC, wormhole state is kept per
@@ -37,6 +43,8 @@
 #include "sim/simulator.hpp"
 
 namespace mango::noc {
+
+class RouteTable;  // noc/network/routing.hpp
 
 /// Credit-controlled BE input FIFO (one per input port per BE VC).
 class BeInputBuffer {
@@ -102,6 +110,13 @@ class BeRouter {
   /// flits then keep their injected VC (the paper's baseline).
   void set_vc_classes(const std::array<bool, kNumDirections>& dateline);
 
+  /// Arms the table-routed header scheme: THDR headers resolve their
+  /// next out-port through `table` (this router is dense node index
+  /// `self_idx`). Wired by Network after assembly on every fabric with
+  /// a materialized RouteTable; routers of non-dense fabrics reject
+  /// THDR flits (those fabrics never emit them).
+  void enable_table_routing(const RouteTable* table, std::size_t self_idx);
+
   /// Flit arriving on an input port (from the switching module's BE code
   /// or from the NA's local BE interface); its bevc bit selects the VC.
   void push_input(PortIdx in, Flit&& f);
@@ -147,8 +162,9 @@ class BeRouter {
   void try_route(unsigned out);
   void register_req(PortIdx in, BeVcIdx vc, unsigned out);
   void clear_req(PortIdx in, BeVcIdx vc);
-  /// Decodes the routing target of a header arriving on `in`.
-  unsigned decode_target(PortIdx in, std::uint32_t header) const;
+  /// Decodes the routing target of a header flit arriving on `in`
+  /// (either header scheme, selected by the flit's THDR bit).
+  unsigned decode_target(PortIdx in, const Flit& head) const;
   /// Outgoing BE VC class of a flit on input VC `cur` forwarded from
   /// `in` to `out` (identity unless set_vc_classes() armed the rule).
   BeVcIdx out_vc_class(PortIdx in, unsigned out, BeVcIdx cur) const;
@@ -159,6 +175,8 @@ class BeRouter {
   unsigned be_vcs_;
   bool vc_classes_enabled_ = false;
   std::array<bool, kNumDirections> dateline_{};
+  const RouteTable* route_table_ = nullptr;  ///< THDR next-hop lookups
+  std::uint32_t self_idx_ = 0;               ///< this router's node index
   std::array<std::vector<BeInputBuffer>, kNumPorts> inputs_;
   std::array<sim::InlineFunction<void(BeVcIdx)>, kNumPorts> credit_cbs_;
   std::array<std::array<InputState, kMaxBeVcs>, kNumPorts> in_state_{};

@@ -108,7 +108,8 @@ bool pattern_supported(BePattern p, const Topology& topo) {
     case BePattern::kTranspose:
       // The index form i -> i*w mod (N-1) needs a meaningful row width.
       return topo.kind() == TopologyKind::kMesh ||
-             topo.kind() == TopologyKind::kTorus;
+             topo.kind() == TopologyKind::kTorus ||
+             topo.kind() == TopologyKind::kCMesh;
     case BePattern::kTornado:
       // Half-extent offsets need fabric dimensions.
       return topo.kind() != TopologyKind::kGraph;
@@ -204,14 +205,19 @@ std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
                std::string("BE pattern '") + to_string(pattern) +
                    "' is not defined on topology " + topo.label() +
                    " — pick a supported pattern (see pattern_supported)");
+  // Concentration: k cores share each router's local port, so a
+  // concentrated mesh runs k independent sources per node. Tag and seed
+  // derivation generalize the one-source scheme (core j of node i is
+  // flow i*k + j), which makes k = 1 bit-identical to the historical
+  // per-node layout.
+  const std::size_t conc = topo.spec().concentration;
   std::vector<std::unique_ptr<BeTrafficSource>> sources;
-  sources.reserve(net.node_count());
+  sources.reserve(net.node_count() * conc);
   for (std::size_t i = 0; i < net.node_count(); ++i) {
     const NodeId n = net.node_at(i);
     BeTrafficSource::Options opt;
     opt.mean_interarrival_ps = mean_interarrival_ps;
     opt.payload_words = payload_words;
-    opt.seed = seed + i;
     switch (pattern) {
       case BePattern::kTranspose:
       case BePattern::kBitComplement:
@@ -234,9 +240,13 @@ std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
         };
         break;
     }
-    sources.push_back(std::make_unique<BeTrafficSource>(
-        net, n, kBeTagBase + static_cast<std::uint32_t>(i), opt));
-    sources.back()->start(start_at);
+    for (std::size_t j = 0; j < conc; ++j) {
+      const std::size_t flow = i * conc + j;
+      opt.seed = seed + flow;
+      sources.push_back(std::make_unique<BeTrafficSource>(
+          net, n, kBeTagBase + static_cast<std::uint32_t>(flow), opt));
+      sources.back()->start(start_at);
+    }
   }
   return sources;
 }

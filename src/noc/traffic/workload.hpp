@@ -95,11 +95,14 @@ std::optional<NodeId> pattern_dst(BePattern p, NodeId src,
 NodeId pattern_pick_dst(BePattern p, NodeId src, const Topology& topo,
                         const BePatternOptions& opt, sim::Rng& rng);
 
-/// Starts one BE source per node following `pattern`. Permutation nodes
-/// that map to themselves get no source. Tags are kBeTagBase + node
-/// index; per-node RNGs derive from `seed` + index as in
-/// start_uniform_be. ModelError (before any source starts) when the
-/// pattern is undefined on the network's topology.
+/// Starts one BE source per core following `pattern` — one per node on
+/// ordinary fabrics, spec().concentration per node on a concentrated
+/// mesh (core j of node i is flow i*k + j; k = 1 reproduces the
+/// historical per-node tags and seeds bit-for-bit). Permutation nodes
+/// that map to themselves get no sources. Tags are kBeTagBase + flow;
+/// per-flow RNGs derive from `seed` + flow as in start_uniform_be.
+/// ModelError (before any source starts) when the pattern is undefined
+/// on the network's topology.
 std::vector<std::unique_ptr<BeTrafficSource>> start_pattern_be(
     Network& net, BePattern pattern, const BePatternOptions& popt,
     sim::Time mean_interarrival_ps, unsigned payload_words,

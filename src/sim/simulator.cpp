@@ -86,39 +86,50 @@ void Simulator::insert(EventNode* n) {
 }
 
 void Simulator::insert_wheel(EventNode* n) {
-  Bucket& b = wheel_[granule_of(n->time) & kWheelMask];
+  const std::size_t idx = granule_of(n->time) & kWheelMask;
+  Bucket& b = wheel_[idx];
   ++wheel_count_;
   if (b.head == nullptr) {
-    n->next = nullptr;
+    n->prev = n->next = nullptr;
     b.head = b.tail = n;
+    mark_occupied(idx);
     return;
   }
   // Fast path: sequence numbers grow monotonically and most events are
   // scheduled time-forward, so the overwhelmingly common case appends.
   if (earlier(b.tail->time, b.tail->birth, b.tail->seq, n->time, n->birth,
               n->seq)) {
+    n->prev = b.tail;
     n->next = nullptr;
     b.tail->next = n;
     b.tail = n;
     return;
   }
   // Out-of-order within the bucket (a shorter delay scheduled after a
-  // longer one landing in the same granule): sorted insert.
-  if (earlier(n->time, n->birth, n->seq, b.head->time, b.head->birth,
-              b.head->seq)) {
+  // longer one landing in the same granule): sorted insert, searching
+  // BACKWARD from the tail. The displaced suffix is only the handful of
+  // strictly-later timestamps already in the bucket — never the
+  // same-timestamp train at the front (n has the largest (birth, seq)
+  // among its time-equals, so it sorts after all of them), which on a
+  // 1k-node fabric with phase-aligned CBR sources can be thousands of
+  // events long. A head-forward walk would traverse that train on every
+  // out-of-order insert and turn the kernel O(nodes) per event.
+  EventNode* q = b.tail->prev;
+  while (q != nullptr &&
+         earlier(n->time, n->birth, n->seq, q->time, q->birth, q->seq)) {
+    q = q->prev;
+  }
+  if (q == nullptr) {
+    n->prev = nullptr;
     n->next = b.head;
+    b.head->prev = n;
     b.head = n;
-    return;
+  } else {
+    n->prev = q;
+    n->next = q->next;
+    q->next->prev = n;
+    q->next = n;
   }
-  EventNode* prev = b.head;
-  while (prev->next != nullptr &&
-         earlier(prev->next->time, prev->next->birth, prev->next->seq,
-                 n->time, n->birth, n->seq)) {
-    prev = prev->next;
-  }
-  n->next = prev->next;
-  prev->next = n;
-  if (n->next == nullptr) b.tail = n;
 }
 
 void Simulator::migrate_overflow() {
@@ -157,29 +168,56 @@ Simulator::EventNode* Simulator::pop_earliest() {
     cur_granule_ = granule_of(now_);
   }
   migrate_overflow();
+  skip_to_occupied();
   Bucket* b = &wheel_[cur_granule_ & kWheelMask];
-  while (b->head == nullptr) {
-    ++cur_granule_;
-    b = &wheel_[cur_granule_ & kWheelMask];
-  }
   EventNode* n = b->head;
   b->head = n->next;
-  if (b->head == nullptr) b->tail = nullptr;
+  if (b->head == nullptr) {
+    b->tail = nullptr;
+    mark_empty(cur_granule_ & kWheelMask);
+  } else {
+    b->head->prev = nullptr;
+  }
   --wheel_count_;
   --pending_;
   return n;
+}
+
+std::size_t Simulator::next_occupied(std::size_t idx) const {
+  // Tail of the word containing idx (its own bit included).
+  const std::uint64_t first = occ_[idx >> 6] >> (idx & 63);
+  if (first != 0) {
+    return idx + static_cast<std::size_t>(__builtin_ctzll(first));
+  }
+  // Linear word scan to the next level-1 span boundary, then jump
+  // span-to-span through occ_l1_. Terminates because wheel_count_ > 0
+  // implies some occ_l1_ word is non-zero.
+  std::size_t w = idx >> 6;
+  for (;;) {
+    w = (w + 1) & (kOccWords - 1);
+    if ((w & 63) == 0) {
+      std::size_t span = w >> 6;
+      while (occ_l1_[span] == 0) span = (span + 1) & (kOccL1Words - 1);
+      w = (span << 6) +
+          static_cast<std::size_t>(__builtin_ctzll(occ_l1_[span]));
+      return (w << 6) + static_cast<std::size_t>(__builtin_ctzll(occ_[w]));
+    }
+    if (occ_[w] != 0) {
+      return (w << 6) + static_cast<std::size_t>(__builtin_ctzll(occ_[w]));
+    }
+  }
 }
 
 Time Simulator::next_event_time() {
   if (pending_ == 0) return kTimeNever;
   Time best = kTimeNever;
   if (wheel_count_ > 0) {
-    // A wheel event exists within the horizon, so the scan terminates.
+    // A wheel event exists within the horizon, so the skip terminates.
     // Advancing the cursor over the empty buckets is safe — pop_earliest
     // would skip them anyway, and insert() rewinds the cursor if a later
     // schedule lands below it — and lets the step() that typically
-    // follows start its scan at the non-empty bucket found here.
-    while (wheel_[cur_granule_ & kWheelMask].head == nullptr) ++cur_granule_;
+    // follows start at the non-empty bucket found here.
+    skip_to_occupied();
     best = wheel_[cur_granule_ & kWheelMask].head->time;
   }
   // An overflow event can be *earlier* than wheel events inserted after
@@ -198,7 +236,7 @@ Simulator::EventKey Simulator::next_event_key() {
     // Same cursor fast-forward as next_event_time(); the head of the
     // first non-empty bucket is the wheel minimum (buckets are sorted
     // and one granule each, so time order dominates across buckets).
-    while (wheel_[cur_granule_ & kWheelMask].head == nullptr) ++cur_granule_;
+    skip_to_occupied();
     best = wheel_[cur_granule_ & kWheelMask].head;
   }
   if (!overflow_.empty() &&

@@ -106,8 +106,8 @@ TEST(Churn, StormReportsBitIdenticalAcrossJobs) {
       specs.push_back(churn_spec(kind, seed));
     }
   }
-  const SweepReport seq = SweepRunner::run(specs, 1);
-  const SweepReport par = SweepRunner::run(specs, 4);
+  const SweepReport seq = SweepRunner().run(specs, 1);
+  const SweepReport par = SweepRunner().run(specs, 4);
   EXPECT_EQ(seq.failed(), 0u);
   for (const ScenarioResult& r : seq.results) {
     EXPECT_EQ(r.stats.guarantee_violations, 0u) << r.spec.name;
@@ -117,7 +117,7 @@ TEST(Churn, StormReportsBitIdenticalAcrossJobs) {
 
 TEST(Churn, ReportCarriesChurnColumnsAndSchemaVersion) {
   const SweepReport rep =
-      SweepRunner::run({churn_spec(noc::TopologyKind::kMesh, 1)}, 1);
+      SweepRunner().run({churn_spec(noc::TopologyKind::kMesh, 1)}, 1);
   const std::string json = rep.stats_json();
   EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   for (const char* key :

@@ -8,10 +8,13 @@ namespace mango::noc {
 namespace {
 
 TEST(Flit, WireWidthsMatchThePaper) {
-  // 32 data bits + EOP + spare BE-VC bit = 34; 5 steering bits -> 39.
-  EXPECT_EQ(kFlitWireBits, 34u);
+  // 32 data bits + EOP + spare BE-VC bit + the table-header extension
+  // bit = 35; 5 steering bits -> 40. (The paper's format is 34/39; the
+  // THDR bit is the reconstruction's one extension, added to scale BE
+  // routes past the 15-code header budget — DESIGN.md scale section.)
+  EXPECT_EQ(kFlitWireBits, 35u);
   EXPECT_EQ(kSteerBits, 5u);
-  EXPECT_EQ(kLinkFlitBits, 39u);
+  EXPECT_EQ(kLinkFlitBits, 40u);
 }
 
 TEST(Flit, EncodePlacesFieldsMsbFirst) {
@@ -20,10 +23,12 @@ TEST(Flit, EncodePlacesFieldsMsbFirst) {
   lf.flit.data = 0xDEADBEEF;
   lf.flit.eop = true;
   lf.flit.bevc = false;
+  lf.flit.thdr = true;
   const std::uint64_t w = encode_link_flit(lf);
-  EXPECT_EQ(w >> 36, 0b101u);             // split
-  EXPECT_EQ((w >> 34) & 0x3u, 0b10u);     // steer vc
-  EXPECT_EQ((w >> 2) & 0xFFFFFFFFu, 0xDEADBEEFu);
+  EXPECT_EQ(w >> 37, 0b101u);             // split
+  EXPECT_EQ((w >> 35) & 0x3u, 0b10u);     // steer vc
+  EXPECT_EQ((w >> 3) & 0xFFFFFFFFu, 0xDEADBEEFu);
+  EXPECT_EQ((w >> 2) & 1u, 1u);           // thdr
   EXPECT_EQ((w >> 1) & 1u, 1u);           // eop
   EXPECT_EQ(w & 1u, 0u);                  // bevc
 }
@@ -34,11 +39,13 @@ TEST(Flit, DecodeInvertsEncode) {
   lf.flit.data = 0x12345678;
   lf.flit.eop = false;
   lf.flit.bevc = true;
+  lf.flit.thdr = true;
   const LinkFlit back = decode_link_flit(encode_link_flit(lf));
   EXPECT_EQ(back.steer, lf.steer);
   EXPECT_EQ(back.flit.data, lf.flit.data);
   EXPECT_EQ(back.flit.eop, lf.flit.eop);
   EXPECT_EQ(back.flit.bevc, lf.flit.bevc);
+  EXPECT_EQ(back.flit.thdr, lf.flit.thdr);
 }
 
 TEST(Flit, OverflowingWireImageIsRejected) {
@@ -58,6 +65,7 @@ TEST_P(FlitRoundTrip, RandomWireImagesRoundTrip) {
     lf.flit.data = static_cast<std::uint32_t>(rng.next_u64());
     lf.flit.eop = rng.next_bool(0.5);
     lf.flit.bevc = rng.next_bool(0.5);
+    lf.flit.thdr = rng.next_bool(0.5);
     const std::uint64_t w = encode_link_flit(lf);
     ASSERT_LT(w, std::uint64_t{1} << kLinkFlitBits);
     const LinkFlit back = decode_link_flit(w);
@@ -65,6 +73,7 @@ TEST_P(FlitRoundTrip, RandomWireImagesRoundTrip) {
     ASSERT_EQ(back.flit.data, lf.flit.data);
     ASSERT_EQ(back.flit.eop, lf.flit.eop);
     ASSERT_EQ(back.flit.bevc, lf.flit.bevc);
+    ASSERT_EQ(back.flit.thdr, lf.flit.thdr);
     // Double round-trip is the identity on the wire image.
     ASSERT_EQ(encode_link_flit(back), w);
   }

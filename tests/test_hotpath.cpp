@@ -184,7 +184,7 @@ TEST(HotpathAllocation, PooledBePathIsAllocationFreeAtSteadyState) {
     ++delivered;
     pool.release(std::move(pkt.flits));
   });
-  const std::uint32_t header = net.be_header({0, 0}, {1, 1});
+  const BeHeader header = net.be_header({0, 0}, {1, 1});
   const std::uint32_t payload[4] = {1, 2, 3, 4};
 
   const auto inject_and_run = [&](std::uint64_t packets) {

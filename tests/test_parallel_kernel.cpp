@@ -276,12 +276,12 @@ TEST(ParallelScenario, SweepStatsJsonIsByteEqualAcrossShards) {
   std::vector<exp::ScenarioSpec> one = g.expand();
   std::vector<exp::ScenarioSpec> four = g.expand();
   for (exp::ScenarioSpec& s : four) s.shards = 4;
-  const std::string a = exp::SweepRunner::run(one, 1).stats_json();
-  const std::string b = exp::SweepRunner::run(four, 1).stats_json();
+  const std::string a = exp::SweepRunner().run(one, 1).stats_json();
+  const std::string b = exp::SweepRunner().run(four, 1).stats_json();
   EXPECT_FALSE(a.empty());
   EXPECT_EQ(a, b);
   // The effective shard count is reported, but only with timing.
-  const auto rep = exp::SweepRunner::run(four, 1);
+  const auto rep = exp::SweepRunner().run(four, 1);
   EXPECT_NE(rep.full_json().find("\"shards\""), std::string::npos);
   EXPECT_EQ(rep.stats_json().find("\"shards\""), std::string::npos);
 }

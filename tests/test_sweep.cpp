@@ -195,8 +195,8 @@ TEST(RunScenario, ErrorsAreCapturedNotThrown) {
 // --jobs 1 and --jobs 8 (and any other count).
 TEST(SweepRunner, Jobs1VsJobs8AreBitIdentical) {
   const auto specs = small_grid().expand();
-  const SweepReport seq = SweepRunner::run(specs, 1);
-  const SweepReport par = SweepRunner::run(specs, 8);
+  const SweepReport seq = SweepRunner().run(specs, 1);
+  const SweepReport par = SweepRunner().run(specs, 8);
   EXPECT_EQ(seq.jobs, 1u);
   ASSERT_EQ(seq.results.size(), par.results.size());
   for (std::size_t i = 0; i < seq.results.size(); ++i) {
@@ -212,7 +212,7 @@ TEST(SweepRunner, ProgressCallbackSeesEveryScenario) {
   const auto specs = small_grid().expand();
   std::size_t calls = 0;
   std::size_t max_done = 0;
-  const SweepReport rep = SweepRunner::run(
+  const SweepReport rep = SweepRunner().run(
       specs, 4, [&](std::size_t done, std::size_t total,
                     const ScenarioResult& r) {
         ++calls;
@@ -225,12 +225,36 @@ TEST(SweepRunner, ProgressCallbackSeesEveryScenario) {
   EXPECT_EQ(rep.failed(), 0u);
 }
 
+// The oversubscription warning is per-runner state, not per-process: a
+// runner driving several sweeps warns on the first clamp only, and a
+// fresh runner in the same process warns again. (A process-wide once
+// flag silently swallowed the note for every SweepRunner constructed
+// after the first — test binaries and the CLI's repeat paths.)
+TEST(SweepRunner, ShardClampWarnsOncePerRunnerNotPerProcess) {
+  ScenarioSpec s;
+  s.name = "clamp-probe";
+  s.width = s.height = 2;
+  s.duration_ps = 100000;
+  s.gs_set = noc::GsSetKind::kNone;
+  s.shards = 65535;  // always exceeds jobs x hardware threads
+  SweepRunner first;
+  EXPECT_FALSE(first.shard_clamp_warned());
+  first.run({s}, 1);
+  EXPECT_TRUE(first.shard_clamp_warned());
+  first.run({s}, 1);  // still set; the warning fired once
+  EXPECT_TRUE(first.shard_clamp_warned());
+  SweepRunner second;  // same process, fresh runner: warns again
+  EXPECT_FALSE(second.shard_clamp_warned());
+  second.run({s}, 1);
+  EXPECT_TRUE(second.shard_clamp_warned());
+}
+
 TEST(SweepReport, JsonShapesAreWellFormedAndTimingIsSeparated) {
   SweepGrid g;
   g.base.width = g.base.height = 2;
   g.base.duration_ps = 200000;
   g.base.gs_set = noc::GsSetKind::kRing;
-  const SweepReport rep = SweepRunner::run(g.expand(), 1);
+  const SweepReport rep = SweepRunner().run(g.expand(), 1);
   const std::string stable = rep.stats_json();
   const std::string full = rep.full_json();
   // Deterministic output never carries wall-clock fields.

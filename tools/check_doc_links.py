@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Cross-link checker: docs must not reference things that don't exist.
+
+Greps README.md and DESIGN.md for the artifacts they point readers at —
+preset names (``--preset NAME``), mango_sweep CLI flags (``--flag``),
+benchmark binaries (``bench_*``), test suites (``test_*``) and tracked
+benchmark histories (``BENCH_*.json``) — and verifies each one against
+ground truth: ``mango_sweep --list-presets`` / ``--help`` output and the
+bench/ and tests/ source trees.  Exits nonzero listing every dangling
+reference, so CI fails when a rename or removal leaves the docs behind.
+
+Usage: check_doc_links.py [--sweep-bin PATH] [--repo PATH]
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+DOC_FILES = ["README.md", "DESIGN.md"]
+
+# Flags that appear in docs but belong to other tools (cmake, ctest,
+# benchmark binaries, git) rather than mango_sweep.  Anything matching
+# these is skipped during the flag check.
+NON_SWEEP_FLAGS = {
+    "--output-on-failure",       # ctest
+    "--test-dir",                # ctest
+    "--benchmark_min_time",      # google-benchmark
+    "--benchmark_format",        # google-benchmark
+    "--benchmark_out",           # google-benchmark
+    "--benchmark_out_format",    # google-benchmark
+    "--build",                   # cmake
+    "--target",                  # cmake
+}
+
+
+def run(cmd):
+    return subprocess.run(
+        cmd, check=True, capture_output=True, text=True
+    ).stdout
+
+
+def collect_ground_truth(sweep_bin, repo):
+    presets = set()
+    for line in run([sweep_bin, "--list-presets"]).splitlines():
+        m = re.match(r"\s*(\S+)\s+\d+ scenarios", line)
+        if m:
+            presets.add(m.group(1))
+
+    flags = set(re.findall(r"--[a-z][a-z0-9-]*", run([sweep_bin, "--help"])))
+
+    benches = {p.stem for p in (repo / "bench").glob("bench_*.cpp")}
+    tests = {p.stem for p in (repo / "tests").glob("test_*.cpp")}
+    bench_json = {p.name for p in repo.glob("BENCH_*.json")}
+    return presets, flags, benches, tests, bench_json
+
+
+def check_doc(path, presets, flags, benches, tests, bench_json):
+    errors = []
+    text = path.read_text()
+    lines = text.splitlines()
+
+    def where(needle):
+        for i, line in enumerate(lines, 1):
+            if needle in line:
+                return f"{path.name}:{i}"
+        return path.name
+
+    # --preset NAME and `preset-name` preset references.  Preset names
+    # are only checkable when adjacent to the word "preset" or a
+    # --preset flag; bare backticked words are too ambiguous.
+    for name in re.findall(r"--preset\s+`?([a-z0-9][a-z0-9-]*)`?", text):
+        if name not in presets:
+            errors.append(f"{where(name)}: preset `{name}` (via --preset) "
+                          "not in --list-presets")
+    for name in re.findall(r"`([a-z0-9][a-z0-9-]*)`\s+preset", text) + \
+            re.findall(r"preset\s+`([a-z0-9][a-z0-9-]*)`", text):
+        if name not in presets:
+            errors.append(f"{where(name)}: preset `{name}` "
+                          "not in --list-presets")
+
+    # mango_sweep CLI flags: every --flag token in the docs must be a
+    # real flag (or an explicitly whitelisted foreign tool's).
+    for flag in set(re.findall(r"--[a-z][a-z0-9-]*", text)):
+        if flag in NON_SWEEP_FLAGS:
+            continue
+        if flag.startswith("--benchmark"):
+            continue
+        if flag not in flags and flag.startswith("--"):
+            # cmake -D options and long prose dashes don't match the
+            # regex; anything that does and isn't known is dangling.
+            errors.append(f"{where(flag)}: flag `{flag}` not in "
+                          "mango_sweep --help")
+
+    # bench_* and test_* artifact names.
+    for name in set(re.findall(r"\b(bench_[a-z0-9_]+)\b", text)):
+        if name.endswith(("_json", "_cpp")):
+            continue
+        if name not in benches:
+            errors.append(f"{where(name)}: benchmark `{name}` has no "
+                          f"bench/{name}.cpp")
+    for name in set(re.findall(r"\b(test_[a-z0-9_]+)\b", text)):
+        if name.endswith(("_json", "_cpp")):
+            continue
+        if name not in tests:
+            errors.append(f"{where(name)}: test suite `{name}` has no "
+                          f"tests/{name}.cpp")
+
+    # BENCH_*.json histories.
+    for name in set(re.findall(r"\b(BENCH_[A-Za-z0-9_]+\.json)\b", text)):
+        if name == "BENCH_*.json".replace("*", name):  # never matches
+            continue
+        if name not in bench_json:
+            errors.append(f"{where(name)}: history `{name}` does not exist")
+
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--sweep-bin", default="build/mango_sweep")
+    ap.add_argument("--repo", default=".")
+    opts = ap.parse_args()
+
+    repo = pathlib.Path(opts.repo).resolve()
+    presets, flags, benches, tests, bench_json = collect_ground_truth(
+        opts.sweep_bin, repo)
+    if not presets:
+        print("could not parse any presets from --list-presets",
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    for doc in DOC_FILES:
+        errors += check_doc(repo / doc, presets, flags, benches, tests,
+                            bench_json)
+
+    for e in errors:
+        print(f"dangling doc reference: {e}", file=sys.stderr)
+    if not errors:
+        checked = ", ".join(DOC_FILES)
+        print(f"doc cross-links ok ({checked}: {len(presets)} presets, "
+              f"{len(flags)} flags, {len(benches)} benches, "
+              f"{len(tests)} test suites on record)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

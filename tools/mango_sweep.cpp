@@ -30,12 +30,17 @@ void usage(std::FILE* out) {
       "  --list-presets        print preset names and sizes, then exit\n"
       "\n"
       "grid flags (combine freely; each takes a comma-separated list):\n"
-      "  --topology T[,T...]   mesh torus ring graph, or 'all'. torus and\n"
-      "                        ring enable the second BE VC (dateline\n"
-      "                        deadlock avoidance). ring/graph use\n"
-      "                        width*height nodes of the --mesh size;\n"
-      "                        graph is the built-in irregular fabric\n"
+      "  --topology T[,T...]   mesh torus ring graph cmesh, or 'all'\n"
+      "                        (= the four base kinds; cmesh is opt-in).\n"
+      "                        torus and ring enable the second BE VC\n"
+      "                        (dateline deadlock avoidance). ring/graph\n"
+      "                        use width*height nodes of the --mesh size;\n"
+      "                        graph is the built-in irregular fabric;\n"
+      "                        cmesh is a mesh with --concentration cores\n"
+      "                        per router\n"
       "  --mesh WxH[,WxH...]   fabric sizes (default 4x4)\n"
+      "  --concentration N     cores per router on cmesh fabrics\n"
+      "                        (default 1; ignored elsewhere)\n"
       "  --pattern P[,P...]    uniform transpose bit-complement tornado\n"
       "                        hotspot bursty, or 'all' (transpose and\n"
       "                        tornado are undefined on some fabrics and\n"
@@ -59,6 +64,10 @@ void usage(std::FILE* out) {
       "                        unregulated (ablation: no guarantees)\n"
       "\n"
       "run options:\n"
+      "  --filter SUBSTR       run only scenarios whose name contains\n"
+      "                        SUBSTR (applied after grid expansion; the\n"
+      "                        scale-smoke CI job uses this to pick the\n"
+      "                        small rows of scale-1k)\n"
       "  --jobs N              worker threads (default: hardware cores)\n"
       "  --shards N            kernel shards per scenario: the fabric is\n"
       "                        partitioned across N threads advancing in\n"
@@ -169,6 +178,7 @@ void print_summary(const exp::SweepReport& report) {
 int main(int argc, char** argv) {
   exp::SweepGrid grid;
   std::string preset;
+  std::string filter;
   std::string out_file;
   unsigned jobs = 0;  // hardware concurrency
   unsigned repeat = 1;
@@ -295,6 +305,14 @@ int main(int argc, char** argv) {
       }
       grid.base.churn_gs_period_ps = ps;
       set_churn_gs_period = true;
+    } else if (arg == "--concentration") {
+      std::uint64_t k = 0;
+      if (!parse_u64(next_arg(i, "--concentration"), &k) || k == 0 ||
+          k > 16) {
+        die("bad --concentration (want 1..16)");
+      }
+      grid.base.concentration = static_cast<std::uint16_t>(k);
+      have_grid_flags = true;
     } else if (arg == "--seeds") {
       std::uint64_t n = 0;
       if (!parse_u64(next_arg(i, "--seeds"), &n) || n == 0 || n > 4096) {
@@ -359,6 +377,8 @@ int main(int argc, char** argv) {
         die("bad --repeat (want 1..100)");
       }
       repeat = static_cast<unsigned>(n);
+    } else if (arg == "--filter") {
+      filter = next_arg(i, "--filter");
     } else if (arg == "--out") {
       out_file = next_arg(i, "--out");
     } else if (arg == "--stable") {
@@ -390,7 +410,19 @@ int main(int argc, char** argv) {
     if (set_shards) grid.base.shards = base.shards;
   }
 
-  const std::vector<exp::ScenarioSpec> specs = grid.expand();
+  std::vector<exp::ScenarioSpec> specs = grid.expand();
+  if (!filter.empty()) {
+    std::vector<exp::ScenarioSpec> kept;
+    for (exp::ScenarioSpec& s : specs) {
+      if (s.name.find(filter) != std::string::npos) {
+        kept.push_back(std::move(s));
+      }
+    }
+    if (kept.empty()) {
+      die("--filter '" + filter + "' matches no scenario of this grid");
+    }
+    specs = std::move(kept);
+  }
   if (specs.empty()) die("empty scenario grid");
 
   exp::SweepRunner::ProgressFn progress;
@@ -406,7 +438,7 @@ int main(int argc, char** argv) {
   }
 
   const exp::SweepReport report =
-      exp::SweepRunner::run(specs, jobs, progress, repeat);
+      exp::SweepRunner().run(specs, jobs, progress, repeat);
 
   if (!quiet) {
     std::printf("\n");
