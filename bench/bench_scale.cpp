@@ -117,16 +117,20 @@ BENCHMARK(BM_ScaleCMesh32x32c4)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Memory footprint per node: live-heap delta across Network
-// construction (routers, NAs, links, the dense route table and the
-// CDG-validated routing) divided by the node count. One construction
-// per iteration; the MB_per_node counter is what BENCH_scale.json
-// records.
+// construction (routers, NAs, links, the per-partition component
+// arenas, the dense route table and the CDG-validated routing) divided
+// by the node count. One construction per iteration; the MB_per_node
+// counter is what BENCH_scale.json records — the same key on every
+// rung, including the concentrated-mesh one (args are (width,
+// concentration)), so downstream tooling can diff rungs uniformly.
 void BM_ScaleMemoryPerNode(benchmark::State& state) {
   const auto width = static_cast<std::uint16_t>(state.range(0));
+  const auto conc = static_cast<std::uint16_t>(state.range(1));
   double mb_per_node = 0.0;
   for (auto _ : state) {
     noc::NetworkConfig cfg;
-    cfg.topology = noc::TopologySpec::mesh(width, width);
+    cfg.topology = conc > 1 ? noc::TopologySpec::cmesh(width, width, conc)
+                            : noc::TopologySpec::mesh(width, width);
     cfg.router.be_vcs = 2;
     const std::size_t before = live_heap_bytes();
     sim::SimContext ctx;
@@ -139,7 +143,8 @@ void BM_ScaleMemoryPerNode(benchmark::State& state) {
   }
   state.counters["MB_per_node"] = mb_per_node;
 }
-BENCHMARK(BM_ScaleMemoryPerNode)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+BENCHMARK(BM_ScaleMemoryPerNode)
+    ->Args({8, 1})->Args({16, 1})->Args({32, 1})->Args({64, 1})->Args({32, 4})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "noc/link/link.hpp"
 
+#include "noc/common/events.hpp"
 #include "noc/network/boundary.hpp"
 #include "noc/router/router.hpp"
 #include "sim/assert.hpp"
@@ -34,6 +35,8 @@ Link::Link(Endpoint a, Endpoint b, unsigned pipeline_stages,
                    b_.router->config().coalesce_handshakes,
                "link endpoints disagree on handshake coalescing");
   coalesce_ = a_.router->config().coalesce_handshakes;
+  events::install(*sims_[0]);
+  events::install(*sims_[1]);
   a_.router->attach_link(a_.port, this);
   b_.router->attach_link(b_.port, this);
 }
@@ -103,9 +106,12 @@ void Link::send_flit(const Router* from, LinkFlit lf) {
                "cross-context link used without boundary channels");
   sim::Simulator& sim_ = *sims_[dir];
   if (!coalesce_) {
-    sim_.after(forward_latency(), [peer, lf] {
-      peer.router->receive_link_flit(peer.port, lf);
-    });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpLinkFlit;
+    ev.a = peer.port;
+    ev.p0 = peer.router;
+    events::store_link_flit(ev, lf);
+    events::emit_after(sim_, forward_latency(), ev);
     return;
   }
   // Coalesced GS transfer: the peer's split map is static, so the
@@ -125,15 +131,21 @@ void Link::send_flit(const Router* from, LinkFlit lf) {
   const SwitchingModule::PlannedHop hop =
       peer.router->switching().plan(peer.port, lf.steer);
   if (hop.to_be) {
-    sim_.after(fwd, [peer, lf] {
-      peer.router->receive_link_flit(peer.port, lf);
-    });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpLinkFlit;
+    ev.a = peer.port;
+    ev.p0 = peer.router;
+    events::store_link_flit(ev, lf);
+    events::emit_after(sim_, fwd, ev);
   } else {
     sim_.note_folded_hop_at(sim_.now() + fwd);
-    sim_.after(fwd + hop.stage_delay,
-               [r = peer.router, target = hop.target, f = lf.flit]() mutable {
-                 r->deliver_gs_coalesced(target, std::move(f));
-               });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpGsDeliverId;
+    ev.a = hop.target.port;
+    ev.b = hop.target.vc;
+    ev.p0 = peer.router;
+    events::store_flit(ev, lf.flit);
+    events::emit_after(sim_, fwd + hop.stage_delay, ev);
   }
 }
 
@@ -145,9 +157,12 @@ void Link::send_be_flit(const Router* from, LinkFlit lf) {
     push_boundary(dir, BoundaryKind::kFlit, 0, lf, forward_latency());
     return;
   }
-  sims_[dir]->after(forward_latency(), [peer, lf] {
-    peer.router->receive_link_flit(peer.port, lf);
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpLinkFlit;
+  ev.a = peer.port;
+  ev.p0 = peer.router;
+  events::store_link_flit(ev, lf);
+  events::emit_after(*sims_[dir], forward_latency(), ev);
 }
 
 void Link::send_reverse(const Router* from, VcIdx wire) {
@@ -160,9 +175,12 @@ void Link::send_reverse(const Router* from, VcIdx wire) {
   }
   sim::Simulator& sim_ = *sims_[dir];
   if (!coalesce_) {
-    sim_.after(reverse_latency(), [peer, wire] {
-      peer.router->receive_reverse(peer.port, wire);
-    });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpReverse;
+    ev.a = peer.port;
+    ev.b = wire;
+    ev.p0 = peer.router;
+    events::emit_after(sim_, reverse_latency(), ev);
     return;
   }
   // Fold the flow box's re-arm delay (0 for credit boxes) into the wire
@@ -170,9 +188,12 @@ void Link::send_reverse(const Router* from, VcIdx wire) {
   const sim::Time rearm = peer.router->reverse_fold_delay();
   const sim::Time rev = reverse_latency();
   if (rearm > 0) sim_.note_folded_hop_at(sim_.now() + rev);
-  sim_.after(rev + rearm, [peer, wire] {
-    peer.router->complete_reverse_coalesced(peer.port, wire);
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpReverseDone;
+  ev.a = peer.port;
+  ev.b = wire;
+  ev.p0 = peer.router;
+  events::emit_after(sim_, rev + rearm, ev);
 }
 
 sim::Time Link::be_credit_latency() const {
@@ -188,9 +209,12 @@ void Link::send_be_credit(const Router* from, BeVcIdx vc) {
                   be_credit_latency());
     return;
   }
-  sims_[dir]->after(be_credit_latency(), [peer, vc] {
-    peer.router->receive_be_credit(peer.port, vc);
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpBeCredit;
+  ev.a = peer.port;
+  ev.b = vc;
+  ev.p0 = peer.router;
+  events::emit_after(*sims_[dir], be_credit_latency(), ev);
 }
 
 }  // namespace mango::noc

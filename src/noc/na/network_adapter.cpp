@@ -1,5 +1,6 @@
 #include "noc/na/network_adapter.hpp"
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -13,6 +14,7 @@ NetworkAdapter::NetworkAdapter(Router& router, std::string name)
       coalesce_(router.config().coalesce_handshakes),
       num_ifaces_(router.config().local_gs_ifaces),
       be_lanes_(router.config().be_vcs) {
+  events::install(sim_);
   MANGO_ASSERT(num_ifaces_ <= gs_src_.size(), "too many local GS interfaces");
   for (BeLane& lane : be_lanes_) {
     lane.credits = router.config().be_buffer_depth;
@@ -144,21 +146,35 @@ void NetworkAdapter::drain_gs(LocalIfaceIdx iface) {
   ++src.sent;
   if (coalesce_) {
     sim_.note_folded_hop_at(sim_.now() + delays_.na_link_fwd);
-    sim_.after(src.inject_delay,
-               [this, target = src.inject_target, f]() mutable {
-                 router_.deliver_gs_coalesced(target, std::move(f));
-               });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpGsDeliverPtr;
+    ev.p0 = &router_;
+    ev.p1 = src.inject_target;
+    events::store_flit(ev, f);
+    events::emit_after(sim_, src.inject_delay, ev);
   } else {
-    sim_.after(delays_.na_link_fwd,
-               [this, iface, lf = LinkFlit{src.steer, f}] {
-                 router_.inject_local_gs(iface, lf);
-               });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpNaGsInject;
+    ev.a = iface;
+    ev.p0 = this;
+    events::store_link_flit(ev, LinkFlit{src.steer, f});
+    events::emit_after(sim_, delays_.na_link_fwd, ev);
   }
   // The local interface handshake stage recovers after one cycle.
-  sim_.after(delays_.arb_cycle, [this, iface] {
-    gs_src_[iface].stage_busy = false;
-    drain_gs(iface);
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpNaGsRecover;
+  ev.a = iface;
+  ev.p0 = this;
+  events::emit_after(sim_, delays_.arb_cycle, ev);
+}
+
+void NetworkAdapter::inject_gs_now(LocalIfaceIdx iface, const LinkFlit& lf) {
+  router_.inject_local_gs(iface, lf);
+}
+
+void NetworkAdapter::recover_gs_stage(LocalIfaceIdx iface) {
+  gs_src_[iface].stage_busy = false;
+  drain_gs(iface);
 }
 
 void NetworkAdapter::on_local_reverse(LocalIfaceIdx iface) {
@@ -200,15 +216,22 @@ void NetworkAdapter::on_local_head(LocalIfaceIdx iface) {
     sink_busy_[iface] = false;
     if (!router_.local_out_has_head(iface)) return;
     Flit f = router_.local_out_pop(iface);
-    sim_.after(delays_.na_link_fwd, [this, iface, f]() mutable {
-      if (gs_timed_handler_) {
-        gs_timed_handler_(iface, std::move(f), sim_.now());
-      } else if (gs_handler_) {
-        gs_handler_(iface, std::move(f));
-      }
-    });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpNaGsHandoff;
+    ev.a = iface;
+    ev.p0 = this;
+    events::store_flit(ev, f);
+    events::emit_after(sim_, delays_.na_link_fwd, ev);
     // The buffer refill (unsharebox advance) re-notifies us.
   });
+}
+
+void NetworkAdapter::handoff_gs(LocalIfaceIdx iface, Flit&& f) {
+  if (gs_timed_handler_) {
+    gs_timed_handler_(iface, std::move(f), sim_.now());
+  } else if (gs_handler_) {
+    gs_handler_(iface, std::move(f));
+  }
 }
 
 void NetworkAdapter::send_be_packet(BePacket pkt, BeVcIdx vc) {
@@ -246,13 +269,24 @@ void NetworkAdapter::drain_be() {
     lane.queue.pop_front();
     --lane.credits;
     be_stage_busy_ = true;
-    sim_.after(delays_.na_link_fwd, [this, f] { router_.inject_local_be(f); });
-    sim_.after(delays_.arb_cycle, [this] {
-      be_stage_busy_ = false;
-      drain_be();
-    });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpNaBeInject;
+    ev.p0 = this;
+    events::store_flit(ev, f);
+    events::emit_after(sim_, delays_.na_link_fwd, ev);
+    sim::TypedEvent rec{};
+    rec.op = events::kOpNaBeRecover;
+    rec.p0 = this;
+    events::emit_after(sim_, delays_.arb_cycle, rec);
     return;
   }
+}
+
+void NetworkAdapter::inject_be_now(Flit f) { router_.inject_local_be(f); }
+
+void NetworkAdapter::recover_be_stage() {
+  be_stage_busy_ = false;
+  drain_be();
 }
 
 }  // namespace mango::noc

@@ -113,6 +113,18 @@ class NetworkAdapter {
   Router& router() { return router_; }
   const std::string& name() const { return name_; }
 
+  // --- typed-dispatch entry points (scheduled by the drain stages) ---
+  /// Uncoalesced GS injection lands at the router's local port.
+  void inject_gs_now(LocalIfaceIdx iface, const LinkFlit& lf);
+  /// The local GS handshake stage recovers after one cycle.
+  void recover_gs_stage(LocalIfaceIdx iface);
+  /// A consumed GS flit crosses the NA-local wire to the handler.
+  void handoff_gs(LocalIfaceIdx iface, Flit&& f);
+  /// A BE flit crosses the NA-local wire into the router.
+  void inject_be_now(Flit f);
+  /// The BE injection stage recovers after one cycle.
+  void recover_be_stage();
+
  private:
   struct GsSource {
     bool configured = false;

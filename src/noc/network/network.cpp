@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -63,15 +64,24 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
     extra_ctxs_.push_back(std::make_unique<sim::SimContext>(ctx_.seed()));
     shard_ctxs_.push_back(extra_ctxs_.back().get());
   }
+  arenas_.reserve(n_shards);
+  for (unsigned s = 0; s < n_shards; ++s) {
+    arenas_.push_back(std::make_unique<sim::Arena>());
+  }
 
+  // Components fill each shard's arena in node-index order (the stripe
+  // is contiguous), so a partition's routers, NAs and buffers are dense
+  // in its own address range.
   routers_.reserve(topo_->node_count());
   nas_.reserve(topo_->node_count());
   for (std::size_t i = 0; i < topo_->node_count(); ++i) {
     const NodeId n = topo_->node_at(i);
-    routers_.push_back(std::make_unique<Router>(
-        *shard_ctxs_[shard_of_[i]], cfg_.router, n, "R" + to_string(n)));
-    nas_.push_back(std::make_unique<NetworkAdapter>(
-        *routers_.back(), "NA" + to_string(n)));
+    sim::Arena& arena = *arenas_[shard_of_[i]];
+    routers_.push_back(arena.create<Router>(*shard_ctxs_[shard_of_[i]],
+                                            cfg_.router, n, "R" + to_string(n),
+                                            &arena));
+    nas_.push_back(
+        arena.create<NetworkAdapter>(*routers_.back(), "NA" + to_string(n)));
   }
 
   // Links: one per undirected edge of the adjacency graph. Each edge is
@@ -94,7 +104,9 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
           std::make_pair(peer_idx, peer->port)) {
         continue;  // created from the other endpoint
       }
-      links_.push_back(std::make_unique<Link>(
+      // The link (and the stat slots inside it) lives in the arena of
+      // its lower endpoint's shard.
+      links_.push_back(arenas_[shard_of_[i]]->create<Link>(
           Link::Endpoint{&router(n), port_of(d)},
           Link::Endpoint{&router(peer->node), peer->port},
           cfg_.link_pipeline_stages, cfg_.link_signaling,
@@ -219,24 +231,24 @@ void Network::drain_boundaries() {
     sim::Simulator& dst = shard_ctxs_[a.ch->dst_shard]->sim();
     Router* r = a.ch->dst;
     const PortIdx port = a.ch->dst_port;
+    sim::TypedEvent ev{};
+    ev.a = port;
+    ev.p0 = r;
     switch (a.rec.kind) {
       case BoundaryKind::kFlit:
-        dst.admit(a.rec.arrival, a.rec.birth, [r, port, lf = a.rec.lf] {
-          r->receive_link_flit(port, lf);
-        });
+        ev.op = events::kOpLinkFlit;
+        events::store_link_flit(ev, a.rec.lf);
         break;
       case BoundaryKind::kReverse:
-        dst.admit(a.rec.arrival, a.rec.birth, [r, port, w = a.rec.wire] {
-          r->receive_reverse(port, w);
-        });
+        ev.op = events::kOpReverse;
+        ev.b = a.rec.wire;
         break;
       case BoundaryKind::kBeCredit:
-        dst.admit(a.rec.arrival, a.rec.birth,
-                  [r, port, v = static_cast<BeVcIdx>(a.rec.wire)] {
-                    r->receive_be_credit(port, v);
-                  });
+        ev.op = events::kOpBeCredit;
+        ev.b = static_cast<BeVcIdx>(a.rec.wire);
         break;
     }
+    events::emit_admit(dst, a.rec.arrival, a.rec.birth, ev);
   }
 }
 

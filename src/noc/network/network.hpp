@@ -17,6 +17,7 @@
 #include "noc/network/routing.hpp"
 #include "noc/network/topology.hpp"
 #include "noc/router/router.hpp"
+#include "sim/arena.hpp"
 #include "sim/context.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
@@ -139,7 +140,15 @@ class Network {
   std::vector<Direction> route_moves(NodeId src, NodeId dst) const;
 
   /// All links (diagnostics).
-  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+  const std::vector<Link*>& links() const { return links_; }
+
+  /// Bytes of fabric state resident in the per-partition arenas
+  /// (diagnostics / the memory-per-node bench counter).
+  std::size_t arena_bytes() const {
+    std::size_t n = 0;
+    for (const auto& a : arenas_) n += a->bytes_reserved();
+    return n;
+  }
 
  private:
   /// Barrier hook: drains every boundary channel and admits the records
@@ -155,9 +164,16 @@ class Network {
   std::vector<std::unique_ptr<sim::SimContext>> extra_ctxs_;  ///< shards 1..N-1
   std::vector<sim::SimContext*> shard_ctxs_;  ///< [0] == &ctx_
   std::vector<unsigned> shard_of_;            ///< node index -> shard
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<Link>> links_;
-  std::vector<std::unique_ptr<NetworkAdapter>> nas_;
+  /// One component arena per shard, filled in node-index order along the
+  /// partition stripe (partition_shards is contiguous), so each worker's
+  /// routers/NAs/buffers/links are dense in its own address range. The
+  /// raw-pointer vectors below index into these; destruction order
+  /// (vectors first, then arenas, then contexts) mirrors the previous
+  /// unique_ptr layout.
+  std::vector<std::unique_ptr<sim::Arena>> arenas_;
+  std::vector<Router*> routers_;
+  std::vector<Link*> links_;
+  std::vector<NetworkAdapter*> nas_;
   std::vector<std::unique_ptr<BoundaryChannel>> channels_;
   struct PendingAdmit {
     BoundaryRecord rec;

@@ -468,8 +468,22 @@ RouteTable::RouteTable(const Topology& topo, const RoutingAlgorithm& routing)
     : n_(topo.node_count()), routing_(&routing) {
   if (n_ > kDenseNodeLimit) return;  // fall back to the virtual interface
   dense_ = true;
+  materialize_adjacency(topo);
   materialize_self_routes(topo, routing);
   materialize_pairs(topo, routing);
+}
+
+void RouteTable::materialize_adjacency(const Topology& topo) {
+  adj_.assign(n_ * kNumDirections, kNoLink);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const NodeId node = topo.node_at(i);
+    for (PortIdx p = 0; p < kNumDirections; ++p) {
+      const auto peer = topo.link_peer(node, p);
+      if (!peer.has_value()) continue;
+      adj_[i * kNumDirections + p] = static_cast<std::uint32_t>(
+          (topo.index(peer->node) << 2) | (peer->port & 0x3u));
+    }
+  }
 }
 
 void RouteTable::materialize_self_routes(const Topology& topo,
@@ -557,16 +571,15 @@ void RouteTable::materialize_pairs(const Topology& topo,
         const unsigned phase = s & 1u;
         const NodeId node = topo.node_at(node_idx);
         const NextHop nh = routing.next_hop(node, dst, phase);
-        const auto peer = topo.link_peer(node, nh.port);
-        MANGO_ASSERT(peer.has_value(),
+        const std::uint32_t a = adj(node_idx, nh.port);
+        MANGO_ASSERT(a != kNoLink,
                      "route " + to_string(node) + "->" + to_string(dst) +
                          " uses the unwired port " + port_name(nh.port) +
                          " at " + to_string(node));
         step_port[s] = nh.port;
         step_phase[s] = nh.phase;
-        arrive[s] = peer->port;
-        succ[s] = static_cast<std::uint32_t>(2 * topo.index(peer->node) +
-                                             nh.phase);
+        arrive[s] = static_cast<std::uint8_t>(a & 0x3u);
+        succ[s] = static_cast<std::uint32_t>(2 * (a >> 2) + nh.phase);
         stack.push_back(s);
         MANGO_ASSERT(stack.size() <= states,
                      "next_hop walk from " + to_string(topo.node_at(v)) +
@@ -632,7 +645,6 @@ void RouteTable::append_moves(std::size_t src_idx, std::size_t dst_idx,
                self_moves_.begin() + self_offsets_[src_idx + 1]);
     return;
   }
-  const Topology& topo = routing_->topology();
   std::size_t cur = src_idx;
   unsigned phase = 0;
   std::size_t guard = 2 * n_ + 2;
@@ -640,9 +652,9 @@ void RouteTable::append_moves(std::size_t src_idx, std::size_t dst_idx,
     MANGO_ASSERT(guard-- > 0, "route-table chain walk does not terminate");
     const NextHop nh = next_hop(cur, dst_idx, phase);
     out.push_back(direction_of(nh.port));
-    const auto peer = topo.link_peer(topo.node_at(cur), nh.port);
-    MANGO_ASSERT(peer.has_value(), "route-table chain walks an unwired port");
-    cur = topo.index(peer->node);
+    const std::uint32_t a = adj(cur, nh.port);
+    MANGO_ASSERT(a != kNoLink, "route-table chain walks an unwired port");
+    cur = a >> 2;
     phase = nh.phase;
   }
 }
@@ -772,6 +784,17 @@ class CdgBuilder {
                                  to_string(cur));
   }
 
+  /// Record a single channel dependency directly — used by the memoized
+  /// table sweep, which enumerates the same consecutive-channel pairs as
+  /// add_route without re-walking whole routes.
+  void add_edge(std::uint32_t from, std::uint32_t to) {
+    if (from == to) return;
+    auto& out = deps_[from];
+    if (std::find(out.begin(), out.end(), to) == out.end()) {
+      out.push_back(to);
+    }
+  }
+
   /// Iterative 3-colour DFS; a back edge is a dependency cycle.
   DeadlockCheck finish() const {
     const std::size_t chans = deps_.size();
@@ -862,16 +885,65 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
   CdgBuilder builder(topo, vc_map, classes);
   // Exhaustive pair coverage up to 1024 nodes; beyond that the same
   // deterministic stratified sampling as the virtual check bounds the
-  // route walks on 4096-node fabrics.
+  // sweep on 4096-node fabrics.
   const std::size_t stride = n <= 1024 ? 1 : (n + 1023) / 1024;
-  std::vector<Direction> mv;
-  for (std::size_t si = 0; si < n; si += stride) {
-    for (std::size_t di = 0; di < n; di += stride) {
+
+  // Memoized extended-state sweep. After a hop's outgoing VC class is
+  // resolved, the remainder of the walk — its whole channel sequence —
+  // is a function of (node, routing phase, outgoing VC) alone, so per
+  // destination each such state is expanded at most once. A walk that
+  // reaches an already-stamped state emits only the edge INTO that
+  // state's outgoing channel (its predecessor channel is new) and
+  // stops; the suffix edges were recorded by the first expansion. The
+  // emitted edge set is therefore exactly the union, over all sampled
+  // routes, of their consecutive-channel pairs — the same CDG the
+  // per-pair route walk builds — at O(states) instead of
+  // O(pairs x hops) per destination. Visited stamps are per-destination
+  // epochs, so the array is never cleared.
+  constexpr std::uint32_t kNoChan = 0xFFFFFFFFu;
+  const std::size_t states = n * 2 * kMaxBeVcs;
+  std::vector<std::uint32_t> stamp(states, 0);
+  std::uint32_t epoch = 0;
+
+  for (std::size_t di = 0; di < n; di += stride) {
+    ++epoch;
+    for (std::size_t si = 0; si < n; si += stride) {
       if (si == di) continue;  // self-routes carry no inter-packet deps
-      mv.clear();
-      table.append_moves(si, di, mv);
-      builder.add_route(topo.node_at(si), topo.node_at(di), mv.data(),
-                        mv.size());
+      std::size_t cur = si;
+      unsigned phase = 0;
+      PortIdx in = kLocalPort;
+      unsigned vc = 0;
+      std::uint32_t prev_chan = kNoChan;
+      std::size_t guard = 2 * n + 2;
+      while (cur != di) {
+        MANGO_ASSERT(guard-- > 0, "route-table chain walk does not terminate");
+        const NextHop nh = table.next_hop(cur, di, phase);
+        MANGO_ASSERT(!is_network_port(in) || in != nh.port,
+                     "route " + to_string(topo.node_at(si)) + "->" +
+                         to_string(topo.node_at(di)) + " u-turns at " +
+                         to_string(topo.node_at(cur)) +
+                         " (reads as the local-delivery code)");
+        if (classes) {
+          vc = be_vc_class_step(in, direction_of(nh.port), vc,
+                                vc_map.dateline[cur][nh.port]);
+        }
+        const auto chan = static_cast<std::uint32_t>(
+            (cur * kNumDirections + nh.port) * kMaxBeVcs + vc);
+        if (prev_chan != kNoChan) builder.add_edge(prev_chan, chan);
+        const std::size_t key = (cur * 2 + phase) * kMaxBeVcs + vc;
+        if (stamp[key] == epoch) break;  // suffix already expanded
+        stamp[key] = epoch;
+        const std::uint32_t a = table.adj(cur, nh.port);
+        MANGO_ASSERT(a != RouteTable::kNoLink,
+                     "route " + to_string(topo.node_at(si)) + "->" +
+                         to_string(topo.node_at(di)) +
+                         " uses the unwired port " + port_name(nh.port) +
+                         " at " + to_string(topo.node_at(cur)));
+        prev_chan = chan;
+        cur = a >> 2;
+        in = static_cast<PortIdx>(a & 0x3u);
+        phase = nh.phase;
+      }
     }
   }
   return builder.finish();

@@ -270,6 +270,18 @@ class RouteTable {
     return shift_code(src_idx, dst_idx) == kTableRouted;
   }
 
+  /// Unwired-port sentinel in the dense adjacency below.
+  static constexpr std::uint32_t kNoLink = 0xFFFFFFFFu;
+  /// Dense adjacency of the wired fabric, one entry per (node, out
+  /// port): packed (peer_index << 2) | arrival_port, kNoLink when the
+  /// port is unwired. Built once with O(4 n) virtual link_peer calls so
+  /// the chain walks and the deadlock validator run on flat arrays
+  /// instead of re-deriving neighbours through the virtual topology
+  /// interface on every hop.
+  std::uint32_t adj(std::size_t node_idx, PortIdx port) const {
+    return adj_[node_idx * kNumDirections + port];
+  }
+
   /// Precomputed BE header of the src -> dst route with `iface` folded
   /// in: the packed source-route word for routes within the 15-code
   /// budget, the table-routed word beyond. Self-routes are always
@@ -285,6 +297,7 @@ class RouteTable {
   }
   void materialize_self_routes(const Topology& topo,
                                const RoutingAlgorithm& routing);
+  void materialize_adjacency(const Topology& topo);
   void materialize_pairs(const Topology& topo,
                          const RoutingAlgorithm& routing);
 
@@ -299,6 +312,8 @@ class RouteTable {
   /// Per-pair packed source-route header with zeroed interface bits
   /// (valid when the shift code is not kTableRouted).
   std::vector<std::uint32_t> header_;
+  /// Dense adjacency (see adj()).
+  std::vector<std::uint32_t> adj_;
   /// Self-route cycles, flattened per node.
   std::vector<Direction> self_moves_;
   std::vector<std::uint32_t> self_offsets_;

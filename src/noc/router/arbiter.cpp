@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -14,7 +15,9 @@ LinkArbiter::LinkArbiter(sim::Simulator& sim, const RouterConfig& cfg,
       arb_cycle_(delays.arb_cycle),
       name_(std::move(name)),
       vcs_(cfg.vcs_per_port),
-      gs_grants_(vcs_, 0) {}
+      gs_grants_(vcs_, 0) {
+  events::install(sim_);
+}
 
 void LinkArbiter::set_request_gs(VcIdx vc, bool requesting) {
   MANGO_ASSERT(vc < vcs_, "request for nonexistent VC on " + name_);
@@ -89,10 +92,15 @@ void LinkArbiter::try_grant() {
   }
   // The link-output stage recovers after one arbitration cycle; the
   // reciprocal of this pacing is the port speed reported in Section 6.
-  sim_.after(arb_cycle_, [this] {
-    busy_ = false;
-    try_grant();
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpArbRearm;
+  ev.p0 = this;
+  events::emit_after(sim_, arb_cycle_, ev);
+}
+
+void LinkArbiter::complete_cycle() {
+  busy_ = false;
+  try_grant();
 }
 
 }  // namespace mango::noc

@@ -67,6 +67,10 @@ class LinkArbiter {
 
   const std::string& name() const { return name_; }
 
+  /// Typed-dispatch entry: the link-output stage recovers after one
+  /// arbitration cycle and the ring re-evaluates.
+  void complete_cycle();
+
  private:
   void try_grant();
   /// Returns the granted GS VC, or V for BE, or -1 if nothing eligible.

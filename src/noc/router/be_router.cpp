@@ -1,5 +1,6 @@
 #include "noc/router/be_router.hpp"
 
+#include "noc/common/events.hpp"
 #include "noc/common/route.hpp"
 #include "noc/network/routing.hpp"
 #include "sim/assert.hpp"
@@ -34,6 +35,7 @@ BeRouter::BeRouter(sim::SimContext& ctx, const RouterConfig& cfg,
                    const StageDelays& delays, std::string name)
     : sim_(ctx.sim()), delays_(delays), name_(std::move(name)),
       be_vcs_(cfg.be_vcs) {
+  events::install(sim_);
   MANGO_ASSERT(be_vcs_ >= 1 && be_vcs_ <= kMaxBeVcs,
                "the single header bit supports 1 or 2 BE VCs");
   for (PortIdx p = 0; p < kNumPorts; ++p) {
@@ -244,13 +246,20 @@ void BeRouter::try_route(unsigned out) {
     // re-decode explicitly.
     if (inputs_[in][vc].has_head()) on_input_head(in, vc);
   }
-  sim_.after(delays_.be_route_cycle, [this, out, f = std::move(f)]() mutable {
-    outputs_[out].push(std::move(f));
-    out_state_[out].busy = false;
-    try_route(out);
-    // The freed input slot may unblock a packet bound elsewhere; input
-    // head callbacks handle that on their own.
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpBeRouteDone;
+  ev.a = static_cast<std::uint8_t>(out);
+  ev.p0 = this;
+  events::store_flit(ev, f);
+  events::emit_after(sim_, delays_.be_route_cycle, ev);
+}
+
+void BeRouter::complete_route_cycle(unsigned out, Flit&& f) {
+  outputs_[out].push(std::move(f));
+  out_state_[out].busy = false;
+  try_route(out);
+  // The freed input slot may unblock a packet bound elsewhere; input
+  // head callbacks handle that on their own.
 }
 
 }  // namespace mango::noc

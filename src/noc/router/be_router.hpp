@@ -124,6 +124,10 @@ class BeRouter {
   /// Output stages call this when they free a slot.
   void notify_output_ready(unsigned out);
 
+  /// Typed-dispatch entry: the route cycle scheduled by route_one()
+  /// completes (flit handed to the output stage, register recovered).
+  void complete_route_cycle(unsigned out, Flit&& f);
+
   unsigned be_vcs() const { return be_vcs_; }
   const BeInputBuffer& input(PortIdx in, BeVcIdx vc = 0) const {
     return inputs_.at(in).at(vc);

@@ -1,5 +1,6 @@
 #include "noc/router/router.hpp"
 
+#include "noc/common/events.hpp"
 #include "noc/link/link.hpp"
 #include "sim/assert.hpp"
 
@@ -65,7 +66,7 @@ void BeOutputStage::update_request() {
 }
 
 Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
-               std::string name)
+               std::string name, sim::Arena* arena)
     : ctx_(ctx),
       sim_(ctx.sim()),
       cfg_(cfg),
@@ -76,7 +77,9 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
       switching_(sim_, cfg, delays_),
       vc_control_(sim_, table_, delays_),
       prog_(table_),
-      be_(ctx, cfg, delays_, name_) {
+      be_(ctx, cfg, delays_, name_),
+      arena_(arena) {
+  events::install(sim_);
   const unsigned v = cfg_.vcs_per_port;
   scheme_ = cfg_.arbiter == ArbiterKind::kUnregulated
                 ? VcScheme::kCreditBased
@@ -87,14 +90,13 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
   bufs_.reserve(kNumDirections * v + cfg_.local_gs_ifaces);
   flow_.reserve(kNumDirections * v);
   for (PortIdx p = 0; p < kNumDirections; ++p) {
-    arbiters_[p] = std::make_unique<LinkArbiter>(
+    arbiters_[p] = make_component<LinkArbiter>(
         sim_, cfg_, delays_, name_ + ".arb" + port_name(p));
     for (VcIdx vc = 0; vc < v; ++vc) {
       const VcBufferId id{p, vc};
-      bufs_.push_back(
-          std::make_unique<VcBuffer>(sim_, delays_, scheme, id));
+      bufs_.push_back(make_component<VcBuffer>(sim_, delays_, scheme, id));
       flow_.push_back(make_flow_control(sim_, scheme, delays_.sharebox_unlock,
-                                        /*credits=*/2));
+                                        /*credits=*/2, arena_));
       VcBuffer& buf = *bufs_.back();
       VcFlowControl& fb = *flow_.back();
       buf.set_on_head([this, p, vc] { update_gs_request(p, vc); });
@@ -103,13 +105,13 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
     }
     arbiters_[p]->set_grant_gs([this, p](VcIdx vc) { on_gs_grant(p, vc); });
     arbiters_[p]->set_grant_be([this, p] { be_out_[p].on_grant(); });
-    be_out_[p].wire(this, p, arbiters_[p].get(), cfg_.be_vcs);
+    be_out_[p].wire(this, p, arbiters_[p], cfg_.be_vcs);
   }
 
   // Local output interfaces (delivery to the NA; no link arbiter).
   for (LocalIfaceIdx i = 0; i < cfg_.local_gs_ifaces; ++i) {
     const VcBufferId id{kLocalPort, i};
-    bufs_.push_back(std::make_unique<VcBuffer>(sim_, delays_, scheme, id));
+    bufs_.push_back(make_component<VcBuffer>(sim_, delays_, scheme, id));
     VcBuffer& buf = *bufs_.back();
     buf.set_on_head([this, i] {
       if (local_out_notify_) local_out_notify_(i);
@@ -181,11 +183,6 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
                      [this](Flit&& f) { prog_.accept_flit(std::move(f)); },
                  });
 
-  buf_raw_.reserve(bufs_.size());
-  for (const auto& b : bufs_) buf_raw_.push_back(b.get());
-  flow_raw_.reserve(flow_.size());
-  for (const auto& f2 : flow_) flow_raw_.push_back(f2.get());
-
   // BE input credit returns.
   for (PortIdx p = 0; p < kNumDirections; ++p) {
     be_.set_credit_return(p, [this, p](BeVcIdx vc) {
@@ -197,9 +194,20 @@ Router::Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
   }
   be_.set_credit_return(kLocalPort, [this](BeVcIdx vc) {
     if (local_be_credit_) {
-      sim_.after(delays_.be_credit_back, [this, vc] { local_be_credit_(vc); });
+      sim::TypedEvent ev{};
+      ev.op = events::kOpLocalBeCredit;
+      ev.a = vc;
+      ev.p0 = this;
+      events::emit_after(sim_, delays_.be_credit_back, ev);
     }
   });
+}
+
+Router::~Router() {
+  if (arena_ != nullptr) return;  // arena owns the components
+  for (VcBuffer* b : bufs_) delete b;
+  for (VcFlowControl* f : flow_) delete f;
+  for (LinkArbiter* a : arbiters_) delete a;
 }
 
 std::size_t Router::buf_index(VcBufferId id) const {
@@ -261,7 +269,7 @@ void Router::inject_local_be(Flit f) {
 
 bool Router::gs_eligible(PortIdx port, VcIdx vc) const {
   const std::size_t i = static_cast<std::size_t>(port) * cfg_.vcs_per_port + vc;
-  return buf_raw_[i]->has_head() && flow_raw_[i]->can_admit();
+  return bufs_[i]->has_head() && flow_[i]->can_admit();
 }
 
 void Router::update_gs_request(PortIdx port, VcIdx vc) {
@@ -271,10 +279,19 @@ void Router::update_gs_request(PortIdx port, VcIdx vc) {
   }
   // The request line rises after the buffer-head -> arbiter wire delay;
   // re-check the condition at fire time (events may have intervened).
-  sim_.after(delays_.req_fwd, [this, port, vc] {
-    arbiters_[port]->set_request_gs(vc, gs_eligible(port, vc));
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpGsReqRecheck;
+  ev.a = port;
+  ev.b = vc;
+  ev.p0 = this;
+  events::emit_after(sim_, delays_.req_fwd, ev);
 }
+
+void Router::recheck_gs_request(PortIdx port, VcIdx vc) {
+  arbiters_[port]->set_request_gs(vc, gs_eligible(port, vc));
+}
+
+void Router::deliver_local_be_credit(BeVcIdx vc) { local_be_credit_(vc); }
 
 const Router::GsSendPlan& Router::send_plan(PortIdx port, VcIdx vc) {
   if (send_plans_.empty()) {
@@ -324,10 +341,12 @@ void Router::on_gs_grant(PortIdx port, VcIdx vc) {
     ++*plan.flit_counter;
     ++link_flits_sent_;
     sim_.note_folded_hop_at(sim_.now() + plan.fwd);
-    sim_.after(plan.total_delay,
-               [r = plan.peer, target = plan.target, f]() mutable {
-                 r->deliver_gs_coalesced(target, std::move(f));
-               });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpGsDeliverPtr;
+    ev.p0 = plan.peer;
+    ev.p1 = plan.target;
+    events::store_flit(ev, f);
+    events::emit_after(sim_, plan.total_delay, ev);
     update_gs_request(port, vc);
     return;
   }

@@ -32,6 +32,7 @@
 #include "noc/router/switching.hpp"
 #include "noc/router/vc_buffer.hpp"
 #include "noc/router/vc_control.hpp"
+#include "sim/arena.hpp"
 #include "sim/context.hpp"
 #include "sim/ring.hpp"
 #include "sim/simulator.hpp"
@@ -92,8 +93,14 @@ struct RouterActivity {
 
 class Router {
  public:
+  /// With an `arena`, the router's owned components (VC buffers, flow
+  /// boxes, link arbiters) are bump-allocated from it and destroyed by
+  /// the arena; without one they live on the heap and ~Router() frees
+  /// them. Network passes its per-partition arena so a shard's hot
+  /// state is contiguous in node-index order.
   Router(sim::SimContext& ctx, const RouterConfig& cfg, NodeId node,
-         std::string name);
+         std::string name, sim::Arena* arena = nullptr);
+  ~Router();
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
@@ -134,6 +141,13 @@ class Router {
   void complete_reverse_coalesced(PortIdx out_port, VcIdx vc) {
     flow_control(out_port, vc).complete_reverse();
   }
+
+  // --- typed-dispatch entry points ---
+  /// The req_fwd wire delay elapsed: re-evaluate (port, vc)'s request
+  /// line against the current buffer/flow state.
+  void recheck_gs_request(PortIdx port, VcIdx vc);
+  /// A local BE credit lands at the NA after the credit-wire delay.
+  void deliver_local_be_credit(BeVcIdx vc);
 
   /// Re-arm delay the coalesced reverse path folds into the wire event
   /// (sharebox re-arm for share-based VC control, 0 for credit-based).
@@ -226,6 +240,15 @@ class Router {
 
  private:
   std::size_t buf_index(VcBufferId id) const;
+  /// Allocates an owned component from the arena (when present) or the
+  /// heap; ~Router() frees the heap ones.
+  template <typename T, typename... Args>
+  T* make_component(Args&&... args) {
+    if (arena_ != nullptr) {
+      return arena_->create<T>(std::forward<Args>(args)...);
+    }
+    return new T(std::forward<Args>(args)...);
+  }
   bool gs_eligible(PortIdx port, VcIdx vc) const;
   void update_gs_request(PortIdx port, VcIdx vc);
   void on_gs_grant(PortIdx port, VcIdx vc);
@@ -245,14 +268,14 @@ class Router {
   ProgrammingInterface prog_;
   BeRouter be_;
 
-  // Network VC buffers (4 * V), then local output interfaces.
-  std::vector<std::unique_ptr<VcBuffer>> bufs_;
+  /// Allocation source for the owned components below (null = heap).
+  sim::Arena* arena_ = nullptr;
+  // Network VC buffers (4 * V), then local output interfaces. Raw
+  // pointers either way: arena- or heap-owned per arena_ (see ctor doc).
+  std::vector<VcBuffer*> bufs_;
   // Flow boxes for the network VC buffers only (local delivery has none).
-  std::vector<std::unique_ptr<VcFlowControl>> flow_;
-  // Raw views of the above for the per-flit eligibility checks.
-  std::vector<VcBuffer*> buf_raw_;
-  std::vector<VcFlowControl*> flow_raw_;
-  std::array<std::unique_ptr<LinkArbiter>, kNumDirections> arbiters_;
+  std::vector<VcFlowControl*> flow_;
+  std::array<LinkArbiter*, kNumDirections> arbiters_{};
   std::array<BeOutputStage, kNumDirections> be_out_;
   std::array<Link*, kNumDirections> links_{};
   /// Cached per-(port, vc) GS transfer plans (coalesced path).

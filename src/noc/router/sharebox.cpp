@@ -53,4 +53,16 @@ std::unique_ptr<VcFlowControl> make_flow_control(sim::Simulator& sim,
   return std::make_unique<CreditBox>(sim, credits);
 }
 
+VcFlowControl* make_flow_control(sim::Simulator& sim, VcScheme scheme,
+                                 sim::Time rearm_ps, unsigned credits,
+                                 sim::Arena* arena) {
+  if (arena == nullptr) {
+    return make_flow_control(sim, scheme, rearm_ps, credits).release();
+  }
+  if (scheme == VcScheme::kShareBased) {
+    return arena->create<Sharebox>(sim, rearm_ps);
+  }
+  return arena->create<CreditBox>(sim, credits);
+}
+
 }  // namespace mango::noc

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "sim/arena.hpp"
 #include "sim/callback.hpp"
 #include "sim/simulator.hpp"
 
@@ -117,5 +118,11 @@ std::unique_ptr<VcFlowControl> make_flow_control(sim::Simulator& sim,
                                                  VcScheme scheme,
                                                  sim::Time rearm_ps,
                                                  unsigned credits);
+
+/// Arena-aware variant: allocates from `arena` when non-null (the arena
+/// then owns the box), from the heap otherwise (the caller deletes it).
+VcFlowControl* make_flow_control(sim::Simulator& sim, VcScheme scheme,
+                                 sim::Time rearm_ps, unsigned credits,
+                                 sim::Arena* arena);
 
 }  // namespace mango::noc

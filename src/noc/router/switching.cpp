@@ -1,5 +1,6 @@
 #include "noc/router/switching.hpp"
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -10,6 +11,7 @@ SwitchingModule::SwitchingModule(sim::Simulator& sim, const RouterConfig& cfg,
       delays_(delays),
       vcs_per_port_(cfg.vcs_per_port),
       local_ifaces_(cfg.local_gs_ifaces) {
+  events::install(sim_);
   MANGO_ASSERT(vcs_per_port_ >= 1 && vcs_per_port_ <= 2 * kVcsPerHalf,
                "the 5-bit steering format supports at most 8 VCs per port");
   MANGO_ASSERT(local_ifaces_ >= 1 && local_ifaces_ <= kVcsPerHalf,
@@ -57,18 +59,25 @@ void SwitchingModule::route(PortIdx in_port, LinkFlit lf) {
           dest.out == kLocalPort ? local_ifaces_ : vcs_per_port_;
       MANGO_ASSERT(vc < limit, "steering bits select a nonexistent VC buffer");
       MANGO_ASSERT(static_cast<bool>(gs_sink_), "switching has no GS sink");
-      const VcBufferId target{dest.out, static_cast<VcIdx>(vc)};
-      sim_.after(delays_.split_fwd + delays_.switch_fwd + delays_.unshare_fwd,
-                 [this, target, f = lf.flit]() mutable {
-                   gs_sink_(target, std::move(f));
-                 });
+      sim::TypedEvent ev{};
+      ev.op = events::kOpSwitchGs;
+      ev.a = dest.out;
+      ev.b = static_cast<std::uint8_t>(vc);
+      ev.p0 = this;
+      events::store_flit(ev, lf.flit);
+      events::emit_after(
+          sim_, delays_.split_fwd + delays_.switch_fwd + delays_.unshare_fwd,
+          ev);
       return;
     }
     case Dest::Kind::kBe: {
       MANGO_ASSERT(static_cast<bool>(be_sink_), "switching has no BE sink");
-      sim_.after(delays_.split_fwd, [this, in_port, f = lf.flit]() mutable {
-        be_sink_(in_port, std::move(f));
-      });
+      sim::TypedEvent ev{};
+      ev.op = events::kOpSwitchBe;
+      ev.a = in_port;
+      ev.p0 = this;
+      events::store_flit(ev, lf.flit);
+      events::emit_after(sim_, delays_.split_fwd, ev);
       return;
     }
     case Dest::Kind::kInvalid:

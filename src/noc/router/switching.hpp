@@ -69,6 +69,14 @@ class SwitchingModule {
   /// stage traversal happened analytically).
   void note_routed() { ++flits_routed_; }
 
+  // --- typed-dispatch entry points (scheduled by route()) ---
+  void deliver_gs(VcBufferId target, Flit&& f) {
+    gs_sink_(target, std::move(f));
+  }
+  void deliver_be(PortIdx in_port, Flit&& f) {
+    be_sink_(in_port, std::move(f));
+  }
+
   /// Computes the steering bits a previous hop must append so that a flit
   /// entering on `in_port` lands in VC buffer `dest`. ModelError if the
   /// destination is unreachable from that input (e.g. a U-turn).

@@ -1,8 +1,15 @@
 #include "noc/router/vc_buffer.hpp"
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
+
+VcBuffer::VcBuffer(sim::Simulator& sim, const StageDelays& delays,
+                   VcScheme scheme, VcBufferId id)
+    : sim_(sim), delays_(delays), scheme_(scheme), id_(id) {
+  events::install(sim_);
+}
 
 void VcBuffer::accept_unshare(Flit f) {
   MANGO_ASSERT(!unshare_full_,
@@ -33,20 +40,25 @@ Flit VcBuffer::pop() {
 void VcBuffer::try_advance() {
   if (advancing_ || !unshare_full_ || slot_full_) return;
   advancing_ = true;
-  sim_.after(delays_.buf_advance, [this] {
-    advancing_ = false;
-    MANGO_ASSERT(unshare_full_ && !slot_full_,
-                 "VC buffer advance raced at " + to_string(id_));
-    slot_ = unshare_;
-    slot_full_ = true;
-    unshare_full_ = false;
-    // Share-based: the flit has left the unsharebox — the media is clear
-    // for this VC, toggle the unlock wire to the previous hop.
-    if (scheme_ == VcScheme::kShareBased && on_reverse_) on_reverse_();
-    if (on_head_) on_head_();
-    // A follower can only arrive later (it must cross the media first),
-    // so no second advance can be pending here.
-  });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpVcAdvance;
+  ev.p0 = this;
+  events::emit_after(sim_, delays_.buf_advance, ev);
+}
+
+void VcBuffer::complete_advance() {
+  advancing_ = false;
+  MANGO_ASSERT(unshare_full_ && !slot_full_,
+               "VC buffer advance raced at " + to_string(id_));
+  slot_ = unshare_;
+  slot_full_ = true;
+  unshare_full_ = false;
+  // Share-based: the flit has left the unsharebox — the media is clear
+  // for this VC, toggle the unlock wire to the previous hop.
+  if (scheme_ == VcScheme::kShareBased && on_reverse_) on_reverse_();
+  if (on_head_) on_head_();
+  // A follower can only arrive later (it must cross the media first),
+  // so no second advance can be pending here.
 }
 
 }  // namespace mango::noc

@@ -29,8 +29,7 @@ class VcBuffer {
   using Notify = sim::InlineCallback;
 
   VcBuffer(sim::Simulator& sim, const StageDelays& delays, VcScheme scheme,
-           VcBufferId id)
-      : sim_(sim), delays_(delays), scheme_(scheme), id_(id) {}
+           VcBufferId id);
 
   VcBuffer(const VcBuffer&) = delete;
   VcBuffer& operator=(const VcBuffer&) = delete;
@@ -64,6 +63,10 @@ class VcBuffer {
 
   /// Peak simultaneous occupancy ever observed (<= 2 by construction).
   unsigned peak_occupancy() const { return peak_occupancy_; }
+
+  /// Typed-dispatch entry: the unshare->slot advance scheduled by
+  /// try_advance() lands after the buf_advance delay.
+  void complete_advance();
 
  private:
   void try_advance();

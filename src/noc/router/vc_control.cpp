@@ -1,8 +1,16 @@
 #include "noc/router/vc_control.hpp"
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
+
+VcControlModule::VcControlModule(sim::Simulator& sim,
+                                 const ConnectionTable& table,
+                                 const StageDelays& delays)
+    : sim_(sim), table_(table), delays_(delays) {
+  events::install(sim_);
+}
 
 void VcControlModule::signal(VcBufferId buf) {
   const ReverseEntry entry = table_.reverse(buf);  // throws if unprogrammed
@@ -14,19 +22,23 @@ void VcControlModule::signal(VcBufferId buf) {
       if (local_fold_ > 0) {
         sim_.note_folded_hop_at(sim_.now() + delays_.na_link_fwd);
       }
-      sim_.after(delays_.na_link_fwd + local_fold_,
-                 [this, iface = static_cast<LocalIfaceIdx>(entry.wire)] {
-                   local_complete_(iface);
-                 });
+      sim::TypedEvent ev{};
+      ev.op = events::kOpVcLocalReverse;
+      ev.a = static_cast<LocalIfaceIdx>(entry.wire);
+      ev.b = 1;
+      ev.p0 = this;
+      events::emit_after(sim_, delays_.na_link_fwd + local_fold_, ev);
       return;
     }
     MANGO_ASSERT(static_cast<bool>(local_out_), "no local reverse sink wired");
     // The NA sits next to the router; charge the (shorter) local wire.
     // The receiving flow box adds its own re-arm delay.
-    sim_.after(delays_.na_link_fwd,
-               [this, iface = static_cast<LocalIfaceIdx>(entry.wire)] {
-                 local_out_(iface);
-               });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpVcLocalReverse;
+    ev.a = static_cast<LocalIfaceIdx>(entry.wire);
+    ev.b = 0;
+    ev.p0 = this;
+    events::emit_after(sim_, delays_.na_link_fwd, ev);
     return;
   }
   MANGO_ASSERT(static_cast<bool>(network_out_), "no network reverse sink wired");

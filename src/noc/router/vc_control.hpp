@@ -33,8 +33,7 @@ class VcControlModule {
   using LocalOut = sim::InlineFunction<void(LocalIfaceIdx iface)>;
 
   VcControlModule(sim::Simulator& sim, const ConnectionTable& table,
-                  const StageDelays& delays)
-      : sim_(sim), table_(table), delays_(delays) {}
+                  const StageDelays& delays);
 
   void set_network_out(NetworkOut out) { network_out_ = std::move(out); }
   void set_local_out(LocalOut out) { local_out_ = std::move(out); }
@@ -54,6 +53,16 @@ class VcControlModule {
 
   /// Signals dispatched (activity counter for the power model).
   std::uint64_t signals() const { return signals_; }
+
+  /// Typed-dispatch entry: a local reverse wire toggles at the NA after
+  /// the wire delay (`complete` selects the coalesced box-ready path).
+  void deliver_local(LocalIfaceIdx iface, bool complete) {
+    if (complete) {
+      local_complete_(iface);
+    } else {
+      local_out_(iface);
+    }
+  }
 
  private:
   sim::Simulator& sim_;

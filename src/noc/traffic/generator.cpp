@@ -1,5 +1,6 @@
 #include "noc/traffic/generator.hpp"
 
+#include "noc/common/events.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
@@ -12,7 +13,9 @@ GsStreamSource::GsStreamSource(NetworkAdapter& na, LocalIfaceIdx iface,
       tag_(tag),
       opt_(opt),
       generated_stat_(
-          &na.router().ctx().stats().counter("traffic.gs_flits_generated")) {}
+          &na.router().ctx().stats().counter("traffic.gs_flits_generated")) {
+  events::install(sim_);
+}
 
 void GsStreamSource::start(sim::Time at) {
   MANGO_ASSERT(!started_, "GS source started twice");
@@ -58,7 +61,10 @@ void GsStreamSource::tick() {
   if (in_on_phase()) {
     na_.gs_send(iface_, make_flit());
   }
-  sim_.after(opt_.period_ps, [this] { tick(); });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpGsSourceTick;
+  ev.p0 = this;
+  events::emit_after(sim_, opt_.period_ps, ev);
 }
 
 BeTraceSource::BeTraceSource(Network& net, NodeId src, std::uint32_t tag,
@@ -115,6 +121,7 @@ BeTrafficSource::BeTrafficSource(Network& net, NodeId src, std::uint32_t tag,
       generated_stat_(&net.na(src).router().ctx().stats().counter(
           "traffic.be_packets_generated")),
       flit_pool_(net.na(src).router().ctx().pools().vectors<Flit>()) {
+  events::install(sim_);
   MANGO_ASSERT(net_.topology().contains(src_), "BE source out of bounds");
   if (opt_.fixed_dst.has_value()) {
     MANGO_ASSERT(*opt_.fixed_dst != src_, "BE destination equals source");
@@ -162,14 +169,20 @@ void BeTrafficSource::inject() {
   if (modulated() && !on_phase_) {
     // Defer to the ON edge. The toggle event at phase_end_ was scheduled
     // before this one, so it dispatches first and flips the phase.
-    sim_.at(phase_end_, [this] { inject(); });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpBeSourceInject;
+    ev.p0 = this;
+    events::emit_at(sim_, phase_end_, ev);
     return;
   }
   NetworkAdapter& na = net_.na(src_);
   if (na.be_queue_flits() > opt_.na_queue_limit) {
     // Backpressured: count and retry shortly without generating.
     ++held_;
-    sim_.after(1000, [this] { inject(); });
+    sim::TypedEvent ev{};
+    ev.op = events::kOpBeSourceInject;
+    ev.p0 = this;
+    events::emit_after(sim_, 1000, ev);
     return;
   }
   const NodeId dst = pick_dst();
@@ -195,7 +208,10 @@ void BeTrafficSource::schedule_next() {
     gap = static_cast<sim::Time>(rng_.next_exponential(
         static_cast<double>(opt_.mean_interarrival_ps)));
   }
-  sim_.after(gap, [this] { inject(); });
+  sim::TypedEvent ev{};
+  ev.op = events::kOpBeSourceInject;
+  ev.p0 = this;
+  events::emit_after(sim_, gap, ev);
 }
 
 }  // namespace mango::noc

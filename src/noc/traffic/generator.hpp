@@ -45,9 +45,12 @@ class GsStreamSource {
   std::uint64_t generated() const { return generated_; }
   std::uint32_t tag() const { return tag_; }
 
+  /// Typed-dispatch entry: one CBR/bursty period elapses (offers a flit
+  /// and re-arms itself).
+  void tick();
+
  private:
   std::optional<Flit> supply();
-  void tick();
   bool in_on_phase() const;
   Flit make_flit();
 
@@ -138,10 +141,13 @@ class BeTrafficSource {
   std::uint64_t offered_but_held() const { return held_; }
   std::uint32_t tag() const { return tag_; }
 
+  /// Typed-dispatch entry: an injection attempt fires (interarrival gap,
+  /// backpressure retry, or deferred ON-edge injection).
+  void inject();
+
  private:
   void schedule_next();
   void schedule_phase_toggle();
-  void inject();
   NodeId pick_dst();
   bool modulated() const {
     return opt_.burst_on_mean_ps > 0 && opt_.burst_off_mean_ps > 0;

@@ -27,7 +27,14 @@ Simulator::EventNode* Simulator::alloc_node() {
 }
 
 void Simulator::free_node(EventNode* n) {
-  n->cb.reset();
+  if (n->body.ev.op == 0) {
+    n->body.cb.cb.reset();
+  } else {
+    // Typed records are trivially destructible: re-arm the callback
+    // slot (empty, opcode 0) so the recycled node is ready for either
+    // schedule kind.
+    ::new (&n->body.cb) CallbackSlot{};
+  }
   n->next = free_list_;
   free_list_ = n;
 }
@@ -39,7 +46,7 @@ void Simulator::at(Time t, Callback cb) {
   n->time = t;
   n->birth = now_;
   n->seq = next_seq_++;
-  n->cb = std::move(cb);
+  n->body.cb.cb = std::move(cb);
   insert(n);
 }
 
@@ -51,7 +58,7 @@ void Simulator::admit(Time t, Time birth, Callback cb) {
   n->time = t;
   n->birth = birth;
   n->seq = next_seq_++;
-  n->cb = std::move(cb);
+  n->body.cb.cb = std::move(cb);
   insert(n);
 }
 
@@ -283,12 +290,16 @@ bool Simulator::step() {
   EventNode* n = pop_earliest();
   now_ = n->time;
   ++dispatched_;
-  // Invoke straight from the node — the node is unlinked, so callbacks
+  // Invoke straight from the node — the node is unlinked, so handlers
   // may freely schedule new events (those draw fresh nodes); it is
-  // recycled after the call returns. If the callback throws (model
+  // recycled after the call returns. If the handler throws (model
   // errors in failure-injection tests), the node is simply orphaned
   // until slab teardown — never double-used.
-  n->cb();
+  if (n->body.ev.op != 0) {
+    dispatcher_(n->body.ev);
+  } else {
+    n->body.cb.cb();
+  }
   free_node(n);
   return true;
 }

@@ -22,10 +22,14 @@
 //     interarrivals, warm-up deadlines). Overflow events migrate into the
 //     wheel as the cursor approaches them.
 //
-// Callbacks are InlineFunction with a generous inline-capture budget sized
-// for the largest per-flit capture (a LinkFlit plus an endpoint), and the
-// event nodes are recycled through a free list carved from slabs — the
-// steady-state event loop performs no allocation at all.
+// Hot per-flit events travel as TypedEvent records — a one-byte opcode
+// plus packed arguments filling the node's 64-byte capture area —
+// dispatched through a single registered switch function, so the steady-
+// state loop pays no indirect call, no capture construction and no
+// destructor per event. Cold/control events keep the type-erased
+// InlineFunction fallback (opcode 0). Event nodes are recycled through a
+// free list carved from slabs — the steady-state loop performs no
+// allocation at all.
 //
 // Dispatch order is (time, birth, insertion seq), where `birth` is the
 // kernel clock at scheduling time. For events scheduled organically via
@@ -43,6 +47,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <vector>
 
@@ -52,12 +57,39 @@
 
 namespace mango::sim {
 
+/// POD record for a typed hot-path event: a small opcode plus packed
+/// arguments, dispatched through one registered switch function instead
+/// of a per-event type-erased callback. The payload holds a trivially
+/// copyable argument blob (a Flit or LinkFlit in the NoC model) by
+/// memcpy; p0/p1 carry receiver pointers and a/b/c/d small scalars. The
+/// record is exactly the event node's capture area, so scheduling a
+/// typed event is one 64-byte store with no indirect call, no capture
+/// construction and no destructor on recycle.
+struct TypedEvent {
+  std::uint8_t op;  ///< nonzero opcode (0 is reserved for callbacks)
+  std::uint8_t a;
+  std::uint8_t b;
+  std::uint8_t c;
+  std::uint32_t d;
+  void* p0;
+  void* p1;
+  unsigned char payload[40];
+};
+static_assert(sizeof(TypedEvent) == 64, "typed record fills the capture area");
+static_assert(std::is_trivially_copyable_v<TypedEvent>,
+              "typed records move by memcpy");
+
 /// The event kernel. One instance drives one simulated network.
 class Simulator {
  public:
-  /// 8 words of inline capture: fits every per-flit callback in the model
-  /// (the largest captures a link Endpoint plus a 40-byte LinkFlit).
-  using Callback = InlineFunction<void(), 8>;
+  /// 5 words of inline capture: fits every remaining cold-path callback
+  /// in the model (the largest captures a receiver pointer plus a
+  /// 32-byte Flit); hot per-flit events travel as TypedEvent records.
+  using Callback = InlineFunction<void(), 5>;
+
+  /// The typed-event switch, registered once by the model layer. Takes
+  /// the record by reference straight out of the event node.
+  using TypedDispatcher = void (*)(TypedEvent&);
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -85,7 +117,7 @@ class Simulator {
     n->time = t;
     n->birth = now_;
     n->seq = next_seq_++;
-    n->cb = std::forward<F>(f);
+    n->body.cb.cb = std::forward<F>(f);
     insert(n);
   }
 
@@ -107,6 +139,48 @@ class Simulator {
   /// against local events exactly as it would have in one shared kernel.
   /// Requires t >= now() and birth <= t.
   void admit(Time t, Time birth, Callback cb);
+
+  /// Registers the typed-event switch. Idempotent: re-registering the
+  /// same function is a no-op, a different one is a model error (the
+  /// kernel supports exactly one dispatch table per process image).
+  void set_typed_dispatcher(TypedDispatcher d) {
+    MANGO_ASSERT(dispatcher_ == nullptr || dispatcher_ == d,
+                 "conflicting typed-event dispatchers");
+    dispatcher_ = d;
+  }
+
+  /// Schedules a typed record at absolute time `t` (must be >= now()).
+  /// The record is copied into the node's capture area — one 64-byte
+  /// store; dispatch order is identical to the callback overloads (the
+  /// node draws the same (time, birth, seq) key either way).
+  void at_typed(Time t, const TypedEvent& ev) {
+    MANGO_ASSERT(t >= now_, "cannot schedule an event in the past");
+    MANGO_ASSERT(ev.op != 0, "typed events need a nonzero opcode");
+    EventNode* n = alloc_node();
+    n->time = t;
+    n->birth = now_;
+    n->seq = next_seq_++;
+    ::new (&n->body.ev) TypedEvent(ev);
+    insert(n);
+  }
+
+  /// Schedules a typed record after `delay` picoseconds.
+  void after_typed(Time delay, const TypedEvent& ev) {
+    at_typed(now_ + delay, ev);
+  }
+
+  /// Typed twin of admit(): explicit-birth merge of a boundary record.
+  void admit_typed(Time t, Time birth, const TypedEvent& ev) {
+    MANGO_ASSERT(t >= now_, "cannot admit an event in the past");
+    MANGO_ASSERT(birth <= t, "admitted birth must not exceed the event time");
+    MANGO_ASSERT(ev.op != 0, "typed events need a nonzero opcode");
+    EventNode* n = alloc_node();
+    n->time = t;
+    n->birth = birth;
+    n->seq = next_seq_++;
+    ::new (&n->body.ev) TypedEvent(ev);
+    insert(n);
+  }
 
   /// Earliest pending (time, birth) key; (kTimeNever, 0) when idle.
   struct EventKey {
@@ -175,6 +249,17 @@ class Simulator {
   }
 
  private:
+  /// Fallback capture area: a type-erased callback behind the reserved
+  /// opcode 0. Shares a common initial sequence (the leading opcode
+  /// byte) with TypedEvent, so the kernel reads body.ev.op to tell which
+  /// union member is live without a separate discriminant.
+  struct CallbackSlot {
+    std::uint8_t op = 0;  ///< always 0 while a callback is live
+    Callback cb;
+  };
+  static_assert(sizeof(CallbackSlot) <= sizeof(TypedEvent),
+                "the callback fallback must fit the typed capture area");
+
   struct EventNode {
     Time time = 0;
     Time birth = 0;         // now() at scheduling time (tie-break level 2)
@@ -183,7 +268,24 @@ class Simulator {
     EventNode* prev = nullptr;  // bucket chains are doubly linked so the
                                 // out-of-order insert searches backward
                                 // from the tail (see insert_wheel)
-    Callback cb;
+    /// 64-byte capture area. A recycled node always parks with the
+    /// callback slot live and empty (free_node restores that state), so
+    /// scheduling only ever transitions: callback schedules assign into
+    /// the empty cb, typed schedules end the slot's lifetime with a
+    /// trivial placement-new of the record.
+    union Body {
+      CallbackSlot cb;  ///< live iff ev.op == 0
+      TypedEvent ev;
+      Body() : cb{} {}
+      ~Body() {}  // EventNode destroys the live member
+    } body;
+
+    EventNode() = default;
+    EventNode(const EventNode&) = delete;
+    EventNode& operator=(const EventNode&) = delete;
+    ~EventNode() {
+      if (body.ev.op == 0) body.cb.~CallbackSlot();
+    }
   };
   struct Bucket {
     EventNode* head = nullptr;
@@ -302,7 +404,8 @@ class Simulator {
     fold_compact_at_ = std::max(kFoldCompactLimit, 2 * w);
   }
 
-  /// Beyond-horizon events: min-heap on (time, seq).
+  /// Beyond-horizon events: min-heap on the full dispatch key
+  /// (time, birth, seq) — see HeapLater.
   std::vector<EventNode*> overflow_;
   /// Unsorted ledger of declared folded-hop times not yet retired.
   std::vector<Time> folds_;
@@ -312,6 +415,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  TypedDispatcher dispatcher_ = nullptr;
 };
 
 }  // namespace mango::sim

@@ -65,6 +65,37 @@ TEST(Scheduler, OverflowTieBreaksBySeqAfterMigration) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i) + 1], i);
 }
 
+TEST(Scheduler, AdmittedOverflowTiesDispatchByBirthThenSeq) {
+  // admit() carries an explicit birth; beyond the horizon the events land
+  // in the overflow heap, which must order by the full (time, birth, seq)
+  // key — not raw insertion order. Births are deliberately inserted
+  // out of order, with one same-birth pair left to the seq tie-break.
+  Simulator sim;
+  std::vector<int> order;
+  sim.admit(kBeyondHorizon, 700, [&] { order.push_back(3); });
+  sim.admit(kBeyondHorizon, 100, [&] { order.push_back(1); });
+  sim.admit(kBeyondHorizon, 700, [&] { order.push_back(4); });  // seq tie
+  sim.admit(kBeyondHorizon, 300, [&] { order.push_back(2); });
+  // An earlier timestamp beats every later-time event regardless of its
+  // birth being the largest of the batch.
+  sim.admit(kBeyondHorizon - 512, 900, [&] { order.push_back(0); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+
+  // Same shape through the migration path: advance the clock so the
+  // granule enters the wheel window and the ties migrate into one bucket
+  // (with an empty wheel the kernel pops the heap directly; the anchor
+  // event forces the migration).
+  Simulator sim2;
+  order.clear();
+  sim2.admit(kBeyondHorizon, 500, [&] { order.push_back(2); });
+  sim2.admit(kBeyondHorizon, 200, [&] { order.push_back(1); });
+  sim2.run_until(kBeyondHorizon - 1000);
+  sim2.after(50, [&] { order.push_back(0); });
+  sim2.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Scheduler, OverflowEventEarlierThanLaterWheelInsertStillWins) {
   // Regression shape: an overflow event whose granule enters the wheel
   // window only after the cursor advances must still dispatch before a
