@@ -9,7 +9,16 @@
 // Stats are byte-identical across shard counts — the scaling run
 // doubles as a determinism check and aborts if any shard count
 // disagrees with the single-kernel reference.
+//
+// Two scale-1k rungs (mesh-32x32 and cmesh-32x32c4, table-routed BE
+// headers) repeat the ladder at a thousand routers, where the window
+// count and boundary fan-in dwarf the 8x8 grid — this is the rung the
+// acceptance speedup targets are measured on. A barrier-cost microbench
+// (ns/window on a near-idle fabric with elision disabled) isolates the
+// per-window synchronisation overhead the spin barrier is meant to cut.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "exp/scenario.hpp"
 
@@ -70,6 +79,114 @@ void BM_Scale8x8TorusShards(benchmark::State& state) {
 BENCHMARK(BM_Scale8x8MeshShards)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_Scale8x8TorusShards)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- scale-1k rungs ---------------------------------------------------
+
+exp::ScenarioSpec scale1k_spec(noc::TopologyKind kind, unsigned shards) {
+  exp::ScenarioSpec spec;
+  spec.topology = kind;
+  spec.width = 32;
+  spec.height = 32;
+  if (kind == noc::TopologyKind::kCMesh) {
+    spec.name = "bench-parallel-cmesh-32x32c4";
+    spec.concentration = 4;
+  } else {
+    spec.name = "bench-parallel-mesh-32x32";
+  }
+  spec.pattern = noc::BePattern::kUniform;
+  spec.be_interarrival_ps = 20000;
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 8000;
+  spec.duration_ps = 60000;  // short horizon: ~1k routers is the cost
+  spec.shards = shards;
+  return spec;
+}
+
+void run_scaling_1k(benchmark::State& state, noc::TopologyKind kind,
+                    exp::ScenarioStats& reference, bool& have_reference) {
+  const auto shards = static_cast<unsigned>(state.range(0));
+  const bool elide = state.range(1) != 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::ScenarioSpec spec = scale1k_spec(kind, shards);
+    spec.elide_windows = elide;
+    const exp::ScenarioResult r = run_scenario(spec);
+    if (!r.ok()) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+    if (shards == 1 && !have_reference) {
+      reference = r.stats;
+      have_reference = true;
+    } else if (have_reference && r.stats != reference) {
+      state.SkipWithError("stats differ from the single-kernel reference");
+      return;
+    }
+    events += r.stats.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void BM_Scale1kMeshShards(benchmark::State& state) {
+  static exp::ScenarioStats reference;
+  static bool have_reference = false;
+  run_scaling_1k(state, noc::TopologyKind::kMesh, reference, have_reference);
+}
+void BM_Scale1kCMeshShards(benchmark::State& state) {
+  static exp::ScenarioStats reference;
+  static bool have_reference = false;
+  run_scaling_1k(state, noc::TopologyKind::kCMesh, reference, have_reference);
+}
+// Second arg: window elision on/off — the {4, 0} row is the ablation
+// recorded alongside BENCH_scale.json entries.
+BENCHMARK(BM_Scale1kMeshShards)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({4, 0})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Scale1kCMeshShards)
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({4, 0})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- barrier-cost microbench ------------------------------------------
+//
+// A nearly idle 8x8 mesh at 4 shards with window elision DISABLED: the
+// kernel still walks every lookahead window, so almost all of the wall
+// time is the two barrier crossings per window. ns_per_window is the
+// figure the spin barrier attacks; Arg is the spin budget in us (0 =
+// pure condvar). On a machine with fewer than 4 cores the spin path
+// auto-disables, so both args report the condvar floor there.
+void BM_BarrierSyncNsPerWindow(benchmark::State& state) {
+  exp::ScenarioSpec spec;
+  spec.name = "bench-barrier-cost";
+  spec.width = 8;
+  spec.height = 8;
+  spec.pattern = noc::BePattern::kUniform;
+  spec.be_interarrival_ps = 200000;  // sparse: most windows are empty
+  spec.duration_ps = 2000000;
+  spec.shards = 4;
+  spec.elide_windows = false;  // force a barrier round per window
+  spec.spin_us = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t windows = 0;
+  double ns = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const exp::ScenarioResult r = run_scenario(spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      state.SkipWithError(r.error.c_str());
+      return;
+    }
+    windows += r.windows_run;
+    ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+  if (windows > 0) {
+    state.counters["ns_per_window"] =
+        benchmark::Counter(ns / static_cast<double>(windows));
+  }
+}
+BENCHMARK(BM_BarrierSyncNsPerWindow)->Arg(0)
+    ->Arg(static_cast<int>(sim::kDefaultBarrierSpinUs))
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace

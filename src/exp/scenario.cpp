@@ -225,6 +225,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     net_cfg.topology = spec.topology_spec();
     net_cfg.router = spec.router;
     net_cfg.shards = spec.shards;
+    net_cfg.elide_windows = spec.elide_windows;
+    net_cfg.batched_handoff = spec.batched_handoff;
+    net_cfg.spin_us = spec.spin_us;
+    net_cfg.force_spin = spec.force_spin;
     noc::Network net(ctx, net_cfg);
     noc::HubSet hub(net.shard_count());
     hub.set_horizon(spec.duration_ps);
@@ -261,6 +265,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     result.stats =
         collect_stats(spec, net, hub, gs_eps, broker.get(), churn.get());
     result.stats.be_injections_held = sum_held(be_sources);
+    result.windows_run = net.windows_run();
+    result.windows_elided = net.windows_elided();
   } catch (const std::exception& e) {
     result.error = e.what();
   }

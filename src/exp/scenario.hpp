@@ -17,6 +17,7 @@
 
 #include "noc/common/config.hpp"
 #include "noc/traffic/workload.hpp"
+#include "sim/parallel.hpp"
 #include "sim/time.hpp"
 
 namespace mango::exp {
@@ -64,6 +65,14 @@ struct ScenarioSpec {
   /// parameter — so it is deliberately excluded from the scenario name
   /// and the report's spec section.
   unsigned shards = 1;
+  /// Shard-engine tuning (NetworkConfig equivalents; shards >= 2 only).
+  /// Execution strategy like `shards`: stats are byte-identical for
+  /// every combination, so these too stay out of the scenario name and
+  /// the report's spec section — only the timing block surfaces them.
+  bool elide_windows = true;
+  bool batched_handoff = true;
+  std::uint32_t spin_us = sim::kDefaultBarrierSpinUs;
+  bool force_spin = false;  ///< test hook: spin even when cores < shards
 
   /// The TopologySpec this scenario's network is built from.
   noc::TopologySpec topology_spec() const;
@@ -140,6 +149,11 @@ struct ScenarioResult {
   ScenarioStats stats;
   std::string error;    ///< non-empty if the run threw (stats invalid)
   double wall_ms = 0.0; ///< host time; excluded from deterministic output
+  /// Shard-engine window counters (0 at shards = 1). Execution-side
+  /// diagnostics like wall_ms: reported only in the timing block, never
+  /// in the deterministic stats columns.
+  std::uint64_t windows_run = 0;
+  std::uint64_t windows_elided = 0;
 
   bool ok() const { return error.empty(); }
 };

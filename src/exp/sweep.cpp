@@ -114,6 +114,17 @@ void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
     w.kv("shards", shards);
     w.kv("wall_ms", wall_ms);
     w.kv("scenarios_per_hour", scenarios_per_hour());
+    // Shard-engine window totals across the sweep (0 at shards = 1):
+    // execution-side diagnostics, so they live with the wall-clock
+    // fields — the stats JSON stays byte-comparable across --shards and
+    // every engine tuning.
+    std::uint64_t wr = 0, we = 0;
+    for (const ScenarioResult& r : results) {
+      wr += r.windows_run;
+      we += r.windows_elided;
+    }
+    w.kv("windows_run", wr);
+    w.kv("windows_elided", we);
   }
   w.key("results");
   w.begin_array();
@@ -135,6 +146,8 @@ void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
                                  ? static_cast<double>(r.stats.events) /
                                        (r.wall_ms / 1000.0)
                                  : 0.0);
+      w.kv("windows_run", r.windows_run);
+      w.kv("windows_elided", r.windows_elided);
     }
     w.end_object();
   }

@@ -68,7 +68,7 @@ void Link::push_boundary(unsigned dir, BoundaryKind kind, VcIdx wire,
   rec.kind = kind;
   rec.wire = wire;
   rec.lf = lf;
-  boundary_[dir]->queue.push(rec);
+  boundary_[dir]->push(rec);
 }
 
 sim::Time Link::forward_latency() const {

@@ -46,12 +46,30 @@ struct BoundaryRecord {
 
 /// One direction of one cross-shard link. Produced by the sending
 /// shard's worker during windows, drained by the engine at barriers.
+///
+/// Two handoff modes, selected once at network construction
+/// (NetworkConfig::batched_handoff; byte-identical stats either way):
+/// batched (default) accumulates records in the SpscBatch and publishes
+/// once per window from the engine's per-shard flush hook; per-record
+/// pushes straight into the SpscQueue with a release store per record
+/// (the pre-batching protocol, kept as the ablation/fallback path).
 struct BoundaryChannel {
   Router* dst = nullptr;
   PortIdx dst_port = 0;
   unsigned dst_shard = 0;
+  unsigned src_shard = 0;  ///< producer: the flush hook's group key
   std::uint32_t order_key = 0;  ///< link index * 2 + direction
+  bool batched = true;
+  sim::SpscBatch<BoundaryRecord> batch;
   sim::SpscQueue<BoundaryRecord> queue;
+
+  void push(const BoundaryRecord& rec) {
+    if (batched) {
+      batch.push(rec);
+    } else {
+      queue.push(rec);
+    }
+  }
 };
 
 }  // namespace mango::noc

@@ -52,11 +52,15 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
                    topo_->label() +
                    " is not deadlock-free; dependency cycle: " + check.cycle);
 
-  // Shard partition: contiguous node-index ranges (clamped to the node
-  // count). Every shard above 0 gets its own SimContext, seeded like
-  // shard 0's so derived streams are reproducible; no component draws
-  // from a context RNG at run time, so identical seeding is safe.
-  shard_of_ = partition_shards(topo_->node_count(),
+  // Shard partition: contiguous node-index ranges weighted by each
+  // node's deterministic event load (wired degree + endpoints per
+  // router), so stripes balance work, not node count — on a cmesh every
+  // router carries `concentration` cores' injection, on an irregular
+  // graph hub nodes carry more transit. Every shard above 0 gets its
+  // own SimContext, seeded like shard 0's so derived streams are
+  // reproducible; no component draws from a context RNG at run time, so
+  // identical seeding is safe.
+  shard_of_ = partition_shards(partition_weights(*topo_),
                                cfg_.shards == 0 ? 1 : cfg_.shards);
   const unsigned n_shards = shard_of_.empty() ? 1 : shard_of_.back() + 1;
   shard_ctxs_.push_back(&ctx_);
@@ -118,12 +122,16 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
         ab->dst = &router(peer->node);
         ab->dst_port = peer->port;
         ab->dst_shard = shard_of_[peer_idx];
+        ab->src_shard = shard_of_[i];
         ab->order_key = link_idx * 2;
+        ab->batched = cfg_.batched_handoff;
         auto ba = std::make_unique<BoundaryChannel>();
         ba->dst = &router(n);
         ba->dst_port = port_of(d);
         ba->dst_shard = shard_of_[i];
+        ba->src_shard = shard_of_[peer_idx];
         ba->order_key = link_idx * 2 + 1;
+        ba->batched = cfg_.batched_handoff;
         l.set_boundary(ab.get(), ba.get());
         channels_.push_back(std::move(ab));
         channels_.push_back(std::move(ba));
@@ -150,14 +158,29 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
     sims.reserve(shard_ctxs_.size());
     for (sim::SimContext* c : shard_ctxs_) sims.push_back(&c->sim());
     control_.bind_engine(sims);
+    // Pre-group the channels by producing shard so the per-shard flush
+    // hook touches exactly the batches its thread owns.
+    channels_by_src_.resize(n_shards);
+    for (auto& chp : channels_) {
+      channels_by_src_[chp->src_shard].push_back(chp.get());
+    }
     // The window width doubles as the control deferral bound: a post
     // made mid-window at u lands at u + deferral >= window end, so the
     // engine always sees it in time to park the shards on its key.
     std::vector<sim::Time> slack;
     slack.push_back(min_link_latency_);
+    sim::ShardEngine::Options opt;
+    opt.spin_us = cfg_.spin_us;
+    opt.elide = cfg_.elide_windows;
+    opt.spin_even_oversubscribed = cfg_.force_spin;
     engine_ = std::make_unique<sim::ShardEngine>(
         std::move(sims), sim::conservative_lookahead(slack), control_,
-        [this] { drain_boundaries(); });
+        [this] { drain_boundaries(); },
+        cfg_.batched_handoff
+            ? std::function<void(std::size_t)>(
+                  [this](std::size_t s) { flush_boundaries(s); })
+            : std::function<void(std::size_t)>(),
+        opt);
   }
 
   // BE downstream configuration: credits = the peer's BE input depth and
@@ -205,13 +228,23 @@ std::uint64_t Network::events_dispatched() const {
   return n + control_.executed();
 }
 
+void Network::flush_boundaries(std::size_t s) {
+  for (BoundaryChannel* ch : channels_by_src_[s]) ch->batch.publish();
+}
+
 void Network::drain_boundaries() {
   admit_buf_.clear();
   for (auto& chp : channels_) {
     BoundaryChannel& ch = *chp;
-    ch.queue.drain([&](BoundaryRecord r) {
-      admit_buf_.push_back(PendingAdmit{r, &ch});
-    });
+    if (ch.batched) {
+      ch.batch.consume([&](BoundaryRecord r) {
+        admit_buf_.push_back(PendingAdmit{r, &ch});
+      });
+    } else {
+      ch.queue.drain([&](BoundaryRecord r) {
+        admit_buf_.push_back(PendingAdmit{r, &ch});
+      });
+    }
   }
   if (admit_buf_.empty()) return;
   // (arrival, birth, channel order key) with stable_sort: records of one

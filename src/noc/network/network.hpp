@@ -36,6 +36,13 @@ struct NetworkConfig {
   /// shard engine. Stats are byte-identical for every value (see
   /// DESIGN.md section 8).
   unsigned shards = 1;
+  /// Shard-engine execution tuning (N >= 2 only; per-scenario stats are
+  /// byte-identical for every combination — these move wall time, never
+  /// results; see DESIGN.md section 8).
+  bool elide_windows = true;     ///< skip windows no shard can populate
+  bool batched_handoff = true;   ///< one boundary publish per window
+  std::uint32_t spin_us = sim::kDefaultBarrierSpinUs;  ///< 0 = condvar
+  bool force_spin = false;  ///< test hook: spin even when cores < shards
 };
 
 /// Mesh shorthand kept for the (many) mesh-only experiments: the same
@@ -96,6 +103,11 @@ class Network {
   std::uint64_t windows_run() const {
     return engine_ ? engine_->windows_run() : 0;
   }
+  /// Windows the engine skipped as provably quiet (0 on single-shard
+  /// networks and with NetworkConfig::elide_windows off).
+  std::uint64_t windows_elided() const {
+    return engine_ ? engine_->windows_elided() : 0;
+  }
 
   /// Advances the whole fabric to `t_end` with single-kernel run_until
   /// semantics (events at exactly t_end dispatch). On one shard this is
@@ -155,6 +167,10 @@ class Network {
   /// into their destination kernels in (arrival, birth, channel, FIFO)
   /// order. Runs on the engine thread with all workers parked.
   void drain_boundaries();
+  /// Window-flush hook: publishes shard `s`'s boundary batches (one
+  /// release store per dirty channel). Runs on the worker thread that
+  /// owns shard `s`, before it signals the barrier.
+  void flush_boundaries(std::size_t s);
 
   sim::SimContext& ctx_;
   NetworkConfig cfg_;
@@ -175,6 +191,8 @@ class Network {
   std::vector<Link*> links_;
   std::vector<NetworkAdapter*> nas_;
   std::vector<std::unique_ptr<BoundaryChannel>> channels_;
+  /// channels_ grouped by producing shard, for the per-shard flush hook.
+  std::vector<std::vector<BoundaryChannel*>> channels_by_src_;
   struct PendingAdmit {
     BoundaryRecord rec;
     BoundaryChannel* ch = nullptr;

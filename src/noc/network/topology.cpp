@@ -461,6 +461,50 @@ std::vector<unsigned> partition_shards(std::size_t node_count,
   return owner;
 }
 
+std::vector<unsigned> partition_shards(
+    const std::vector<std::uint64_t>& weights, unsigned shards) {
+  const std::size_t node_count = weights.size();
+  MANGO_ASSERT(node_count > 0, "cannot partition an empty topology");
+  if (shards == 0) {
+    model_fail("a sharded run needs at least one shard");
+  }
+  const auto n = static_cast<unsigned>(
+      shards > node_count ? node_count : static_cast<std::size_t>(shards));
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weights) total += w;
+  if (total == 0) return partition_shards(node_count, n);
+
+  std::vector<unsigned> owner(node_count);
+  std::size_t idx = 0;       // first index of the current stripe
+  std::uint64_t prefix = 0;  // weight of indices [0, idx)
+  for (unsigned s = 0; s < n; ++s) {
+    // The stripe ends at the smallest index whose prefix weight reaches
+    // the proportional target — but never short of one node, never so
+    // far that a later stripe would come up empty, and the last stripe
+    // always runs to the end (trailing zero-weight nodes must still be
+    // owned).
+    const std::uint64_t target = total * (s + 1) / n;
+    const std::size_t max_end = node_count - (n - 1 - s);
+    std::size_t end = idx;
+    do {
+      prefix += weights[end];
+      owner[end] = s;
+      ++end;
+    } while (end < max_end && (prefix < target || s + 1 == n));
+    idx = end;
+  }
+  MANGO_ASSERT(idx == node_count, "partition did not cover every node");
+  return owner;
+}
+
+std::vector<std::uint64_t> partition_weights(const Topology& topo) {
+  std::vector<std::uint64_t> w(topo.node_count());
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    w[i] = topo.degree(topo.node_at(i)) + topo.spec().concentration;
+  }
+  return w;
+}
+
 // --- factory -----------------------------------------------------------------
 
 std::unique_ptr<Topology> make_topology(const TopologySpec& spec) {

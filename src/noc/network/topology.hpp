@@ -67,6 +67,27 @@ std::vector<TopologyKind> all_topology_kinds();
 std::vector<unsigned> partition_shards(std::size_t node_count,
                                        unsigned shards);
 
+/// Load-weighted variant: stripe boundaries are placed so each shard's
+/// share of the total node weight is proportional, not its node count —
+/// shard s ends at the smallest index whose weight prefix reaches
+/// total * (s+1) / shards, clamped so every stripe is non-empty. Same
+/// invariants as the uniform overload (contiguous, node 0 in shard 0,
+/// shards clamped to the node count); an all-zero weight vector falls
+/// back to the uniform split. Deterministic: the cuts are a pure
+/// function of (weights, shards).
+std::vector<unsigned> partition_shards(const std::vector<std::uint64_t>& weights,
+                                       unsigned shards);
+
+/// Deterministic per-node event-load weights for partition_shards: the
+/// wired network degree (transit work — irregular graphs have
+/// heterogeneous degrees, mesh edges/corners carry less than the
+/// interior) plus the spec's concentration (endpoints per router — a
+/// cmesh router injects and ejects for `concentration` cores, so its
+/// local-port load scales with it). A pure function of the topology,
+/// never of the partition.
+class Topology;
+std::vector<std::uint64_t> partition_weights(const Topology& topo);
+
 /// An arbitrary undirected adjacency: `edges` between node indices
 /// 0..node_count-1. Each node carries at most four edges (one per router
 /// port); ports are assigned in edge order (first free port at each

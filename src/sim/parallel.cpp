@@ -94,14 +94,44 @@ void ControlPlane::run_due(Time t, Time birth) {
   }
 }
 
+namespace {
+
+/// One polite spin iteration: tells the core (not the OS) we're waiting.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spin iterations per microsecond of budget — approximate (a pause is
+/// a few ns); the budget bounds wasted cycles, it is not a deadline.
+constexpr std::uint32_t kSpinItersPerUs = 128;
+
+}  // namespace
+
 ShardEngine::ShardEngine(std::vector<Simulator*> shards, Time lookahead,
-                         ControlPlane& ctrl, std::function<void()> drain)
+                         ControlPlane& ctrl, std::function<void()> drain,
+                         std::function<void(std::size_t)> flush, Options opt)
     : shards_(std::move(shards)),
       lookahead_(lookahead),
       ctrl_(ctrl),
-      drain_(std::move(drain)) {
+      drain_(std::move(drain)),
+      flush_(std::move(flush)),
+      elide_(opt.elide) {
   MANGO_ASSERT(shards_.size() >= 2, "shard engine needs at least 2 shards");
   MANGO_ASSERT(lookahead_ > 0, "shard engine needs a positive lookahead");
+  // Spinning only pays when every barrier participant owns a hardware
+  // thread; oversubscribed, a spinner steals cycles from the very shard
+  // it is waiting on, so fall back to the condvar protocol outright.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool can_spin =
+      opt.spin_us > 0 &&
+      (opt.spin_even_oversubscribed || (hw != 0 && hw >= shards_.size()));
+  spin_iters_ = can_spin ? opt.spin_us * kSpinItersPerUs : 0;
   worker_error_.resize(shards_.size());
   threads_.reserve(shards_.size() - 1);
   for (std::size_t i = 1; i < shards_.size(); ++i) {
@@ -122,30 +152,71 @@ void ShardEngine::run_shard(std::size_t idx) {
     case Phase::kTie: n = s.run_until_tie(phase_time_, phase_birth_); break;
     case Phase::kFinal: n = s.run_until(phase_time_); break;
     case Phase::kIdle:
-    case Phase::kExit: break;
+    case Phase::kExit: return;
   }
   (void)n;
+  // Publish this shard's boundary batches before signalling the
+  // barrier: the drain that consumes them runs strictly after every
+  // done_ bump, so one release store per channel per phase suffices.
+  if (flush_) flush_(idx);
+}
+
+void ShardEngine::wait_for_command(std::uint64_t& seen) {
+  for (std::uint32_t i = 0; i < spin_iters_; ++i) {
+    if (generation_.load(std::memory_order_acquire) != seen) {
+      ++seen;
+      return;
+    }
+    cpu_relax();
+  }
+  // Condvar fallback. The sleeper count pairs seq_cst with publish()'s
+  // generation bump: either the engine observes the registration and
+  // notifies under the mutex, or this thread's predicate observes the
+  // new generation — the store-buffer reordering that could lose both
+  // is forbidden at seq_cst.
+  std::unique_lock<std::mutex> lk(mu_);
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  cv_cmd_.wait(lk, [&] {
+    return generation_.load(std::memory_order_seq_cst) != seen;
+  });
+  sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  ++seen;
+}
+
+void ShardEngine::signal_done() {
+  done_.fetch_add(1, std::memory_order_seq_cst);
+  if (engine_waiting_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_done_.notify_one();
+  }
+}
+
+void ShardEngine::wait_for_done() {
+  const std::size_t want = threads_.size();
+  for (std::uint32_t i = 0; i < spin_iters_; ++i) {
+    if (done_.load(std::memory_order_acquire) == want) return;
+    cpu_relax();
+  }
+  // Mirror of wait_for_command()'s sleep registration, engine side.
+  std::unique_lock<std::mutex> lk(mu_);
+  engine_waiting_.store(true, std::memory_order_seq_cst);
+  cv_done_.wait(lk, [&] {
+    return done_.load(std::memory_order_seq_cst) == want;
+  });
+  engine_waiting_.store(false, std::memory_order_relaxed);
 }
 
 void ShardEngine::worker_main(std::size_t idx) {
   std::uint64_t seen = 0;
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_cmd_.wait(lk, [&] { return generation_ != seen; });
-      seen = generation_;
-      if (phase_ == Phase::kExit) return;
-    }
+    wait_for_command(seen);
+    if (phase_ == Phase::kExit) return;
     try {
       run_shard(idx);
     } catch (...) {
       worker_error_[idx] = std::current_exception();
     }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++done_;
-      if (done_ == threads_.size()) cv_done_.notify_one();
-    }
+    signal_done();
   }
 }
 
@@ -161,15 +232,21 @@ void ShardEngine::rethrow_worker_failure() {
 }
 
 void ShardEngine::publish(Phase p, Time t, Time birth) {
-  {
+  // The phase fields ride the generation bump: workers read them only
+  // after acquiring the new generation, and the previous wait_for_done()
+  // guarantees no worker still touches done_ when it resets.
+  phase_ = p;
+  phase_time_ = t;
+  phase_birth_ = birth;
+  done_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) != 0) {
+    // Notify under the mutex: a worker between its sleeper registration
+    // and the wait either sees the new generation (predicate runs under
+    // this same mutex) or is already blocked and gets the notify.
     std::lock_guard<std::mutex> lk(mu_);
-    phase_ = p;
-    phase_time_ = t;
-    phase_birth_ = birth;
-    done_ = 0;
-    ++generation_;
+    cv_cmd_.notify_all();
   }
-  cv_cmd_.notify_all();
   if (p == Phase::kExit) return;
   // Shard 0 runs on the engine thread: one fewer context switch per
   // window, and the control shard's cache stays warm for run_due().
@@ -178,11 +255,20 @@ void ShardEngine::publish(Phase p, Time t, Time birth) {
   } catch (...) {
     worker_error_[0] = std::current_exception();
   }
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] { return done_ == threads_.size(); });
-  }
+  wait_for_done();
   rethrow_worker_failure();
+}
+
+Time ShardEngine::global_horizon(Time ctrl_key) {
+  // Safe from the engine thread with workers parked: the barrier's
+  // done_/generation_ pair orders this read after each worker's last
+  // kernel mutation and before its next one. next_event_time() is a
+  // pure function of kernel state (its cursor fast-forward is an
+  // internal cache), so the horizon — and every elision decision made
+  // from it — is identical on every run and machine.
+  Time h = ctrl_key;
+  for (Simulator* s : shards_) h = std::min(h, s->next_event_time());
+  return h;
 }
 
 std::uint64_t ShardEngine::run_until(Time t_end) {
@@ -196,6 +282,30 @@ std::uint64_t ShardEngine::run_until(Time t_end) {
     ControlPlane::Key k;
     const bool has_ctrl = ctrl_.peek(k) && k.time <= t_end;
     if (cursor_ >= t_end && !has_ctrl) break;
+    if (elide_) {
+      // Quiet-window elision: a window [c, c+W) in which no shard has
+      // an event with time < c+W dispatches nothing, schedules nothing
+      // and hands nothing across a boundary — a pure no-op apart from
+      // parking the kernels' clocks, which no model state observes. So
+      // jump the cursor over every window wholly before the global
+      // horizon. The window grid stays anchored at the cursor (skips
+      // are whole multiples of W), so the windows that DO run end at
+      // exactly the instants the non-elided grind would give them, and
+      // the merged dispatch order is bit-identical.
+      const Time h = global_horizon(has_ctrl ? k.time : kTimeNever);
+      if (!has_ctrl && h >= t_end) {
+        // Nothing dispatches strictly before t_end; events at exactly
+        // t_end belong to the final phase in the non-elided run too.
+        windows_elided_ += (t_end - cursor_ + lookahead_ - 1) / lookahead_;
+        cursor_ = t_end;
+        break;
+      }
+      if (h >= cursor_ + lookahead_) {
+        const std::uint64_t skip = (h - cursor_) / lookahead_;
+        windows_elided_ += skip;
+        cursor_ += static_cast<Time>(skip) * lookahead_;
+      }
+    }
     const Time window_end = std::min(cursor_ + lookahead_, t_end);
     if (has_ctrl && k.time <= window_end) {
       // Park every shard exactly at the control key, then run the

@@ -24,6 +24,7 @@
 //  * ShardEngine — the window/barrier loop and worker threads.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -36,6 +37,10 @@
 #include "sim/time.hpp"
 
 namespace mango::sim {
+
+/// Default barrier spin budget in microseconds (see
+/// ShardEngine::Options::spin_us).
+inline constexpr std::uint32_t kDefaultBarrierSpinUs = 50;
 
 /// Conservative lookahead: the minimum of the given cross-boundary
 /// latencies. A zero (or absent) lookahead means the partition has no
@@ -123,12 +128,35 @@ class ControlPlane {
 
 class ShardEngine {
  public:
+  /// Execution tuning. Every setting is an execution strategy only —
+  /// the merged dispatch order, and therefore every stats byte, is
+  /// identical for any combination (pinned by test_parallel_kernel).
+  struct Options {
+    /// Microseconds each barrier participant spins (pause/yield loop on
+    /// an atomic generation counter) before falling back to the condvar
+    /// sleep. 0 = condvar-only — also forced automatically when the
+    /// machine has fewer hardware threads than shards, where spinning
+    /// only steals cycles from the thread being waited on.
+    std::uint32_t spin_us = kDefaultBarrierSpinUs;
+    /// Quiet-window elision: at each barrier, jump the cursor over
+    /// windows no shard can populate (computed from the global minimum
+    /// next-event key — a pure function of kernel state).
+    bool elide = true;
+    /// Test hook: spin even when cores < shards (exercises the atomic
+    /// fast path on any machine; keep spin_us tiny when setting this).
+    bool spin_even_oversubscribed = false;
+  };
+
   /// `drain` runs on the engine thread at every barrier, with all
   /// workers parked: it must move boundary records into the destination
-  /// kernels (Network supplies it). `lookahead` must be positive (use
-  /// conservative_lookahead()).
+  /// kernels (Network supplies it). `flush`, when set, runs on each
+  /// worker thread at the end of every phase it executes — before the
+  /// worker signals the barrier — so producer-owned boundary batches can
+  /// publish once per window instead of once per record. `lookahead`
+  /// must be positive (use conservative_lookahead()).
   ShardEngine(std::vector<Simulator*> shards, Time lookahead,
-              ControlPlane& ctrl, std::function<void()> drain);
+              ControlPlane& ctrl, std::function<void()> drain,
+              std::function<void(std::size_t)> flush, Options opt);
   ~ShardEngine();
 
   ShardEngine(const ShardEngine&) = delete;
@@ -142,6 +170,12 @@ class ShardEngine {
 
   Time lookahead() const { return lookahead_; }
   std::uint64_t windows_run() const { return windows_; }
+  /// Windows skipped by quiet-window elision. Invariant:
+  /// windows_run() + windows_elided() equals windows_run() of the same
+  /// model with elision off (the window grid is anchored identically).
+  std::uint64_t windows_elided() const { return windows_elided_; }
+  /// True when barrier waits start with the atomic spin fast path.
+  bool spinning() const { return spin_iters_ != 0; }
 
  private:
   enum class Phase : std::uint8_t { kIdle, kWindow, kTie, kFinal, kExit };
@@ -150,23 +184,40 @@ class ShardEngine {
   void run_shard(std::size_t idx);
   void worker_main(std::size_t idx);
   void rethrow_worker_failure();
+  void wait_for_command(std::uint64_t& seen);
+  void signal_done();
+  void wait_for_done();
+  /// Earliest instant any shard (or the control plane, if `ctrl_key` is
+  /// finite) could dispatch next. Engine thread only, workers parked.
+  Time global_horizon(Time ctrl_key);
 
   std::vector<Simulator*> shards_;
   Time lookahead_;
   ControlPlane& ctrl_;
   std::function<void()> drain_;
+  std::function<void(std::size_t)> flush_;
   Time cursor_ = 0;
   std::uint64_t windows_ = 0;
+  std::uint64_t windows_elided_ = 0;
+  bool elide_ = true;
+  std::uint32_t spin_iters_ = 0;  ///< 0 = condvar-only barrier
 
-  // Phase barrier: the engine publishes (phase, time, birth) under the
-  // mutex and bumps the generation; each worker runs its shard for that
-  // phase and bumps done_. Workers 1..N-1 are std::threads; shard 0 runs
-  // on the engine thread itself.
+  // Hybrid phase barrier. The engine writes the phase fields, resets
+  // done_, then bumps generation_ (the release store workers acquire);
+  // each worker runs its shard for that phase and bumps done_ (the
+  // release store the engine acquires). Both sides spin a bounded
+  // budget on the atomic before sleeping on the condvars; the sleep
+  // registration (sleepers_ / engine_waiting_) pairs seq_cst with the
+  // waker's counter store so the classic store-buffer reordering cannot
+  // lose a wakeup. Workers 1..N-1 are std::threads; shard 0 runs on the
+  // engine thread itself.
   std::mutex mu_;
   std::condition_variable cv_cmd_;
   std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  std::size_t done_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<bool> engine_waiting_{false};
   Phase phase_ = Phase::kIdle;
   Time phase_time_ = 0;
   Time phase_birth_ = 0;

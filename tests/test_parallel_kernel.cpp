@@ -6,6 +6,8 @@
 // churn.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -131,6 +133,31 @@ TEST(ParallelKernel, SpscQueuePreservesPushOrderThroughSpill) {
   EXPECT_EQ(v, 99);
 }
 
+// The batched handoff: records accumulate locally, publish() exposes
+// them in one watermark store, consume() takes them in FIFO order and
+// resets the channel for the next window.
+TEST(ParallelKernel, SpscBatchPublishesOncePerWindowInFifoOrder) {
+  sim::SpscBatch<int> b;
+  for (int i = 0; i < 20; ++i) b.push(i);
+  b.publish();
+  std::vector<int> got;
+  b.consume([&](int v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(got[i], i);
+  // A window that left the channel untouched publishes nothing and
+  // drains nothing.
+  b.publish();
+  b.consume([&](int) { FAIL() << "clean batch produced a record"; });
+  // The channel is reusable after a drain.
+  b.push(42);
+  b.publish();
+  got.clear();
+  b.consume([&](int v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 42);
+  EXPECT_EQ(b.high_water(), 20u);
+}
+
 // --- topology partition ------------------------------------------------
 
 TEST(ParallelKernel, PartitionIsContiguousBalancedAndAnchored) {
@@ -153,6 +180,67 @@ TEST(ParallelKernel, PartitionIsContiguousBalancedAndAnchored) {
   const auto tiny = noc::partition_shards(2, 8);
   EXPECT_EQ(tiny[0], 0u);
   EXPECT_EQ(tiny[1], 1u);
+}
+
+// The weighted overload keeps every structural invariant of the uniform
+// one (contiguous nondecreasing stripes, node 0 in shard 0, no empty
+// shard, clamp to the node count) while placing the cuts by load.
+TEST(ParallelKernel, WeightedPartitionBalancesLoadNotNodeCount) {
+  // A front-loaded vector: one heavy node, seven light ones. A uniform
+  // split would put weight 13 vs 4; the weighted cut isolates the hub.
+  const std::vector<std::uint64_t> hub{10, 1, 1, 1, 1, 1, 1, 1};
+  const auto part = noc::partition_shards(hub, 2);
+  ASSERT_EQ(part.size(), 8u);
+  EXPECT_EQ(part[0], 0u);
+  for (std::size_t i = 1; i < part.size(); ++i) {
+    EXPECT_GE(part[i], part[i - 1]);
+    EXPECT_LE(part[i] - part[i - 1], 1u);
+  }
+  EXPECT_EQ(part[1], 1u);  // the cut lands right after the hub
+
+  // Every shard is non-empty even when the weights say otherwise.
+  const std::vector<std::uint64_t> lopsided{100, 1, 1, 1};
+  const auto four = noc::partition_shards(lopsided, 4);
+  std::vector<unsigned> sizes(4, 0);
+  for (const unsigned s : four) ++sizes.at(s);
+  for (const unsigned n : sizes) EXPECT_EQ(n, 1u);
+
+  // Trailing zero-weight nodes still get owners (the last stripe runs
+  // to the end), and an all-zero vector falls back to the uniform
+  // split.
+  const auto tail = noc::partition_shards({5, 0, 0, 0}, 2);
+  EXPECT_EQ(tail, (std::vector<unsigned>{0, 1, 1, 1}));
+  const auto zeros = noc::partition_shards({0, 0, 0, 0}, 2);
+  EXPECT_EQ(zeros, (std::vector<unsigned>{0, 0, 1, 1}));
+
+  // Clamp: more shards than nodes degenerates exactly like the uniform
+  // overload.
+  const auto tiny = noc::partition_shards({3, 7}, 8);
+  EXPECT_EQ(tiny, (std::vector<unsigned>{0, 1}));
+}
+
+// partition_weights is a pure function of the topology: wired degree
+// plus endpoints per router. On a mesh the interior outweighs the rim;
+// concentration lifts every router of a cmesh by its core count.
+TEST(ParallelKernel, PartitionWeightsFollowDegreeAndConcentration) {
+  const auto mesh = noc::make_topology(noc::TopologySpec::mesh(4, 4));
+  const auto w = noc::partition_weights(*mesh);
+  ASSERT_EQ(w.size(), 16u);
+  EXPECT_EQ(w[0], 3u);   // corner: degree 2 + concentration 1
+  EXPECT_EQ(w[1], 4u);   // edge: degree 3 + 1
+  EXPECT_EQ(w[5], 5u);   // interior: degree 4 + 1
+  const auto cm = noc::make_topology(noc::TopologySpec::cmesh(4, 4, 4));
+  const auto cw = noc::partition_weights(*cm);
+  ASSERT_EQ(cw.size(), 16u);
+  EXPECT_EQ(cw[0], 6u);  // corner: degree 2 + 4 cores
+  EXPECT_EQ(cw[5], 8u);  // interior: degree 4 + 4 cores
+  // The built-in irregular graph has heterogeneous degrees — the whole
+  // point of weighting — so its weights must not be flat.
+  const auto g = noc::make_topology(
+      noc::TopologySpec::irregular(noc::GraphSpec::irregular(16)));
+  const auto gw = noc::partition_weights(*g);
+  EXPECT_NE(*std::min_element(gw.begin(), gw.end()),
+            *std::max_element(gw.begin(), gw.end()));
 }
 
 // --- sweep core budget -------------------------------------------------
@@ -182,7 +270,21 @@ TEST(ParallelKernel, ShardedNetworkPartitionsAndRunsWindows) {
   EXPECT_EQ(net.control().deferral(), net.min_link_latency());
   EXPECT_TRUE(net.control().engine_mode());
   net.run_until(100000);
-  EXPECT_GT(net.windows_run(), 0u);
+  // An idle fabric is ALL quiet windows: elision jumps the cursor
+  // straight to the horizon instead of grinding them one by one.
+  EXPECT_EQ(net.windows_run(), 0u);
+  EXPECT_GT(net.windows_elided(), 0u);
+
+  // With elision off the engine grinds every window; the grid is
+  // anchored identically, so run + elided windows match exactly.
+  sim::SimContext ctx2;
+  noc::NetworkConfig cfg2 = cfg;
+  cfg2.elide_windows = false;
+  noc::Network grind(ctx2, cfg2);
+  grind.run_until(100000);
+  EXPECT_EQ(grind.windows_elided(), 0u);
+  EXPECT_EQ(grind.windows_run(),
+            net.windows_run() + net.windows_elided());
 }
 
 TEST(ParallelKernel, SingleShardNetworkKeepsTheKernelPath) {
@@ -238,6 +340,93 @@ TEST(ParallelScenario, Shards124AreBitIdenticalOnAllFabrics) {
   }
 }
 
+// The engine's execution knobs — quiet-window elision, spin vs condvar
+// barrier, batched vs per-record handoff — are wall-clock strategies
+// only. Every combination must reproduce the single-kernel stats bit
+// for bit on every fabric kind, at 2 and 4 shards.
+struct EngineMode {
+  const char* tag;
+  bool elide;
+  bool batched;
+  std::uint32_t spin_us;
+  bool force_spin;
+};
+
+const EngineMode kEngineModes[] = {
+    {"elide-off", false, true, sim::kDefaultBarrierSpinUs, false},
+    {"per-record", true, false, sim::kDefaultBarrierSpinUs, false},
+    {"condvar", true, true, 0, false},
+    // Tiny forced spin budget: exercises the atomic fast path even on
+    // machines with fewer cores than shards (where it would normally
+    // auto-disable), without burning real time when it misses.
+    {"spin", true, true, 1, true},
+};
+
+TEST(ParallelScenario, EngineModesAreBitIdenticalOnAllFabrics) {
+  for (const noc::TopologyKind kind : noc::all_topology_kinds()) {
+    exp::ScenarioSpec spec = fabric_spec(kind, 1);
+    const exp::ScenarioResult one = run_scenario(spec);
+    ASSERT_TRUE(one.ok()) << spec.name << ": " << one.error;
+    for (const unsigned shards : {2u, 4u}) {
+      // kEngineModes[0] is elide-off: its windows_run is the full grid,
+      // the reference for the conservation check below.
+      std::uint64_t full_windows = 0;
+      for (const EngineMode& m : kEngineModes) {
+        spec.shards = shards;
+        spec.elide_windows = m.elide;
+        spec.batched_handoff = m.batched;
+        spec.spin_us = m.spin_us;
+        spec.force_spin = m.force_spin;
+        const exp::ScenarioResult n = run_scenario(spec);
+        ASSERT_TRUE(n.ok()) << spec.name << " shards=" << shards << " "
+                            << m.tag << ": " << n.error;
+        EXPECT_EQ(n.stats, one.stats)
+            << spec.name << " shards=" << shards << " mode=" << m.tag;
+        if (m.elide) {
+          // Conservation: elision only skips windows, it never reshapes
+          // the grid — run + elided must equal the unelided window count.
+          // (A busy 4x4 fabric may legitimately elide zero windows.)
+          EXPECT_EQ(n.windows_run + n.windows_elided, full_windows)
+              << spec.name << " shards=" << shards << " mode=" << m.tag;
+        } else {
+          EXPECT_EQ(n.windows_elided, 0u);
+          full_windows = n.windows_run;
+          EXPECT_GT(full_windows, 0u) << spec.name << " shards=" << shards;
+        }
+      }
+    }
+  }
+}
+
+// Same matrix on a thousand-node rung: mesh-32x32 with table-routed BE
+// headers, short horizon. Guards the elision/batching protocol where
+// the boundary channel count (and per-window fan-in) is two orders of
+// magnitude bigger than the 4x4 fabrics above.
+TEST(ParallelScenario, EngineModesAreBitIdenticalOnMesh32) {
+  exp::ScenarioSpec spec;
+  spec.name = "modes-mesh-32x32";
+  spec.topology = noc::TopologyKind::kMesh;
+  spec.width = spec.height = 32;
+  spec.pattern = noc::BePattern::kUniform;
+  spec.be_interarrival_ps = 20000;
+  spec.gs_set = noc::GsSetKind::kRing;
+  spec.gs_period_ps = 8000;
+  spec.duration_ps = 60000;
+  const exp::ScenarioResult one = run_scenario(spec);
+  ASSERT_TRUE(one.ok()) << one.error;
+  EXPECT_GT(one.stats.events, 0u);
+  for (const EngineMode& m : kEngineModes) {
+    spec.shards = 4;
+    spec.elide_windows = m.elide;
+    spec.batched_handoff = m.batched;
+    spec.spin_us = m.spin_us;
+    spec.force_spin = m.force_spin;
+    const exp::ScenarioResult n = run_scenario(spec);
+    ASSERT_TRUE(n.ok()) << m.tag << ": " << n.error;
+    EXPECT_EQ(n.stats, one.stats) << "mode=" << m.tag;
+  }
+}
+
 // Sharding x runtime connection churn: broker admission, BE-packet
 // programming, drain-confirmed closes — the control plane defers every
 // cross-shard notification by the same shard-count-independent amount,
@@ -261,6 +450,21 @@ TEST(ParallelScenario, ChurnIsBitIdenticalAcrossShards) {
           << spec.name << " shards=" << shards << ": " << n.error;
       EXPECT_EQ(n.stats, one.stats) << spec.name << " shards=" << shards;
     }
+    // Churn is the hardest case for elision: control-plane keys (broker
+    // admissions, drain-confirmed closes) bound the horizon jump, so
+    // every engine mode must still replay the lifecycle bit for bit.
+    if (spec.topology == noc::TopologyKind::kMesh) {
+      for (const EngineMode& m : kEngineModes) {
+        spec.shards = 4;
+        spec.elide_windows = m.elide;
+        spec.batched_handoff = m.batched;
+        spec.spin_us = m.spin_us;
+        spec.force_spin = m.force_spin;
+        const exp::ScenarioResult n = run_scenario(spec);
+        ASSERT_TRUE(n.ok()) << spec.name << " " << m.tag << ": " << n.error;
+        EXPECT_EQ(n.stats, one.stats) << spec.name << " mode=" << m.tag;
+      }
+    }
   }
 }
 
@@ -280,10 +484,15 @@ TEST(ParallelScenario, SweepStatsJsonIsByteEqualAcrossShards) {
   const std::string b = exp::SweepRunner().run(four, 1).stats_json();
   EXPECT_FALSE(a.empty());
   EXPECT_EQ(a, b);
-  // The effective shard count is reported, but only with timing.
+  // The effective shard count and the engine's window counters are
+  // reported, but only with timing — never in the comparable stats.
   const auto rep = exp::SweepRunner().run(four, 1);
   EXPECT_NE(rep.full_json().find("\"shards\""), std::string::npos);
   EXPECT_EQ(rep.stats_json().find("\"shards\""), std::string::npos);
+  EXPECT_NE(rep.full_json().find("\"windows_run\""), std::string::npos);
+  EXPECT_NE(rep.full_json().find("\"windows_elided\""), std::string::npos);
+  EXPECT_EQ(rep.stats_json().find("\"windows_run\""), std::string::npos);
+  EXPECT_EQ(rep.stats_json().find("\"windows_elided\""), std::string::npos);
 }
 
 }  // namespace

@@ -81,6 +81,15 @@ void usage(std::FILE* out) {
       "                        time keeps the best — the JSON report's\n"
       "                        events_per_sec column is then a\n"
       "                        reproducible best-of-N figure\n"
+      "  --spin-us N           shard-barrier spin budget in microseconds\n"
+      "                        before falling back to the condvar sleep\n"
+      "                        (default 50; 0 = condvar-only; ignored\n"
+      "                        when cores < shards). Stats unchanged\n"
+      "  --no-elide            disable quiet-window elision (ablation;\n"
+      "                        stats unchanged, wall time is not)\n"
+      "  --per-record-handoff  per-record boundary publishes instead of\n"
+      "                        one batch per window (ablation; stats\n"
+      "                        unchanged, wall time is not)\n"
       "  --out FILE            write the JSON report to FILE\n"
       "  --stable              omit wall-clock fields from the JSON so\n"
       "                        reports of identical sweeps are byte-equal\n"
@@ -195,6 +204,9 @@ int main(int argc, char** argv) {
   bool set_churn_queue = false;
   bool set_churn_gs_period = false;
   bool set_shards = false;
+  bool set_spin_us = false;
+  bool set_no_elide = false;
+  bool set_per_record = false;
 
   const auto next_arg = [&](int& i, const char* flag) -> std::string {
     if (i + 1 >= argc) die(std::string(flag) + " needs an argument");
@@ -371,6 +383,19 @@ int main(int argc, char** argv) {
       }
       grid.base.shards = static_cast<unsigned>(n);
       set_shards = true;
+    } else if (arg == "--spin-us") {
+      std::uint64_t n = 0;
+      if (!parse_u64(next_arg(i, "--spin-us"), &n) || n > 10000) {
+        die("bad --spin-us (want 0..10000)");
+      }
+      grid.base.spin_us = static_cast<std::uint32_t>(n);
+      set_spin_us = true;
+    } else if (arg == "--no-elide") {
+      grid.base.elide_windows = false;
+      set_no_elide = true;
+    } else if (arg == "--per-record-handoff") {
+      grid.base.batched_handoff = false;
+      set_per_record = true;
     } else if (arg == "--repeat") {
       std::uint64_t n = 0;
       if (!parse_u64(next_arg(i, "--repeat"), &n) || n == 0 || n > 100) {
@@ -408,6 +433,9 @@ int main(int argc, char** argv) {
       grid.base.churn_gs_period_ps = base.churn_gs_period_ps;
     }
     if (set_shards) grid.base.shards = base.shards;
+    if (set_spin_us) grid.base.spin_us = base.spin_us;
+    if (set_no_elide) grid.base.elide_windows = base.elide_windows;
+    if (set_per_record) grid.base.batched_handoff = base.batched_handoff;
   }
 
   std::vector<exp::ScenarioSpec> specs = grid.expand();
