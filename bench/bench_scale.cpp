@@ -123,15 +123,26 @@ BENCHMARK(BM_ScaleCMesh32x32c4)->Arg(1)->Arg(2)->Arg(4)
 // counter is what BENCH_scale.json records — the same key on every
 // rung, including the concentrated-mesh one (args are (width,
 // concentration)), so downstream tooling can diff rungs uniformly.
+// The third arg selects cold (0: the Network builds its plan inline,
+// so the delta includes the dense route table and routing — the cost
+// every scenario paid before plan sharing) vs shared-plan (1: the plan
+// is prebuilt outside the measured window, so the delta is what each
+// *additional* scenario on a shared fabric costs a plan-cached sweep).
 void BM_ScaleMemoryPerNode(benchmark::State& state) {
   const auto width = static_cast<std::uint16_t>(state.range(0));
   const auto conc = static_cast<std::uint16_t>(state.range(1));
+  const bool shared_plan = state.range(2) != 0;
+  const noc::TopologySpec spec =
+      conc > 1 ? noc::TopologySpec::cmesh(width, width, conc)
+               : noc::TopologySpec::mesh(width, width);
+  const auto plan =
+      shared_plan ? noc::FabricPlan::build(spec, 2) : nullptr;
   double mb_per_node = 0.0;
   for (auto _ : state) {
     noc::NetworkConfig cfg;
-    cfg.topology = conc > 1 ? noc::TopologySpec::cmesh(width, width, conc)
-                            : noc::TopologySpec::mesh(width, width);
+    cfg.topology = spec;
     cfg.router.be_vcs = 2;
+    cfg.plan = plan;
     const std::size_t before = live_heap_bytes();
     sim::SimContext ctx;
     auto net = std::make_unique<noc::Network>(ctx, cfg);
@@ -144,7 +155,48 @@ void BM_ScaleMemoryPerNode(benchmark::State& state) {
   state.counters["MB_per_node"] = mb_per_node;
 }
 BENCHMARK(BM_ScaleMemoryPerNode)
-    ->Args({8, 1})->Args({16, 1})->Args({32, 1})->Args({64, 1})->Args({32, 4})
+    ->Args({8, 1, 0})->Args({16, 1, 0})->Args({32, 1, 0})->Args({64, 1, 0})
+    ->Args({32, 4, 0})->Args({32, 1, 1})->Args({32, 4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// Fabric construction time across the endpoint ladder: what
+// BENCH_scale.json's construction_seconds column records and the
+// perf-smoke CI job floors. Args are (width, concentration,
+// build_threads, warm): cold builds the FabricPlan (route-table and
+// CDG materialization, optionally parallel) plus the Network; warm
+// constructs the Network from a prebuilt shared plan — the per-scenario
+// cost a plan-cached sweep pays after the first scenario on a fabric.
+// A warm construction is checked bit-identical to the cold plan's
+// table, so the timing rows double as a sharing-is-safe check.
+void BM_ScaleConstruction(benchmark::State& state) {
+  const auto width = static_cast<std::uint16_t>(state.range(0));
+  const auto conc = static_cast<std::uint16_t>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(2));
+  const bool warm = state.range(3) != 0;
+  const noc::TopologySpec spec =
+      conc > 1 ? noc::TopologySpec::cmesh(width, width, conc)
+               : noc::TopologySpec::mesh(width, width);
+  const auto reference = noc::FabricPlan::build(spec, 2, 1);
+  for (auto _ : state) {
+    noc::NetworkConfig cfg;
+    cfg.topology = spec;
+    cfg.router.be_vcs = 2;
+    cfg.build_threads = threads;
+    if (warm) cfg.plan = reference;
+    sim::SimContext ctx;
+    noc::Network net(ctx, cfg);
+    benchmark::DoNotOptimize(net);
+    if (!(net.plan().table() == reference->table())) {
+      state.SkipWithError("plan differs from the serial reference");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_ScaleConstruction)
+    ->Args({8, 1, 1, 0})->Args({8, 1, 4, 0})->Args({8, 1, 1, 1})
+    ->Args({16, 1, 1, 0})->Args({16, 1, 4, 0})->Args({16, 1, 1, 1})
+    ->Args({32, 1, 1, 0})->Args({32, 1, 4, 0})->Args({32, 1, 1, 1})
+    ->Args({32, 4, 1, 0})->Args({32, 4, 4, 0})->Args({32, 4, 1, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

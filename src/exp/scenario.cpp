@@ -216,9 +216,23 @@ noc::TopologySpec ScenarioSpec::topology_spec() const {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunOptions{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& opt) {
   const auto t0 = std::chrono::steady_clock::now();
   ScenarioResult result;
   result.spec = spec;
+  // Plan acquisition the caller already paid for (cache lookup/build,
+  // outside our clock) counts toward this scenario's construction and
+  // wall time. Inline plan builds happen inside the clock and must not
+  // be added twice — for those, plan_ms is informational only.
+  const double caller_plan_ms = opt.plan ? opt.plan_ms : 0.0;
+  result.plan_ms = caller_plan_ms;
+  result.plan_cached = opt.plan != nullptr && opt.plan_cached;
+  // Wall-time split markers: construction ends (and the run begins) at
+  // run_until; both are set even when the run throws mid-way.
+  auto t_run = t0;
   try {
     sim::SimContext ctx(spec.seed);
     noc::NetworkConfig net_cfg;
@@ -229,7 +243,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     net_cfg.batched_handoff = spec.batched_handoff;
     net_cfg.spin_us = spec.spin_us;
     net_cfg.force_spin = spec.force_spin;
+    net_cfg.plan = opt.plan;
+    net_cfg.build_threads = opt.build_threads;
     noc::Network net(ctx, net_cfg);
+    if (!opt.plan) result.plan_ms = net.plan().build_ms();
     noc::HubSet hub(net.shard_count());
     hub.set_horizon(spec.duration_ps);
     noc::attach_hub(net, hub);
@@ -261,6 +278,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       churn->start();
     }
 
+    t_run = std::chrono::steady_clock::now();
     net.run_until(spec.duration_ps);
     result.stats =
         collect_stats(spec, net, hub, gs_eps, broker.get(), churn.get());
@@ -269,11 +287,20 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     result.windows_elided = net.windows_elided();
   } catch (const std::exception& e) {
     result.error = e.what();
+    if (t_run == t0) t_run = std::chrono::steady_clock::now();
   }
+  const auto t_end = std::chrono::steady_clock::now();
+  // The split: construction is caller-side plan acquisition plus
+  // everything up to run_until; the run is the event loop plus stat
+  // collection. wall_ms = construct_ms + run_ms by construction.
+  result.construct_ms =
+      caller_plan_ms +
+      std::chrono::duration<double, std::milli>(t_run - t0).count();
+  result.run_ms =
+      std::chrono::duration<double, std::milli>(t_end - t_run).count();
   result.wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
+      caller_plan_ms +
+      std::chrono::duration<double, std::milli>(t_end - t0).count();
   return result;
 }
 

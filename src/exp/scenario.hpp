@@ -15,7 +15,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "noc/common/config.hpp"
+#include "noc/network/fabric_plan.hpp"
 #include "noc/traffic/workload.hpp"
 #include "sim/parallel.hpp"
 #include "sim/time.hpp"
@@ -149,6 +152,15 @@ struct ScenarioResult {
   ScenarioStats stats;
   std::string error;    ///< non-empty if the run threw (stats invalid)
   double wall_ms = 0.0; ///< host time; excluded from deterministic output
+  /// Wall-time split of wall_ms: fabric construction (plan acquisition
+  /// + component assembly) vs the event-loop run. Execution-side
+  /// diagnostics like wall_ms: timing block only, never stats.
+  double construct_ms = 0.0;
+  double run_ms = 0.0;
+  /// Portion of construct_ms spent acquiring the fabric plan (0 when a
+  /// prebuilt plan was handed in), and whether it came from a cache.
+  double plan_ms = 0.0;
+  bool plan_cached = false;
   /// Shard-engine window counters (0 at shards = 1). Execution-side
   /// diagnostics like wall_ms: reported only in the timing block, never
   /// in the deterministic stats columns.
@@ -158,9 +170,23 @@ struct ScenarioResult {
   bool ok() const { return error.empty(); }
 };
 
+/// Execution-strategy options for run_scenario — how the fabric plan is
+/// obtained, never what is simulated. Stats are byte-identical for
+/// every combination (shared vs inline plan, any build_threads).
+struct RunOptions {
+  /// Prebuilt plan for the spec's fabric (null: build inline). Must
+  /// match fabric_plan_key(spec.topology_spec(), spec.router.be_vcs).
+  std::shared_ptr<const noc::FabricPlan> plan;
+  bool plan_cached = false;  ///< reporting: the plan was a cache hit
+  double plan_ms = 0.0;      ///< reporting: caller-side acquisition time
+  /// Worker threads for the inline plan build (plan == null).
+  unsigned build_threads = 1;
+};
+
 /// Runs one scenario to its horizon in a fresh SimContext and collects
 /// stats. Deterministic per spec; throws nothing (errors are captured).
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+ScenarioResult run_scenario(const ScenarioSpec& spec, const RunOptions& opt);
 
 /// Cartesian scenario grid. Empty dimension vectors fall back to the
 /// base spec's value; expansion order (and thus scenario naming and

@@ -125,6 +125,22 @@ void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
     }
     w.kv("windows_run", wr);
     w.kv("windows_elided", we);
+    // Fabric-plan amortization: how much construction wall time the
+    // sweep spent cold (building a fabric) vs warm (reusing a resident
+    // plan). Execution strategy like --shards — the stats JSON is
+    // byte-identical with the cache on or off.
+    w.kv("plan_cache", plan_cache);
+    w.kv("build_threads", build_threads);
+    w.kv("plan_builds", plan_builds);
+    w.kv("plan_hits", plan_hits);
+    double c_total = 0.0, c_cold = 0.0, c_warm = 0.0;
+    for (const ScenarioResult& r : results) {
+      c_total += r.construct_ms;
+      (r.plan_cached ? c_warm : c_cold) += r.construct_ms;
+    }
+    w.kv("construct_ms", c_total);
+    w.kv("construct_cold_ms", c_cold);
+    w.kv("construct_warm_ms", c_warm);
   }
   w.key("results");
   w.begin_array();
@@ -140,6 +156,13 @@ void SweepReport::write_json(noc::JsonWriter& w, bool include_timing) const {
     }
     if (include_timing) {
       w.kv("wall_ms", r.wall_ms);
+      // Construction vs run split of wall_ms (previously lumped): the
+      // fabric-plan amortization is visible per scenario. plan_ms is
+      // the slice of construct_ms spent obtaining the plan.
+      w.kv("construct_ms", r.construct_ms);
+      w.kv("run_ms", r.run_ms);
+      w.kv("plan_ms", r.plan_ms);
+      w.kv("plan_cached", r.plan_cached);
       // Simulated events per wall second — the throughput figure
       // BENCH_topology.json tracks, reproducible from --repeat N.
       w.kv("events_per_sec", r.wall_ms > 0.0
@@ -184,9 +207,10 @@ unsigned effective_shards(unsigned jobs, unsigned shards,
 
 SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
                              unsigned jobs, ProgressFn on_done,
-                             unsigned repeat) {
+                             unsigned repeat, SweepOptions opts) {
   const auto t0 = std::chrono::steady_clock::now();
   if (repeat == 0) repeat = 1;
+  if (opts.build_threads == 0) opts.build_threads = 1;
   SweepReport report;
   report.results.resize(specs.size());
   if (jobs == 0) jobs = std::thread::hardware_concurrency();
@@ -196,6 +220,8 @@ SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
   }
   report.jobs = jobs;
   report.repeat = repeat;
+  report.plan_cache = opts.plan_cache;
+  report.build_threads = opts.build_threads;
 
   // Core budget: clamp each scenario's shard count so jobs x shards
   // never oversubscribes the machine. Deterministic (pure function of
@@ -226,19 +252,55 @@ SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= run_specs.size()) return;
-      ScenarioResult best = run_scenario(run_specs[i]);
-      for (unsigned r = 1; r < repeat && best.ok(); ++r) {
-        ScenarioResult rerun = run_scenario(run_specs[i]);
-        // Determinism is part of the contract; surface any breach, and
-        // never let an aborted rerun's wall time win the best-of-N.
-        if (!rerun.ok()) {
-          best.error = "nondeterministic rerun: run 1 succeeded but a "
-                       "rerun failed: " +
-                       rerun.error;
-        } else if (rerun.stats != best.stats) {
-          best.error = "nondeterministic rerun: stats differ from run 1";
-        } else {
-          best.wall_ms = std::min(best.wall_ms, rerun.wall_ms);
+      const ScenarioSpec& s = run_specs[i];
+      // Plan acquisition: with the cache on, fetch (building at most
+      // once per distinct fabric across the whole sweep — and across
+      // this runner's earlier sweeps); off, every run builds inline.
+      // Either way the simulation sees the identical plan content, so
+      // stats are byte-identical — a failed fetch reports the same
+      // ModelError message an inline build would have thrown.
+      RunOptions first_ro;
+      RunOptions rerun_ro;
+      first_ro.build_threads = rerun_ro.build_threads = opts.build_threads;
+      ScenarioResult best;
+      bool fetch_ok = true;
+      if (opts.plan_cache) {
+        const auto tp0 = std::chrono::steady_clock::now();
+        try {
+          const noc::FabricPlanCache::Fetch fetch = plans_.get_or_build(
+              s.topology_spec(), s.router.be_vcs, opts.build_threads);
+          first_ro.plan = rerun_ro.plan = fetch.plan;
+          first_ro.plan_cached = fetch.hit;
+          rerun_ro.plan_cached = true;  // resident by the rerun
+          first_ro.plan_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - tp0)
+                                 .count();
+        } catch (const std::exception& e) {
+          fetch_ok = false;
+          best.spec = s;
+          best.error = e.what();
+          best.plan_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - tp0)
+                             .count();
+          best.construct_ms = best.wall_ms = best.plan_ms;
+        }
+      }
+      if (fetch_ok) {
+        best = run_scenario(s, first_ro);
+        for (unsigned r = 1; r < repeat && best.ok(); ++r) {
+          ScenarioResult rerun = run_scenario(s, rerun_ro);
+          // Determinism is part of the contract; surface any breach, and
+          // never let an aborted rerun's wall time win the best-of-N.
+          if (!rerun.ok()) {
+            best.error = "nondeterministic rerun: run 1 succeeded but a "
+                         "rerun failed: " +
+                         rerun.error;
+          } else if (rerun.stats != best.stats) {
+            best.error = "nondeterministic rerun: stats differ from run 1";
+          } else {
+            best.wall_ms = std::min(best.wall_ms, rerun.wall_ms);
+            best.run_ms = std::min(best.run_ms, rerun.run_ms);
+          }
         }
       }
       report.results[i] = std::move(best);
@@ -263,6 +325,9 @@ SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs,
   report.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+  for (const ScenarioResult& r : report.results) {
+    (r.plan_cached ? report.plan_hits : report.plan_builds) += 1;
+  }
   return report;
 }
 

@@ -34,6 +34,14 @@ struct SweepReport {
   /// byte-identical across shard counts.
   unsigned shards = 1;
   double wall_ms = 0.0;
+  /// Fabric-plan amortization diagnostics (timing-section only, like
+  /// shards: the plan cache is execution strategy and never changes
+  /// stats). plan_builds counts cold fabric constructions, plan_hits
+  /// scenarios served from a resident plan.
+  bool plan_cache = true;
+  unsigned build_threads = 1;
+  std::uint64_t plan_builds = 0;
+  std::uint64_t plan_hits = 0;
 
   std::size_t failed() const;
   std::uint64_t total_events() const;
@@ -68,6 +76,18 @@ struct SweepReport {
 unsigned effective_shards(unsigned jobs, unsigned shards,
                           unsigned hardware_threads);
 
+/// Execution-strategy knobs of one sweep invocation — like --shards,
+/// these move wall time only: per-scenario stats (and stats_json) are
+/// byte-identical for every combination.
+struct SweepOptions {
+  /// Share one FabricPlan across scenarios on the same fabric (the
+  /// default); false (--no-plan-cache) rebuilds per scenario — the
+  /// ablation CI compares reports against.
+  bool plan_cache = true;
+  /// Worker threads for each fabric plan materialization.
+  unsigned build_threads = 1;
+};
+
 class SweepRunner {
  public:
   /// Called after each scenario finishes (serialized by a mutex).
@@ -81,15 +101,23 @@ class SweepRunner {
   /// best wall time, so events-per-second figures are reproducible from
   /// one command instead of hand-timed best-of-N.
   SweepReport run(const std::vector<ScenarioSpec>& specs, unsigned jobs,
-                  ProgressFn on_done = {}, unsigned repeat = 1);
+                  ProgressFn on_done = {}, unsigned repeat = 1,
+                  SweepOptions opts = {});
 
   /// Whether this runner has already warned about the shard clamp. The
   /// flag is per-runner — a runner driving many sweeps (test binaries,
   /// the CLI's repeat paths) warns once, not once per sweep.
   bool shard_clamp_warned() const { return shard_clamp_warned_; }
 
+  /// Distinct fabrics resident in the plan cache (diagnostics).
+  std::size_t plans_resident() const { return plans_.size(); }
+
  private:
   bool shard_clamp_warned_ = false;
+  /// Plan cache, per-runner so it stays warm across run() calls: a
+  /// runner driving repeated sweeps over the same fabrics (benches, the
+  /// CLI repeat paths) rebuilds nothing on the second pass.
+  noc::FabricPlanCache plans_;
 };
 
 }  // namespace mango::exp

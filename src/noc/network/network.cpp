@@ -20,37 +20,27 @@ sim::Time link_min_latency(const Link& l) {
 }  // namespace
 
 Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
-    : ctx_(ctx),
-      cfg_(cfg),
-      topo_(make_topology(cfg.topology)),
-      routing_(make_routing(*topo_)) {
+    : ctx_(ctx), cfg_(cfg) {
+  // The static side — topology, routing, materialized tables, deadlock
+  // certificate, VC-class map, partition weights — comes from the
+  // FabricPlan: the caller's shared one when provided (a sweep reusing
+  // one fabric across scenarios), an inline build otherwise. The plan
+  // raises the historical construction errors (VC sufficiency, CDG
+  // acyclicity) with byte-identical messages.
+  plan_ = cfg_.plan ? cfg_.plan
+                    : FabricPlan::build(cfg_.topology, cfg_.router.be_vcs,
+                                        cfg_.build_threads);
+  MANGO_ASSERT(plan_->key() == fabric_plan_key(cfg_.topology,
+                                               cfg_.router.be_vcs),
+               "fabric plan key mismatch: config wants " +
+                   fabric_plan_key(cfg_.topology, cfg_.router.be_vcs) +
+                   " but the shared plan is " + plan_->key());
+  topo_ = &plan_->topology();
+  routing_ = &plan_->routing();
+  table_ = &plan_->table();
   MANGO_ASSERT(topo_->node_count() >= 2,
                "a network needs at least two nodes (self-programming uses "
                "out-and-back routes)");
-  MANGO_ASSERT(
-      cfg_.router.be_vcs >= routing_->required_be_vcs(),
-      std::string(routing_->name()) + " routing on " + topo_->label() +
-          " needs " + std::to_string(routing_->required_be_vcs()) +
-          " BE VCs (dateline classes) but the router config has " +
-          std::to_string(cfg_.router.be_vcs));
-  // Materialize the route tables once: the per-packet hot path reads
-  // these, never the virtual interface.
-  table_ = std::make_unique<RouteTable>(*topo_, *routing_);
-  // Deadlock freedom is a construction invariant, not an assumption:
-  // reject any (topology, routing, VC config) whose BE channel
-  // dependency graph is cyclic. The check runs against the materialized
-  // tables — validating exactly the routes the hot path will execute —
-  // and falls back to the virtual interface on fabrics too large to
-  // materialize.
-  const DeadlockCheck check =
-      table_->dense()
-          ? check_deadlock_freedom(*topo_, *table_, routing_->vc_class_map(),
-                                   cfg_.router.be_vcs)
-          : check_deadlock_freedom(*topo_, *routing_, cfg_.router.be_vcs);
-  MANGO_ASSERT(check.acyclic,
-               std::string(routing_->name()) + " routing on " +
-                   topo_->label() +
-                   " is not deadlock-free; dependency cycle: " + check.cycle);
 
   // Shard partition: contiguous node-index ranges weighted by each
   // node's deterministic event load (wired degree + endpoints per
@@ -60,7 +50,7 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
   // own SimContext, seeded like shard 0's so derived streams are
   // reproducible; no component draws from a context RNG at run time, so
   // identical seeding is safe.
-  shard_of_ = partition_shards(partition_weights(*topo_),
+  shard_of_ = partition_shards(plan_->partition_weights(),
                                cfg_.shards == 0 ? 1 : cfg_.shards);
   const unsigned n_shards = shard_of_.empty() ? 1 : shard_of_.back() + 1;
   shard_ctxs_.push_back(&ctx_);
@@ -199,7 +189,7 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
   }
 
   // Wrap fabrics: arm the dateline VC-class rule on every BE router.
-  const BeVcClassMap vc_map = routing_->vc_class_map();
+  const BeVcClassMap& vc_map = plan_->vc_class_map();
   if (vc_map.enabled) {
     for (std::size_t i = 0; i < topo_->node_count(); ++i) {
       routers_[i]->be_router().set_vc_classes(vc_map.dateline[i]);
@@ -212,7 +202,7 @@ Network::Network(sim::SimContext& ctx, const NetworkConfig& cfg)
   // them, so their wire traffic is unchanged).
   if (table_->dense()) {
     for (std::size_t i = 0; i < topo_->node_count(); ++i) {
-      routers_[i]->be_router().enable_table_routing(table_.get(), i);
+      routers_[i]->be_router().enable_table_routing(table_, i);
     }
   }
 }

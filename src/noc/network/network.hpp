@@ -14,6 +14,7 @@
 #include "noc/link/link.hpp"
 #include "noc/na/network_adapter.hpp"
 #include "noc/network/boundary.hpp"
+#include "noc/network/fabric_plan.hpp"
 #include "noc/network/routing.hpp"
 #include "noc/network/topology.hpp"
 #include "noc/router/router.hpp"
@@ -43,6 +44,15 @@ struct NetworkConfig {
   bool batched_handoff = true;   ///< one boundary publish per window
   std::uint32_t spin_us = sim::kDefaultBarrierSpinUs;  ///< 0 = condvar
   bool force_spin = false;  ///< test hook: spin even when cores < shards
+  /// Prebuilt fabric plan to construct from (null: build one inline).
+  /// Must match fabric_plan_key(topology, router.be_vcs) — sharing a
+  /// plan is execution strategy, so a mismatched plan is a checked
+  /// error, never a silently different fabric. Stats are byte-identical
+  /// with and without a shared plan.
+  std::shared_ptr<const FabricPlan> plan;
+  /// Worker threads for the inline plan build when `plan` is null (the
+  /// table/CDG materialization; byte-identical results for any value).
+  unsigned build_threads = 1;
 };
 
 /// Mesh shorthand kept for the (many) mesh-only experiments: the same
@@ -77,6 +87,9 @@ class Network {
   /// fabrics — the header/route accessors below then fall back to the
   /// virtual routing interface transparently).
   const RouteTable& route_table() const { return *table_; }
+  /// The fabric plan this network was constructed from (shared when the
+  /// config carried one, built inline otherwise).
+  const FabricPlan& plan() const { return *plan_; }
   const NetworkConfig& config() const { return cfg_; }
   /// Shard 0's context (the control shard: node index 0, the connection
   /// manager's host, always lives here). Single-shard networks have
@@ -174,9 +187,14 @@ class Network {
 
   sim::SimContext& ctx_;
   NetworkConfig cfg_;
-  std::unique_ptr<Topology> topo_;
-  std::unique_ptr<RoutingAlgorithm> routing_;
-  std::unique_ptr<RouteTable> table_;
+  /// The static side of the fabric — owned (and possibly shared with
+  /// other Networks) through the plan; the raw pointers below are
+  /// borrowed views into it. Declared before every component so it
+  /// outlives anything that reads the table during teardown.
+  std::shared_ptr<const FabricPlan> plan_;
+  const Topology* topo_ = nullptr;
+  const RoutingAlgorithm* routing_ = nullptr;
+  const RouteTable* table_ = nullptr;
   std::vector<std::unique_ptr<sim::SimContext>> extra_ctxs_;  ///< shards 1..N-1
   std::vector<sim::SimContext*> shard_ctxs_;  ///< [0] == &ctx_
   std::vector<unsigned> shard_of_;            ///< node index -> shard

@@ -1,12 +1,61 @@
 #include "noc/network/routing.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "noc/common/flit.hpp"
 #include "sim/assert.hpp"
 
 namespace mango::noc {
+
+namespace {
+
+/// Shared-cursor parallel loop over `items` independent work items.
+/// Each worker gets one private scratch object from `make_state`; the
+/// serial path (threads <= 1 or a single item) runs the identical
+/// per-item code inline, so parallel and serial execution differ only
+/// in which thread touches which item — never in what is computed. The
+/// first exception thrown by any item is rethrown on the caller.
+template <typename MakeState, typename Fn>
+void parallel_items(std::size_t items, unsigned threads, MakeState make_state,
+                    Fn fn) {
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      std::max(1u, threads), items == 0 ? 1 : items));
+  if (workers <= 1) {
+    auto state = make_state();
+    for (std::size_t i = 0; i < items; ++i) fn(i, state);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  const auto body = [&] {
+    auto state = make_state();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items) return;
+      try {
+        fn(i, state);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(body);
+  for (auto& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
 
 // --- base --------------------------------------------------------------------
 
@@ -464,13 +513,24 @@ std::unique_ptr<RoutingAlgorithm> make_routing(const Topology& topo) {
 
 // --- materialized route tables -----------------------------------------------
 
-RouteTable::RouteTable(const Topology& topo, const RoutingAlgorithm& routing)
+RouteTable::RouteTable(const Topology& topo, const RoutingAlgorithm& routing,
+                       unsigned build_threads)
     : n_(topo.node_count()), routing_(&routing) {
   if (n_ > kDenseNodeLimit) return;  // fall back to the virtual interface
   dense_ = true;
   materialize_adjacency(topo);
-  materialize_self_routes(topo, routing);
-  materialize_pairs(topo, routing);
+  materialize_self_routes(topo, routing, build_threads);
+  materialize_pairs(topo, routing, build_threads);
+}
+
+bool operator==(const RouteTable& a, const RouteTable& b) {
+  return a.n_ == b.n_ && a.dense_ == b.dense_ && a.hop_ == b.hop_ &&
+         a.meta_ == b.meta_ && a.header_ == b.header_ && a.adj_ == b.adj_ &&
+         a.self_moves_ == b.self_moves_ &&
+         a.self_offsets_ == b.self_offsets_ &&
+         a.self_delivery_ == b.self_delivery_ &&
+         a.self_header_ == b.self_header_ && a.self_shift_ == b.self_shift_ &&
+         a.self_unavailable_ == b.self_unavailable_;
 }
 
 void RouteTable::materialize_adjacency(const Topology& topo) {
@@ -487,25 +547,39 @@ void RouteTable::materialize_adjacency(const Topology& topo) {
 }
 
 void RouteTable::materialize_self_routes(const Topology& topo,
-                                         const RoutingAlgorithm& routing) {
+                                         const RoutingAlgorithm& routing,
+                                         unsigned build_threads) {
   self_offsets_.assign(n_ + 1, 0);
   self_delivery_.assign(n_, 0);
   self_header_.assign(n_, 0);
   self_shift_.assign(n_, kNoHeader);
   self_unavailable_.assign(n_, false);
+  // Phase 1 (parallel): each node's self cycle is an independent BFS —
+  // a pure function of (topology, node) written to its own slot.
+  // Self-routes exist only on fabrics with a u-turn-free cycle; record
+  // the miss and re-raise the routing error on first use (construction
+  // stays lazy, exactly like the virtual path).
+  std::vector<std::vector<Direction>> cycles(n_);
+  std::vector<std::uint8_t> miss(n_, 0);  // byte-wide: vector<bool> packs bits
+  parallel_items(
+      n_, build_threads, [] { return 0; },
+      [&](std::size_t s, int&) {
+        try {
+          cycles[s] = routing.self_route(topo.node_at(s));
+        } catch (const ModelError&) {
+          miss[s] = 1;
+        }
+      });
+  // Phase 2 (serial): flatten in node order and fold headers, so the
+  // packed layout is independent of the phase-1 thread assignment.
   for (std::size_t s = 0; s < n_; ++s) {
     self_offsets_[s] = static_cast<std::uint32_t>(self_moves_.size());
-    const NodeId src = topo.node_at(s);
-    std::vector<Direction> mv;
-    // Self-routes exist only on fabrics with a u-turn-free cycle;
-    // record the miss and re-raise the routing error on first use
-    // (construction stays lazy, exactly like the virtual path).
-    try {
-      mv = routing.self_route(src);
-    } catch (const ModelError&) {
+    if (miss[s]) {
       self_unavailable_[s] = true;
       continue;
     }
+    const NodeId src = topo.node_at(s);
+    const std::vector<Direction>& mv = cycles[s];
     MANGO_ASSERT(!mv.empty(), "routing produced an empty self-route");
     self_moves_.insert(self_moves_.end(), mv.begin(), mv.end());
     const auto end = topo.walk(src, mv);
@@ -534,8 +608,36 @@ void RouteTable::materialize_self_routes(const Topology& topo,
   self_offsets_[n_] = static_cast<std::uint32_t>(self_moves_.size());
 }
 
+namespace {
+
+/// Per-worker scratch for the chain-memoized destination sweep.
+struct PairScratch {
+  std::vector<std::uint8_t> resolved;
+  std::vector<std::uint8_t> step_port;
+  std::vector<std::uint8_t> step_phase;
+  std::vector<std::uint32_t> succ;
+  std::vector<std::uint8_t> arrive;  // arrival port at the successor
+  std::vector<std::uint32_t> hdr;
+  std::vector<std::uint8_t> shiftc;  // shift/2; kTableRouted = over
+  std::vector<std::uint8_t> deliv;
+  std::vector<std::uint32_t> stack;
+
+  explicit PairScratch(std::size_t states)
+      : resolved(states),
+        step_port(states),
+        step_phase(states),
+        succ(states),
+        arrive(states),
+        hdr(states),
+        shiftc(states),
+        deliv(states) {}
+};
+
+}  // namespace
+
 void RouteTable::materialize_pairs(const Topology& topo,
-                                   const RoutingAlgorithm& routing) {
+                                   const RoutingAlgorithm& routing,
+                                   unsigned build_threads) {
   const std::size_t pairs = n_ * n_;
   hop_.assign(pairs, 0);
   meta_.assign(pairs, static_cast<std::uint8_t>(kTableRouted << 4));
@@ -548,25 +650,22 @@ void RouteTable::materialize_pairs(const Topology& topo,
   // successor's (header(v) = move << 30 | header(next) >> 2, shift
   // shrinking 2 bits per hop). Total work is O(n^2) next_hop steps,
   // independent of fabric diameter.
+  //
+  // Destinations are independent: each one's sweep reads only the
+  // immutable topology/routing/adjacency and commits only its own
+  // (v, d) column — disjoint bytes whose values are pure functions of
+  // the pair — so the sweep fans out across build_threads workers (one
+  // private scratch each) and any thread count yields the identical
+  // table.
   const std::size_t states = 2 * n_;
-  std::vector<std::uint8_t> resolved(states);
-  std::vector<std::uint8_t> step_port(states);
-  std::vector<std::uint8_t> step_phase(states);
-  std::vector<std::uint32_t> succ(states);
-  std::vector<std::uint8_t> arrive(states);  // arrival port at the successor
-  std::vector<std::uint32_t> hdr(states);
-  std::vector<std::uint8_t> shiftc(states);  // shift/2; kTableRouted = over
-  std::vector<std::uint8_t> deliv(states);
-  std::vector<std::uint32_t> stack;
-
-  for (std::size_t d = 0; d < n_; ++d) {
-    std::fill(resolved.begin(), resolved.end(), 0);
+  const auto resolve_destination = [&](std::size_t d, PairScratch& sc) {
+    std::fill(sc.resolved.begin(), sc.resolved.end(), 0);
     const NodeId dst = topo.node_at(d);
     for (std::size_t v = 0; v < n_; ++v) {
       if (v == d) continue;
       std::uint32_t s = static_cast<std::uint32_t>(2 * v);
-      stack.clear();
-      while (!resolved[s] && s / 2 != d) {
+      sc.stack.clear();
+      while (!sc.resolved[s] && s / 2 != d) {
         const std::size_t node_idx = s / 2;
         const unsigned phase = s & 1u;
         const NodeId node = topo.node_at(node_idx);
@@ -576,39 +675,40 @@ void RouteTable::materialize_pairs(const Topology& topo,
                      "route " + to_string(node) + "->" + to_string(dst) +
                          " uses the unwired port " + port_name(nh.port) +
                          " at " + to_string(node));
-        step_port[s] = nh.port;
-        step_phase[s] = nh.phase;
-        arrive[s] = static_cast<std::uint8_t>(a & 0x3u);
-        succ[s] = static_cast<std::uint32_t>(2 * (a >> 2) + nh.phase);
-        stack.push_back(s);
-        MANGO_ASSERT(stack.size() <= states,
+        sc.step_port[s] = nh.port;
+        sc.step_phase[s] = nh.phase;
+        sc.arrive[s] = static_cast<std::uint8_t>(a & 0x3u);
+        sc.succ[s] = static_cast<std::uint32_t>(2 * (a >> 2) + nh.phase);
+        sc.stack.push_back(s);
+        MANGO_ASSERT(sc.stack.size() <= states,
                      "next_hop walk from " + to_string(topo.node_at(v)) +
                          " never reaches " + to_string(dst) +
                          " — route() is not the greedy walk of next_hop()");
-        s = succ[s];
+        s = sc.succ[s];
       }
-      for (std::size_t k = stack.size(); k-- > 0;) {
-        const std::uint32_t cur = stack[k];
-        const std::uint32_t nxt = succ[cur];
-        const std::uint32_t move2 = step_port[cur] & 0x3u;
+      for (std::size_t k = sc.stack.size(); k-- > 0;) {
+        const std::uint32_t cur = sc.stack[k];
+        const std::uint32_t nxt = sc.succ[cur];
+        const std::uint32_t move2 = sc.step_port[cur] & 0x3u;
         if (nxt / 2 == d) {
           // Final hop: the delivery code is the arrival port at dst;
           // the packed header is [move, delivery, iface(0)] left-
           // aligned, bit-identical to build_be_header's layout.
-          deliv[cur] = arrive[cur];
-          hdr[cur] = (move2 << 30) |
-                     ((static_cast<std::uint32_t>(arrive[cur]) & 0x3u) << 28);
-          shiftc[cur] = 13;  // shift 26 (1 move + delivery + iface)
+          sc.deliv[cur] = sc.arrive[cur];
+          sc.hdr[cur] =
+              (move2 << 30) |
+              ((static_cast<std::uint32_t>(sc.arrive[cur]) & 0x3u) << 28);
+          sc.shiftc[cur] = 13;  // shift 26 (1 move + delivery + iface)
         } else {
-          deliv[cur] = deliv[nxt];
-          if (shiftc[nxt] == kTableRouted || shiftc[nxt] == 0) {
-            shiftc[cur] = kTableRouted;  // 15th hop: over the code budget
+          sc.deliv[cur] = sc.deliv[nxt];
+          if (sc.shiftc[nxt] == kTableRouted || sc.shiftc[nxt] == 0) {
+            sc.shiftc[cur] = kTableRouted;  // 15th hop: over the code budget
           } else {
-            shiftc[cur] = static_cast<std::uint8_t>(shiftc[nxt] - 1);
-            hdr[cur] = (move2 << 30) | (hdr[nxt] >> 2);
+            sc.shiftc[cur] = static_cast<std::uint8_t>(sc.shiftc[nxt] - 1);
+            sc.hdr[cur] = (move2 << 30) | (sc.hdr[nxt] >> 2);
           }
         }
-        resolved[cur] = 1;
+        sc.resolved[cur] = 1;
       }
     }
     // Commit this destination's packed per-pair rows. Phase-1 states a
@@ -619,18 +719,22 @@ void RouteTable::materialize_pairs(const Topology& topo,
       const std::size_t p = pair(v, d);
       const std::uint32_t s0 = static_cast<std::uint32_t>(2 * v);
       const std::uint8_t nib0 = static_cast<std::uint8_t>(
-          (step_port[s0] & 0x3u) | ((step_phase[s0] & 1u) << 2));
+          (sc.step_port[s0] & 0x3u) | ((sc.step_phase[s0] & 1u) << 2));
       const std::uint8_t nib1 =
-          resolved[s0 + 1]
-              ? static_cast<std::uint8_t>((step_port[s0 + 1] & 0x3u) |
-                                          ((step_phase[s0 + 1] & 1u) << 2))
+          sc.resolved[s0 + 1]
+              ? static_cast<std::uint8_t>((sc.step_port[s0 + 1] & 0x3u) |
+                                          ((sc.step_phase[s0 + 1] & 1u) << 2))
               : 0;
       hop_[p] = static_cast<std::uint8_t>(nib0 | (nib1 << 4));
-      meta_[p] = static_cast<std::uint8_t>((deliv[s0] & 0x3u) |
-                                           (shiftc[s0] << 4));
-      header_[p] = shiftc[s0] == kTableRouted ? 0 : hdr[s0];
+      meta_[p] = static_cast<std::uint8_t>((sc.deliv[s0] & 0x3u) |
+                                           (sc.shiftc[s0] << 4));
+      header_[p] = sc.shiftc[s0] == kTableRouted ? 0 : sc.hdr[s0];
     }
-  }
+  };
+
+  parallel_items(
+      n_, build_threads, [states] { return PairScratch(states); },
+      resolve_destination);
 }
 
 void RouteTable::append_moves(std::size_t src_idx, std::size_t dst_idx,
@@ -764,12 +868,7 @@ class CdgBuilder {
       }
       const auto chan = static_cast<std::uint32_t>(
           (ci * kNumDirections + port_of(d)) * kMaxBeVcs + vc);
-      if (prev.has_value() && *prev != chan) {
-        auto& out = deps_[*prev];
-        if (std::find(out.begin(), out.end(), chan) == out.end()) {
-          out.push_back(chan);
-        }
-      }
+      if (prev.has_value()) add_edge(*prev, chan);
       prev = chan;
       const auto peer = topo_.link_peer(cur, port_of(d));
       MANGO_ASSERT(peer.has_value(),
@@ -792,11 +891,20 @@ class CdgBuilder {
     auto& out = deps_[from];
     if (std::find(out.begin(), out.end(), to) == out.end()) {
       out.push_back(to);
+      // Certificate of the graph actually built: count plus an
+      // order-sensitive FNV-1a over the insertion sequence, so two
+      // checks can prove they examined the same CDG.
+      ++edges_;
+      digest_ = (digest_ ^ from) * 1099511628211ull;
+      digest_ = (digest_ ^ to) * 1099511628211ull;
     }
   }
 
   /// Iterative 3-colour DFS; a back edge is a dependency cycle.
   DeadlockCheck finish() const {
+    DeadlockCheck out;
+    out.edges = edges_;
+    out.digest = digest_;
     const std::size_t chans = deps_.size();
     enum : std::uint8_t { kWhite, kGrey, kBlack };
     std::vector<std::uint8_t> color(chans, kWhite);
@@ -812,7 +920,6 @@ class CdgBuilder {
           const std::uint32_t v = deps_[u][edge_pos[u]++];
           if (color[v] == kGrey) {
             // Report the cycle: the grey stack from v back to u.
-            DeadlockCheck out;
             out.acyclic = false;
             const auto it = std::find(stack.begin(), stack.end(), v);
             for (auto s = it; s != stack.end(); ++s) {
@@ -831,7 +938,7 @@ class CdgBuilder {
         }
       }
     }
-    return DeadlockCheck{};
+    return out;
   }
 
  private:
@@ -839,6 +946,8 @@ class CdgBuilder {
   const BeVcClassMap& map_;
   bool classes_;
   std::vector<std::vector<std::uint32_t>> deps_;
+  std::uint64_t edges_ = 0;
+  std::uint64_t digest_ = 1469598103934665603ull;  // FNV-1a offset basis
 };
 
 }  // namespace
@@ -874,19 +983,34 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
   return builder.finish();
 }
 
+namespace {
+
+/// Per-worker scratch for the memoized table sweep: visited stamps are
+/// per-destination epochs, so the array is never cleared.
+struct SweepScratch {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+
+  explicit SweepScratch(std::size_t states) : stamp(states, 0) {}
+};
+
+}  // namespace
+
 DeadlockCheck check_deadlock_freedom(const Topology& topo,
                                      const RouteTable& table,
                                      const BeVcClassMap& vc_map,
-                                     unsigned be_vcs) {
+                                     unsigned be_vcs,
+                                     unsigned threads) {
   MANGO_ASSERT(table.dense(),
                "table-based deadlock check needs a materialized table");
   const std::size_t n = table.node_count();
   const bool classes = vc_map.enabled && be_vcs >= 2;
-  CdgBuilder builder(topo, vc_map, classes);
   // Exhaustive pair coverage up to 1024 nodes; beyond that the same
   // deterministic stratified sampling as the virtual check bounds the
   // sweep on 4096-node fabrics.
   const std::size_t stride = n <= 1024 ? 1 : (n + 1023) / 1024;
+  std::vector<std::size_t> dsts;
+  for (std::size_t di = 0; di < n; di += stride) dsts.push_back(di);
 
   // Memoized extended-state sweep. After a hop's outgoing VC class is
   // resolved, the remainder of the walk — its whole channel sequence —
@@ -898,53 +1022,71 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
   // emitted edge set is therefore exactly the union, over all sampled
   // routes, of their consecutive-channel pairs — the same CDG the
   // per-pair route walk builds — at O(states) instead of
-  // O(pairs x hops) per destination. Visited stamps are per-destination
-  // epochs, so the array is never cleared.
+  // O(pairs x hops) per destination.
+  //
+  // Parallel shape: destinations are independent (stamps are private
+  // per destination), so workers collect each destination's emitted
+  // (prev, next) sequence — in discovery order — into its own slot, and
+  // a serial merge feeds them to the builder in destination order. That
+  // replays the single-threaded insertion sequence exactly, so the
+  // dedup outcome, DFS order, cycle string, edge count and digest are
+  // identical for every thread count (the threads == 1 path runs the
+  // same collect-then-merge code).
   constexpr std::uint32_t kNoChan = 0xFFFFFFFFu;
   const std::size_t states = n * 2 * kMaxBeVcs;
-  std::vector<std::uint32_t> stamp(states, 0);
-  std::uint32_t epoch = 0;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> emitted(
+      dsts.size());
 
-  for (std::size_t di = 0; di < n; di += stride) {
-    ++epoch;
-    for (std::size_t si = 0; si < n; si += stride) {
-      if (si == di) continue;  // self-routes carry no inter-packet deps
-      std::size_t cur = si;
-      unsigned phase = 0;
-      PortIdx in = kLocalPort;
-      unsigned vc = 0;
-      std::uint32_t prev_chan = kNoChan;
-      std::size_t guard = 2 * n + 2;
-      while (cur != di) {
-        MANGO_ASSERT(guard-- > 0, "route-table chain walk does not terminate");
-        const NextHop nh = table.next_hop(cur, di, phase);
-        MANGO_ASSERT(!is_network_port(in) || in != nh.port,
-                     "route " + to_string(topo.node_at(si)) + "->" +
-                         to_string(topo.node_at(di)) + " u-turns at " +
-                         to_string(topo.node_at(cur)) +
-                         " (reads as the local-delivery code)");
-        if (classes) {
-          vc = be_vc_class_step(in, direction_of(nh.port), vc,
-                                vc_map.dateline[cur][nh.port]);
+  parallel_items(
+      dsts.size(), threads, [states] { return SweepScratch(states); },
+      [&](std::size_t k, SweepScratch& sc) {
+        const std::size_t di = dsts[k];
+        auto& edges = emitted[k];
+        ++sc.epoch;
+        for (std::size_t si = 0; si < n; si += stride) {
+          if (si == di) continue;  // self-routes carry no inter-packet deps
+          std::size_t cur = si;
+          unsigned phase = 0;
+          PortIdx in = kLocalPort;
+          unsigned vc = 0;
+          std::uint32_t prev_chan = kNoChan;
+          std::size_t guard = 2 * n + 2;
+          while (cur != di) {
+            MANGO_ASSERT(guard-- > 0,
+                         "route-table chain walk does not terminate");
+            const NextHop nh = table.next_hop(cur, di, phase);
+            MANGO_ASSERT(!is_network_port(in) || in != nh.port,
+                         "route " + to_string(topo.node_at(si)) + "->" +
+                             to_string(topo.node_at(di)) + " u-turns at " +
+                             to_string(topo.node_at(cur)) +
+                             " (reads as the local-delivery code)");
+            if (classes) {
+              vc = be_vc_class_step(in, direction_of(nh.port), vc,
+                                    vc_map.dateline[cur][nh.port]);
+            }
+            const auto chan = static_cast<std::uint32_t>(
+                (cur * kNumDirections + nh.port) * kMaxBeVcs + vc);
+            if (prev_chan != kNoChan) edges.emplace_back(prev_chan, chan);
+            const std::size_t key = (cur * 2 + phase) * kMaxBeVcs + vc;
+            if (sc.stamp[key] == sc.epoch) break;  // suffix already expanded
+            sc.stamp[key] = sc.epoch;
+            const std::uint32_t a = table.adj(cur, nh.port);
+            MANGO_ASSERT(a != RouteTable::kNoLink,
+                         "route " + to_string(topo.node_at(si)) + "->" +
+                             to_string(topo.node_at(di)) +
+                             " uses the unwired port " + port_name(nh.port) +
+                             " at " + to_string(topo.node_at(cur)));
+            prev_chan = chan;
+            cur = a >> 2;
+            in = static_cast<PortIdx>(a & 0x3u);
+            phase = nh.phase;
+          }
         }
-        const auto chan = static_cast<std::uint32_t>(
-            (cur * kNumDirections + nh.port) * kMaxBeVcs + vc);
-        if (prev_chan != kNoChan) builder.add_edge(prev_chan, chan);
-        const std::size_t key = (cur * 2 + phase) * kMaxBeVcs + vc;
-        if (stamp[key] == epoch) break;  // suffix already expanded
-        stamp[key] = epoch;
-        const std::uint32_t a = table.adj(cur, nh.port);
-        MANGO_ASSERT(a != RouteTable::kNoLink,
-                     "route " + to_string(topo.node_at(si)) + "->" +
-                         to_string(topo.node_at(di)) +
-                         " uses the unwired port " + port_name(nh.port) +
-                         " at " + to_string(topo.node_at(cur)));
-        prev_chan = chan;
-        cur = a >> 2;
-        in = static_cast<PortIdx>(a & 0x3u);
-        phase = nh.phase;
-      }
-    }
+      });
+
+  CdgBuilder builder(topo, vc_map, classes);
+  for (const auto& edges : emitted) {
+    for (const auto& [from, to] : edges) builder.add_edge(from, to);
   }
   return builder.finish();
 }

@@ -236,7 +236,19 @@ class RouteTable {
   /// Sentinel shift: a self-route over the 15-code header budget.
   static constexpr std::uint8_t kNoHeader = 0xFF;
 
-  RouteTable(const Topology& topo, const RoutingAlgorithm& routing);
+  /// `build_threads` bounds the worker pool used to materialize the
+  /// per-destination route columns and self-route cycles. Every value
+  /// produces a byte-identical table: each destination's column (and
+  /// each node's self cycle) is a pure function of (topology, routing)
+  /// written to disjoint bytes, so the thread assignment cannot leak
+  /// into the result (tests/test_fabric_plan.cpp asserts == across
+  /// thread counts on every fabric kind).
+  RouteTable(const Topology& topo, const RoutingAlgorithm& routing,
+             unsigned build_threads = 1);
+
+  /// Whole-table byte equality (all materialized arrays): the oracle
+  /// for the parallel-build determinism contract.
+  friend bool operator==(const RouteTable& a, const RouteTable& b);
 
   bool dense() const { return dense_; }
   std::size_t node_count() const { return n_; }
@@ -296,10 +308,12 @@ class RouteTable {
     return static_cast<std::uint8_t>(meta_[pair(s, d)] >> 4);
   }
   void materialize_self_routes(const Topology& topo,
-                               const RoutingAlgorithm& routing);
+                               const RoutingAlgorithm& routing,
+                               unsigned build_threads);
   void materialize_adjacency(const Topology& topo);
   void materialize_pairs(const Topology& topo,
-                         const RoutingAlgorithm& routing);
+                         const RoutingAlgorithm& routing,
+                         unsigned build_threads);
 
   std::size_t n_ = 0;
   bool dense_ = false;
@@ -325,12 +339,21 @@ class RouteTable {
   const RoutingAlgorithm* routing_ = nullptr;  ///< for lazy error re-raise
 };
 
-/// Result of the channel-dependency-graph acyclicity check.
+/// Result of the channel-dependency-graph acyclicity check. Beyond the
+/// verdict it carries a certificate of the dependency graph actually
+/// built — the distinct-edge count and an order-sensitive FNV-1a digest
+/// over the edge insertion sequence — so callers (and the parallel-build
+/// tests) can assert two checks examined the *same* graph, not merely
+/// reached the same verdict.
 struct DeadlockCheck {
   bool acyclic = true;
   /// Human-readable description of the first dependency cycle found
   /// (empty when acyclic).
   std::string cycle;
+  /// Distinct channel-dependency edges recorded.
+  std::uint64_t edges = 0;
+  /// FNV-1a over the (from, to) edge insertion sequence.
+  std::uint64_t digest = 0;
 };
 
 /// Builds the channel-dependency graph of `routing` over `topo` —
@@ -348,9 +371,16 @@ DeadlockCheck check_deadlock_freedom(const Topology& topo,
 /// path will execute. Exhaustive over every (src, dst) pair up to 1024
 /// nodes, deterministically stratified beyond (mirroring the virtual
 /// check's sampling so 4096-node construction stays bounded).
+///
+/// `threads` bounds the worker pool enumerating per-destination edge
+/// sequences; the sequences merge serially in destination order, which
+/// replicates the single-threaded insertion order exactly, so the
+/// verdict, cycle string, edge count and digest are identical for every
+/// thread count.
 DeadlockCheck check_deadlock_freedom(const Topology& topo,
                                      const RouteTable& table,
                                      const BeVcClassMap& vc_map,
-                                     unsigned be_vcs);
+                                     unsigned be_vcs,
+                                     unsigned threads = 1);
 
 }  // namespace mango::noc

@@ -34,6 +34,21 @@ NON_SWEEP_FLAGS = {
     "--target",                  # cmake
 }
 
+# Reverse check: execution-strategy flags whose whole point is the
+# "stats are byte-identical, only wall time moves" contract.  Each must
+# be documented in BOTH ``mango_sweep --help`` and README.md — a flag
+# here that exists in the binary but not the docs (or vice versa) is a
+# CI failure, so the contract surface can't silently drift.
+REQUIRED_DOCUMENTED_FLAGS = {
+    "--shards",
+    "--repeat",
+    "--spin-us",
+    "--no-elide",
+    "--per-record-handoff",
+    "--no-plan-cache",
+    "--build-threads",
+}
+
 
 def run(cmd):
     return subprocess.run(
@@ -135,6 +150,16 @@ def main():
     for doc in DOC_FILES:
         errors += check_doc(repo / doc, presets, flags, benches, tests,
                             bench_json)
+
+    readme_flags = set(re.findall(r"--[a-z][a-z0-9-]*",
+                                  (repo / "README.md").read_text()))
+    for flag in sorted(REQUIRED_DOCUMENTED_FLAGS):
+        if flag not in flags:
+            errors.append(f"required flag `{flag}` not in "
+                          "mango_sweep --help")
+        if flag not in readme_flags:
+            errors.append(f"required flag `{flag}` not documented "
+                          "in README.md")
 
     for e in errors:
         print(f"dangling doc reference: {e}", file=sys.stderr)

@@ -90,6 +90,15 @@ void usage(std::FILE* out) {
       "  --per-record-handoff  per-record boundary publishes instead of\n"
       "                        one batch per window (ablation; stats\n"
       "                        unchanged, wall time is not)\n"
+      "  --no-plan-cache       rebuild the fabric plan (topology, route\n"
+      "                        tables, deadlock certificate) per scenario\n"
+      "                        instead of sharing one immutable plan per\n"
+      "                        distinct fabric across the sweep (ablation;\n"
+      "                        stats unchanged, wall time is not)\n"
+      "  --build-threads N     worker threads materializing each fabric\n"
+      "                        plan's route tables and dependency graph\n"
+      "                        (default 1; plans are byte-identical for\n"
+      "                        every N). Stats unchanged\n"
       "  --out FILE            write the JSON report to FILE\n"
       "  --stable              omit wall-clock fields from the JSON so\n"
       "                        reports of identical sweeps are byte-equal\n"
@@ -166,6 +175,10 @@ void print_summary(const exp::SweepReport& report) {
       static_cast<unsigned long long>(report.total_violations()),
       static_cast<unsigned long long>(report.total_events()), report.wall_ms,
       report.jobs, report.scenarios_per_hour());
+  std::printf("fabric plans: %llu built, %llu reused%s\n",
+              static_cast<unsigned long long>(report.plan_builds),
+              static_cast<unsigned long long>(report.plan_hits),
+              report.plan_cache ? "" : " (plan cache off)");
   std::uint64_t creq = 0, crej = 0, cclosed = 0;
   for (const exp::ScenarioResult& r : report.results) {
     creq += r.stats.churn_requested;
@@ -191,6 +204,7 @@ int main(int argc, char** argv) {
   std::string out_file;
   unsigned jobs = 0;  // hardware concurrency
   unsigned repeat = 1;
+  exp::SweepOptions sweep_opts;
   bool stable = false;
   bool quiet = false;
   bool have_grid_flags = false;
@@ -396,6 +410,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--per-record-handoff") {
       grid.base.batched_handoff = false;
       set_per_record = true;
+    } else if (arg == "--no-plan-cache") {
+      sweep_opts.plan_cache = false;
+    } else if (arg == "--build-threads") {
+      std::uint64_t n = 0;
+      if (!parse_u64(next_arg(i, "--build-threads"), &n) || n == 0 ||
+          n > 64) {
+        die("bad --build-threads (want 1..64)");
+      }
+      sweep_opts.build_threads = static_cast<unsigned>(n);
     } else if (arg == "--repeat") {
       std::uint64_t n = 0;
       if (!parse_u64(next_arg(i, "--repeat"), &n) || n == 0 || n > 100) {
@@ -466,7 +489,7 @@ int main(int argc, char** argv) {
   }
 
   const exp::SweepReport report =
-      exp::SweepRunner().run(specs, jobs, progress, repeat);
+      exp::SweepRunner().run(specs, jobs, progress, repeat, sweep_opts);
 
   if (!quiet) {
     std::printf("\n");
